@@ -1,0 +1,287 @@
+// Package approxobj implements deterministic approximate shared objects —
+// k-multiplicative-accurate counters and max registers — together with the
+// exact objects they are built from and compared against, reproducing
+// "Upper and Lower Bounds for Deterministic Approximate Objects" (Hendler,
+// Khattabi, Milani, Travers; ICDCS 2021).
+//
+// A k-multiplicative-accurate object allows reads to err by a
+// multiplicative factor k: a counter read may return any x with
+// v/k <= x <= v*k for the true count v, and similarly for the maximum value
+// of a max register. Relaxing accuracy buys steep complexity improvements:
+//
+//   - Counter: wait-free linearizable with O(1) amortized steps per
+//     operation for k >= sqrt(n) (n = number of processes), versus
+//     Omega(n) worst-case / polylog amortized for exact counters.
+//   - BoundedMaxRegister: worst-case O(min(log2 log_k m, n)) steps versus
+//     Theta(log m) for the exact bounded register — an exponential
+//     improvement, matching the paper's lower bound.
+//
+// # Process handles
+//
+// The algorithms come from the asynchronous shared-memory model with n
+// named processes, each holding persistent local state (scan positions,
+// unannounced counts). Callers therefore bind each concurrent goroutine to
+// a distinct process slot via Handle(i); a handle must not be shared
+// between goroutines. The objects themselves are safe for fully concurrent
+// use through distinct handles and are wait-free: every operation finishes
+// in a bounded number of its own steps regardless of other goroutines
+// stalling or crashing.
+//
+// All implementations are instrumented: Handle steps are counted, which the
+// benchmark harness (cmd/approxbench) uses to reproduce the paper's step
+// complexity bounds.
+package approxobj
+
+import (
+	"approxobj/internal/core"
+	"approxobj/internal/counter"
+	"approxobj/internal/maxreg"
+	"approxobj/internal/prim"
+)
+
+// CounterHandle is one process's view of a shared counter. Inc adds one;
+// Read returns the (possibly approximate) number of Incs linearized before
+// it. A handle is not safe for concurrent use; create one per goroutine.
+type CounterHandle interface {
+	Inc()
+	Read() uint64
+	// Steps returns the number of shared-memory primitive operations this
+	// handle's process has performed (for step-complexity measurements).
+	Steps() uint64
+}
+
+// MaxRegisterHandle is one process's view of a shared max register.
+type MaxRegisterHandle interface {
+	// Write records v; Read returns (an approximation of) the maximum
+	// value written by any handle so far.
+	Write(v uint64)
+	Read() uint64
+	Steps() uint64
+}
+
+// Counter is the paper's Algorithm 1: a wait-free linearizable
+// k-multiplicative-accurate unbounded counter with constant amortized step
+// complexity for k >= sqrt(n).
+type Counter struct {
+	f *prim.Factory
+	c *core.MultCounter
+}
+
+// NewCounter creates an approximate counter for n processes with accuracy
+// k. The accuracy guarantee requires k >= sqrt(n) (and k >= 2); NewCounter
+// returns an error otherwise.
+func NewCounter(n int, k uint64) (*Counter, error) {
+	f := prim.NewFactory(n)
+	c, err := core.NewMultCounter(f, k)
+	if err != nil {
+		return nil, err
+	}
+	return &Counter{f: f, c: c}, nil
+}
+
+// N returns the number of process slots.
+func (c *Counter) N() int { return c.c.N() }
+
+// K returns the accuracy parameter.
+func (c *Counter) K() uint64 { return c.c.K() }
+
+// Handle binds process slot i (0 <= i < n) to the counter. Each concurrent
+// goroutine must use its own slot.
+func (c *Counter) Handle(i int) CounterHandle {
+	return c.c.Handle(c.f.Proc(i))
+}
+
+// ExactCounter is the folklore wait-free exact counter (single-writer
+// components summed by readers): O(1) increments, O(n) reads, always
+// precise. It is the baseline the paper's introduction describes.
+type ExactCounter struct {
+	f *prim.Factory
+	c *counter.Collect
+}
+
+// NewExactCounter creates an exact counter for n processes.
+func NewExactCounter(n int) (*ExactCounter, error) {
+	f := prim.NewFactory(n)
+	c, err := counter.NewCollect(f)
+	if err != nil {
+		return nil, err
+	}
+	return &ExactCounter{f: f, c: c}, nil
+}
+
+// N returns the number of process slots.
+func (c *ExactCounter) N() int { return c.f.N() }
+
+// Handle binds process slot i to the counter.
+func (c *ExactCounter) Handle(i int) CounterHandle {
+	p := c.f.Proc(i)
+	return &collectHandle{h: c.c.Handle(p), p: p}
+}
+
+type collectHandle struct {
+	h *counter.CollectHandle
+	p *prim.Proc
+}
+
+func (h *collectHandle) Inc()          { h.h.Inc() }
+func (h *collectHandle) Read() uint64  { return h.h.Read() }
+func (h *collectHandle) Steps() uint64 { return h.p.Steps() }
+
+// AdditiveCounter is a k-additive-accurate counter (reads err by at most
+// ±k), the alternative relaxation the paper contrasts with multiplicative
+// accuracy: cheap batched increments, but reads still cost n steps —
+// consistent with the Omega(min(n-1, log m - log k)) lower bound of Aspnes
+// et al. for this object class.
+type AdditiveCounter struct {
+	f *prim.Factory
+	c *counter.Additive
+}
+
+// NewAdditiveCounter creates a k-additive-accurate counter for n processes.
+func NewAdditiveCounter(n int, k uint64) (*AdditiveCounter, error) {
+	f := prim.NewFactory(n)
+	c, err := counter.NewAdditive(f, k)
+	if err != nil {
+		return nil, err
+	}
+	return &AdditiveCounter{f: f, c: c}, nil
+}
+
+// N returns the number of process slots.
+func (c *AdditiveCounter) N() int { return c.f.N() }
+
+// K returns the additive accuracy parameter.
+func (c *AdditiveCounter) K() uint64 { return c.c.K() }
+
+// Handle binds process slot i to the counter.
+func (c *AdditiveCounter) Handle(i int) CounterHandle {
+	p := c.f.Proc(i)
+	return &additiveHandle{h: c.c.Handle(p), p: p}
+}
+
+type additiveHandle struct {
+	h *counter.AdditiveHandle
+	p *prim.Proc
+}
+
+func (h *additiveHandle) Inc()          { h.h.Inc() }
+func (h *additiveHandle) Read() uint64  { return h.h.Read() }
+func (h *additiveHandle) Steps() uint64 { return h.p.Steps() }
+
+// BoundedMaxRegister is the paper's Algorithm 2: a wait-free linearizable
+// k-multiplicative-accurate m-bounded max register with worst-case step
+// complexity O(min(log2 log_k m, n)) — exponentially faster than exact.
+type BoundedMaxRegister struct {
+	f *prim.Factory
+	r *core.KMultMaxReg
+}
+
+// NewBoundedMaxRegister creates a k-multiplicative-accurate max register
+// for values in {0..m-1}, for n process slots. Requires m >= 2 and k >= 2.
+func NewBoundedMaxRegister(n int, m, k uint64) (*BoundedMaxRegister, error) {
+	f := prim.NewFactory(n)
+	r, err := core.NewKMultMaxReg(f, m, k)
+	if err != nil {
+		return nil, err
+	}
+	return &BoundedMaxRegister{f: f, r: r}, nil
+}
+
+// Bound returns m. Values written must be < m.
+func (r *BoundedMaxRegister) Bound() uint64 { return r.r.Bound() }
+
+// K returns the accuracy parameter.
+func (r *BoundedMaxRegister) K() uint64 { return r.r.K() }
+
+// Handle binds process slot i to the register.
+func (r *BoundedMaxRegister) Handle(i int) MaxRegisterHandle {
+	p := r.f.Proc(i)
+	return &maxRegHandle{w: func(v uint64) { r.r.Write(p, v) }, rd: func() uint64 { return r.r.Read(p) }, p: p}
+}
+
+// ExactBoundedMaxRegister is the exact m-bounded max register of Aspnes,
+// Attiya and Censor-Hillel (the substrate of Algorithm 2), with Theta(log m)
+// worst-case step complexity.
+type ExactBoundedMaxRegister struct {
+	f *prim.Factory
+	r *maxreg.Bounded
+}
+
+// NewExactBoundedMaxRegister creates an exact max register for values in
+// {0..m-1}, for n process slots.
+func NewExactBoundedMaxRegister(n int, m uint64) (*ExactBoundedMaxRegister, error) {
+	f := prim.NewFactory(n)
+	r, err := maxreg.NewBounded(f, m)
+	if err != nil {
+		return nil, err
+	}
+	return &ExactBoundedMaxRegister{f: f, r: r}, nil
+}
+
+// Bound returns m.
+func (r *ExactBoundedMaxRegister) Bound() uint64 { return r.r.Bound() }
+
+// Handle binds process slot i to the register.
+func (r *ExactBoundedMaxRegister) Handle(i int) MaxRegisterHandle {
+	p := r.f.Proc(i)
+	return &maxRegHandle{w: func(v uint64) { r.r.Write(p, v) }, rd: func() uint64 { return r.r.Read(p) }, p: p}
+}
+
+// MaxRegister is the unbounded k-multiplicative-accurate max register the
+// paper sketches in Section I-B: Algorithm 2 plugged into an unbounded
+// epoch construction, with sub-logarithmic step complexity in the value.
+type MaxRegister struct {
+	f *prim.Factory
+	r *maxreg.Unbounded
+}
+
+// NewMaxRegister creates an unbounded approximate max register with
+// accuracy k >= 2 for n process slots.
+func NewMaxRegister(n int, k uint64) (*MaxRegister, error) {
+	f := prim.NewFactory(n)
+	r, err := core.NewKMultUnboundedMaxReg(f, k)
+	if err != nil {
+		return nil, err
+	}
+	return &MaxRegister{f: f, r: r}, nil
+}
+
+// Handle binds process slot i to the register.
+func (r *MaxRegister) Handle(i int) MaxRegisterHandle {
+	p := r.f.Proc(i)
+	return &maxRegHandle{w: func(v uint64) { r.r.Write(p, v) }, rd: func() uint64 { return r.r.Read(p) }, p: p}
+}
+
+// ExactMaxRegister is the unbounded exact max register (epoch construction
+// over exact bounded registers), with O(log v) step complexity.
+type ExactMaxRegister struct {
+	f *prim.Factory
+	r *maxreg.Unbounded
+}
+
+// NewExactMaxRegister creates an unbounded exact max register for n
+// process slots.
+func NewExactMaxRegister(n int) (*ExactMaxRegister, error) {
+	f := prim.NewFactory(n)
+	r, err := maxreg.NewUnbounded(f, maxreg.ExactFactory)
+	if err != nil {
+		return nil, err
+	}
+	return &ExactMaxRegister{f: f, r: r}, nil
+}
+
+// Handle binds process slot i to the register.
+func (r *ExactMaxRegister) Handle(i int) MaxRegisterHandle {
+	p := r.f.Proc(i)
+	return &maxRegHandle{w: func(v uint64) { r.r.Write(p, v) }, rd: func() uint64 { return r.r.Read(p) }, p: p}
+}
+
+type maxRegHandle struct {
+	w  func(uint64)
+	rd func() uint64
+	p  *prim.Proc
+}
+
+func (h *maxRegHandle) Write(v uint64) { h.w(v) }
+func (h *maxRegHandle) Read() uint64   { return h.rd() }
+func (h *maxRegHandle) Steps() uint64  { return h.p.Steps() }

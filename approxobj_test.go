@@ -1,0 +1,276 @@
+package approxobj
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterBasic(t *testing.T) {
+	c, err := NewCounter(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 4 || c.K() != 2 {
+		t.Fatalf("N=%d K=%d, want 4, 2", c.N(), c.K())
+	}
+	h := c.Handle(0)
+	if got := h.Read(); got != 0 {
+		t.Fatalf("initial Read = %d, want 0", got)
+	}
+	for i := 0; i < 100; i++ {
+		h.Inc()
+	}
+	x := h.Read()
+	if x < 50 || x > 200 {
+		t.Fatalf("Read = %d after 100 incs, want within [50, 200] (k=2)", x)
+	}
+	if h.Steps() == 0 {
+		t.Fatal("Steps not counted")
+	}
+}
+
+func TestCounterRejectsBadParams(t *testing.T) {
+	if _, err := NewCounter(100, 2); err == nil {
+		t.Fatal("k=2 for n=100 accepted (needs k >= 10)")
+	}
+	if _, err := NewCounter(0, 2); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := NewCounter(1, 1); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	const n = 8
+	const perProc = 10000
+	c, err := NewCounter(n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h := c.Handle(i)
+			for j := 0; j < perProc; j++ {
+				h.Inc()
+				if j%1000 == 0 {
+					h.Read()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	x := c.Handle(0).Read()
+	const v = n * perProc
+	if x < v/3 || x > v*3 {
+		t.Fatalf("final Read = %d, want within [%d, %d]", x, v/3, v*3)
+	}
+}
+
+func TestExactCounter(t *testing.T) {
+	c, err := NewExactCounter(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 4 {
+		t.Fatalf("N = %d, want 4", c.N())
+	}
+	h0, h1 := c.Handle(0), c.Handle(1)
+	h0.Inc()
+	h0.Inc()
+	h1.Inc()
+	if got := h1.Read(); got != 3 {
+		t.Fatalf("Read = %d, want 3", got)
+	}
+	if h1.Steps() == 0 {
+		t.Fatal("Steps not counted")
+	}
+	if _, err := NewExactCounter(0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestExactCounterConcurrent(t *testing.T) {
+	const n = 8
+	const perProc = 20000
+	c, err := NewExactCounter(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h := c.Handle(i)
+			for j := 0; j < perProc; j++ {
+				h.Inc()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := c.Handle(0).Read(); got != n*perProc {
+		t.Fatalf("exact counter lost updates: Read = %d, want %d", got, n*perProc)
+	}
+}
+
+func TestBoundedMaxRegister(t *testing.T) {
+	r, err := NewBoundedMaxRegister(2, 1<<20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bound() != 1<<20 || r.K() != 2 {
+		t.Fatalf("Bound=%d K=%d", r.Bound(), r.K())
+	}
+	h := r.Handle(0)
+	if got := h.Read(); got != 0 {
+		t.Fatalf("initial Read = %d", got)
+	}
+	h.Write(1000)
+	x := r.Handle(1).Read()
+	if x < 1000 || x > 2000 {
+		t.Fatalf("Read = %d, want in [1000, 2000]", x)
+	}
+	if _, err := NewBoundedMaxRegister(1, 1, 2); err == nil {
+		t.Fatal("m=1 accepted")
+	}
+	if _, err := NewBoundedMaxRegister(1, 8, 1); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+}
+
+func TestExactBoundedMaxRegister(t *testing.T) {
+	r, err := NewExactBoundedMaxRegister(2, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := r.Handle(0)
+	h.Write(77)
+	h.Write(33)
+	if got := r.Handle(1).Read(); got != 77 {
+		t.Fatalf("Read = %d, want 77", got)
+	}
+}
+
+func TestUnboundedMaxRegisters(t *testing.T) {
+	approx, err := NewMaxRegister(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := NewExactMaxRegister(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha, he := approx.Handle(0), exact.Handle(0)
+	const v = uint64(123456789)
+	ha.Write(v)
+	he.Write(v)
+	if got := exact.Handle(1).Read(); got != v {
+		t.Fatalf("exact Read = %d, want %d", got, v)
+	}
+	x := approx.Handle(1).Read()
+	if x < v/4 || x > v*4 {
+		t.Fatalf("approx Read = %d, want within [v/4, 4v] of %d", x, v)
+	}
+}
+
+func TestMaxRegisterConcurrent(t *testing.T) {
+	const n = 8
+	r, err := NewMaxRegister(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h := r.Handle(i)
+			for j := 1; j <= 5000; j++ {
+				h.Write(uint64(j * (i + 1)))
+				if j%500 == 0 {
+					h.Read()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	const max = 5000 * n
+	x := r.Handle(0).Read()
+	if x < max/2 || x > max*2 {
+		t.Fatalf("final Read = %d, want within [%d, %d]", x, max/2, max*2)
+	}
+}
+
+func TestMaxRegisterStepsCounted(t *testing.T) {
+	r, err := NewBoundedMaxRegister(1, 1<<30, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := r.Handle(0)
+	h.Write(5)
+	h.Read()
+	if h.Steps() == 0 {
+		t.Fatal("Steps not counted")
+	}
+	// The headline claim: ops on a 2^30-bounded 2-accurate register take
+	// at most ceil(log2(log2(2^30)+2)) = 5 steps.
+	steps := h.Steps()
+	if steps > 10 {
+		t.Fatalf("2 ops took %d steps, want <= 10 (double-log complexity)", steps)
+	}
+}
+
+func TestAdditiveCounter(t *testing.T) {
+	c, err := NewAdditiveCounter(4, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 4 || c.K() != 40 {
+		t.Fatalf("N=%d K=%d, want 4, 40", c.N(), c.K())
+	}
+	h := c.Handle(0)
+	for i := 0; i < 1000; i++ {
+		h.Inc()
+	}
+	x := h.Read()
+	if x < 960 || x > 1040 {
+		t.Fatalf("Read = %d, want within +-40 of 1000", x)
+	}
+	if h.Steps() == 0 {
+		t.Fatal("Steps not counted")
+	}
+	if _, err := NewAdditiveCounter(0, 4); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestAdditiveCounterConcurrent(t *testing.T) {
+	const n = 8
+	const k = 80
+	const perProc = 10000
+	c, err := NewAdditiveCounter(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h := c.Handle(i)
+			for j := 0; j < perProc; j++ {
+				h.Inc()
+			}
+		}(i)
+	}
+	wg.Wait()
+	x := c.Handle(0).Read()
+	const v = n * perProc
+	if x < v-k || x > v+k {
+		t.Fatalf("Read = %d, want within +-%d of %d", x, k, v)
+	}
+}

@@ -1,0 +1,22 @@
+package approxobj_test
+
+import (
+	"testing"
+
+	"approxobj/internal/prim"
+	"approxobj/internal/sim"
+)
+
+// newSimForBench builds a one-process machine whose program loops on a
+// register forever (for step-cost calibration).
+func newSimForBench(b *testing.B) *sim.Machine {
+	b.Helper()
+	m := sim.NewMachine(1)
+	reg := m.Factory().Reg()
+	m.Spawn(0, func(p *prim.Proc) {
+		for {
+			reg.Read(p)
+		}
+	})
+	return m
+}

@@ -1,0 +1,56 @@
+// Command approxbench regenerates every experiment table of the
+// reproduction (see DESIGN.md for the experiment index and EXPERIMENTS.md
+// for recorded results).
+//
+// Usage:
+//
+//	approxbench [-quick] [-exp e1,e3,f1]
+//
+// Without -exp it runs everything. -quick shrinks parameter sweeps for a
+// fast smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"approxobj/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink parameter sweeps for a fast run")
+	exps := flag.String("exp", "all", "comma-separated experiment ids (e1,e2,e3,e4,e5,e7,e8,e9,f1) or 'all'")
+	flag.Parse()
+
+	selected := map[string]bool{}
+	runAll := *exps == "all"
+	for _, id := range strings.Split(*exps, ",") {
+		selected[strings.TrimSpace(strings.ToLower(id))] = true
+	}
+
+	cfg := bench.Config{Quick: *quick}
+	ran := 0
+	for _, exp := range bench.All() {
+		if !runAll && !selected[exp.ID] {
+			continue
+		}
+		ran++
+		start := time.Now()
+		tables, err := exp.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "approxbench: %s: %v\n", exp.ID, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			t.Fprint(os.Stdout)
+		}
+		fmt.Printf("# %s finished in %v\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "approxbench: no experiment matches %q\n", *exps)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,113 @@
+// Command perturb runs the lower-bound constructions of Sections III-D and
+// V against a chosen implementation and reports the certified bounds.
+//
+// Usage:
+//
+//	perturb -object kmaxreg -m 1073741824 -k 2 -n 64
+//	perturb -object mult -m 65536 -k 2 -n 32
+//	perturb -object collect -awareness -n 128
+//
+// Objects: maxreg (exact bounded), kmaxreg (Algorithm 2), collect, mult
+// (Algorithm 1). With -awareness, runs the one-inc-one-read awareness
+// experiment instead of the perturbation construction (counters only).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"approxobj/internal/core"
+	"approxobj/internal/counter"
+	"approxobj/internal/lowerbound"
+	"approxobj/internal/maxreg"
+	"approxobj/internal/object"
+	"approxobj/internal/prim"
+)
+
+func main() {
+	var (
+		objName   = flag.String("object", "kmaxreg", "maxreg | kmaxreg | collect | mult")
+		n         = flag.Int("n", 64, "number of processes (reader + perturbers)")
+		k         = flag.Uint64("k", 2, "accuracy parameter (1 = exact construction schedule)")
+		m         = flag.Uint64("m", 1<<30, "object bound (values / total increments)")
+		awareness = flag.Bool("awareness", false, "run the Section III-D awareness experiment (counters)")
+		seed      = flag.Int64("seed", 1, "schedule seed (awareness)")
+		maxSolo   = flag.Int("maxsolo", 50_000_000, "solo-run step guard")
+	)
+	flag.Parse()
+
+	if err := run(*objName, *n, *k, *m, *awareness, *seed, *maxSolo); err != nil {
+		fmt.Fprintf(os.Stderr, "perturb: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(objName string, n int, k, m uint64, awareness bool, seed int64, maxSolo int) error {
+	mkCounter := map[string]func(f *prim.Factory) (object.Counter, error){
+		"collect": func(f *prim.Factory) (object.Counter, error) { return counter.NewCollect(f) },
+		"mult": func(f *prim.Factory) (object.Counter, error) {
+			return core.NewMultCounter(f, k, core.Unchecked())
+		},
+	}
+
+	if awareness {
+		mk, ok := mkCounter[objName]
+		if !ok {
+			return fmt.Errorf("awareness experiment needs a counter (collect or mult), got %q", objName)
+		}
+		res, err := lowerbound.Awareness(mk, n, k, seed)
+		if err != nil {
+			return err
+		}
+		threshold := n / (2 * int(k) * int(k))
+		if threshold < 1 {
+			threshold = 1
+		}
+		fmt.Printf("awareness: object=%s n=%d k=%d seed=%d\n", objName, n, k, seed)
+		fmt.Printf("total steps          %d (%.2f per op)\n", res.TotalSteps, float64(res.TotalSteps)/float64(2*n))
+		fmt.Printf("median |AW|          %d\n", res.MedianSize())
+		fmt.Printf(">= n/2k^2 = %d       %d processes (need >= %d)\n", threshold, res.CountAtLeast(threshold), n/2)
+		fmt.Printf("corollary III.10.1   %v\n", res.SatisfiesCorollary())
+		return nil
+	}
+
+	var (
+		res lowerbound.PerturbResult
+		err error
+	)
+	switch objName {
+	case "maxreg":
+		res, err = lowerbound.PerturbMaxReg(func(f *prim.Factory) (object.MaxReg, error) {
+			return maxreg.NewBounded(f, m)
+		}, n, m, 1, maxSolo)
+	case "kmaxreg":
+		res, err = lowerbound.PerturbMaxReg(func(f *prim.Factory) (object.MaxReg, error) {
+			return core.NewKMultMaxReg(f, m, k)
+		}, n, m, k, maxSolo)
+	case "collect", "mult":
+		res, err = lowerbound.PerturbCounter(mkCounter[objName], n, m, k, maxSolo)
+	default:
+		return fmt.Errorf("unknown object %q", objName)
+	}
+	if err != nil {
+		return err
+	}
+
+	stop := "exhausted bound"
+	switch {
+	case res.Saturated:
+		stop = "saturated (every perturber pending)"
+	case res.Failed:
+		stop = "FAILED to perturb (unexpected for a correct implementation)"
+	}
+	fmt.Printf("perturbation: object=%s n=%d k=%d m=%d\n", objName, n, k, m)
+	fmt.Printf("rounds L             %d (%s)\n", res.Rounds, stop)
+	fmt.Printf("payload sequence     %v\n", res.Values)
+	fmt.Printf("reader solo steps    %d\n", res.ReaderSteps)
+	fmt.Printf("distinct objects     %d (lower bound log2 L = %.1f)\n",
+		res.ReaderDistinctObjects, math.Log2(float64(res.Rounds)))
+	fmt.Printf("reader response      %d\n", res.ReaderResponse)
+	return nil
+}

@@ -1,0 +1,139 @@
+// Command stepsim explores step complexity interactively: it runs one
+// counter or max-register implementation on a chosen workload and prints
+// per-operation step statistics from the instrumented primitive layer.
+//
+// Usage:
+//
+//	stepsim -object mult -n 16 -k 4 -ops 100000 -reads 0.1
+//	stepsim -object kmaxreg -m 1048576 -k 2 -ops 1000
+//
+// Objects: mult (Algorithm 1), collect, aach (counters);
+// kmaxreg (Algorithm 2), maxreg (exact bounded), ukmaxreg, umaxreg
+// (unbounded variants).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+
+	"approxobj/internal/core"
+	"approxobj/internal/counter"
+	"approxobj/internal/maxreg"
+	"approxobj/internal/object"
+	"approxobj/internal/prim"
+)
+
+func main() {
+	var (
+		objName = flag.String("object", "mult", "mult | collect | aach | kmaxreg | maxreg | ukmaxreg | umaxreg")
+		n       = flag.Int("n", 16, "number of processes")
+		k       = flag.Uint64("k", 4, "accuracy parameter (approximate objects)")
+		m       = flag.Uint64("m", 1<<20, "bound (bounded max registers)")
+		ops     = flag.Int("ops", 100_000, "total operations")
+		reads   = flag.Float64("reads", 0.1, "fraction of reads")
+		seed    = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	if err := run(*objName, *n, *k, *m, *ops, *reads, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "stepsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(objName string, n int, k, m uint64, ops int, reads float64, seed int64) error {
+	f := prim.NewFactory(n)
+	var (
+		update func(h int, rng *rand.Rand)
+		read   func(h int) uint64
+	)
+	switch objName {
+	case "mult", "collect", "aach":
+		var c object.Counter
+		var err error
+		switch objName {
+		case "mult":
+			c, err = core.NewMultCounter(f, k)
+		case "collect":
+			c, err = counter.NewCollect(f)
+		case "aach":
+			c, err = counter.NewAACH(f)
+		}
+		if err != nil {
+			return err
+		}
+		handles := make([]object.CounterHandle, n)
+		for i := range handles {
+			handles[i] = c.CounterHandle(f.Proc(i))
+		}
+		update = func(h int, _ *rand.Rand) { handles[h].Inc() }
+		read = func(h int) uint64 { return handles[h].Read() }
+	case "kmaxreg", "maxreg", "ukmaxreg", "umaxreg":
+		var r object.MaxReg
+		var err error
+		switch objName {
+		case "kmaxreg":
+			var km *core.KMultMaxReg
+			km, err = core.NewKMultMaxReg(f, m, k)
+			r = km
+		case "maxreg":
+			var bm *maxreg.Bounded
+			bm, err = maxreg.NewBounded(f, m)
+			r = bm
+		case "ukmaxreg":
+			var um *maxreg.Unbounded
+			um, err = core.NewKMultUnboundedMaxReg(f, k)
+			r = um
+		case "umaxreg":
+			var um *maxreg.Unbounded
+			um, err = maxreg.NewUnbounded(f, maxreg.ExactFactory)
+			r = um
+		}
+		if err != nil {
+			return err
+		}
+		handles := make([]object.MaxRegHandle, n)
+		for i := range handles {
+			handles[i] = r.MaxRegHandle(f.Proc(i))
+		}
+		update = func(h int, rng *rand.Rand) {
+			handles[h].Write(uint64(rng.Int63n(int64(m-1))) + 1)
+		}
+		read = func(h int) uint64 { return handles[h].Read() }
+	default:
+		return fmt.Errorf("unknown object %q", objName)
+	}
+
+	procs := f.Procs()
+	rng := rand.New(rand.NewSource(seed))
+	perOp := make([]uint64, 0, ops)
+	var lastResp uint64
+	for i := 0; i < ops; i++ {
+		h := rng.Intn(n)
+		before := procs[h].Steps()
+		if rng.Float64() < reads {
+			lastResp = read(h)
+		} else {
+			update(h, rng)
+		}
+		perOp = append(perOp, procs[h].Steps()-before)
+	}
+
+	var total uint64
+	for _, s := range perOp {
+		total += s
+	}
+	sorted := append([]uint64(nil), perOp...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	pct := func(q float64) uint64 { return sorted[int(q*float64(len(sorted)-1))] }
+
+	fmt.Printf("object=%s n=%d k=%d m=%d ops=%d reads=%.2f\n", objName, n, k, m, ops, reads)
+	fmt.Printf("total steps      %d\n", total)
+	fmt.Printf("amortized/op     %.3f\n", float64(total)/float64(ops))
+	fmt.Printf("p50 / p99 / max  %d / %d / %d\n", pct(0.50), pct(0.99), sorted[len(sorted)-1])
+	fmt.Printf("last read        %d\n", lastResp)
+	return nil
+}

@@ -1,0 +1,59 @@
+// Quickstart: the two approximate objects of the paper in their simplest
+// concurrent setting — a k-multiplicative-accurate counter shared by n
+// goroutines and an approximate max register tracking a high-water mark.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"approxobj"
+)
+
+func main() {
+	const n = 16      // goroutines = process slots
+	const k = 4       // accuracy: reads land within [v/4, 4v]; k >= sqrt(n)
+	const perG = 1000 // increments per goroutine
+
+	counter, err := approxobj.NewCounter(n, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxReg, err := approxobj.NewMaxRegister(n, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			// One handle per goroutine: handles carry the per-process
+			// state of the paper's algorithms.
+			c := counter.Handle(slot)
+			m := maxReg.Handle(slot)
+			for j := 1; j <= perG; j++ {
+				c.Inc()
+				m.Write(uint64(slot*perG + j))
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	reader := counter.Handle(0)
+	count := reader.Read()
+	fmt.Printf("true increments : %d\n", n*perG)
+	fmt.Printf("approx count    : %d (guaranteed within [%d, %d])\n",
+		count, n*perG/k, n*perG*k)
+
+	peak := maxReg.Handle(0).Read()
+	truePeak := (n-1)*perG + perG
+	fmt.Printf("true high water : %d\n", truePeak)
+	fmt.Printf("approx high     : %d (within a factor %d)\n", peak, k)
+
+	// The price of the answer, in shared-memory steps: this is what the
+	// paper's Theorem III.9 bounds — O(1) amortized per operation.
+	fmt.Printf("reader steps    : %d for 1 read\n", reader.Steps())
+}

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, exp := range All() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			tables, err := exp.Run(Config{Quick: true})
+			if err != nil {
+				t.Fatalf("%s: %v", exp.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", exp.ID)
+			}
+			for _, tb := range tables {
+				out := tb.String()
+				if !strings.Contains(out, tb.ID) || len(tb.Rows) == 0 {
+					t.Fatalf("%s: malformed table output:\n%s", exp.ID, out)
+				}
+				for _, row := range tb.Rows {
+					if len(row) != len(tb.Header) {
+						t.Fatalf("%s: row width %d != header width %d", tb.ID, len(row), len(tb.Header))
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		ID:     "T",
+		Title:  "demo",
+		Note:   "a note\nsecond line",
+		Header: []string{"col", "value"},
+	}
+	tb.AddRow("x", 3.14159)
+	tb.AddRow("longer-cell", 1)
+	out := tb.String()
+	for _, want := range []string{"## T — demo", "# a note", "# second line", "3.14", "longer-cell"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE9ShowsViolationAndRepair(t *testing.T) {
+	tables, err := E9Boundary(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tables[0].String()
+	if !strings.Contains(out, "VIOLATED") {
+		t.Fatalf("E9 did not reproduce the verbatim violation:\n%s", out)
+	}
+	// Every repaired row must be ok.
+	for _, row := range tables[0].Rows {
+		if row[2] == "repaired" && row[7] != "ok" {
+			t.Fatalf("repaired variant violated the envelope: %v", row)
+		}
+		if row[2] == "verbatim" && row[7] != "VIOLATED" {
+			t.Fatalf("verbatim variant unexpectedly within envelope: %v", row)
+		}
+	}
+}
+
+func TestF1CasesMatchFigure(t *testing.T) {
+	tables, err := F1ReadCases(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) != 3 {
+		t.Fatalf("F1 has %d rows, want 3", len(rows))
+	}
+	// b.1 and b.2 stop at (1,0) and return the same response; case a
+	// stops at (0,1).
+	if rows[0][3] != "(1,0)" || rows[1][3] != "(1,0)" {
+		t.Fatalf("b cases stop at %s/%s, want (1,0)", rows[0][3], rows[1][3])
+	}
+	if rows[0][4] != rows[1][4] {
+		t.Fatalf("b.1 and b.2 responses differ: %s vs %s", rows[0][4], rows[1][4])
+	}
+	if rows[2][3] != "(0,1)" {
+		t.Fatalf("case a stops at %s, want (0,1)", rows[2][3])
+	}
+}
+
+func TestE3PredictionsMatchMeasurements(t *testing.T) {
+	tables, err := E3MaxRegWorstCase(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measured worst-case steps never exceed the predicted tree depth.
+	for _, row := range tables[0].Rows {
+		if row[1] < row[2] && len(row[1]) == len(row[2]) {
+			t.Fatalf("exact measured exceeds predicted: %v", row)
+		}
+	}
+}

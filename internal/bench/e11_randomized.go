@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"math/rand"
+
+	"approxobj/internal/core"
+	"approxobj/internal/counter"
+	"approxobj/internal/object"
+	"approxobj/internal/prim"
+)
+
+// E11Randomized contrasts deterministic approximation (this paper) with
+// randomized approximate counting (§I-A: Morris [12], Flajolet [13],
+// Aspnes-Censor [14]): both are cheap, but the randomized counter's reads
+// fall outside the k-envelope on a real fraction of executions, while the
+// deterministic counter's never do — the distinction the paper's title is
+// about.
+func E11Randomized(cfg Config) ([]*Table, error) {
+	const n = 4
+	const k = 2 // = sqrt(n): the deterministic counter's guarantee holds
+	trials := 200
+	incs := 5000
+	if cfg.Quick {
+		trials = 40
+		incs = 1000
+	}
+
+	t := &Table{
+		ID:    "E11",
+		Title: "deterministic vs randomized approximation: k-envelope violations",
+		Note: `Each trial: 5000 increments across 4 processes, then one read per
+process; a violation is any read outside [v/k, v*k], k = 2. Algorithm 1
+is deterministic: zero violations by construction. The Morris counter
+(related work [12][14]) is cheap but only accurate with high probability;
+its a parameter trades update cost for variance.`,
+		Header: []string{"counter", "steps/op", "mean |x-v|/v", "worst x/v ratio", "envelope violations"},
+	}
+
+	type stats struct {
+		steps      uint64
+		ops        int
+		relErrSum  float64
+		worstRatio float64
+		violations int
+		reads      int
+	}
+	run := func(mk func(f *prim.Factory, seed int64) (object.Counter, error)) (stats, error) {
+		var s stats
+		acc := object.Accuracy{K: k}
+		for trial := 0; trial < trials; trial++ {
+			f := prim.NewFactory(n)
+			c, err := mk(f, int64(trial))
+			if err != nil {
+				return s, err
+			}
+			rng := rand.New(rand.NewSource(int64(trial) * 7))
+			handles := make([]object.CounterHandle, n)
+			for i := range handles {
+				handles[i] = c.CounterHandle(f.Proc(i))
+			}
+			for i := 0; i < incs; i++ {
+				handles[rng.Intn(n)].Inc()
+				s.ops++
+			}
+			for i := 0; i < n; i++ {
+				x := handles[i].Read()
+				s.ops++
+				s.reads++
+				ratio := float64(x) / float64(incs)
+				rel := ratio - 1
+				if rel < 0 {
+					rel = -rel
+				}
+				s.relErrSum += rel
+				if ratio > s.worstRatio {
+					s.worstRatio = ratio
+				}
+				if 1/ratio > s.worstRatio {
+					s.worstRatio = 1 / ratio
+				}
+				if !acc.Contains(uint64(incs), x) {
+					s.violations++
+				}
+			}
+			for _, p := range f.Procs() {
+				s.steps += p.Steps()
+			}
+		}
+		return s, nil
+	}
+
+	mult, err := run(func(f *prim.Factory, _ int64) (object.Counter, error) {
+		return core.NewMultCounter(f, k)
+	})
+	if err != nil {
+		return nil, err
+	}
+	morrisLo, err := run(func(f *prim.Factory, seed int64) (object.Counter, error) {
+		return counter.NewMorris(f, 1, seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	morrisHi, err := run(func(f *prim.Factory, seed int64) (object.Counter, error) {
+		return counter.NewMorris(f, 64, seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for _, row := range []struct {
+		name string
+		s    stats
+	}{
+		{"mult (Alg 1, deterministic)", mult},
+		{"morris a=1 (randomized)", morrisLo},
+		{"morris a=64 (randomized)", morrisHi},
+	} {
+		t.AddRow(row.name,
+			float64(row.s.steps)/float64(row.s.ops),
+			row.s.relErrSum/float64(row.s.reads),
+			row.s.worstRatio,
+			row.s.violations)
+	}
+	return []*Table{t}, nil
+}

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"approxobj/internal/core"
+	"approxobj/internal/counter"
+	"approxobj/internal/lowerbound"
+	"approxobj/internal/object"
+	"approxobj/internal/prim"
+)
+
+// E2Awareness reproduces Section III-D: in the one-increment-one-read
+// workload of Theorem III.11, information about participation must spread —
+// the awareness sets (Definition III.3) of at least n/2 processes reach
+// n/(2k^2) (Corollary III.10.1), and per-operation step counts of correct
+// implementations sit above the log(n/k^2) information-dissemination bound.
+// It also covers experiment E6 (the corollary's threshold counts).
+func E2Awareness(cfg Config) ([]*Table, error) {
+	ns := []int{16, 64, 256}
+	seeds := 3
+	if cfg.Quick {
+		ns = []int{16, 64}
+		seeds = 1
+	}
+
+	t := &Table{
+		ID:    "E2",
+		Title: "awareness sets and total steps, one inc + one read per process",
+		Note: `Lemma III.10 / Corollary III.10.1 / Theorem III.11. "holds" = at least
+n/2 processes aware of >= n/(2k^2) others. The corollary binds *correct*
+k-accurate counters; "mult k=2" rows with k <= sqrt(n)/2 run outside the
+algorithm's guarantee (Unchecked) and fail the threshold — exactly the
+lower bound's dichotomy: disseminate Omega(log(n/k^2)) information or
+lose k-accuracy. steps/op compares against log2(n/k^2).`,
+		Header: []string{"counter", "n", "k", "median |AW|", ">=n/2k^2", "corollary", "steps/op", "log2(n/k^2)"},
+	}
+
+	type impl struct {
+		name string
+		k    uint64
+		mk   func(f *prim.Factory) (object.Counter, error)
+	}
+	for _, n := range ns {
+		impls := []impl{
+			{
+				name: "collect (exact)",
+				k:    1,
+				mk:   func(f *prim.Factory) (object.Counter, error) { return counter.NewCollect(f) },
+			},
+			{
+				name: "mult k=2",
+				k:    2,
+				mk: func(f *prim.Factory) (object.Counter, error) {
+					return core.NewMultCounter(f, 2, core.Unchecked())
+				},
+			},
+			{
+				name: fmt.Sprintf("mult k=%d", sqrtCeil(n)),
+				k:    sqrtCeil(n),
+				mk: func(f *prim.Factory) (object.Counter, error) {
+					return core.NewMultCounter(f, sqrtCeil(n))
+				},
+			},
+		}
+		for _, im := range impls {
+			var (
+				medianSum, atLeastSum, stepsSum int
+				allOK                           = true
+			)
+			for seed := int64(0); seed < int64(seeds); seed++ {
+				res, err := lowerbound.Awareness(im.mk, n, im.k, seed)
+				if err != nil {
+					return nil, err
+				}
+				medianSum += res.MedianSize()
+				threshold := n / (2 * int(im.k) * int(im.k))
+				if threshold < 1 {
+					threshold = 1
+				}
+				atLeastSum += res.CountAtLeast(threshold)
+				stepsSum += res.TotalSteps
+				allOK = allOK && res.SatisfiesCorollary()
+			}
+			ops := 2 * n * seeds
+			bound := math.Log2(float64(n) / float64(im.k*im.k))
+			if bound < 0 {
+				bound = 0
+			}
+			verdict := "holds"
+			if !allOK {
+				verdict = "fails (not k-accurate)"
+			}
+			t.AddRow(im.name, n, im.k,
+				medianSum/seeds, atLeastSum/seeds, verdict,
+				float64(stepsSum)/float64(ops), bound)
+		}
+	}
+	return []*Table{t}, nil
+}

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"approxobj/internal/core"
+	"approxobj/internal/maxreg"
+	"approxobj/internal/prim"
+)
+
+// maxRegOps is a probe interface implemented by both max registers under
+// instrumentation.
+type maxRegOps interface {
+	Write(p *prim.Proc, v uint64)
+	Read(p *prim.Proc) uint64
+}
+
+// worstCaseSteps drives a write/read workload through the register and
+// returns the maximum steps observed for any single operation.
+func worstCaseSteps(r maxRegOps, p *prim.Proc, m uint64, ops int, seed int64) uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	var worst uint64
+	measure := func(f func()) {
+		before := p.Steps()
+		f()
+		if d := p.Steps() - before; d > worst {
+			worst = d
+		}
+	}
+	// Ascending writes force the deepest paths; random reads interleave.
+	for i := 0; i < ops; i++ {
+		v := m / uint64(ops) * uint64(i)
+		if v >= m {
+			v = m - 1
+		}
+		measure(func() { r.Write(p, v) })
+		if rng.Intn(2) == 0 {
+			measure(func() { r.Read(p) })
+		}
+	}
+	measure(func() { r.Write(p, m-1) }) // the full-depth write
+	measure(func() { r.Read(p) })
+	return worst
+}
+
+// E3MaxRegWorstCase reproduces Theorem IV.2 against the exact baseline: the
+// worst-case step complexity of the k-multiplicative m-bounded max register
+// is Theta(log2 log_k m) versus Theta(log2 m) exact — the exponential gap
+// the paper proves matching bounds for (Theorem V.2).
+func E3MaxRegWorstCase(cfg Config) ([]*Table, error) {
+	exps := []uint64{8, 16, 24, 32, 48, 60}
+	ks := []uint64{2, 4, 16}
+	ops := 400
+	if cfg.Quick {
+		exps = []uint64{8, 16, 32}
+		ks = []uint64{2, 4}
+		ops = 100
+	}
+
+	t := &Table{
+		ID:    "E3",
+		Title: "worst-case steps per operation, exact vs k-multiplicative bounded max register",
+		Note: `Theorem IV.2: O(min(log2 log_k m, n)) for Algorithm 2 vs Theta(log2 m)
+for the exact register of [8]. "pred" columns are the tree depths
+ceil(log2 m) and ceil(log2(floor(log_k(m-1))+2)).`,
+		Header: func() []string {
+			h := []string{"m", "exact pred", "exact meas"}
+			for _, k := range ks {
+				h = append(h, fmt.Sprintf("k=%d pred", k), fmt.Sprintf("k=%d meas", k))
+			}
+			return h
+		}(),
+	}
+
+	for _, e := range exps {
+		m := uint64(1) << e
+		row := make([]any, 0, 3+2*len(ks))
+		row = append(row, fmt.Sprintf("2^%d", e))
+
+		f := prim.NewFactory(1)
+		p := f.Proc(0)
+		exact, err := maxreg.NewBounded(f, m)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, exact.Depth(), worstCaseSteps(exact, p, m, ops, 3))
+
+		for _, k := range ks {
+			fk := prim.NewFactory(1)
+			pk := fk.Proc(0)
+			km, err := core.NewKMultMaxReg(fk, m, k)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, km.InnerDepth(), worstCaseSteps(km, pk, m, ops, 3))
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}, nil
+}

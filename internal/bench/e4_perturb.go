@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"approxobj/internal/core"
+	"approxobj/internal/counter"
+	"approxobj/internal/lowerbound"
+	"approxobj/internal/maxreg"
+	"approxobj/internal/object"
+	"approxobj/internal/prim"
+)
+
+// E4PerturbMaxReg executes the Lemma V.1 perturbing-execution construction
+// against the bounded max registers: the achieved rounds L track the
+// perturbation bound Theta(log_k m) (m-1 for exact registers), and the
+// reader's final solo run touches at least log2(L) distinct base objects,
+// the mechanism behind Theorem V.2's Omega(min(log2 log_k m, n)).
+func E4PerturbMaxReg(cfg Config) ([]*Table, error) {
+	type cse struct {
+		name string
+		k    uint64
+		exps []uint64 // m = 2^exp
+	}
+	cases := []cse{
+		{name: "exact (k=1)", k: 1, exps: []uint64{4, 6, 8}},
+		{name: "k-mult k=2", k: 2, exps: []uint64{8, 16, 30, 44}},
+		{name: "k-mult k=4", k: 4, exps: []uint64{8, 16, 30, 44}},
+	}
+	if cfg.Quick {
+		cases = []cse{
+			{name: "exact (k=1)", k: 1, exps: []uint64{4, 6}},
+			{name: "k-mult k=2", k: 2, exps: []uint64{8, 16}},
+		}
+	}
+
+	t := &Table{
+		ID:    "E4",
+		Title: "perturbing executions against bounded max registers (Lemma V.1, Thm V.2)",
+		Note: `L = perturbation rounds achieved before the value bound is exhausted;
+the reader's final solo run must access >= log2(L) distinct base objects
+([5, Theorem 1]). Exact registers perturb once per value (L = m-1);
+k-multiplicative ones only Theta(log_k m) times — the relaxation is
+exactly what shrinks the lower bound.`,
+		Header: []string{"register", "m", "L", "pred L", "reader steps", "distinct objs", "log2(L)"},
+	}
+	for _, c := range cases {
+		for _, e := range c.exps {
+			m := uint64(1) << e
+			var mk func(f *prim.Factory) (object.MaxReg, error)
+			var predL string
+			if c.k == 1 {
+				mk = func(f *prim.Factory) (object.MaxReg, error) { return maxreg.NewBounded(f, m) }
+				predL = fmt.Sprintf("%d", m-1)
+			} else {
+				k := c.k
+				mk = func(f *prim.Factory) (object.MaxReg, error) { return core.NewKMultMaxReg(f, m, k) }
+				// v_r ~ k^(2r): L ~ log(m) / (2 log k).
+				predL = fmt.Sprintf("~%d", int(float64(e)/(2*math.Log2(float64(k))))+1)
+			}
+			n := int(m) + 2
+			if c.k > 1 {
+				n = 64
+			}
+			res, err := lowerbound.PerturbMaxReg(mk, n, m, c.k, 1_000_000)
+			if err != nil {
+				return nil, err
+			}
+			if res.Failed {
+				return nil, fmt.Errorf("bench: perturbation failed for %s m=2^%d after %d rounds", c.name, e, res.Rounds)
+			}
+			t.AddRow(c.name, fmt.Sprintf("2^%d", e), res.Rounds, predL,
+				res.ReaderSteps, res.ReaderDistinctObjects,
+				fmt.Sprintf("%.1f", math.Log2(float64(res.Rounds))))
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// E5PerturbCounter is the counter analogue (Lemma V.3, Theorem V.4): the
+// m-bounded k-multiplicative counter is Theta(log_k m)-perturbable, while
+// an exact counter perturbs every round until the process supply saturates
+// (the unbounded case falls back to the Omega(n) of Jayanti-Tan-Toueg).
+func E5PerturbCounter(cfg Config) ([]*Table, error) {
+	t := &Table{
+		ID:    "E5",
+		Title: "perturbing executions against counters (Lemma V.3, Thm V.4)",
+		Note: `Exact collect counters perturb once per round until all n-1 perturbers
+hold pending events (saturation = the Omega(n) regime of [6]). Algorithm 1
+under the I_r = (k^2-1)*sum + r schedule exhausts an m-increment budget
+after Theta(log_k m) rounds.`,
+		Header: []string{"counter", "m (incs)", "n", "L", "stop", "reader steps", "distinct objs", "log2(L)"},
+	}
+
+	type cse struct {
+		name string
+		k    uint64
+		exps []uint64
+		n    int
+		mk   func(k uint64) func(f *prim.Factory) (object.Counter, error)
+	}
+	collect := func(uint64) func(f *prim.Factory) (object.Counter, error) {
+		return func(f *prim.Factory) (object.Counter, error) { return counter.NewCollect(f) }
+	}
+	mult := func(k uint64) func(f *prim.Factory) (object.Counter, error) {
+		return func(f *prim.Factory) (object.Counter, error) {
+			return core.NewMultCounter(f, k, core.Unchecked())
+		}
+	}
+	cases := []cse{
+		{name: "collect (exact)", k: 1, exps: []uint64{16}, n: 16, mk: collect},
+		{name: "collect (exact)", k: 1, exps: []uint64{16}, n: 48, mk: collect},
+		{name: "mult k=2", k: 2, exps: []uint64{8, 12, 16, 20}, n: 32, mk: mult},
+		{name: "mult k=3", k: 3, exps: []uint64{8, 12, 16, 20}, n: 32, mk: mult},
+	}
+	if cfg.Quick {
+		cases = []cse{
+			{name: "collect (exact)", k: 1, exps: []uint64{10}, n: 12, mk: collect},
+			{name: "mult k=2", k: 2, exps: []uint64{8, 12}, n: 24, mk: mult},
+		}
+	}
+	for _, c := range cases {
+		for _, e := range c.exps {
+			m := uint64(1) << e
+			res, err := lowerbound.PerturbCounter(c.mk(c.k), c.n, m, c.k, 40_000_000)
+			if err != nil {
+				return nil, err
+			}
+			if res.Failed {
+				return nil, fmt.Errorf("bench: counter perturbation failed for %s m=2^%d after %d rounds", c.name, e, res.Rounds)
+			}
+			stop := "exhausted"
+			if res.Saturated {
+				stop = "saturated (n-1)"
+			}
+			t.AddRow(c.name, fmt.Sprintf("2^%d", e), c.n, res.Rounds, stop,
+				res.ReaderSteps, res.ReaderDistinctObjects,
+				fmt.Sprintf("%.1f", math.Log2(float64(res.Rounds))))
+		}
+	}
+	return []*Table{t}, nil
+}

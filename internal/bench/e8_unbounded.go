@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"approxobj/internal/core"
+	"approxobj/internal/maxreg"
+	"approxobj/internal/prim"
+)
+
+// E8UnboundedMaxReg measures the unbounded max registers: the exact epoch
+// construction costs O(log v) steps per operation while the
+// k-multiplicative plug-in (the extension the paper sketches at the end of
+// Section I-B) costs O(log2 log_k v) — sub-logarithmic in the value range.
+func E8UnboundedMaxReg(cfg Config) ([]*Table, error) {
+	exps := []uint64{8, 16, 24, 32, 40, 48, 56}
+	ops := 4000
+	if cfg.Quick {
+		exps = []uint64{8, 24, 40}
+		ops = 500
+	}
+
+	t := &Table{
+		ID:    "E8",
+		Title: "unbounded max registers: mean steps/op vs value magnitude",
+		Note: `Values drawn from [1, 2^e]; 50/50 writes and reads. The exact register
+pays ~e steps (epoch register of size 2^e) plus the fixed top register;
+the k-multiplicative plug-in pays ~log2(e) — the sub-logarithmic
+behaviour of the paper's sketched extension.`,
+		Header: []string{"value range", "exact", "k-mult k=2", "k-mult k=8"},
+	}
+
+	run := func(mk func(f *prim.Factory) (maxRegOps, error), e uint64) (float64, error) {
+		f := prim.NewFactory(1)
+		p := f.Proc(0)
+		r, err := mk(f)
+		if err != nil {
+			return 0, err
+		}
+		rng := rand.New(rand.NewSource(int64(e)))
+		lim := int64(uint64(1) << e)
+		for i := 0; i < ops; i++ {
+			if rng.Intn(2) == 0 {
+				r.Write(p, uint64(rng.Int63n(lim))+1)
+			} else {
+				r.Read(p)
+			}
+		}
+		return float64(p.Steps()) / float64(ops), nil
+	}
+
+	for _, e := range exps {
+		exact, err := run(func(f *prim.Factory) (maxRegOps, error) {
+			return maxreg.NewUnbounded(f, maxreg.ExactFactory)
+		}, e)
+		if err != nil {
+			return nil, err
+		}
+		k2, err := run(func(f *prim.Factory) (maxRegOps, error) {
+			return core.NewKMultUnboundedMaxReg(f, 2)
+		}, e)
+		if err != nil {
+			return nil, err
+		}
+		k8, err := run(func(f *prim.Factory) (maxRegOps, error) {
+			return core.NewKMultUnboundedMaxReg(f, 8)
+		}, e)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("2^%d", e), exact, k2, k8)
+	}
+	return []*Table{t}, nil
+}

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"approxobj/internal/core"
+	"approxobj/internal/prim"
+)
+
+// F1ReadCases reproduces Figure 1: the switch configurations at which a
+// CounterRead's scan stops, which drive the u_max analysis of Claim III.6.
+// A single process fills switches in index order (Lemma III.2); stopping
+// its increments at chosen points realizes each of the figure's cases:
+//
+//	a)   the scan read switch_(qk) = 1 and switch_(qk+1) = 0: the first
+//	     switch of interval q+1 is clear (p = 0);
+//	b.1) the scan read switch_(qk+1) = 1 and switch_((q+1)k) = 0 with the
+//	     middle of interval q+1 still clear (p = 1);
+//	b.2) as b.1 but the middle switches are already set — the reader
+//	     cannot distinguish b.1 from b.2, which is why u_max charges p(k-1)
+//	     switches of interval q+1.
+func F1ReadCases(cfg Config) ([]*Table, error) {
+	const k = 3
+	type cse struct {
+		name string
+		incs int // increments performed by the filler process
+		desc string
+	}
+	// With n=1 (thresholds 1, k, k, k^2, ...): switch_0 after 1 inc,
+	// switch_1 after 1+k, switch_2 after 1+2k, switch_3 after 1+3k incs.
+	cases := []cse{
+		{name: "b.1", incs: 1 + 3, desc: "switch_1 set, middle of interval 1 clear"},
+		{name: "b.2", incs: 1 + 2*3, desc: "switch_1, switch_2 set, last of interval 1 clear"},
+		{name: "a", incs: 1 + 3*3, desc: "interval 1 full, first of interval 2 clear"},
+	}
+
+	t := &Table{
+		ID:    "F1",
+		Title: fmt.Sprintf("Figure 1 — scan stop configurations (k=%d, single incrementer)", k),
+		Note: `switches column shows switch_0 | interval 1 | interval 2 as the reader
+could observe them; * marks the switches the scan actually reads (first
+and last of each interval). (p,q) is the decomposition at the stop, and
+x = ReturnValue(p,q) the response. b.1 and b.2 return the same response —
+the reader cannot tell them apart.`,
+		Header: []string{"case", "incs", "switches 0|1..3|4..6", "(p,q)", "response", "description"},
+	}
+
+	for _, c := range cases {
+		f := prim.NewFactory(1)
+		ctr, err := core.NewMultCounter(f, k)
+		if err != nil {
+			return nil, err
+		}
+		h := ctr.Handle(f.Proc(0))
+		for i := 0; i < c.incs; i++ {
+			h.Inc()
+		}
+		reader := ctr.Handle(f.Proc(0))
+		x := reader.Read()
+
+		states := make([]string, 2*int(k)+1)
+		for i := range states {
+			s := fmt.Sprintf("%d", ctr.SwitchState(uint64(i)))
+			if i == 0 || i%int(k) == 0 || i%int(k) == 1 {
+				s += "*"
+			} else {
+				s += " "
+			}
+			states[i] = s
+		}
+		switches := states[0] + " | " + strings.Join(states[1:int(k)+1], " ") + " | " + strings.Join(states[int(k)+1:], " ")
+		p, q := reader.ScanStop()
+		t.AddRow(c.name, c.incs, switches, fmt.Sprintf("(%d,%d)", p, q), x, c.desc)
+	}
+	return []*Table{t}, nil
+}

@@ -1,0 +1,116 @@
+// Package bench is the experiment harness: it regenerates, as text tables,
+// every result of the paper's evaluation (each theorem's bound plus the
+// Figure 1 boundary cases). cmd/approxbench prints all tables; the
+// experiment IDs (E1..E9, F1) are indexed in DESIGN.md and the measured
+// outputs recorded in EXPERIMENTS.md.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells, formatting each with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "## %s — %s\n", t.ID, t.Title)
+	if t.Note != "" {
+		for _, line := range strings.Split(strings.TrimSpace(t.Note), "\n") {
+			fmt.Fprintf(w, "# %s\n", strings.TrimSpace(line))
+		}
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(parts, " | "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Config tunes experiment sizes. Quick shrinks every sweep for use in unit
+// tests and smoke runs.
+type Config struct {
+	Quick bool
+}
+
+// Experiment couples an ID with its generator.
+type Experiment struct {
+	ID  string
+	Run func(cfg Config) ([]*Table, error)
+}
+
+// All returns every experiment in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "e1", Run: E1Amortized},
+		{ID: "e2", Run: E2Awareness},
+		{ID: "e3", Run: E3MaxRegWorstCase},
+		{ID: "e4", Run: E4PerturbMaxReg},
+		{ID: "e5", Run: E5PerturbCounter},
+		{ID: "e7", Run: E7Throughput},
+		{ID: "e8", Run: E8UnboundedMaxReg},
+		{ID: "e9", Run: E9Boundary},
+		{ID: "e10", Run: E10Additive},
+		{ID: "e11", Run: E11Randomized},
+		{ID: "f1", Run: F1ReadCases},
+	}
+}

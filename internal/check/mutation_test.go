@@ -1,0 +1,191 @@
+package check
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"approxobj/internal/history"
+	"approxobj/internal/object"
+)
+
+// genCounterHistory produces a valid sequential history: ops executed one
+// after another by random processes, reads returning the exact count.
+func genCounterHistory(rng *rand.Rand, ops int) []history.Op {
+	var (
+		h     []history.Op
+		clock uint64
+		count uint64
+	)
+	for i := 0; i < ops; i++ {
+		proc := rng.Intn(4)
+		inv := clock + 1
+		ret := clock + 2
+		clock += 2
+		if rng.Intn(3) > 0 {
+			count++
+			h = append(h, history.Op{Proc: proc, Kind: history.KindInc, Inv: inv, Ret: ret})
+		} else {
+			h = append(h, history.Op{Proc: proc, Kind: history.KindCounterRead, Resp: count, Inv: inv, Ret: ret})
+		}
+	}
+	return h
+}
+
+func TestCheckerAcceptsGeneratedSequentialHistories(t *testing.T) {
+	check := func(seed int64, opsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := genCounterHistory(rng, int(opsRaw)%100+5)
+		return Counter(h, object.Exact, 0).OK
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckerRejectsMutatedResponses guards against the checker becoming
+// vacuous: bump a random read's response in a valid exact history by a
+// nonzero delta and the checker must reject (exact semantics leave no
+// slack for sequential histories).
+func TestCheckerRejectsMutatedResponses(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	rejected, trials := 0, 0
+	for i := 0; i < 200; i++ {
+		h := genCounterHistory(rng, 60)
+		var readIdxs []int
+		for j, op := range h {
+			if op.Kind == history.KindCounterRead {
+				readIdxs = append(readIdxs, j)
+			}
+		}
+		if len(readIdxs) == 0 {
+			continue
+		}
+		j := readIdxs[rng.Intn(len(readIdxs))]
+		delta := uint64(rng.Intn(5) + 1)
+		if rng.Intn(2) == 0 && h[j].Resp >= delta {
+			h[j].Resp -= delta
+		} else {
+			h[j].Resp += delta
+		}
+		trials++
+		if !Counter(h, object.Exact, 0).OK {
+			rejected++
+		}
+	}
+	if rejected != trials {
+		t.Fatalf("checker accepted %d of %d mutated exact histories", trials-rejected, trials)
+	}
+}
+
+// TestCheckerEnvelopeSlack verifies the relaxed checker accepts exactly the
+// k-scaled mutations: multiplying a read's response by k stays admissible
+// under a k-multiplicative envelope, multiplying by k+1 (over the whole
+// history) eventually does not.
+func TestCheckerEnvelopeSlack(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const k = 3
+	acc := object.Accuracy{K: k}
+	for i := 0; i < 50; i++ {
+		h := genCounterHistory(rng, 80)
+		scaled := make([]history.Op, len(h))
+		copy(scaled, h)
+		for j := range scaled {
+			if scaled[j].Kind == history.KindCounterRead {
+				scaled[j].Resp *= k
+			}
+		}
+		if res := Counter(scaled, acc, 0); !res.OK {
+			t.Fatalf("x*k responses rejected under k envelope: %s", res.Reason)
+		}
+		over := make([]history.Op, len(h))
+		copy(over, h)
+		bad := false
+		for j := range over {
+			if over[j].Kind == history.KindCounterRead {
+				over[j].Resp = over[j].Resp*k + over[j].Resp + 1 // > v*k
+				bad = true
+			}
+		}
+		if bad {
+			if res := Counter(over, acc, 0); res.OK {
+				t.Fatal("responses above v*k accepted under k envelope")
+			}
+		}
+	}
+}
+
+func TestMultEnvelopeBoundsQuick(t *testing.T) {
+	check := func(xRaw uint32, kRaw uint8) bool {
+		x := uint64(xRaw)
+		k := uint64(kRaw)%9 + 1
+		lo, hi := MultEnvelope{K: k}.Bounds(x)
+		// lo is the least v with Contains(v, x); hi the greatest (modulo
+		// saturation).
+		acc := object.Accuracy{K: k}
+		if !acc.Contains(lo, x) && !(x == 0 && lo == 0) {
+			return false
+		}
+		if lo > 0 && acc.Contains(lo-1, x) {
+			return false
+		}
+		if hi < ^uint64(0) && acc.Contains(hi+1, x) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddEnvelopeBounds(t *testing.T) {
+	e := AddEnvelope{K: 5}
+	cases := []struct {
+		x      uint64
+		lo, hi uint64
+	}{
+		{0, 0, 5},
+		{3, 0, 8},
+		{5, 0, 10},
+		{6, 1, 11},
+		{100, 95, 105},
+	}
+	for _, c := range cases {
+		lo, hi := e.Bounds(c.x)
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("Bounds(%d) = [%d, %d], want [%d, %d]", c.x, lo, hi, c.lo, c.hi)
+		}
+	}
+	if lo, hi := (AddEnvelope{K: 10}).Bounds(^uint64(0) - 3); hi != ^uint64(0) || lo != ^uint64(0)-13 {
+		t.Errorf("overflow Bounds = [%d, %d]", lo, hi)
+	}
+	if (AddEnvelope{K: 2}).Describe() == "" || (MultEnvelope{K: 2}).Describe() == "" {
+		t.Error("empty envelope descriptions")
+	}
+}
+
+func TestCounterAdditiveEnvelope(t *testing.T) {
+	// 10 increments then reads at various distances.
+	var h []history.Op
+	clock := uint64(0)
+	for i := 0; i < 10; i++ {
+		h = append(h, history.Op{Kind: history.KindInc, Inv: clock + 1, Ret: clock + 2})
+		clock += 2
+	}
+	read := func(resp uint64) []history.Op {
+		return append(append([]history.Op{}, h...),
+			history.Op{Proc: 1, Kind: history.KindCounterRead, Resp: resp, Inv: clock + 1, Ret: clock + 2})
+	}
+	for _, c := range []struct {
+		resp uint64
+		ok   bool
+	}{
+		{10, true}, {7, true}, {13, true}, {6, false}, {14, false},
+	} {
+		res := CounterEnvelope(read(c.resp), AddEnvelope{K: 3}, 0)
+		if res.OK != c.ok {
+			t.Errorf("additive k=3, v=10, resp=%d: OK=%v want %v (%s)", c.resp, res.OK, c.ok, res.Reason)
+		}
+	}
+}

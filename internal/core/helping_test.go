@@ -1,0 +1,286 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"approxobj/internal/prim"
+	"approxobj/internal/sim"
+)
+
+// driveReaderBehindWriter runs the true adversary of Lemma III.1: before
+// the reader (process 1) is granted a step, the writer (process 0) runs
+// until the switch at the reader's next scan position is set, so the scan
+// never finds a 0 switch. The reader can then only terminate through the
+// helping array. The adversary tracks the reader's scan position from the
+// machine trace (switch reads are the events below the 2^32 switch-block
+// boundary), never touching the reader's live state. It returns the number
+// of steps the reader took and whether the writer was still running when
+// the read completed.
+func driveReaderBehindWriter(t *testing.T, m *sim.Machine, c *MultCounter, maxReaderSteps int) (readerSteps int, writerAlive bool) {
+	t.Helper()
+	pos := uint64(0) // next switch index the reader's scan will examine
+	for m.Running(1) {
+		// Hide the end of the switch sequence from the reader.
+		for c.switches.Peek(pos) == 0 {
+			if m.StepN(0, 1) == 0 {
+				break // writer exhausted; reader may exit normally
+			}
+		}
+		if !m.Step(1) {
+			break
+		}
+		readerSteps++
+		if readerSteps > maxReaderSteps {
+			t.Fatalf("reader not wait-free: %d steps without terminating", readerSteps)
+		}
+		evs := m.TraceOf(1)
+		last := evs[len(evs)-1]
+		if last.Op == prim.OpRead && last.Obj < 1<<32 && last.Val == 1 {
+			// The scan advanced: it next visits the first switch of the
+			// following interval (from a last-of-interval position) or
+			// the last switch of this one (from a first-of-interval).
+			idx := uint64(last.Obj)
+			if idx%c.k == 0 {
+				pos = idx + 1
+			} else {
+				pos = idx + c.k - 1
+			}
+		}
+	}
+	return readerSteps, m.Running(0)
+}
+
+// TestReadHelpedByFastWriter pins the wait-freedom mechanism of Lemma
+// III.1: a reader whose scan is perpetually overtaken must terminate
+// through the helping array H after detecting a sequence number that
+// advanced by >= 2 within its execution interval — long before the writer
+// runs out of increments.
+func TestReadHelpedByFastWriter(t *testing.T) {
+	const n = 2
+	const k = 2
+	m := sim.NewMachine(n)
+	c, err := NewMultCounter(m.Factory(), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	writer := c.Handle(m.Proc(0))
+	reader := c.Handle(m.Proc(1))
+
+	m.Spawn(0, func(*prim.Proc) {
+		for i := 0; i < 1<<22; i++ {
+			writer.Inc()
+		}
+	})
+	var resp uint64
+	readDone := false
+	m.Spawn(1, func(*prim.Proc) {
+		resp = reader.Read()
+		readDone = true
+	})
+
+	readerSteps, writerAlive := driveReaderBehindWriter(t, m, c, 10_000)
+	if !readDone {
+		t.Fatal("reader did not complete")
+	}
+	if !writerAlive {
+		t.Fatal("writer finished first: the helping path was not forced")
+	}
+	// With n=2 the reader consults H every 2 scan steps; two writer
+	// announcements suffice, so the whole read stays tiny.
+	if readerSteps > 64 {
+		t.Fatalf("helped read took %d steps, want a short helped exit", readerSteps)
+	}
+	if resp == 0 {
+		t.Fatal("helped read returned 0 despite completed increments")
+	}
+	// The helped value must decode to a ReturnValue point (Lemma III.3).
+	if !isReturnValue(c, resp) {
+		t.Fatalf("helped response %d is not any ReturnValue(p, q)", resp)
+	}
+}
+
+// isReturnValue reports whether resp equals ReturnValue(p, q) for some
+// reachable decomposition.
+func isReturnValue(c *MultCounter, resp uint64) bool {
+	for q := uint64(0); q < 48; q++ {
+		for p := uint64(0); p < c.k; p++ {
+			if c.returnValue(p, q) == resp {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TestReadHelpingLinearizable drives the helped read and then checks the
+// response against the count of increments that had completed when the
+// read returned: Lemma III.3 guarantees the helping switch was set within
+// the read's interval, so the response must be within the k-envelope of
+// some count between the increments completed at invocation and at
+// response.
+func TestReadHelpingLinearizable(t *testing.T) {
+	const n = 2
+	const k = 2
+	m := sim.NewMachine(n)
+	c, err := NewMultCounter(m.Factory(), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writer := c.Handle(m.Proc(0))
+	reader := c.Handle(m.Proc(1))
+
+	const totalIncs = 1 << 22
+	var incsDone atomic.Int64
+	m.Spawn(0, func(*prim.Proc) {
+		for i := 0; i < totalIncs; i++ {
+			writer.Inc()
+			incsDone.Add(1)
+		}
+	})
+	var resp uint64
+	m.Spawn(1, func(*prim.Proc) { resp = reader.Read() })
+
+	_, writerAlive := driveReaderBehindWriter(t, m, c, 10_000)
+	if !writerAlive {
+		t.Fatal("writer finished first: the helping path was not forced")
+	}
+	// incsDone is an upper bound on the increments whose effects the read
+	// could have observed (the writer goroutine may still be mid-increment
+	// between its last granted step and its next gate entry).
+	upper := uint64(incsDone.Load())
+	ok := false
+	for v := uint64(1); v <= upper; v++ {
+		if v <= resp*k && resp <= v*k {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		t.Fatalf("helped response %d outside every envelope for counts 1..%d", resp, upper)
+	}
+}
+
+// TestSwitchesSetInIncreasingOrder checks the Lemma III.2 invariant on
+// random executions: switches become set in strictly increasing index
+// order, machine-wide — the property the linearization of OPW relies on.
+func TestSwitchesSetInIncreasingOrder(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		const n = 4
+		const k = 2
+		m := sim.NewMachine(n)
+		c, err := NewMultCounter(m.Factory(), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			h := c.Handle(m.Proc(i))
+			m.Spawn(i, func(*prim.Proc) {
+				for j := 0; j < 500; j++ {
+					h.Inc()
+				}
+			})
+		}
+		m.RunAll(sim.NewRandom(seed), 10_000_000)
+
+		// Successful test&set events (Val == 0) must carry increasing
+		// object IDs: the switch sequence is created first, so switch i
+		// has object ID i.
+		var lastSet prim.ObjID
+		haveSet := false
+		for _, ev := range m.Trace() {
+			if ev.Op != prim.OpTAS || ev.Val != 0 {
+				continue
+			}
+			if haveSet && ev.Obj <= lastSet {
+				t.Fatalf("seed %d: switch %d set after switch %d (Lemma III.2 violated)",
+					seed, ev.Obj, lastSet)
+			}
+			lastSet, haveSet = ev.Obj, true
+		}
+		if !haveSet {
+			t.Fatalf("seed %d: no switch was ever set", seed)
+		}
+	}
+}
+
+// TestReadScanPattern verifies the exact scan positions of CounterRead:
+// first and last switch of each interval, as the amortized analysis of
+// Lemma III.8 requires.
+func TestReadScanPattern(t *testing.T) {
+	const k = 3
+	m := sim.NewMachine(2)
+	c, err := NewMultCounter(m.Factory(), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill switches by running one writer to completion.
+	w := c.Handle(m.Proc(0))
+	m.Spawn(0, func(*prim.Proc) {
+		for i := 0; i < 200; i++ {
+			w.Inc()
+		}
+	})
+	m.RunSolo(0, 10_000)
+
+	r := c.Handle(m.Proc(1))
+	m.Spawn(1, func(*prim.Proc) { r.Read() })
+	m.RunSolo(1, 10_000)
+
+	// The reader's switch reads (object IDs below the 2^32 switch block
+	// boundary; H registers come after) must visit only indices congruent
+	// to 0 or 1 mod k: first and last of each interval.
+	sawSwitchRead := false
+	for _, ev := range m.TraceOf(1) {
+		if ev.Op != prim.OpRead || ev.Obj >= 1<<32 {
+			continue
+		}
+		sawSwitchRead = true
+		idx := uint64(ev.Obj)
+		if idx%k != 0 && idx%k != 1 {
+			t.Fatalf("reader scanned switch %d: not a first/last interval position", idx)
+		}
+	}
+	if !sawSwitchRead {
+		t.Fatal("reader performed no switch reads")
+	}
+}
+
+// TestReadMemoizationAcrossReads verifies that a second read resumes from
+// last_i instead of rescanning: its switch reads must all be at indices >=
+// the first read's stop position.
+func TestReadMemoizationAcrossReads(t *testing.T) {
+	const k = 2
+	m := sim.NewMachine(2)
+	c, err := NewMultCounter(m.Factory(), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := c.Handle(m.Proc(0))
+	m.Spawn(0, func(*prim.Proc) {
+		for i := 0; i < 5000; i++ {
+			w.Inc()
+		}
+	})
+	m.RunSolo(0, 100_000)
+
+	r := c.Handle(m.Proc(1))
+	m.Spawn(1, func(*prim.Proc) { r.Read() })
+	m.RunSolo(1, 10_000)
+	firstTrace := len(m.TraceOf(1))
+	stop := r.last
+
+	m.Spawn(1, func(*prim.Proc) { r.Read() })
+	m.RunSolo(1, 10_000)
+	secondReads := m.TraceOf(1)[firstTrace:]
+	for _, ev := range secondReads {
+		if ev.Op == prim.OpRead && ev.Obj < 1<<32 && uint64(ev.Obj) < stop {
+			t.Fatalf("second read rescanned switch %d below memoized position %d", ev.Obj, stop)
+		}
+	}
+	// An idle second read costs exactly one switch read.
+	if len(secondReads) != 1 {
+		t.Fatalf("idle second read took %d steps, want 1", len(secondReads))
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+
+	"approxobj/internal/maxreg"
+	"approxobj/internal/object"
+	"approxobj/internal/prim"
+)
+
+// KMultMaxReg is Algorithm 2: a wait-free linearizable
+// k-multiplicative-accurate m-bounded max register with worst-case step
+// complexity O(min(log2 log_k m, n)) — asymptotically optimal by
+// Theorem V.2.
+//
+// A Write(v) stores only the index of the bit to the left of v's most
+// significant base-k digit, p = floor(log_k v) + 1, into an *exact*
+// (floor(log_k(m-1)) + 2)-bounded max register M (the tree construction of
+// [8], internal/maxreg). A Read returns k^p for p = M.Read(), or 0 if M was
+// never written. Since v lies in [k^(p-1), k^p - 1], the response k^p
+// satisfies v <= k^p <= v*k.
+type KMultMaxReg struct {
+	m uint64
+	k uint64
+	// M is the accurate bounded max register holding MSB indices
+	// (Algorithm 2, line 1).
+	M *maxreg.Bounded
+}
+
+var _ object.MaxReg = (*KMultMaxReg)(nil)
+
+// NewKMultMaxReg creates a k-multiplicative-accurate m-bounded max register
+// (domain {0..m-1}), with k >= 2 and m >= 2.
+func NewKMultMaxReg(f *prim.Factory, m, k uint64) (*KMultMaxReg, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("core: accuracy parameter k must be >= 2, got %d", k)
+	}
+	if m < 2 {
+		return nil, fmt.Errorf("core: bound m must be >= 2, got %d", m)
+	}
+	// M stores values {0 .. floor(log_k(m-1)) + 1}.
+	bound := floorLog(m-1, k) + 2
+	inner, err := maxreg.NewBounded(f, bound)
+	if err != nil {
+		return nil, err
+	}
+	return &KMultMaxReg{m: m, k: k, M: inner}, nil
+}
+
+// Bound returns m.
+func (r *KMultMaxReg) Bound() uint64 { return r.m }
+
+// K returns the accuracy parameter.
+func (r *KMultMaxReg) K() uint64 { return r.k }
+
+// InnerDepth returns the tree depth of the backing exact register — the
+// worst-case step complexity of one operation, Theta(log2 log_k m).
+func (r *KMultMaxReg) InnerDepth() int { return r.M.Depth() }
+
+// Write records v (Algorithm 2, lines 7-10). Writing 0 is a no-op (0 is
+// the initial value). It panics if v >= m, like an out-of-range slice
+// index.
+func (r *KMultMaxReg) Write(p *prim.Proc, v uint64) {
+	if v >= r.m {
+		panic(fmt.Sprintf("core: write %d out of range of %d-bounded max register", v, r.m))
+	}
+	if v == 0 {
+		return
+	}
+	idx := floorLog(v, r.k) + 1 // line 8
+	r.M.Write(p, idx)           // line 9
+}
+
+// Read returns 0 if nothing was written yet, else k^p where p is the
+// largest MSB index recorded (Algorithm 2, lines 2-6). The response x
+// satisfies v <= x <= v*k for the maximum v written before the read.
+func (r *KMultMaxReg) Read(p *prim.Proc) uint64 {
+	idx := r.M.Read(p) // line 3
+	if idx == 0 {      // line 4
+		return 0
+	}
+	return powSat(r.k, idx) // line 5
+}
+
+type kMultHandle struct {
+	r *KMultMaxReg
+	p *prim.Proc
+}
+
+// MaxRegHandle implements object.MaxReg.
+func (r *KMultMaxReg) MaxRegHandle(p *prim.Proc) object.MaxRegHandle {
+	return &kMultHandle{r: r, p: p}
+}
+
+func (h *kMultHandle) Write(v uint64) { h.r.Write(h.p, v) }
+func (h *kMultHandle) Read() uint64   { return h.r.Read(h.p) }
+
+// NewKMultUnboundedMaxReg plugs the bounded k-multiplicative-accurate max
+// register into the unbounded construction of internal/maxreg, yielding the
+// unbounded k-multiplicative-accurate max register the paper sketches at
+// the end of Section I-B, with sub-logarithmic step complexity (experiment
+// E8).
+func NewKMultUnboundedMaxReg(f *prim.Factory, k uint64) (*maxreg.Unbounded, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("core: accuracy parameter k must be >= 2, got %d", k)
+	}
+	return maxreg.NewUnbounded(f, func(f *prim.Factory, size uint64) (maxreg.BoundedMaxReg, error) {
+		if size < 2 {
+			return nil, fmt.Errorf("core: epoch size %d too small", size)
+		}
+		return NewKMultMaxReg(f, size, k)
+	})
+}
+
+// floorLog returns floor(log_k v) for v >= 1, k >= 2.
+func floorLog(v, k uint64) uint64 {
+	if v < 1 {
+		panic("core: floorLog of zero")
+	}
+	e := uint64(0)
+	for v >= k {
+		v /= k
+		e++
+	}
+	return e
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"approxobj/internal/prim"
+	"approxobj/internal/sim"
+)
+
+// starver is a scheduler that grants the victim one step out of every
+// ratio steps, starving it behind the bullies.
+type starver struct {
+	victim int
+	ratio  int
+	tick   int
+}
+
+func (s *starver) Next(active []int) int {
+	s.tick++
+	if s.tick%s.ratio == 0 {
+		for _, id := range active {
+			if id == s.victim {
+				return id
+			}
+		}
+	}
+	for _, id := range active {
+		if id != s.victim {
+			return id
+		}
+	}
+	return active[0]
+}
+
+// TestMultCounterWaitFreeUnderStarvation pins wait-freedom (Lemma III.1)
+// operationally: a starved process completes its operations within its own
+// step budget no matter how many steps the other processes take in
+// between. The victim performs a fixed program of increments and reads
+// while three bullies hammer increments; the victim's own step count must
+// stay within the theoretical budget.
+func TestMultCounterWaitFreeUnderStarvation(t *testing.T) {
+	const n = 4
+	const k = 2
+	m := sim.NewMachine(n)
+	c, err := NewMultCounter(m.Factory(), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < n-1; i++ {
+		h := c.Handle(m.Proc(i))
+		m.Spawn(i, func(*prim.Proc) {
+			for j := 0; j < 200_000; j++ {
+				h.Inc()
+			}
+		})
+	}
+	victim := c.Handle(m.Proc(n - 1))
+	const victimOps = 50
+	m.Spawn(n-1, func(*prim.Proc) {
+		for j := 0; j < victimOps; j++ {
+			victim.Inc()
+			victim.Read()
+		}
+	})
+
+	m.RunAll(&starver{victim: n - 1, ratio: 64}, 50_000_000)
+	if m.Running(n - 1) {
+		t.Fatal("starved process never finished (not wait-free)")
+	}
+	// Budget: increments are O(k) each worst case; reads are bounded by
+	// the helped exit (O(n) H-scans every n switch reads) plus the
+	// memoized scan. A generous linear budget per op suffices to expose
+	// unbounded retries.
+	steps := m.Proc(n - 1).Steps()
+	const budgetPerOp = 64
+	if steps > victimOps*2*budgetPerOp {
+		t.Fatalf("starved process took %d steps for %d ops (> %d/op): wait-freedom degraded",
+			steps, victimOps*2, budgetPerOp)
+	}
+}
+
+// TestKMultMaxRegWaitFreeUnderStarvation does the same for Algorithm 2:
+// operations are straight-line tree walks, so the victim's per-op steps
+// must never exceed the tree depth even while writers race.
+func TestKMultMaxRegWaitFreeUnderStarvation(t *testing.T) {
+	const n = 4
+	const m64 = uint64(1) << 32
+	machine := sim.NewMachine(n)
+	r, err := NewKMultMaxReg(machine.Factory(), m64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < n-1; i++ {
+		proc := machine.Proc(i)
+		id := uint64(i)
+		machine.Spawn(i, func(*prim.Proc) {
+			for j := uint64(1); j < 50_000; j++ {
+				r.Write(proc, (j*2048+id)%(m64-1)+1)
+			}
+		})
+	}
+	victimProc := machine.Proc(n - 1)
+	const victimOps = 100
+	machine.Spawn(n-1, func(*prim.Proc) {
+		for j := 0; j < victimOps; j++ {
+			r.Write(victimProc, m64-1-uint64(j))
+			r.Read(victimProc)
+		}
+	})
+
+	machine.RunAll(&starver{victim: n - 1, ratio: 50}, 50_000_000)
+	if machine.Running(n - 1) {
+		t.Fatal("starved process never finished")
+	}
+	depth := uint64(r.InnerDepth())
+	if steps := victimProc.Steps(); steps > victimOps*2*depth {
+		t.Fatalf("starved process took %d steps for %d ops, bound %d/op",
+			steps, victimOps*2, depth)
+	}
+}

@@ -1,0 +1,171 @@
+package counter
+
+import (
+	"fmt"
+
+	"approxobj/internal/maxreg"
+	"approxobj/internal/object"
+	"approxobj/internal/prim"
+)
+
+// AACH is the exact counter of Aspnes, Attiya and Censor-Hillel [8]: a
+// balanced binary tree with the n processes' single-writer registers at the
+// leaves and a max register at every internal node holding the number of
+// increments in its subtree. An increment bumps the caller's leaf and
+// refreshes each node on the leaf-to-root path with the sum of its
+// children; a read returns the root max register's value.
+//
+// Max registers make the refreshes monotone, so stale concurrent refreshes
+// cannot regress a node. With unbounded (epoch-ladder) max registers at the
+// nodes, increments cost O(log n * log v) steps and reads O(log v), the
+// sub-linear exact baseline the paper contrasts with Algorithm 1: for
+// executions with exponentially many increments, both degenerate while
+// Algorithm 1 stays at O(1) amortized.
+type AACH struct {
+	n    int
+	root *aachNode
+	// leaves[i] is process i's single-writer register.
+	leaves []*prim.Reg
+	// paths[i] lists the internal nodes from leaf i's parent to the root.
+	paths [][]*aachNode
+}
+
+// aachNode is an internal tree node. Children are either both nodes or
+// leaf-register indices (for subtrees of size 1).
+type aachNode struct {
+	sum         *maxreg.Unbounded
+	left, right *aachNode
+	// leftLeaf/rightLeaf are used when the respective child is a single
+	// leaf register rather than a subtree.
+	leftLeaf, rightLeaf *prim.Reg
+}
+
+var _ object.Counter = (*AACH)(nil)
+
+// NewAACH creates the tree counter for the factory's n processes.
+func NewAACH(f *prim.Factory) (*AACH, error) {
+	n := f.N()
+	if n < 1 {
+		return nil, fmt.Errorf("counter: need at least one process, got %d", n)
+	}
+	c := &AACH{
+		n:      n,
+		leaves: f.Regs(n),
+		paths:  make([][]*aachNode, n),
+	}
+	if n == 1 {
+		// Single process: the "tree" is one node over one leaf.
+		root, err := newAACHNode(f)
+		if err != nil {
+			return nil, err
+		}
+		root.leftLeaf = c.leaves[0]
+		c.root = root
+		c.paths[0] = []*aachNode{root}
+		return c, nil
+	}
+	root, err := c.build(f, 0, n)
+	if err != nil {
+		return nil, err
+	}
+	c.root = root
+	return c, nil
+}
+
+func newAACHNode(f *prim.Factory) (*aachNode, error) {
+	mr, err := maxreg.NewUnbounded(f, maxreg.ExactFactory)
+	if err != nil {
+		return nil, err
+	}
+	return &aachNode{sum: mr}, nil
+}
+
+// build creates the subtree covering leaves [lo, hi) (hi-lo >= 2) and
+// records each covered leaf's root-ward path.
+func (c *AACH) build(f *prim.Factory, lo, hi int) (*aachNode, error) {
+	node, err := newAACHNode(f)
+	if err != nil {
+		return nil, err
+	}
+	mid := (lo + hi) / 2
+	if mid-lo == 1 {
+		node.leftLeaf = c.leaves[lo]
+		c.paths[lo] = append(c.paths[lo], node)
+	} else {
+		left, err := c.build(f, lo, mid)
+		if err != nil {
+			return nil, err
+		}
+		node.left = left
+	}
+	if hi-mid == 1 {
+		node.rightLeaf = c.leaves[mid]
+		c.paths[mid] = append(c.paths[mid], node)
+	} else {
+		right, err := c.build(f, mid, hi)
+		if err != nil {
+			return nil, err
+		}
+		node.right = right
+	}
+	// Every leaf under this node passes through it on the way to the root.
+	for i := lo; i < hi; i++ {
+		if c.paths[i] != nil && c.paths[i][len(c.paths[i])-1] == node {
+			continue
+		}
+		c.paths[i] = append(c.paths[i], node)
+	}
+	return node, nil
+}
+
+// childSum reads a node's two children (register or subtree max register).
+func (node *aachNode) childSum(p *prim.Proc) uint64 {
+	var sum uint64
+	switch {
+	case node.leftLeaf != nil:
+		sum += node.leftLeaf.Read(p)
+	case node.left != nil:
+		sum += node.left.sum.Read(p)
+	}
+	switch {
+	case node.rightLeaf != nil:
+		sum += node.rightLeaf.Read(p)
+	case node.right != nil:
+		sum += node.right.sum.Read(p)
+	}
+	return sum
+}
+
+// AACHHandle is a process's view of the tree counter.
+type AACHHandle struct {
+	c     *AACH
+	p     *prim.Proc
+	local uint64
+}
+
+var _ object.CounterHandle = (*AACHHandle)(nil)
+
+// Handle binds process p to the counter.
+func (c *AACH) Handle(p *prim.Proc) *AACHHandle {
+	return &AACHHandle{c: c, p: p}
+}
+
+// CounterHandle implements object.Counter.
+func (c *AACH) CounterHandle(p *prim.Proc) object.CounterHandle {
+	return c.Handle(p)
+}
+
+// Inc bumps the caller's leaf and refreshes every node on its path with the
+// sum of the node's children.
+func (h *AACHHandle) Inc() {
+	h.local++
+	h.c.leaves[h.p.ID()].Write(h.p, h.local)
+	for _, node := range h.c.paths[h.p.ID()] {
+		node.sum.Write(h.p, node.childSum(h.p))
+	}
+}
+
+// Read returns the root max register's value.
+func (h *AACHHandle) Read() uint64 {
+	return h.c.root.sum.Read(h.p)
+}

@@ -1,0 +1,104 @@
+package counter
+
+import (
+	"fmt"
+
+	"approxobj/internal/object"
+	"approxobj/internal/prim"
+)
+
+// Additive is a k-additive-accurate counter: reads return x with
+// |x - v| <= k for the true count v. This is the other relaxation the
+// paper discusses (Section I-A: Aspnes et al. [8] prove an
+// Omega(min(n-1, log m - log k)) worst-case bound for it, with no matching
+// upper bound known).
+//
+// The construction is the natural batched collect: each process holds up
+// to b = floor(k/n) unannounced increments before flushing its exact total
+// to its single-writer component; readers sum a collect. At most n(b) <=
+// k increments are unannounced at any time... precisely, each process
+// hides at most b, so a read's error is at most n*b <= k additively (the
+// collect itself is exactly accurate for announced counts, as in Collect).
+// Increments therefore cost 1/b amortized steps and reads n steps: the
+// additive relaxation buys a constant-factor increment discount but — in
+// line with [8]'s lower bound — no asymptotic read improvement, in
+// contrast with the multiplicative counter's exponential gains.
+//
+// For k < n the batch is 1 and the counter degenerates to the exact
+// Collect.
+type Additive struct {
+	n     int
+	k     uint64
+	batch uint64
+	regs  []*prim.Reg
+}
+
+var _ object.Counter = (*Additive)(nil)
+
+// NewAdditive creates a k-additive-accurate counter for the factory's n
+// processes.
+func NewAdditive(f *prim.Factory, k uint64) (*Additive, error) {
+	n := f.N()
+	if n < 1 {
+		return nil, fmt.Errorf("counter: need at least one process, got %d", n)
+	}
+	batch := k / uint64(n)
+	if batch < 1 {
+		batch = 1
+	}
+	return &Additive{n: n, k: k, batch: batch, regs: f.Regs(n)}, nil
+}
+
+// K returns the additive accuracy parameter.
+func (c *Additive) K() uint64 { return c.k }
+
+// Batch returns the per-process unannounced-increment budget.
+func (c *Additive) Batch() uint64 { return c.batch }
+
+// AdditiveHandle is a process's view of the counter.
+type AdditiveHandle struct {
+	c         *Additive
+	p         *prim.Proc
+	total     uint64 // all increments by this process
+	announced uint64 // increments visible in the component register
+}
+
+var _ object.CounterHandle = (*AdditiveHandle)(nil)
+
+// Handle binds process p to the counter.
+func (c *Additive) Handle(p *prim.Proc) *AdditiveHandle {
+	return &AdditiveHandle{c: c, p: p}
+}
+
+// CounterHandle implements object.Counter.
+func (c *Additive) CounterHandle(p *prim.Proc) object.CounterHandle {
+	return c.Handle(p)
+}
+
+// Inc adds one, flushing the exact total every batch increments.
+func (h *AdditiveHandle) Inc() {
+	h.total++
+	if h.total-h.announced >= h.c.batch {
+		h.c.regs[h.p.ID()].Write(h.p, h.total)
+		h.announced = h.total
+	}
+}
+
+// Flush makes all of this process's increments visible (useful before
+// quiescent reads).
+func (h *AdditiveHandle) Flush() {
+	if h.total != h.announced {
+		h.c.regs[h.p.ID()].Write(h.p, h.total)
+		h.announced = h.total
+	}
+}
+
+// Read sums one read of every component; the result is within k of the
+// true count.
+func (h *AdditiveHandle) Read() uint64 {
+	var sum uint64
+	for _, r := range h.c.regs {
+		sum += r.Read(h.p)
+	}
+	return sum
+}

@@ -1,0 +1,189 @@
+package counter
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"approxobj/internal/prim"
+)
+
+func TestAdditiveSequentialErrorBound(t *testing.T) {
+	for _, cfg := range []struct {
+		n int
+		k uint64
+	}{
+		{1, 10}, {4, 10}, {4, 100}, {8, 3}, {8, 64},
+	} {
+		f := prim.NewFactory(cfg.n)
+		c, err := NewAdditive(f, cfg.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles := make([]*AdditiveHandle, cfg.n)
+		for i := range handles {
+			handles[i] = c.Handle(f.Proc(i))
+		}
+		rng := rand.New(rand.NewSource(int64(cfg.n)*100 + int64(cfg.k)))
+		total := uint64(0)
+		for op := 0; op < 5000; op++ {
+			h := handles[rng.Intn(cfg.n)]
+			if rng.Intn(4) > 0 {
+				h.Inc()
+				total++
+				continue
+			}
+			x := h.Read()
+			lo := uint64(0)
+			if total > cfg.k {
+				lo = total - cfg.k
+			}
+			if x < lo || x > total+cfg.k {
+				t.Fatalf("n=%d k=%d: Read = %d, true %d: outside +-k", cfg.n, cfg.k, x, total)
+			}
+		}
+	}
+}
+
+func TestAdditiveFlushMakesExact(t *testing.T) {
+	const n = 4
+	const k = 40
+	f := prim.NewFactory(n)
+	c, err := NewAdditive(f, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	handles := make([]*AdditiveHandle, n)
+	for i := range handles {
+		handles[i] = c.Handle(f.Proc(i))
+	}
+	for round := 0; round < 7; round++ {
+		for _, h := range handles {
+			h.Inc()
+		}
+	}
+	for _, h := range handles {
+		h.Flush()
+	}
+	if got := handles[0].Read(); got != 28 {
+		t.Fatalf("Read after flush = %d, want 28 exactly", got)
+	}
+	// Flushing twice is a no-op (no extra write step).
+	p := f.Proc(0)
+	before := p.Steps()
+	c.Handle(p).Flush()
+	if p.Steps() != before {
+		t.Fatal("idle Flush performed a step")
+	}
+}
+
+func TestAdditiveBatch(t *testing.T) {
+	cases := []struct {
+		n     int
+		k     uint64
+		batch uint64
+	}{
+		{4, 100, 25}, {4, 3, 1}, {1, 7, 7}, {10, 10, 1}, {3, 10, 3},
+	}
+	for _, c := range cases {
+		f := prim.NewFactory(c.n)
+		ctr, err := NewAdditive(f, c.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ctr.Batch(); got != c.batch {
+			t.Errorf("Batch(n=%d, k=%d) = %d, want %d", c.n, c.k, got, c.batch)
+		}
+		if ctr.K() != c.k {
+			t.Errorf("K() = %d, want %d", ctr.K(), c.k)
+		}
+	}
+}
+
+func TestAdditiveIncAmortizedSteps(t *testing.T) {
+	// With batch b, increments cost 1/b amortized steps.
+	const n = 2
+	const k = 64 // batch 32
+	f := prim.NewFactory(n)
+	c, err := NewAdditive(f, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := f.Proc(0)
+	h := c.Handle(p)
+	const incs = 32 * 100
+	for i := 0; i < incs; i++ {
+		h.Inc()
+	}
+	if got, want := p.Steps(), uint64(100); got != want {
+		t.Fatalf("steps = %d for %d incs, want %d (one write per batch of 32)", got, incs, want)
+	}
+}
+
+func TestAdditiveConcurrent(t *testing.T) {
+	const n = 8
+	const k = 80
+	const perProc = 5000
+	f := prim.NewFactory(n)
+	c, err := NewAdditive(f, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h := c.Handle(f.Proc(i))
+			for j := 0; j < perProc; j++ {
+				h.Inc()
+			}
+			h.Flush()
+		}(i)
+	}
+	wg.Wait()
+	if got := c.Handle(f.Proc(0)).Read(); got != n*perProc {
+		t.Fatalf("flushed Read = %d, want %d", got, n*perProc)
+	}
+}
+
+func TestCASCounterSequential(t *testing.T) {
+	f := prim.NewFactory(2)
+	c, err := NewCASCounter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, h1 := c.Handle(f.Proc(0)), c.Handle(f.Proc(1))
+	for i := 0; i < 100; i++ {
+		h0.Inc()
+		h1.Inc()
+	}
+	if got := h0.Read(); got != 200 {
+		t.Fatalf("Read = %d, want 200", got)
+	}
+}
+
+func TestCASCounterConcurrentExact(t *testing.T) {
+	const n = 8
+	const perProc = 20_000
+	f := prim.NewFactory(n)
+	c, err := NewCASCounter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h := c.Handle(f.Proc(i))
+			for j := 0; j < perProc; j++ {
+				h.Inc()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := c.Handle(f.Proc(0)).Read(); got != n*perProc {
+		t.Fatalf("CAS counter lost updates: %d, want %d", got, n*perProc)
+	}
+}

@@ -1,0 +1,66 @@
+package counter
+
+import (
+	"fmt"
+
+	"approxobj/internal/object"
+	"approxobj/internal/prim"
+)
+
+// CASCounter is the textbook fetch&increment counter over a single CAS
+// register: increments retry a compare-and-swap, reads read the register.
+//
+// It is exact and lock-free but NOT wait-free: an increment can retry
+// forever under contention, so it is obstruction-free rather than
+// wait-free. It exists as the conditional-primitive baseline of Section
+// III-D (the paper's amortized lower bound covers implementations from
+// reads, writes and conditionals like CAS: even this centralized design
+// cannot beat Omega(log(n/k^2)) amortized once it is made k-accurate, and
+// as an exact counter it serializes every increment on one cache line).
+type CASCounter struct {
+	reg *prim.CASReg
+}
+
+var _ object.Counter = (*CASCounter)(nil)
+
+// NewCASCounter creates the counter.
+func NewCASCounter(f *prim.Factory) (*CASCounter, error) {
+	if f.N() < 1 {
+		return nil, fmt.Errorf("counter: need at least one process, got %d", f.N())
+	}
+	return &CASCounter{reg: f.CASReg()}, nil
+}
+
+// CASHandle is a process's view of the counter.
+type CASHandle struct {
+	c *CASCounter
+	p *prim.Proc
+}
+
+var _ object.CounterHandle = (*CASHandle)(nil)
+
+// Handle binds process p to the counter.
+func (c *CASCounter) Handle(p *prim.Proc) *CASHandle {
+	return &CASHandle{c: c, p: p}
+}
+
+// CounterHandle implements object.Counter.
+func (c *CASCounter) CounterHandle(p *prim.Proc) object.CounterHandle {
+	return c.Handle(p)
+}
+
+// Inc retries CAS until it installs current+1. Lock-free: a failure means
+// another increment succeeded.
+func (h *CASHandle) Inc() {
+	for {
+		cur := h.c.reg.Read(h.p)
+		if _, ok := h.c.reg.CompareAndSwap(h.p, cur, cur+1); ok {
+			return
+		}
+	}
+}
+
+// Read returns the exact count.
+func (h *CASHandle) Read() uint64 {
+	return h.c.reg.Read(h.p)
+}

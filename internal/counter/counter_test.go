@@ -1,0 +1,180 @@
+package counter
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"approxobj/internal/object"
+	"approxobj/internal/prim"
+)
+
+// builders enumerates every exact counter implementation under test.
+func builders() map[string]func(f *prim.Factory) (object.Counter, error) {
+	return map[string]func(f *prim.Factory) (object.Counter, error){
+		"collect": func(f *prim.Factory) (object.Counter, error) { return NewCollect(f) },
+		"snapshot": func(f *prim.Factory) (object.Counter, error) {
+			return NewSnapshotCounter(f)
+		},
+		"aach": func(f *prim.Factory) (object.Counter, error) { return NewAACH(f) },
+	}
+}
+
+func TestCountersSequentialExact(t *testing.T) {
+	for name, mk := range builders() {
+		t.Run(name, func(t *testing.T) {
+			const n = 4
+			f := prim.NewFactory(n)
+			c, err := mk(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			handles := make([]object.CounterHandle, n)
+			for i := range handles {
+				handles[i] = c.CounterHandle(f.Proc(i))
+			}
+			if got := handles[0].Read(); got != 0 {
+				t.Fatalf("initial Read = %d, want 0", got)
+			}
+			total := uint64(0)
+			rng := rand.New(rand.NewSource(7))
+			for op := 0; op < 500; op++ {
+				h := handles[rng.Intn(n)]
+				if rng.Intn(3) > 0 {
+					h.Inc()
+					total++
+				} else if got := h.Read(); got != total {
+					t.Fatalf("op %d: Read = %d, want %d", op, got, total)
+				}
+			}
+			if got := handles[3].Read(); got != total {
+				t.Fatalf("final Read = %d, want %d", got, total)
+			}
+		})
+	}
+}
+
+func TestCountersQuickSequential(t *testing.T) {
+	for name, mk := range builders() {
+		t.Run(name, func(t *testing.T) {
+			check := func(seed int64, nRaw uint8) bool {
+				n := int(nRaw)%6 + 1
+				f := prim.NewFactory(n)
+				c, err := mk(f)
+				if err != nil {
+					return false
+				}
+				handles := make([]object.CounterHandle, n)
+				for i := range handles {
+					handles[i] = c.CounterHandle(f.Proc(i))
+				}
+				rng := rand.New(rand.NewSource(seed))
+				total := uint64(0)
+				for op := 0; op < 200; op++ {
+					h := handles[rng.Intn(n)]
+					if rng.Intn(2) == 0 {
+						h.Inc()
+						total++
+					} else if h.Read() != total {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestCollectStepComplexity(t *testing.T) {
+	const n = 16
+	f := prim.NewFactory(n)
+	c, err := NewCollect(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := f.Proc(0)
+	h := c.Handle(p)
+
+	p.ResetSteps()
+	h.Inc()
+	if got := p.Steps(); got != 1 {
+		t.Fatalf("Inc took %d steps, want 1", got)
+	}
+	p.ResetSteps()
+	h.Read()
+	if got := p.Steps(); got != n {
+		t.Fatalf("Read took %d steps, want n=%d", got, n)
+	}
+}
+
+func TestAACHStepComplexityLogarithmic(t *testing.T) {
+	// Increments walk one leaf-to-root path: O(log n) nodes, each costing
+	// O(log v) on its unbounded max register. For n=16, v small, an
+	// increment must stay well under the O(n) of a snapshot-based counter.
+	const n = 16
+	f := prim.NewFactory(n)
+	c, err := NewAACH(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := f.Proc(0)
+	h := c.Handle(p)
+	for i := 0; i < 100; i++ {
+		h.Inc()
+	}
+	p.ResetSteps()
+	h.Inc()
+	incSteps := p.Steps()
+	// Path length is ceil(log2 16) = 4 nodes + 1 leaf write; each node
+	// refresh costs 2 child reads + 1 unbounded max-register write
+	// (~log v + log 64 steps). Generous ceiling: 150.
+	if incSteps > 150 {
+		t.Fatalf("AACH Inc took %d steps, want O(log n * log v) << n^2", incSteps)
+	}
+	p.ResetSteps()
+	h.Read()
+	readSteps := p.Steps()
+	if readSteps > 20 {
+		t.Fatalf("AACH Read took %d steps, want one max-register read", readSteps)
+	}
+}
+
+func TestAACHPathCoverage(t *testing.T) {
+	// Every process's increments must reach the root: interleaved
+	// increments from all processes sum correctly.
+	for _, n := range []int{1, 2, 3, 5, 8, 13} {
+		f := prim.NewFactory(n)
+		c, err := NewAACH(f)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		handles := make([]*AACHHandle, n)
+		for i := range handles {
+			handles[i] = c.Handle(f.Proc(i))
+		}
+		for round := 0; round < 3; round++ {
+			for i := 0; i < n; i++ {
+				handles[i].Inc()
+			}
+		}
+		if got := handles[0].Read(); got != uint64(3*n) {
+			t.Fatalf("n=%d: Read = %d, want %d", n, got, 3*n)
+		}
+	}
+}
+
+func TestCounterRejectsZeroProcs(t *testing.T) {
+	f := prim.NewFactory(0)
+	if _, err := NewCollect(f); err == nil {
+		t.Fatal("NewCollect with 0 procs succeeded")
+	}
+	if _, err := NewAACH(f); err == nil {
+		t.Fatal("NewAACH with 0 procs succeeded")
+	}
+	if _, err := NewSnapshotCounter(f); err == nil {
+		t.Fatal("NewSnapshotCounter with 0 procs succeeded")
+	}
+}

@@ -1,0 +1,107 @@
+package counter
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"approxobj/internal/object"
+	"approxobj/internal/prim"
+)
+
+// Morris is a concurrent Morris counter — the classic randomized
+// approximate counter of the paper's related work (§I-A cites Morris [12],
+// Flajolet's analysis [13], and the randomized concurrent counter of
+// Aspnes and Censor [14]). It exists as a *contrast* baseline for
+// experiment E11: randomized counters are only accurate with high
+// probability, while the paper's point is that its k-multiplicative
+// objects are deterministic — every read is in range, on every execution,
+// under any schedule.
+//
+// The counter stores an exponent X in a CAS register and increments it
+// with probability a/(a+value-ish) so that (1+1/a)^X - 1 estimates the
+// count; larger a trades update cost for lower variance. Increment applies
+// at most one CAS per call (retry-free: a lost race is itself a fair
+// sample, so the increment simply abstains, slightly biasing low under
+// contention — acceptable for a baseline whose errors are the point).
+// Reads read X and return the estimator.
+//
+// It is NOT linearizable and NOT deterministic; it must not be used where
+// the paper's objects are called for.
+type Morris struct {
+	a   float64
+	reg *prim.CASReg
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+var _ object.Counter = (*Morris)(nil)
+
+// NewMorris creates a Morris counter with accuracy parameter a >= 1
+// (standard deviation of the estimate is about count/sqrt(2a)) and a seed
+// for reproducible experiments.
+func NewMorris(f *prim.Factory, a float64, seed int64) (*Morris, error) {
+	if f.N() < 1 {
+		return nil, fmt.Errorf("counter: need at least one process, got %d", f.N())
+	}
+	if a < 1 {
+		return nil, fmt.Errorf("counter: morris parameter a must be >= 1, got %v", a)
+	}
+	return &Morris{a: a, reg: f.CASReg(), rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// estimate maps exponent x to the count estimate a*((1+1/a)^x - 1).
+func (c *Morris) estimate(x uint64) uint64 {
+	v := c.a * (math.Pow(1+1/c.a, float64(x)) - 1)
+	if v < 0 {
+		return 0
+	}
+	return uint64(math.Round(v))
+}
+
+// growProb is the probability of bumping the exponent from x.
+func (c *Morris) growProb(x uint64) float64 {
+	return math.Pow(1+1/c.a, -float64(x))
+}
+
+func (c *Morris) flip(p float64) bool {
+	c.mu.Lock()
+	ok := c.rng.Float64() < p
+	c.mu.Unlock()
+	return ok
+}
+
+// MorrisHandle is a process's view of the counter.
+type MorrisHandle struct {
+	c *Morris
+	p *prim.Proc
+}
+
+var _ object.CounterHandle = (*MorrisHandle)(nil)
+
+// Handle binds process p to the counter.
+func (c *Morris) Handle(p *prim.Proc) *MorrisHandle {
+	return &MorrisHandle{c: c, p: p}
+}
+
+// CounterHandle implements object.Counter.
+func (c *Morris) CounterHandle(p *prim.Proc) object.CounterHandle {
+	return c.Handle(p)
+}
+
+// Inc bumps the exponent with the Morris probability: one read step plus
+// at most one CAS step.
+func (h *MorrisHandle) Inc() {
+	x := h.c.reg.Read(h.p)
+	if !h.c.flip(h.c.growProb(x)) {
+		return
+	}
+	h.c.reg.CompareAndSwap(h.p, x, x+1)
+}
+
+// Read returns the randomized estimate: one read step.
+func (h *MorrisHandle) Read() uint64 {
+	return h.c.estimate(h.c.reg.Read(h.p))
+}

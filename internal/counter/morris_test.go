@@ -1,0 +1,130 @@
+package counter
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"approxobj/internal/prim"
+)
+
+func TestMorrisValidation(t *testing.T) {
+	f := prim.NewFactory(1)
+	if _, err := NewMorris(f, 0.5, 1); err == nil {
+		t.Fatal("a < 1 accepted")
+	}
+	if _, err := NewMorris(prim.NewFactory(0), 8, 1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestMorrisEstimateMonotone(t *testing.T) {
+	f := prim.NewFactory(1)
+	c, err := NewMorris(f, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.estimate(0); got != 0 {
+		t.Fatalf("estimate(0) = %d, want 0", got)
+	}
+	prev := uint64(0)
+	for x := uint64(1); x < 60; x++ {
+		e := c.estimate(x)
+		if e <= prev {
+			t.Fatalf("estimate(%d) = %d not increasing past %d", x, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestMorrisGrowProb(t *testing.T) {
+	f := prim.NewFactory(1)
+	c, err := NewMorris(f, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.growProb(0); got != 1 {
+		t.Fatalf("growProb(0) = %v, want 1 (first increment always counts)", got)
+	}
+	for x := uint64(1); x < 40; x++ {
+		p := c.growProb(x)
+		if p <= 0 || p >= 1 {
+			t.Fatalf("growProb(%d) = %v out of (0, 1)", x, p)
+		}
+		if p >= c.growProb(x-1) && x > 1 {
+			t.Fatalf("growProb not decreasing at %d", x)
+		}
+	}
+}
+
+func TestMorrisRoughAccuracy(t *testing.T) {
+	// Statistical smoke test: with a=64 the relative standard deviation is
+	// about 1/sqrt(128) ~ 9%, so averaging over trials the estimate must
+	// land near the true count. Seeded: deterministic test.
+	const trials = 30
+	const incs = 20000
+	var sum float64
+	for trial := int64(0); trial < trials; trial++ {
+		f := prim.NewFactory(1)
+		c, err := NewMorris(f, 64, trial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := c.Handle(f.Proc(0))
+		for i := 0; i < incs; i++ {
+			h.Inc()
+		}
+		sum += float64(h.Read())
+	}
+	mean := sum / trials
+	if math.Abs(mean-incs)/incs > 0.15 {
+		t.Fatalf("mean estimate %.0f deviates more than 15%% from %d", mean, incs)
+	}
+}
+
+func TestMorrisConcurrentSafe(t *testing.T) {
+	// No races, estimate in a sane band (wide: contention abstentions bias
+	// low by design).
+	const n = 8
+	const perProc = 5000
+	f := prim.NewFactory(n)
+	c, err := NewMorris(f, 32, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h := c.Handle(f.Proc(i))
+			for j := 0; j < perProc; j++ {
+				h.Inc()
+			}
+		}(i)
+	}
+	wg.Wait()
+	got := c.Handle(f.Proc(0)).Read()
+	const v = n * perProc
+	if got < v/10 || got > v*10 {
+		t.Fatalf("estimate %d wildly off true count %d", got, v)
+	}
+}
+
+func TestMorrisStepCost(t *testing.T) {
+	f := prim.NewFactory(1)
+	c, err := NewMorris(f, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := f.Proc(0)
+	h := c.Handle(p)
+	const incs = 10000
+	for i := 0; i < incs; i++ {
+		h.Inc()
+	}
+	// Each Inc is 1 read + at most 1 CAS.
+	if p.Steps() > 2*incs {
+		t.Fatalf("morris incs took %d steps for %d incs, want <= 2/inc", p.Steps(), incs)
+	}
+}

@@ -1,0 +1,121 @@
+// Package history records concurrent operation histories for
+// linearizability checking.
+//
+// Timestamps are logical: a shared atomic clock is bumped at each
+// invocation and response, so op1 precedes op2 in the recorded history
+// exactly when op1's response was drawn before op2's invocation — the
+// real-time precedence relation linearizability is defined over. Recording
+// imposes ordering points, which can only make histories *more* ordered
+// than the uninstrumented run, never invent false concurrency.
+package history
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind labels an operation in a history.
+type Kind int
+
+// Operation kinds for counters and max registers.
+const (
+	KindInc Kind = iota + 1
+	KindCounterRead
+	KindWrite
+	KindMaxRead
+)
+
+// String returns the operation name.
+func (k Kind) String() string {
+	switch k {
+	case KindInc:
+		return "Inc"
+	case KindCounterRead:
+		return "CounterRead"
+	case KindWrite:
+		return "Write"
+	case KindMaxRead:
+		return "MaxRead"
+	default:
+		return "invalid"
+	}
+}
+
+// Op is one completed operation.
+type Op struct {
+	Proc int
+	Kind Kind
+	Arg  uint64 // argument of Write; unused otherwise
+	Resp uint64 // response of reads; unused otherwise
+	Inv  uint64 // logical invocation time
+	Ret  uint64 // logical response time
+}
+
+// String formats the operation for failure messages.
+func (o Op) String() string {
+	switch o.Kind {
+	case KindWrite:
+		return fmt.Sprintf("p%d.%v(%d)@[%d,%d]", o.Proc, o.Kind, o.Arg, o.Inv, o.Ret)
+	case KindCounterRead, KindMaxRead:
+		return fmt.Sprintf("p%d.%v()=%d@[%d,%d]", o.Proc, o.Kind, o.Resp, o.Inv, o.Ret)
+	default:
+		return fmt.Sprintf("p%d.%v()@[%d,%d]", o.Proc, o.Kind, o.Inv, o.Ret)
+	}
+}
+
+// Precedes reports real-time precedence: o completed before other began.
+func (o Op) Precedes(other Op) bool { return o.Ret < other.Inv }
+
+// Recorder collects operations from concurrent processes. Each process must
+// record through its own per-process slot (no lock on the hot path beyond
+// the shared clock).
+type Recorder struct {
+	clock atomic.Uint64
+	mu    sync.Mutex
+	logs  [][]Op
+}
+
+// NewRecorder creates a recorder for n processes.
+func NewRecorder(n int) *Recorder {
+	return &Recorder{logs: make([][]Op, n)}
+}
+
+// Record runs body as one operation of the given kind by proc, stamping
+// logical invocation/response times around it, and stores the completed op.
+// The body's return value becomes the response (ignored for increments and
+// writes).
+func (r *Recorder) Record(proc int, kind Kind, arg uint64, body func() uint64) uint64 {
+	inv := r.clock.Add(1)
+	resp := body()
+	ret := r.clock.Add(1)
+	op := Op{Proc: proc, Kind: kind, Arg: arg, Resp: resp, Inv: inv, Ret: ret}
+	r.mu.Lock()
+	r.logs[proc] = append(r.logs[proc], op)
+	r.mu.Unlock()
+	return resp
+}
+
+// History returns all recorded operations sorted by invocation time.
+func (r *Recorder) History() []Op {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var all []Op
+	for _, log := range r.logs {
+		all = append(all, log...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Inv < all[j].Inv })
+	return all
+}
+
+// Len returns the number of recorded operations.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, log := range r.logs {
+		n += len(log)
+	}
+	return n
+}

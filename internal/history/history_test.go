@@ -1,0 +1,108 @@
+package history
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRecorderSequential(t *testing.T) {
+	r := NewRecorder(1)
+	r.Record(0, KindInc, 0, func() uint64 { return 0 })
+	got := r.Record(0, KindCounterRead, 0, func() uint64 { return 1 })
+	if got != 1 {
+		t.Fatalf("Record returned %d, want body's 1", got)
+	}
+	h := r.History()
+	if len(h) != 2 {
+		t.Fatalf("history has %d ops, want 2", len(h))
+	}
+	if !h[0].Precedes(h[1]) {
+		t.Fatal("sequential ops not ordered by precedence")
+	}
+	if h[1].Resp != 1 {
+		t.Fatalf("read response = %d, want 1", h[1].Resp)
+	}
+}
+
+func TestRecorderTimestampsNested(t *testing.T) {
+	r := NewRecorder(1)
+	r.Record(0, KindWrite, 7, func() uint64 { return 0 })
+	h := r.History()
+	if h[0].Inv >= h[0].Ret {
+		t.Fatalf("op interval [%d, %d] empty", h[0].Inv, h[0].Ret)
+	}
+	if h[0].Arg != 7 {
+		t.Fatalf("arg = %d, want 7", h[0].Arg)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	const procs = 8
+	const opsPer = 200
+	r := NewRecorder(procs)
+	var wg sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < opsPer; j++ {
+				r.Record(i, KindInc, 0, func() uint64 { return 0 })
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	h := r.History()
+	if len(h) != procs*opsPer {
+		t.Fatalf("history has %d ops, want %d", len(h), procs*opsPer)
+	}
+	if r.Len() != procs*opsPer {
+		t.Fatalf("Len = %d, want %d", r.Len(), procs*opsPer)
+	}
+	// Timestamps are unique and each op's interval is non-empty.
+	seen := make(map[uint64]bool, 2*len(h))
+	for _, op := range h {
+		if op.Inv >= op.Ret {
+			t.Fatalf("op %v has empty interval", op)
+		}
+		if seen[op.Inv] || seen[op.Ret] {
+			t.Fatalf("duplicate timestamp in %v", op)
+		}
+		seen[op.Inv] = true
+		seen[op.Ret] = true
+	}
+	// History is sorted by invocation.
+	for i := 1; i < len(h); i++ {
+		if h[i-1].Inv > h[i].Inv {
+			t.Fatal("history not sorted by invocation time")
+		}
+	}
+	// A process's own ops never overlap.
+	lastRet := make(map[int]uint64)
+	for _, op := range h {
+		if op.Inv < lastRet[op.Proc] {
+			t.Fatalf("ops of process %d overlap", op.Proc)
+		}
+		lastRet[op.Proc] = op.Ret
+	}
+}
+
+func TestOpString(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want string
+	}{
+		{Op{Proc: 1, Kind: KindWrite, Arg: 5, Inv: 1, Ret: 2}, "p1.Write(5)@[1,2]"},
+		{Op{Proc: 2, Kind: KindCounterRead, Resp: 9, Inv: 3, Ret: 4}, "p2.CounterRead()=9@[3,4]"},
+		{Op{Proc: 0, Kind: KindInc, Inv: 5, Ret: 6}, "p0.Inc()@[5,6]"},
+		{Op{Proc: 3, Kind: KindMaxRead, Resp: 1, Inv: 7, Ret: 8}, "p3.MaxRead()=1@[7,8]"},
+	}
+	for _, c := range cases {
+		if got := c.op.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+	if KindInc.String() != "Inc" || Kind(0).String() != "invalid" {
+		t.Error("Kind.String mismatch")
+	}
+}

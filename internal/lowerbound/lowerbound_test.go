@@ -1,0 +1,244 @@
+package lowerbound
+
+import (
+	"math"
+	"testing"
+
+	"approxobj/internal/core"
+	"approxobj/internal/counter"
+	"approxobj/internal/maxreg"
+	"approxobj/internal/object"
+	"approxobj/internal/prim"
+)
+
+func exactMaxReg(m uint64) func(f *prim.Factory) (object.MaxReg, error) {
+	return func(f *prim.Factory) (object.MaxReg, error) { return maxreg.NewBounded(f, m) }
+}
+
+func kMultMaxReg(m, k uint64) func(f *prim.Factory) (object.MaxReg, error) {
+	return func(f *prim.Factory) (object.MaxReg, error) { return core.NewKMultMaxReg(f, m, k) }
+}
+
+func TestPerturbExactMaxRegAchievesLogRounds(t *testing.T) {
+	// Lemma V.1 with k=1: the exact m-bounded register is perturbable once
+	// per value, so with enough processes the construction exhausts the
+	// domain: v_r = r, L = m-1 rounds.
+	const m = 33
+	res, err := PerturbMaxReg(exactMaxReg(m), m+2, m, 1, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed {
+		t.Fatalf("construction failed after %d rounds: %+v", res.Rounds, res)
+	}
+	if !res.Exhausted {
+		t.Fatalf("expected exhaustion at the bound, got %+v", res)
+	}
+	if res.Rounds != m-1 {
+		t.Fatalf("rounds = %d, want %d (one per value)", res.Rounds, m-1)
+	}
+	// [5, Theorem 1]: the reader must access at least log2(L) distinct
+	// base objects.
+	wantMin := int(math.Floor(math.Log2(float64(res.Rounds))))
+	if res.ReaderDistinctObjects < wantMin {
+		t.Fatalf("reader accessed %d distinct objects, want >= log2(%d) = %d",
+			res.ReaderDistinctObjects, res.Rounds, wantMin)
+	}
+	if res.ReaderResponse != m-1 {
+		t.Fatalf("final reader response = %d, want %d", res.ReaderResponse, m-1)
+	}
+}
+
+func TestPerturbKMultMaxRegThetaLogK(t *testing.T) {
+	// Lemma V.1: the k-multiplicative register is Theta(log_k m)
+	// perturbable: payloads grow as v_r = k^2 v_(r-1) + 1.
+	const m = uint64(1) << 30
+	const k = 2
+	res, err := PerturbMaxReg(kMultMaxReg(m, k), 40, m, k, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed {
+		t.Fatalf("construction failed after %d rounds: %+v", res.Rounds, res)
+	}
+	if !res.Exhausted {
+		t.Fatalf("expected exhaustion, got %+v", res)
+	}
+	// v_r ~ k^(2r): rounds ~ log_{k^2}(m) = 15 for m = 2^30, k=2.
+	if res.Rounds < 12 || res.Rounds > 16 {
+		t.Fatalf("rounds = %d, want ~15 = (1/2)log_k m", res.Rounds)
+	}
+	// Payloads follow the recurrence exactly.
+	prev := uint64(0)
+	for i, v := range res.Values {
+		want := k*k*prev + 1
+		if v != want {
+			t.Fatalf("round %d payload = %d, want %d", i+1, v, want)
+		}
+		prev = v
+	}
+}
+
+func TestPerturbMaxRegSaturates(t *testing.T) {
+	// With few processes the construction must stop at n-2 pending rounds.
+	const m = 1 << 20
+	res, err := PerturbMaxReg(exactMaxReg(m), 6, m, 1, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Saturated {
+		t.Fatalf("expected saturation with n=6, got %+v", res)
+	}
+	if res.Rounds != 5 {
+		t.Fatalf("rounds = %d, want n-1 = 5", res.Rounds)
+	}
+}
+
+func TestPerturbCollectCounter(t *testing.T) {
+	// The exact collect counter is perturbable every round (k=1: I_r = r);
+	// the reader reads all n component registers.
+	mk := func(f *prim.Factory) (object.Counter, error) { return counter.NewCollect(f) }
+	res, err := PerturbCounter(mk, 10, 1_000, 1, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed {
+		t.Fatalf("construction failed: %+v", res)
+	}
+	if !res.Saturated || res.Rounds != 9 {
+		t.Fatalf("want saturation after n-1=9 rounds, got %+v", res)
+	}
+	// I_r = r for k=1: total = 45, response must count every pending
+	// increment batch (their critical writes landed in lambda).
+	if res.ReaderSteps != 10 {
+		t.Fatalf("collect reader took %d steps, want n=10", res.ReaderSteps)
+	}
+}
+
+func TestPerturbMultCounter(t *testing.T) {
+	// Algorithm 1 under the Lemma V.3 construction: payloads I_r grow as
+	// ~k^2 per round, so an m-bounded run achieves Theta(log_k m) rounds.
+	const k = 2
+	mk := func(f *prim.Factory) (object.Counter, error) {
+		return core.NewMultCounter(f, k, core.Unchecked())
+	}
+	res, err := PerturbCounter(mk, 24, 1<<20, k, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed {
+		t.Fatalf("construction failed: %+v", res)
+	}
+	if !res.Exhausted {
+		t.Fatalf("expected exhaustion at m=2^20 increments, got %+v", res)
+	}
+	// I_r ~ 3 * 4^(r-1): sum reaches 2^20 around round 10.
+	if res.Rounds < 8 || res.Rounds > 12 {
+		t.Fatalf("rounds = %d, want ~10", res.Rounds)
+	}
+}
+
+func TestPerturbPayloadRecurrenceCounter(t *testing.T) {
+	mk := func(f *prim.Factory) (object.Counter, error) { return counter.NewCollect(f) }
+	res, err := PerturbCounter(mk, 8, 10_000, 3, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// I_r = (k^2-1) * sum + r with k=3: 1, 10, 91, ...
+	want := []uint64{1, 10, 91, 820}
+	for i := 0; i < len(want) && i < len(res.Values); i++ {
+		if res.Values[i] != want[i] {
+			t.Fatalf("I_%d = %d, want %d (values %v)", i+1, res.Values[i], want[i], res.Values)
+		}
+	}
+}
+
+func TestAwarenessCollectCounter(t *testing.T) {
+	// The collect counter's readers scan every component: awareness sets
+	// grow to ~n, easily witnessing Corollary III.10.1 with k=1.
+	mk := func(f *prim.Factory) (object.Counter, error) { return counter.NewCollect(f) }
+	res, err := Awareness(mk, 32, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SatisfiesCorollary() {
+		t.Fatalf("corollary violated: sizes %v", res.Sizes)
+	}
+	if res.TotalSteps == 0 {
+		t.Fatal("no steps recorded")
+	}
+	if res.MedianSize() < 16 {
+		t.Fatalf("median awareness %d, want >= n/2 for collect reads", res.MedianSize())
+	}
+}
+
+func TestAwarenessMultCounter(t *testing.T) {
+	// Algorithm 1 with k = sqrt(n): awareness must still satisfy the
+	// corollary's n/(2k^2) threshold (= 1 at k^2 = n: everyone who reads a
+	// set switch is aware of its setter).
+	const n = 16
+	const k = 4
+	mk := func(f *prim.Factory) (object.Counter, error) { return core.NewMultCounter(f, k) }
+	for seed := int64(0); seed < 5; seed++ {
+		res, err := Awareness(mk, n, k, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.SatisfiesCorollary() {
+			t.Fatalf("seed %d: corollary violated: sizes %v", seed, res.Sizes)
+		}
+	}
+}
+
+func TestAwarenessLemmaIII10(t *testing.T) {
+	// Lemma III.10: a read returning i implies awareness of >= i/k
+	// processes. Check every process's response against its awareness set.
+	const n = 16
+	mk := func(f *prim.Factory) (object.Counter, error) { return counter.NewCollect(f) }
+	res, err := Awareness(mk, n, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, resp := range res.Responses {
+		if uint64(res.Sizes[i]) < resp/res.K {
+			t.Fatalf("process %d returned %d but is aware of only %d (< i/k)",
+				i, resp, res.Sizes[i])
+		}
+	}
+}
+
+func TestPerturbDeterministic(t *testing.T) {
+	run := func() PerturbResult {
+		res, err := PerturbMaxReg(exactMaxReg(64), 70, 64, 1, 10_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Rounds != b.Rounds || a.ReaderSteps != b.ReaderSteps ||
+		a.ReaderDistinctObjects != b.ReaderDistinctObjects || a.ReaderResponse != b.ReaderResponse {
+		t.Fatalf("perturbation not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestAwarenessCASCounter(t *testing.T) {
+	// The CAS counter funnels every increment through one register whose
+	// provenance chains transitively: after the one-inc-one-read workload,
+	// readers are aware of long chains of earlier incrementers.
+	mk := func(f *prim.Factory) (object.Counter, error) { return counter.NewCASCounter(f) }
+	res, err := Awareness(mk, 32, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SatisfiesCorollary() {
+		t.Fatalf("corollary violated for CAS counter: sizes %v", res.Sizes)
+	}
+	// Lemma III.10 check: response i implies awareness of >= i processes
+	// (k = 1).
+	for i, resp := range res.Responses {
+		if uint64(res.Sizes[i]) < resp {
+			t.Fatalf("process %d returned %d but aware of only %d", i, resp, res.Sizes[i])
+		}
+	}
+}

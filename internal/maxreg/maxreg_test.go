@@ -1,0 +1,296 @@
+package maxreg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"approxobj/internal/prim"
+)
+
+func TestBoundedSequential(t *testing.T) {
+	f := prim.NewFactory(1)
+	p := f.Proc(0)
+	b, err := NewBounded(f, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := b.Read(p); got != 0 {
+		t.Fatalf("initial Read = %d, want 0", got)
+	}
+	for _, step := range []struct{ write, want uint64 }{
+		{5, 5}, {3, 5}, {99, 99}, {42, 99}, {0, 99},
+	} {
+		b.Write(p, step.write)
+		if got := b.Read(p); got != step.want {
+			t.Fatalf("after Write(%d): Read = %d, want %d", step.write, got, step.want)
+		}
+	}
+}
+
+func TestBoundedEdgeSizes(t *testing.T) {
+	for _, m := range []uint64{1, 2, 3, 4, 5, 7, 8, 9, 1023, 1024, 1025} {
+		f := prim.NewFactory(1)
+		p := f.Proc(0)
+		b, err := NewBounded(f, m)
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		if got := b.Read(p); got != 0 {
+			t.Fatalf("m=%d: initial Read = %d", m, got)
+		}
+		// Writing every representable value in random order must track max.
+		vals := rand.New(rand.NewSource(int64(m))).Perm(int(m))
+		max := uint64(0)
+		for _, v := range vals {
+			b.Write(p, uint64(v))
+			if uint64(v) > max {
+				max = uint64(v)
+			}
+			if got := b.Read(p); got != max {
+				t.Fatalf("m=%d: Read = %d, want %d", m, got, max)
+			}
+		}
+	}
+}
+
+func TestBoundedRejectsBadBound(t *testing.T) {
+	f := prim.NewFactory(1)
+	if _, err := NewBounded(f, 0); err == nil {
+		t.Fatal("NewBounded(0) succeeded, want error")
+	}
+}
+
+func TestBoundedWritePanicsOutOfRange(t *testing.T) {
+	f := prim.NewFactory(1)
+	p := f.Proc(0)
+	b, err := NewBounded(f, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Write(8) on 8-bounded register did not panic")
+		}
+	}()
+	b.Write(p, 8)
+}
+
+func TestBoundedStepComplexity(t *testing.T) {
+	// Every operation costs at most Depth() = ceil(log2 m) steps.
+	for _, m := range []uint64{2, 16, 1024, 1 << 20, 1 << 40} {
+		f := prim.NewFactory(1)
+		p := f.Proc(0)
+		b, err := NewBounded(f, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		depth := uint64(b.Depth())
+
+		p.ResetSteps()
+		b.Read(p)
+		if p.Steps() > depth {
+			t.Fatalf("m=%d: empty Read took %d steps, depth %d", m, p.Steps(), depth)
+		}
+		p.ResetSteps()
+		b.Write(p, m-1)
+		if p.Steps() > depth {
+			t.Fatalf("m=%d: Write(max) took %d steps, depth %d", m, p.Steps(), depth)
+		}
+		p.ResetSteps()
+		b.Read(p)
+		if p.Steps() > depth {
+			t.Fatalf("m=%d: Read took %d steps, depth %d", m, p.Steps(), depth)
+		}
+	}
+}
+
+func TestBoundedDepth(t *testing.T) {
+	cases := []struct {
+		m    uint64
+		want int
+	}{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {1024, 10},
+	}
+	for _, c := range cases {
+		f := prim.NewFactory(1)
+		b, err := NewBounded(f, c.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := b.Depth(); got != c.want {
+			t.Errorf("Depth(m=%d) = %d, want %d", c.m, got, c.want)
+		}
+	}
+}
+
+func TestBoundedQuickVsOracle(t *testing.T) {
+	check := func(seed int64, mRaw uint16, opsRaw uint8) bool {
+		m := uint64(mRaw)%1000 + 1
+		ops := int(opsRaw)%50 + 1
+		rng := rand.New(rand.NewSource(seed))
+		f := prim.NewFactory(1)
+		p := f.Proc(0)
+		b, err := NewBounded(f, m)
+		if err != nil {
+			return false
+		}
+		oracle := uint64(0)
+		for i := 0; i < ops; i++ {
+			if rng.Intn(2) == 0 {
+				v := uint64(rng.Int63()) % m
+				b.Write(p, v)
+				if v > oracle {
+					oracle = v
+				}
+			} else if b.Read(p) != oracle {
+				return false
+			}
+		}
+		return b.Read(p) == oracle
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnboundedSequential(t *testing.T) {
+	f := prim.NewFactory(1)
+	p := f.Proc(0)
+	u, err := NewUnbounded(f, ExactFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := u.Read(p); got != 0 {
+		t.Fatalf("initial Read = %d, want 0", got)
+	}
+	writes := []uint64{1, 5, 3, 1 << 20, 7, 1<<40 + 12345, 1 << 40}
+	max := uint64(0)
+	for _, v := range writes {
+		u.Write(p, v)
+		if v > max {
+			max = v
+		}
+		if got := u.Read(p); got != max {
+			t.Fatalf("after Write(%d): Read = %d, want %d", v, got, max)
+		}
+	}
+}
+
+func TestUnboundedWriteZeroNoop(t *testing.T) {
+	f := prim.NewFactory(1)
+	p := f.Proc(0)
+	u, err := NewUnbounded(f, ExactFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.Write(p, 0)
+	if got := u.Read(p); got != 0 {
+		t.Fatalf("Read after Write(0) = %d, want 0", got)
+	}
+	u.Write(p, 9)
+	u.Write(p, 0)
+	if got := u.Read(p); got != 9 {
+		t.Fatalf("Read = %d, want 9", got)
+	}
+}
+
+func TestUnboundedEpochBoundaries(t *testing.T) {
+	f := prim.NewFactory(1)
+	p := f.Proc(0)
+	u, err := NewUnbounded(f, ExactFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact powers of two sit at epoch starts (offset 0).
+	max := uint64(0)
+	for e := 0; e < 62; e += 7 {
+		for _, v := range []uint64{1 << e, 1<<e + 1, 1<<(e+1) - 1} {
+			u.Write(p, v)
+			if v > max {
+				max = v
+			}
+			if got := u.Read(p); got != max {
+				t.Fatalf("epoch %d: after Write(%d): Read = %d, want %d", e, v, got, max)
+			}
+		}
+	}
+}
+
+func TestUnboundedQuickVsOracle(t *testing.T) {
+	check := func(vals []uint64) bool {
+		f := prim.NewFactory(1)
+		p := f.Proc(0)
+		u, err := NewUnbounded(f, ExactFactory)
+		if err != nil {
+			return false
+		}
+		oracle := uint64(0)
+		for _, v := range vals {
+			u.Write(p, v)
+			if v > oracle {
+				oracle = v
+			}
+			if u.Read(p) != oracle {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnboundedStepComplexityLogarithmic(t *testing.T) {
+	// Steps per op grow with log v: an op on value ~2^e costs about
+	// e (epoch register) + 7 (top register) steps.
+	f := prim.NewFactory(1)
+	p := f.Proc(0)
+	u, err := NewUnbounded(f, ExactFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.Write(p, 1<<50)
+
+	p.ResetSteps()
+	u.Read(p)
+	if p.Steps() > 60 {
+		t.Fatalf("Read of 2^50 took %d steps, want <= 60 (log v + log 64)", p.Steps())
+	}
+	p.ResetSteps()
+	u.Write(p, 1<<50+1)
+	if p.Steps() > 60 {
+		t.Fatalf("Write of 2^50+1 took %d steps, want <= 60", p.Steps())
+	}
+}
+
+func TestEpochOf(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3}, {1 << 40, 40},
+	}
+	for _, c := range cases {
+		if got := epochOf(c.v); got != c.want {
+			t.Errorf("epochOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestMaxRegHandleInterface(t *testing.T) {
+	f := prim.NewFactory(2)
+	b, err := NewBounded(f, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0 := b.MaxRegHandle(f.Proc(0))
+	h1 := b.MaxRegHandle(f.Proc(1))
+	h0.Write(10)
+	if got := h1.Read(); got != 10 {
+		t.Fatalf("handle Read = %d, want 10 (cross-process visibility)", got)
+	}
+}

@@ -1,0 +1,77 @@
+// Package object defines the shared-object interfaces implemented by every
+// counter and max-register in this repository.
+//
+// Objects are accessed through per-process handles: Handle(p) binds a
+// process to the object and carries the persistent local variables the
+// paper's algorithms require (e.g. last_i, lcounter_i, limit_i of
+// Algorithm 1). A handle must only be used by the goroutine driving its
+// process; the shared object itself may be accessed through any number of
+// handles concurrently.
+package object
+
+import "approxobj/internal/prim"
+
+// Counter is a shared counter object supporting CounterIncrement and
+// CounterRead through per-process handles.
+type Counter interface {
+	// CounterHandle binds process p to the counter.
+	CounterHandle(p *prim.Proc) CounterHandle
+}
+
+// CounterHandle is a process's view of a counter.
+type CounterHandle interface {
+	// Inc applies one CounterIncrement operation.
+	Inc()
+	// Read applies one CounterRead operation and returns its response.
+	Read() uint64
+}
+
+// MaxReg is a shared max-register object supporting Write and Read through
+// per-process handles.
+type MaxReg interface {
+	// MaxRegHandle binds process p to the max register.
+	MaxRegHandle(p *prim.Proc) MaxRegHandle
+}
+
+// MaxRegHandle is a process's view of a max register.
+type MaxRegHandle interface {
+	// Write records v; subsequent Reads return at least v (within the
+	// object's accuracy guarantee).
+	Write(v uint64)
+	// Read returns (an approximation of) the maximum value written so far.
+	Read() uint64
+}
+
+// Accuracy describes the multiplicative accuracy guarantee of an object: a
+// read may return x for a true value v whenever v/K <= x <= v*K. Exact
+// objects have K == 1.
+type Accuracy struct {
+	K uint64
+}
+
+// Exact is the accuracy of precise objects.
+var Exact = Accuracy{K: 1}
+
+// Contains reports whether response x is allowed for true value v, i.e.
+// v/K <= x <= v*K over the reals. The bounds are checked as x*K >= v and
+// x <= v*K so integer division cannot skew them; overflowing products are
+// treated as +infinity.
+func (a Accuracy) Contains(v, x uint64) bool {
+	if a.K <= 1 {
+		return x == v
+	}
+	if mulFits(x, a.K) && x*a.K < v {
+		return false // x < v/K
+	}
+	if mulFits(v, a.K) && x > v*a.K {
+		return false // x > v*K
+	}
+	return true
+}
+
+func mulFits(a, b uint64) bool {
+	if a == 0 || b == 0 {
+		return true
+	}
+	return a <= ^uint64(0)/b
+}

@@ -1,0 +1,165 @@
+package prim
+
+import "sync/atomic"
+
+// Conditional primitives (Definition III.1 of the paper): a RMW primitive
+// is conditional if for every input there is at most one object-values
+// vector it modifies (its change point). CAS is the canonical example —
+// its change point for input (old, new) is the vector (old). The paper's
+// amortized lower bound for k-multiplicative counters (Theorem III.11)
+// covers implementations from reads, writes and conditionals of any
+// constant arity, so the repository provides them: they let baselines like
+// the lock-free fetch&increment counter be expressed, and the awareness
+// machinery of internal/sim models their visibility exactly (a failed CAS
+// is invisible — its object-values vector is a fixed point — but still
+// observes the object, like a failed test&set).
+
+// OpCAS is the compare-and-swap primitive kind. A CAS event's Val packs
+// whether it succeeded; see CASEventSucceeded.
+const OpCAS Op = 4
+
+// casSuccess marks a successful CAS in an Event's Val field alongside the
+// observed value (which fits in 63 bits for all uses in this repository).
+const casSuccess = uint64(1) << 63
+
+// CASEventSucceeded reports whether a recorded OpCAS event changed its
+// object, and the value the CAS observed.
+func CASEventSucceeded(ev Event) (observed uint64, succeeded bool) {
+	return ev.Val &^ casSuccess, ev.Val&casSuccess != 0
+}
+
+// CASReg is a register supporting read, write and compare-and-swap.
+type CASReg struct {
+	id ObjID
+	v  atomic.Uint64
+}
+
+// CASReg creates a fresh register supporting CAS, initialized to zero.
+func (f *Factory) CASReg() *CASReg {
+	return &CASReg{id: f.allocID()}
+}
+
+// CASRegs creates a slice of m fresh CAS registers.
+func (f *Factory) CASRegs(m int) []*CASReg {
+	rs := make([]*CASReg, m)
+	for i := range rs {
+		rs[i] = f.CASReg()
+	}
+	return rs
+}
+
+// Read applies a read primitive.
+func (r *CASReg) Read(p *Proc) uint64 {
+	p.enter()
+	v := r.v.Load()
+	p.exit(OpRead, r.id, v)
+	return v
+}
+
+// Write applies a write primitive.
+func (r *CASReg) Write(p *Proc, v uint64) {
+	p.enter()
+	r.v.Store(v)
+	p.exit(OpWrite, r.id, v)
+}
+
+// CompareAndSwap applies a CAS primitive: if the register holds old, set it
+// to new and report success. The register's value is the event's observed
+// value either way (a failed CAS returns the value it saw, like test&set).
+func (r *CASReg) CompareAndSwap(p *Proc, old, new uint64) (observed uint64, swapped bool) {
+	p.enter()
+	swapped = r.v.CompareAndSwap(old, new)
+	if swapped {
+		observed = old
+	} else {
+		observed = r.v.Load()
+	}
+	val := observed
+	if swapped {
+		val |= casSuccess
+	}
+	p.exit(OpCAS, r.id, val)
+	return observed, swapped
+}
+
+// Peek returns the register's value without taking a model step
+// (diagnostic; see Reg.Peek).
+func (r *CASReg) Peek() uint64 { return r.v.Load() }
+
+// ID returns the base-object identifier.
+func (r *CASReg) ID() ObjID { return r.id }
+
+// KCAS applies an arity-q compare-and-swap across q CAS registers: if every
+// register holds its expected value, all are set to their new values
+// atomically; otherwise nothing changes. This is the q-arity conditional of
+// Section III-D. It is implemented under the simulation machine's lock-step
+// guarantee (the whole KCAS is a single step of the issuing process), which
+// is the model the lower bound is proved in; it must not be used in
+// production mode where steps of different processes overlap.
+//
+// The issuing process observes every register (a KCAS returns the observed
+// vector), and on success it becomes visible on each register it changed.
+type KCAS struct {
+	gate Gate
+	id   ObjID // identity of the combined event (for tracing)
+	regs []*CASReg
+}
+
+// KCAS creates an arity-len(regs) conditional over the given registers.
+func (f *Factory) KCAS(regs []*CASReg) *KCAS {
+	return &KCAS{gate: f.gate, id: f.allocID(), regs: regs}
+}
+
+// Apply performs the multi-word CAS. old and new must have one entry per
+// register. It reports success and returns the observed values.
+func (k *KCAS) Apply(p *Proc, old, new []uint64) (observed []uint64, swapped bool) {
+	if len(old) != len(k.regs) || len(new) != len(k.regs) {
+		panic("prim: KCAS arity mismatch")
+	}
+	p.enter()
+	observed = make([]uint64, len(k.regs))
+	swapped = true
+	for i, r := range k.regs {
+		observed[i] = r.v.Load()
+		if observed[i] != old[i] {
+			swapped = false
+		}
+	}
+	if swapped {
+		for i, r := range k.regs {
+			r.v.Store(new[i])
+		}
+	}
+	// Report one event per accessed register so awareness tracking sees
+	// the full access vector; the machine records them as a single step
+	// (the enter/exit pair brackets all of them).
+	val := uint64(0)
+	if swapped {
+		val = casSuccess
+	}
+	p.exitMulti(OpCAS, k.eventObjs(), val)
+	return observed, swapped
+}
+
+func (k *KCAS) eventObjs() []ObjID {
+	objs := make([]ObjID, len(k.regs))
+	for i, r := range k.regs {
+		objs[i] = r.id
+	}
+	return objs
+}
+
+// exitMulti reports a step that accessed several objects (arity-q
+// primitives). The step count increases by one — the model applies the
+// whole primitive in a single step — while the trace records one event per
+// accessed object.
+func (p *Proc) exitMulti(op Op, objs []ObjID, val uint64) {
+	p.steps++
+	if p.gate != nil {
+		evs := make([]Event, len(objs))
+		for i, obj := range objs {
+			evs[i] = Event{Proc: p.id, Op: op, Obj: obj, Val: val}
+		}
+		p.gate.Exit(p, evs)
+	}
+}

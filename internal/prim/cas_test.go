@@ -1,0 +1,124 @@
+package prim
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCASRegSemantics(t *testing.T) {
+	f := NewFactory(1)
+	p := f.Proc(0)
+	r := f.CASReg()
+
+	if got := r.Read(p); got != 0 {
+		t.Fatalf("initial Read = %d, want 0", got)
+	}
+	if obs, ok := r.CompareAndSwap(p, 0, 5); !ok || obs != 0 {
+		t.Fatalf("CAS(0->5) = (%d, %v), want (0, true)", obs, ok)
+	}
+	if obs, ok := r.CompareAndSwap(p, 0, 9); ok || obs != 5 {
+		t.Fatalf("failed CAS = (%d, %v), want (5, false)", obs, ok)
+	}
+	if got := r.Read(p); got != 5 {
+		t.Fatalf("Read = %d, want 5", got)
+	}
+	r.Write(p, 7)
+	if got := r.Peek(); got != 7 {
+		t.Fatalf("Peek = %d, want 7", got)
+	}
+	// 5 primitives so far: read, CAS, CAS, read, write.
+	if got := p.Steps(); got != 5 {
+		t.Fatalf("Steps = %d, want 5", got)
+	}
+}
+
+func TestCASOnlyOneWinner(t *testing.T) {
+	const procs = 16
+	f := NewFactory(procs)
+	r := f.CASReg()
+
+	var wg sync.WaitGroup
+	wins := make([]bool, procs)
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, wins[i] = r.CompareAndSwap(f.Proc(i), 0, uint64(i)+1)
+		}(i)
+	}
+	wg.Wait()
+	winners := 0
+	for _, w := range wins {
+		if w {
+			winners++
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("CAS(0->x) had %d winners, want 1", winners)
+	}
+}
+
+func TestCASEventPacking(t *testing.T) {
+	ev := Event{Op: OpCAS, Val: 42 | casSuccess}
+	if obs, ok := CASEventSucceeded(ev); !ok || obs != 42 {
+		t.Fatalf("CASEventSucceeded = (%d, %v), want (42, true)", obs, ok)
+	}
+	ev = Event{Op: OpCAS, Val: 42}
+	if obs, ok := CASEventSucceeded(ev); ok || obs != 42 {
+		t.Fatalf("CASEventSucceeded = (%d, %v), want (42, false)", obs, ok)
+	}
+}
+
+func TestKCASAllOrNothing(t *testing.T) {
+	f := NewFactory(1)
+	p := f.Proc(0)
+	regs := f.CASRegs(3)
+	k := f.KCAS(regs)
+
+	// All expectations match: swap happens.
+	obs, ok := k.Apply(p, []uint64{0, 0, 0}, []uint64{1, 2, 3})
+	if !ok {
+		t.Fatalf("KCAS on fresh regs failed, observed %v", obs)
+	}
+	for i, want := range []uint64{1, 2, 3} {
+		if got := regs[i].Peek(); got != want {
+			t.Fatalf("reg[%d] = %d, want %d", i, got, want)
+		}
+	}
+	// One mismatch: nothing changes, observed reports actual values.
+	obs, ok = k.Apply(p, []uint64{1, 2, 99}, []uint64{7, 7, 7})
+	if ok {
+		t.Fatal("KCAS with a mismatched expectation succeeded")
+	}
+	if obs[0] != 1 || obs[1] != 2 || obs[2] != 3 {
+		t.Fatalf("observed = %v, want [1 2 3]", obs)
+	}
+	for i, want := range []uint64{1, 2, 3} {
+		if got := regs[i].Peek(); got != want {
+			t.Fatalf("failed KCAS mutated reg[%d] to %d", i, got)
+		}
+	}
+}
+
+func TestKCASIsOneStep(t *testing.T) {
+	f := NewFactory(1)
+	p := f.Proc(0)
+	k := f.KCAS(f.CASRegs(4))
+	before := p.Steps()
+	k.Apply(p, make([]uint64, 4), []uint64{1, 1, 1, 1})
+	if got := p.Steps() - before; got != 1 {
+		t.Fatalf("arity-4 KCAS took %d steps, want 1 (single primitive application)", got)
+	}
+}
+
+func TestKCASArityMismatchPanics(t *testing.T) {
+	f := NewFactory(1)
+	p := f.Proc(0)
+	k := f.KCAS(f.CASRegs(2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("KCAS with wrong arity did not panic")
+		}
+	}()
+	k.Apply(p, []uint64{0}, []uint64{1})
+}

@@ -1,0 +1,54 @@
+package prim
+
+import "sync/atomic"
+
+// RefReg is a register holding an arbitrary immutable value. The
+// asynchronous shared-memory model allows registers of unbounded size; the
+// Afek-et-al. atomic snapshot (internal/snapshot) needs registers holding a
+// (value, sequence, embedded view) triple. Stored values must be treated as
+// immutable once written — writers publish fresh values, never mutate
+// published ones.
+type RefReg struct {
+	id ObjID
+	v  atomic.Value
+}
+
+// RefReg creates a fresh reference register holding nil.
+func (f *Factory) RefReg() *RefReg {
+	return &RefReg{id: f.allocID()}
+}
+
+// RefRegs creates a slice of m fresh reference registers.
+func (f *Factory) RefRegs(m int) []*RefReg {
+	rs := make([]*RefReg, m)
+	for i := range rs {
+		rs[i] = f.RefReg()
+	}
+	return rs
+}
+
+// refBox wraps values so atomic.Value accepts differing dynamic types
+// (including nil-like states) uniformly.
+type refBox struct{ val any }
+
+// Read applies a read primitive and returns the stored value (nil if never
+// written).
+func (r *RefReg) Read(p *Proc) any {
+	p.enter()
+	var v any
+	if b, ok := r.v.Load().(refBox); ok {
+		v = b.val
+	}
+	p.exit(OpRead, r.id, 0)
+	return v
+}
+
+// Write applies a write primitive storing v.
+func (r *RefReg) Write(p *Proc, v any) {
+	p.enter()
+	r.v.Store(refBox{val: v})
+	p.exit(OpWrite, r.id, 0)
+}
+
+// ID returns the base-object identifier.
+func (r *RefReg) ID() ObjID { return r.id }

@@ -1,0 +1,128 @@
+package sim
+
+import "approxobj/internal/prim"
+
+// Awareness tracks, per Definitions III.2 and III.3 of the paper, which
+// processes each process is aware of. Awareness flows through base objects:
+//
+//   - a nontrivial primitive (write, or a test&set that flips the bit)
+//     stamps the object with the issuer's current awareness set plus the
+//     issuer itself (a write overwrites the previous provenance, matching
+//     the "visible on o" condition of Definition III.2);
+//   - a primitive other than write (read, or any test&set — test&set
+//     returns the previous value, so it observes) merges the object's
+//     provenance into the issuer's awareness set;
+//   - a test&set applied to an already-set bit is invisible as an update
+//     (its object-values vector is a fixed point), so it observes without
+//     re-stamping.
+//
+// Sets are bitsets over process IDs. The tracker computes the transitive
+// awareness relation online as the machine records each event.
+type Awareness struct {
+	n     int
+	words int
+	// procSets[p] is the awareness set of process p.
+	procSets []bitset
+	// objSets maps each touched object to its current provenance set.
+	objSets map[prim.ObjID]bitset
+}
+
+type bitset []uint64
+
+func newBitset(words int) bitset { return make(bitset, words) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (uint(i) % 64) }
+func (b bitset) get(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+func (b bitset) or(other bitset) { // b |= other
+	for i := range other {
+		b[i] |= other[i]
+	}
+}
+
+func (b bitset) count() int {
+	c := 0
+	for _, w := range b {
+		for ; w != 0; w &= w - 1 {
+			c++
+		}
+	}
+	return c
+}
+
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+// NewAwareness creates a tracker for n processes; initially every process is
+// aware only of itself.
+func NewAwareness(n int) *Awareness {
+	words := (n + 63) / 64
+	a := &Awareness{
+		n:        n,
+		words:    words,
+		procSets: make([]bitset, n),
+		objSets:  make(map[prim.ObjID]bitset),
+	}
+	for i := range a.procSets {
+		a.procSets[i] = newBitset(words)
+		a.procSets[i].set(i)
+	}
+	return a
+}
+
+// Observe folds one executed event into the awareness relation. The machine
+// calls it once per step, in execution order.
+func (a *Awareness) Observe(ev prim.Event) {
+	p := ev.Proc
+	switch ev.Op {
+	case prim.OpRead:
+		if prov, ok := a.objSets[ev.Obj]; ok {
+			a.procSets[p].or(prov)
+		}
+	case prim.OpWrite:
+		a.objSets[ev.Obj] = a.stamp(p)
+	case prim.OpTAS:
+		// test&set returns the previous value: the issuer observes first.
+		if prov, ok := a.objSets[ev.Obj]; ok {
+			a.procSets[p].or(prov)
+		}
+		// It changed the object only if the previous value was 0.
+		if ev.Val == 0 {
+			a.objSets[ev.Obj] = a.stamp(p)
+		}
+	case prim.OpCAS:
+		// CAS returns the observed value: the issuer always observes. It
+		// becomes visible on the object only when it succeeds (a failed
+		// CAS hit a fixed point, Definition III.1).
+		if prov, ok := a.objSets[ev.Obj]; ok {
+			a.procSets[p].or(prov)
+		}
+		if _, swapped := prim.CASEventSucceeded(ev); swapped {
+			a.objSets[ev.Obj] = a.stamp(p)
+		}
+	}
+}
+
+func (a *Awareness) stamp(p int) bitset {
+	s := a.procSets[p].clone()
+	s.set(p)
+	return s
+}
+
+// Set returns the number of processes that process p is aware of (|AW(E,p)|,
+// including p itself per Definition III.3).
+func (a *Awareness) Set(p int) int { return a.procSets[p].count() }
+
+// Aware reports whether process p is aware of process q.
+func (a *Awareness) Aware(p, q int) bool { return a.procSets[p].get(q) }
+
+// Sizes returns the awareness-set size of every process.
+func (a *Awareness) Sizes() []int {
+	out := make([]int, a.n)
+	for i := range out {
+		out[i] = a.procSets[i].count()
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"testing"
+
+	"approxobj/internal/prim"
+)
+
+func TestAwarenessInitialSelfOnly(t *testing.T) {
+	a := NewAwareness(4)
+	for i := 0; i < 4; i++ {
+		if got := a.Set(i); got != 1 {
+			t.Fatalf("initial |AW(%d)| = %d, want 1", i, got)
+		}
+		if !a.Aware(i, i) {
+			t.Fatalf("process %d not aware of itself", i)
+		}
+	}
+}
+
+func TestAwarenessReadAfterWrite(t *testing.T) {
+	a := NewAwareness(3)
+	a.Observe(prim.Event{Proc: 0, Op: prim.OpWrite, Obj: 7, Val: 5})
+	a.Observe(prim.Event{Proc: 1, Op: prim.OpRead, Obj: 7, Val: 5})
+
+	if !a.Aware(1, 0) {
+		t.Fatal("reader not aware of writer")
+	}
+	if a.Aware(0, 1) {
+		t.Fatal("writer aware of reader (reads are invisible)")
+	}
+	if a.Aware(2, 0) || a.Aware(2, 1) {
+		t.Fatal("bystander gained awareness")
+	}
+}
+
+func TestAwarenessTransitive(t *testing.T) {
+	a := NewAwareness(3)
+	// p0 writes r1; p1 reads r1 then writes r2; p2 reads r2.
+	a.Observe(prim.Event{Proc: 0, Op: prim.OpWrite, Obj: 1})
+	a.Observe(prim.Event{Proc: 1, Op: prim.OpRead, Obj: 1})
+	a.Observe(prim.Event{Proc: 1, Op: prim.OpWrite, Obj: 2})
+	a.Observe(prim.Event{Proc: 2, Op: prim.OpRead, Obj: 2})
+
+	if !a.Aware(2, 1) {
+		t.Fatal("p2 not aware of p1 (direct)")
+	}
+	if !a.Aware(2, 0) {
+		t.Fatal("p2 not aware of p0 (transitive through p1's write)")
+	}
+	if got := a.Set(2); got != 3 {
+		t.Fatalf("|AW(p2)| = %d, want 3", got)
+	}
+}
+
+func TestAwarenessOverwriteReplacesProvenance(t *testing.T) {
+	a := NewAwareness(3)
+	a.Observe(prim.Event{Proc: 0, Op: prim.OpWrite, Obj: 1})
+	// p1 overwrites without reading first: p0's trace on the object is gone.
+	a.Observe(prim.Event{Proc: 1, Op: prim.OpWrite, Obj: 1})
+	a.Observe(prim.Event{Proc: 2, Op: prim.OpRead, Obj: 1})
+
+	if a.Aware(2, 0) {
+		t.Fatal("p2 aware of overwritten p0")
+	}
+	if !a.Aware(2, 1) {
+		t.Fatal("p2 not aware of overwriting p1")
+	}
+}
+
+func TestAwarenessTASObservesAndStamps(t *testing.T) {
+	a := NewAwareness(3)
+	// p0 wins the bit (Val=0: previous value was 0).
+	a.Observe(prim.Event{Proc: 0, Op: prim.OpTAS, Obj: 4, Val: 0})
+	// p1 loses the bit (Val=1): it observes p0 but does not re-stamp.
+	a.Observe(prim.Event{Proc: 1, Op: prim.OpTAS, Obj: 4, Val: 1})
+	// p2 reads the bit: aware of p0 (the visible setter), not p1 (whose
+	// failed test&set is an invisible update per the paper's definition).
+	a.Observe(prim.Event{Proc: 2, Op: prim.OpRead, Obj: 4, Val: 1})
+
+	if !a.Aware(1, 0) {
+		t.Fatal("losing test&set did not observe the winner")
+	}
+	if !a.Aware(2, 0) {
+		t.Fatal("reader not aware of bit setter")
+	}
+	if a.Aware(2, 1) {
+		t.Fatal("reader aware of invisible failed test&set")
+	}
+}
+
+func TestAwarenessSizes(t *testing.T) {
+	a := NewAwareness(2)
+	a.Observe(prim.Event{Proc: 0, Op: prim.OpWrite, Obj: 1})
+	a.Observe(prim.Event{Proc: 1, Op: prim.OpRead, Obj: 1})
+	sizes := a.Sizes()
+	if sizes[0] != 1 || sizes[1] != 2 {
+		t.Fatalf("Sizes = %v, want [1 2]", sizes)
+	}
+}
+
+func TestAwarenessThroughMachine(t *testing.T) {
+	m := NewMachine(2)
+	reg := m.Factory().Reg()
+	m.Spawn(0, func(p *prim.Proc) { reg.Write(p, 1) })
+	m.Spawn(1, func(p *prim.Proc) { reg.Read(p) })
+	m.RunSchedule([]int{0, 1})
+
+	if !m.Awareness().Aware(1, 0) {
+		t.Fatal("machine did not propagate awareness on read-after-write")
+	}
+}
+
+func TestBitsetLargeN(t *testing.T) {
+	const n = 200 // needs 4 words
+	a := NewAwareness(n)
+	// Chain: p_i writes obj i; p_{i+1} reads obj i then writes obj i+1.
+	for i := 0; i < n-1; i++ {
+		a.Observe(prim.Event{Proc: i, Op: prim.OpWrite, Obj: prim.ObjID(i)})
+		a.Observe(prim.Event{Proc: i + 1, Op: prim.OpRead, Obj: prim.ObjID(i)})
+	}
+	if got := a.Set(n - 1); got != n {
+		t.Fatalf("chained awareness |AW(p_%d)| = %d, want %d", n-1, got, n)
+	}
+	if got := a.Set(0); got != 1 {
+		t.Fatalf("|AW(p_0)| = %d, want 1", got)
+	}
+}

@@ -1,0 +1,88 @@
+package sim
+
+import "math/rand"
+
+// Scheduler picks which running process takes the next step. Next is called
+// with the (non-empty, ascending) list of running process IDs and must
+// return one of them. Schedulers are deterministic functions of their own
+// state, so a machine driven by an equal-state scheduler replays the same
+// execution.
+type Scheduler interface {
+	Next(active []int) int
+}
+
+// RoundRobin cycles through processes in ID order, skipping finished ones.
+type RoundRobin struct {
+	last int
+}
+
+// NewRoundRobin returns a round-robin scheduler starting at process 0.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{last: -1} }
+
+// Next returns the first active ID strictly greater than the previous pick,
+// wrapping around.
+func (r *RoundRobin) Next(active []int) int {
+	for _, id := range active {
+		if id > r.last {
+			r.last = id
+			return id
+		}
+	}
+	r.last = active[0]
+	return active[0]
+}
+
+// Random picks uniformly with a seeded PRNG; the same seed replays the same
+// choices against the same sequence of active sets.
+type Random struct {
+	rng *rand.Rand
+}
+
+// NewRandom returns a seeded random scheduler.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next picks a uniformly random active process.
+func (r *Random) Next(active []int) int {
+	return active[r.rng.Intn(len(active))]
+}
+
+// Prioritized always steps the lowest-ID active process. Combined with
+// spawn order, this runs processes one after another (a sequential
+// schedule).
+type Prioritized struct{}
+
+// Next returns the lowest active ID.
+func (Prioritized) Next(active []int) int { return active[0] }
+
+// Scripted follows a fixed list of process IDs, skipping entries that are
+// not active; when the script is exhausted it falls back to round-robin so
+// RunAll still terminates.
+type Scripted struct {
+	script []int
+	pos    int
+	rr     RoundRobin
+}
+
+// NewScripted returns a scheduler that replays script.
+func NewScripted(script []int) *Scripted {
+	s := &Scripted{script: make([]int, len(script)), rr: RoundRobin{last: -1}}
+	copy(s.script, script)
+	return s
+}
+
+// Next returns the next scripted active process, or a round-robin pick once
+// the script is exhausted.
+func (s *Scripted) Next(active []int) int {
+	for s.pos < len(s.script) {
+		id := s.script[s.pos]
+		s.pos++
+		for _, a := range active {
+			if a == id {
+				return id
+			}
+		}
+	}
+	return s.rr.Next(active)
+}

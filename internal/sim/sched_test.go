@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRoundRobinCycles(t *testing.T) {
+	rr := NewRoundRobin()
+	active := []int{0, 1, 2}
+	var picks []int
+	for i := 0; i < 7; i++ {
+		picks = append(picks, rr.Next(active))
+	}
+	want := []int{0, 1, 2, 0, 1, 2, 0}
+	if !reflect.DeepEqual(picks, want) {
+		t.Fatalf("picks = %v, want %v", picks, want)
+	}
+}
+
+func TestRoundRobinSkipsMissing(t *testing.T) {
+	rr := NewRoundRobin()
+	if got := rr.Next([]int{1, 3}); got != 1 {
+		t.Fatalf("pick = %d, want 1", got)
+	}
+	if got := rr.Next([]int{1, 3}); got != 3 {
+		t.Fatalf("pick = %d, want 3", got)
+	}
+	// Process 3 finished; wrap to the remaining one.
+	if got := rr.Next([]int{1}); got != 1 {
+		t.Fatalf("pick = %d, want 1", got)
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	picksWith := func(seed int64) []int {
+		r := NewRandom(seed)
+		active := []int{0, 1, 2, 3}
+		var out []int
+		for i := 0; i < 20; i++ {
+			out = append(out, r.Next(active))
+		}
+		return out
+	}
+	if !reflect.DeepEqual(picksWith(5), picksWith(5)) {
+		t.Fatal("same seed gave different picks")
+	}
+}
+
+func TestPrioritizedPicksLowest(t *testing.T) {
+	var p Prioritized
+	if got := p.Next([]int{2, 5, 7}); got != 2 {
+		t.Fatalf("pick = %d, want 2", got)
+	}
+}
+
+func TestScriptedFollowsScriptThenFallsBack(t *testing.T) {
+	s := NewScripted([]int{1, 1, 0})
+	active := []int{0, 1}
+	got := []int{s.Next(active), s.Next(active), s.Next(active)}
+	if !reflect.DeepEqual(got, []int{1, 1, 0}) {
+		t.Fatalf("scripted picks = %v, want [1 1 0]", got)
+	}
+	// Script exhausted: falls back to round-robin over active.
+	if pick := s.Next(active); pick != 0 && pick != 1 {
+		t.Fatalf("fallback pick = %d, want an active process", pick)
+	}
+}
+
+func TestScriptedSkipsInactive(t *testing.T) {
+	s := NewScripted([]int{2, 0})
+	// Process 2 is not active: entry skipped, next entry used.
+	if got := s.Next([]int{0, 1}); got != 0 {
+		t.Fatalf("pick = %d, want 0 (skipping inactive 2)", got)
+	}
+}

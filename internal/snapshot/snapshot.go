@@ -1,0 +1,124 @@
+// Package snapshot implements the classic wait-free single-writer atomic
+// snapshot of Afek, Attiya, Dolev, Gafni, Merritt and Shavit (J. ACM 1993),
+// the substrate behind the "easy" optimal exact counter the paper's
+// introduction describes: increment your component, scan and sum to read.
+//
+// Update embeds a scan, so both operations run in O(n^2) steps worst case
+// (adaptive constructions reach O(n); see reference [7] of the paper — the
+// asymptotics of the counters built on top are unchanged).
+package snapshot
+
+import (
+	"fmt"
+
+	"approxobj/internal/prim"
+)
+
+// cell is the immutable content of one component register.
+type cell struct {
+	val  uint64
+	seq  uint64
+	view []uint64 // embedded scan taken by the writing Update
+}
+
+// Snapshot is an n-component single-writer atomic snapshot. Component i is
+// written only by process i (via Update) and read by anyone (via Scan).
+type Snapshot struct {
+	n    int
+	regs []*prim.RefReg
+}
+
+// New creates a snapshot object with one component per process of f,
+// all initialized to zero.
+func New(f *prim.Factory) (*Snapshot, error) {
+	n := f.N()
+	if n < 1 {
+		return nil, fmt.Errorf("snapshot: need at least one process, got %d", n)
+	}
+	return &Snapshot{n: n, regs: f.RefRegs(n)}, nil
+}
+
+// N returns the number of components.
+func (s *Snapshot) N() int { return s.n }
+
+// Handle binds process p to the snapshot. The handle caches the process's
+// own sequence number (single-writer state, kept locally so Update needs no
+// extra read step).
+type Handle struct {
+	s   *Snapshot
+	p   *prim.Proc
+	seq uint64
+}
+
+// Handle returns process p's view of the snapshot.
+func (s *Snapshot) Handle(p *prim.Proc) *Handle {
+	return &Handle{s: s, p: p}
+}
+
+// collect reads every component once, returning the observed cells (nil
+// entries mean "never written", i.e. value 0, sequence 0).
+func (h *Handle) collect() []*cell {
+	out := make([]*cell, h.s.n)
+	for i, r := range h.s.regs {
+		if c, ok := r.Read(h.p).(*cell); ok {
+			out[i] = c
+		}
+	}
+	return out
+}
+
+func seqOf(c *cell) uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.seq
+}
+
+func valOf(c *cell) uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.val
+}
+
+// Scan returns an atomic view of all n components: either a "direct" view
+// from two identical successive collects, or the embedded view of a process
+// observed to move twice (whose embedded scan then ran entirely within this
+// Scan's interval).
+func (h *Handle) Scan() []uint64 {
+	moved := make([]int, h.s.n)
+	prev := h.collect()
+	for {
+		cur := h.collect()
+		same := true
+		for i := range cur {
+			if seqOf(cur[i]) != seqOf(prev[i]) {
+				same = false
+				moved[i]++
+				if moved[i] >= 2 {
+					// cur[i].view was embedded by an Update that began
+					// after our first collect: it is a valid view here.
+					view := make([]uint64, h.s.n)
+					copy(view, cur[i].view)
+					return view
+				}
+			}
+		}
+		if same {
+			out := make([]uint64, h.s.n)
+			for i, c := range cur {
+				out[i] = valOf(c)
+			}
+			return out
+		}
+		prev = cur
+	}
+}
+
+// Update sets this process's component to v. Per Afek et al., it embeds a
+// scan in the published cell so concurrent scanners can borrow it.
+func (h *Handle) Update(v uint64) {
+	view := h.Scan()
+	h.seq++
+	h.s.regs[h.p.ID()].Write(h.p, &cell{val: v, seq: h.seq, view: view})
+}
