@@ -37,6 +37,7 @@ import (
 	"approxobj/internal/counter"
 	"approxobj/internal/maxreg"
 	"approxobj/internal/prim"
+	"approxobj/internal/shard"
 )
 
 // CounterHandle is one process's view of a shared counter. Inc adds one;
@@ -167,6 +168,79 @@ type additiveHandle struct {
 func (h *additiveHandle) Inc()          { h.h.Inc() }
 func (h *additiveHandle) Read() uint64  { return h.h.Read() }
 func (h *additiveHandle) Steps() uint64 { return h.p.Steps() }
+
+// BatchedCounterHandle is a CounterHandle whose increments may be buffered
+// locally; Flush publishes any buffered increments. Handles of a
+// ShardedCounter created with Batch(B > 1) implement it.
+type BatchedCounterHandle interface {
+	CounterHandle
+	Flush()
+}
+
+// ShardedCounter is the scaling runtime over the paper's counters: S
+// independent shards (each a full k-accurate counter) summed by readers,
+// with handle-affinity increment placement and optional per-handle
+// increment batching. The sum of S k-multiplicative-accurate shards is
+// still k-multiplicative-accurate (both envelope bounds are linear in the
+// per-shard counts), so sharding buys increment parallelism without
+// widening the relative error; batching additionally hides up to B-1
+// increments per handle from readers, a bounded additive slack that
+// Bounds reports. The combined Read is regular rather than linearizable:
+// see internal/shard's package comment for the precise window.
+type ShardedCounter struct {
+	c *shard.Counter
+}
+
+// ShardOption configures a ShardedCounter (see Shards and Batch).
+type ShardOption = shard.Option
+
+// Bounds is the documented read envelope of a ShardedCounter: against a
+// true count v, a Read may return any x with
+//
+//	(v - Buffer)/Mult - Add <= x <= Mult*v + Add.
+//
+// Contains and ContainsRange evaluate membership (the latter over the
+// regularity window of a concurrent read). The alias makes the internal
+// type nameable by importers.
+type Bounds = shard.Bounds
+
+// Shards sets the shard count S (default 1).
+func Shards(s int) ShardOption { return shard.Shards(s) }
+
+// Batch sets the per-handle increment buffer B (default 1: unbuffered).
+func Batch(b int) ShardOption { return shard.Batch(b) }
+
+// NewShardedCounter creates a sharded approximate counter for n process
+// slots with accuracy k. Each shard is an independent Algorithm 1 counter
+// over its own base objects, so the precondition k >= sqrt(n) applies as
+// for NewCounter.
+func NewShardedCounter(n int, k uint64, opts ...ShardOption) (*ShardedCounter, error) {
+	c, err := shard.New(n, k, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedCounter{c: c}, nil
+}
+
+// N returns the number of process slots.
+func (c *ShardedCounter) N() int { return c.c.N() }
+
+// K returns the accuracy parameter.
+func (c *ShardedCounter) K() uint64 { return c.c.K() }
+
+// Shards returns the shard count.
+func (c *ShardedCounter) Shards() int { return c.c.Shards() }
+
+// Batch returns the per-handle buffer size (1 means unbuffered).
+func (c *ShardedCounter) Batch() uint64 { return c.c.Batch() }
+
+// Bounds returns the documented read envelope: a Read may return any x
+// with (v-Buffer)/Mult - Add <= x <= Mult*v + Add for the true count v.
+func (c *ShardedCounter) Bounds() Bounds { return c.c.Bounds() }
+
+// Handle binds process slot i to the counter. The returned handle also
+// implements BatchedCounterHandle.
+func (c *ShardedCounter) Handle(i int) CounterHandle { return c.c.Handle(i) }
 
 // BoundedMaxRegister is the paper's Algorithm 2: a wait-free linearizable
 // k-multiplicative-accurate m-bounded max register with worst-case step

@@ -4,13 +4,16 @@
 //
 // Usage:
 //
-//	approxbench [-quick] [-exp e1,e3,f1]
+//	approxbench [-quick] [-exp e1,e3,f1] [-json out.json]
 //
 // Without -exp it runs everything. -quick shrinks parameter sweeps for a
-// fast smoke run.
+// fast smoke run. -json additionally writes the machine-readable records
+// of the selected experiments (scenario, params, ns/op, steps/op) to the
+// given file, so successive runs leave a diffable measurement trajectory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,9 +23,18 @@ import (
 	"approxobj/internal/bench"
 )
 
+// resultFile is the schema of the -json output. Records appear in
+// deterministic order (experiment order of bench.All, row order within
+// each experiment), so files from identical configurations diff cleanly.
+type resultFile struct {
+	Quick   bool           `json:"quick"`
+	Records []bench.Record `json:"records"`
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "shrink parameter sweeps for a fast run")
-	exps := flag.String("exp", "all", "comma-separated experiment ids (e1,e2,e3,e4,e5,e7,e8,e9,f1) or 'all'")
+	exps := flag.String("exp", "all", "comma-separated experiment ids (e1,e2,e3,e4,e5,e7,e8,e9,e10,e11,e12,f1) or 'all'")
+	jsonOut := flag.String("json", "", "write machine-readable records to this file")
 	flag.Parse()
 
 	selected := map[string]bool{}
@@ -32,6 +44,7 @@ func main() {
 	}
 
 	cfg := bench.Config{Quick: *quick}
+	out := resultFile{Quick: *quick, Records: []bench.Record{}}
 	ran := 0
 	for _, exp := range bench.All() {
 		if !runAll && !selected[exp.ID] {
@@ -46,11 +59,24 @@ func main() {
 		}
 		for _, t := range tables {
 			t.Fprint(os.Stdout)
+			out.Records = append(out.Records, t.Records...)
 		}
 		fmt.Printf("# %s finished in %v\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "approxbench: no experiment matches %q\n", *exps)
 		os.Exit(2)
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "approxbench: encoding records: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "approxbench: writing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("# wrote %d records to %s\n", len(out.Records), *jsonOut)
 	}
 }

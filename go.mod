@@ -1,0 +1,3 @@
+module approxobj
+
+go 1.24

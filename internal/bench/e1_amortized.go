@@ -89,6 +89,15 @@ O(log n * log v).`,
 			return nil, err
 		}
 		t1.AddRow(n, k, mult, coll, aach)
+		for _, m := range []struct {
+			impl  string
+			steps float64
+		}{{"mult", mult}, {"collect", coll}, {"aach", aach}} {
+			t1.AddRecord(Record{
+				Params:     map[string]string{"n": fmt.Sprint(n), "k": fmt.Sprint(k), "impl": m.impl},
+				StepsPerOp: m.steps,
+			})
+		}
 	}
 
 	const n2 = 16

@@ -113,6 +113,15 @@ single-CPU host all variants serialize and contention gaps are muted.`,
 		})
 
 		t.AddRow(gs, atomicRes, mutexRes, collectRes, multRes)
+		for _, m := range []struct {
+			impl string
+			mops float64
+		}{{"atomic", atomicRes}, {"mutex", mutexRes}, {"collect", collectRes}, {"mult", multRes}} {
+			t.AddRecord(Record{
+				Params:  map[string]string{"goroutines": fmt.Sprint(gs), "impl": m.impl},
+				NsPerOp: 1e3 / m.mops, // Mops/s -> ns/op
+			})
+		}
 	}
 	return []*Table{t}, nil
 }

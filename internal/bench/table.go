@@ -11,6 +11,18 @@ import (
 	"strings"
 )
 
+// Record is one machine-readable measurement, emitted alongside the
+// rendered table for cmd/approxbench's -json output. The schema is stable
+// across PRs so result files can be diffed over time: Scenario names the
+// experiment row source (a table ID), Params the sweep coordinates, and
+// the metric fields are zero when the experiment does not measure them.
+type Record struct {
+	Scenario   string            `json:"scenario"`
+	Params     map[string]string `json:"params,omitempty"`
+	NsPerOp    float64           `json:"ns_per_op,omitempty"`
+	StepsPerOp float64           `json:"steps_per_op,omitempty"`
+}
+
 // Table is a rendered experiment result.
 type Table struct {
 	ID     string
@@ -18,6 +30,19 @@ type Table struct {
 	Note   string
 	Header []string
 	Rows   [][]string
+	// Records carries the machine-readable counterpart of (some of) the
+	// rows; experiments populate it with AddRecord where a row maps to a
+	// metric worth tracking across PRs.
+	Records []Record
+}
+
+// AddRecord appends a machine-readable measurement, filling in the
+// table's ID as the scenario.
+func (t *Table) AddRecord(r Record) {
+	if r.Scenario == "" {
+		r.Scenario = t.ID
+	}
+	t.Records = append(t.Records, r)
 }
 
 // AddRow appends a row of cells, formatting each with %v.
@@ -111,6 +136,7 @@ func All() []Experiment {
 		{ID: "e9", Run: E9Boundary},
 		{ID: "e10", Run: E10Additive},
 		{ID: "e11", Run: E11Randomized},
+		{ID: "e12", Run: E12Sharded},
 		{ID: "f1", Run: F1ReadCases},
 	}
 }

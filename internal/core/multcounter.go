@@ -8,10 +8,10 @@ package core
 
 import (
 	"fmt"
-	"math"
 
 	"approxobj/internal/object"
 	"approxobj/internal/prim"
+	"approxobj/internal/satmath"
 )
 
 // MultCounter is Algorithm 1: a wait-free linearizable
@@ -205,6 +205,17 @@ func (h *MultHandle) Inc() {
 	}
 }
 
+// IncN applies d CounterIncrements. Algorithm 1 counts increments locally
+// and touches shared memory only at announcement thresholds, so a loop of
+// Incs already costs O(announcements) shared steps, not O(d); IncN exists
+// so bulk callers (internal/shard's batched flush) hit one code path across
+// backends.
+func (h *MultHandle) IncN(d uint64) {
+	for ; d > 0; d-- {
+		h.Inc()
+	}
+}
+
 // Read is the CounterRead operation (Algorithm 1, lines 35-58). It returns
 // an approximation x of the number v of increments linearized before it,
 // with v/k <= x <= v*k when k >= sqrt(n).
@@ -275,33 +286,7 @@ func (h *MultHandle) ScanStop() (p, q uint64) { return h.lastP, h.lastQ }
 // rendering Figure 1 configurations).
 func (c *MultCounter) SwitchState(i uint64) uint64 { return c.switches.Peek(i) }
 
-// mulSat multiplies with saturation at MaxUint64.
-func mulSat(a, b uint64) uint64 {
-	if a == 0 || b == 0 {
-		return 0
-	}
-	if a > math.MaxUint64/b {
-		return math.MaxUint64
-	}
-	return a * b
-}
-
-// addSat adds with saturation at MaxUint64.
-func addSat(a, b uint64) uint64 {
-	if a > math.MaxUint64-b {
-		return math.MaxUint64
-	}
-	return a + b
-}
-
-// powSat returns k^e with saturation at MaxUint64.
-func powSat(k, e uint64) uint64 {
-	r := uint64(1)
-	for ; e > 0; e-- {
-		r = mulSat(r, k)
-		if r == math.MaxUint64 {
-			return r
-		}
-	}
-	return r
-}
+// Saturating arithmetic (shared with internal/shard via internal/satmath).
+func mulSat(a, b uint64) uint64 { return satmath.Mul(a, b) }
+func addSat(a, b uint64) uint64 { return satmath.Add(a, b) }
+func powSat(k, e uint64) uint64 { return satmath.Pow(k, e) }

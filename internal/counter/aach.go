@@ -157,8 +157,16 @@ func (c *AACH) CounterHandle(p *prim.Proc) object.CounterHandle {
 
 // Inc bumps the caller's leaf and refreshes every node on its path with the
 // sum of the node's children.
-func (h *AACHHandle) Inc() {
-	h.local++
+func (h *AACHHandle) Inc() { h.IncN(1) }
+
+// IncN applies d increments with a single leaf write and path refresh: the
+// leaf is single-writer, so publishing local+d at once is linearizable as d
+// consecutive increments (all d become visible at the leaf write).
+func (h *AACHHandle) IncN(d uint64) {
+	if d == 0 {
+		return
+	}
+	h.local += d
 	h.c.leaves[h.p.ID()].Write(h.p, h.local)
 	for _, node := range h.c.paths[h.p.ID()] {
 		node.sum.Write(h.p, node.childSum(h.p))

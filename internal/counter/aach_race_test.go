@@ -1,0 +1,63 @@
+package counter_test
+
+import (
+	"sync"
+	"testing"
+
+	"approxobj/internal/counter"
+	"approxobj/internal/prim"
+)
+
+// TestAACHConcurrentSoak hammers the exact AACH tree counter from n real
+// goroutines through nil-Gate procs. AACH is exact, so the quiescent Read
+// must equal the true increment count precisely: the max registers at the
+// internal nodes make concurrent path refreshes monotone, and whichever
+// process refreshes a node last has, by then, seen every leaf write below
+// it propagated. Run with -race this exercises the production code path of
+// the tree refresh, including the bulk IncN leaf write.
+func TestAACHConcurrentSoak(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		perG int
+		bulk uint64 // 0 = plain Inc, else IncN(bulk)
+	}{
+		{n: 4, perG: 5_000},
+		{n: 8, perG: 2_000},
+		{n: 7, perG: 2_000}, // non-power-of-two tree shape
+		{n: 8, perG: 500, bulk: 8},
+	} {
+		f := prim.NewFactory(tc.n)
+		c, err := counter.NewAACH(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(tc.n)
+		for i := 0; i < tc.n; i++ {
+			h := c.Handle(f.Proc(i))
+			go func() {
+				defer wg.Done()
+				for j := 0; j < tc.perG; j++ {
+					if tc.bulk > 0 {
+						h.IncN(tc.bulk)
+					} else {
+						h.Inc()
+					}
+					if j%500 == 0 {
+						h.Read()
+					}
+				}
+			}()
+		}
+		wg.Wait()
+
+		per := uint64(tc.perG)
+		if tc.bulk > 0 {
+			per *= tc.bulk
+		}
+		total := uint64(tc.n) * per
+		if got := c.Handle(f.Proc(0)).Read(); got != total {
+			t.Errorf("n=%d bulk=%d: quiescent read %d, want exact %d", tc.n, tc.bulk, got, total)
+		}
+	}
+}

@@ -76,8 +76,16 @@ func (c *Additive) CounterHandle(p *prim.Proc) object.CounterHandle {
 }
 
 // Inc adds one, flushing the exact total every batch increments.
-func (h *AdditiveHandle) Inc() {
-	h.total++
+func (h *AdditiveHandle) Inc() { h.IncN(1) }
+
+// IncN applies d increments at once: the single-writer component is
+// refreshed with one write whenever the unannounced count reaches the
+// batch, so d increments cost at most one shared step.
+func (h *AdditiveHandle) IncN(d uint64) {
+	if d == 0 {
+		return
+	}
+	h.total += d
 	if h.total-h.announced >= h.c.batch {
 		h.c.regs[h.p.ID()].Write(h.p, h.total)
 		h.announced = h.total

@@ -26,6 +26,19 @@ type CounterHandle interface {
 	Read() uint64
 }
 
+// BulkCounterHandle is implemented by counter handles that can apply d
+// increments in one operation more cheaply than d separate Incs (e.g. one
+// leaf write and one path refresh in the AACH tree, or one announcement in
+// the batched additive counter). IncN(d) must be linearizable as d
+// consecutive Incs by the same process. Callers holding a plain
+// CounterHandle may type-assert to use the fast path and fall back to a
+// loop of Incs otherwise.
+type BulkCounterHandle interface {
+	CounterHandle
+	// IncN applies d CounterIncrement operations at once.
+	IncN(d uint64)
+}
+
 // MaxReg is a shared max-register object supporting Write and Read through
 // per-process handles.
 type MaxReg interface {

@@ -1,0 +1,38 @@
+// Package satmath provides uint64 arithmetic saturating at MaxUint64,
+// shared by the counter implementations and the shard runtime: approximate
+// responses near the top of the range must clamp rather than wrap, since a
+// wrapped response would violate the accuracy envelope.
+package satmath
+
+import "math"
+
+// Mul multiplies with saturation at MaxUint64.
+func Mul(a, b uint64) uint64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > math.MaxUint64/b {
+		return math.MaxUint64
+	}
+	return a * b
+}
+
+// Add adds with saturation at MaxUint64.
+func Add(a, b uint64) uint64 {
+	if a > math.MaxUint64-b {
+		return math.MaxUint64
+	}
+	return a + b
+}
+
+// Pow returns k^e with saturation at MaxUint64.
+func Pow(k, e uint64) uint64 {
+	r := uint64(1)
+	for ; e > 0; e-- {
+		r = Mul(r, k)
+		if r == math.MaxUint64 {
+			return r
+		}
+	}
+	return r
+}

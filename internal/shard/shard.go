@@ -1,0 +1,345 @@
+// Package shard implements a sharded concurrent counter runtime: S
+// independently accurate counter shards behind one counter façade, with
+// handle-affinity placement and optional per-handle increment batching.
+// It is the scaling seam between the paper-faithful single objects
+// (internal/core, internal/counter) and a serving workload where every
+// process hammering one object is the bottleneck.
+//
+// # Construction
+//
+// A sharded counter for n process slots is S underlying counters ("shards"),
+// each built over its own prim.Factory with n slots. Handle i increments
+// only its home shard i mod S (handle affinity: an incrementer's cache
+// traffic stays within one shard's base objects), and reads by summing one
+// read of every shard. Optionally each handle buffers B increments locally
+// and flushes them to the home shard in one bulk operation
+// (object.BulkCounterHandle when the backend supports it), so B-1 of every
+// B Incs touch no shared memory at all.
+//
+// # Accuracy composition
+//
+// The combined read stays accurate because both accuracy relaxations in
+// this repository compose additively over a partition of the increments:
+//
+//   - Multiplicative: if shard s holds v_s increments and its read returns
+//     x_s with v_s/k <= x_s <= k*v_s, then summing over shards gives
+//     (Σ v_s)/k <= Σ x_s <= k*(Σ v_s), because both envelope bounds are
+//     linear in v_s. The sum of S k-multiplicative-accurate shards is
+//     therefore still k-multiplicative-accurate — independent of S.
+//   - Additive: if each shard read errs by at most ±a, the sum errs by at
+//     most ±S*a. Sharding an additive-accurate backend widens the envelope
+//     by the shard count.
+//   - Batching: a handle buffers at most B-1 increments between flushes, so
+//     at most U = (B-1)*n increments are locally buffered system-wide.
+//     Buffered increments are invisible to readers, which only lowers
+//     reads: against the true count v the shards jointly hold w >= v - U
+//     applied increments, giving x >= (v-U)/M - A while the upper bound
+//     x <= M*v + A is unaffected.
+//
+// Bounds carries the resulting envelope (M, A, U) and Counter.Bounds
+// reports it for the configured backend, shard count, and batch size; the
+// package's property tests assert it against concurrent executions.
+//
+// # Consistency
+//
+// Each shard is linearizable on its own, but the combined Read is a
+// collect over shards: increments landing in an already-summed shard while
+// the read is still visiting later shards are missed. The combined counter
+// is therefore regular rather than linearizable — a Read overlapping
+// increments returns a value inside the envelope of some count v between
+// the increments completed before the Read started and those started
+// before it returned. Counters are monotone, so this is the same guarantee
+// a retry-free client can observe anyway, and the soak tests in this
+// package validate exactly this window.
+package shard
+
+import (
+	"fmt"
+
+	"approxobj/internal/core"
+	"approxobj/internal/counter"
+	"approxobj/internal/object"
+	"approxobj/internal/prim"
+	"approxobj/internal/satmath"
+)
+
+// Backend constructs one shard's underlying counter and declares its
+// per-shard accuracy envelope. The three backends cover the repository's
+// counter families: the paper's multiplicative counter, the exact AACH
+// tree, and the batched additive collect.
+type Backend struct {
+	name string
+	// mult is the per-shard multiplicative accuracy for parameter k
+	// (1 for exact and additive backends).
+	mult func(k uint64) uint64
+	// add is the per-shard additive accuracy for parameter k (0 for
+	// multiplicative and exact backends).
+	add func(k uint64) uint64
+	// make builds the shard over its own factory.
+	make func(f *prim.Factory, k uint64) (object.Counter, error)
+}
+
+// Name returns the backend's name (for tables and error messages).
+func (b Backend) Name() string { return b.name }
+
+// MultBackend shards the paper's Algorithm 1 (core.MultCounter): each shard
+// is k-multiplicative-accurate, and so is the sum.
+func MultBackend() Backend {
+	return Backend{
+		name: "mult",
+		mult: func(k uint64) uint64 { return k },
+		add:  func(uint64) uint64 { return 0 },
+		make: func(f *prim.Factory, k uint64) (object.Counter, error) {
+			return core.NewMultCounter(f, k)
+		},
+	}
+}
+
+// AACHBackend shards the exact AACH tree counter: the sum is exact (modulo
+// batching), trading read cost O(S log v) for per-shard increment locality.
+func AACHBackend() Backend {
+	return Backend{
+		name: "aach",
+		mult: func(uint64) uint64 { return 1 },
+		add:  func(uint64) uint64 { return 0 },
+		make: func(f *prim.Factory, _ uint64) (object.Counter, error) {
+			return counter.NewAACH(f)
+		},
+	}
+}
+
+// AdditiveBackend shards the k-additive-accurate batched collect: each
+// shard errs by at most ±k, so the sum errs by at most ±S*k.
+func AdditiveBackend() Backend {
+	return Backend{
+		name: "additive",
+		mult: func(uint64) uint64 { return 1 },
+		add:  func(k uint64) uint64 { return k },
+		make: func(f *prim.Factory, k uint64) (object.Counter, error) {
+			return counter.NewAdditive(f, k)
+		},
+	}
+}
+
+// Option configures a sharded counter.
+type Option func(*config)
+
+type config struct {
+	shards  int
+	batch   int
+	backend Backend
+}
+
+// Shards sets the shard count S (default 1). Increments spread across
+// shards by handle affinity; reads cost one underlying read per shard.
+func Shards(s int) Option { return func(c *config) { c.shards = s } }
+
+// Batch sets the per-handle increment buffer B (default 1, i.e. no
+// buffering). A handle flushes its buffer to the home shard every B
+// increments, so at most (B-1) increments per handle are invisible to
+// readers between flushes; Counter.Bounds accounts for them.
+func Batch(b int) Option { return func(c *config) { c.batch = b } }
+
+// WithBackend selects the per-shard counter implementation (default
+// MultBackend).
+func WithBackend(b Backend) Option { return func(c *config) { c.backend = b } }
+
+// Bounds is the documented read envelope of a sharded counter: against a
+// true count v, a Read may return any x with
+//
+//	(v - Buffer)/Mult - Add <= x <= Mult*v + Add.
+//
+// Mult is the multiplicative factor (1 for exact backends), Add the
+// summed additive slack of the shards, and Buffer the maximum number of
+// increments held in handle-local batch buffers system-wide.
+type Bounds struct {
+	Mult   uint64
+	Add    uint64
+	Buffer uint64
+}
+
+// Contains reports whether response x is inside the envelope for true
+// count v. Bounds are evaluated multiplied-out ((x+Add)*Mult >= v-Buffer
+// rather than x >= (v-Buffer)/Mult - Add) so integer division cannot skew
+// them; overflowing products saturate and count as +infinity.
+func (b Bounds) Contains(v, x uint64) bool { return b.ContainsRange(v, v, x) }
+
+// ContainsRange reports whether x is a valid response for some true count
+// in [vmin, vmax]. Concurrent checkers use it with vmin = increments
+// completed before the Read started and vmax = increments started before
+// it returned (the regularity window; see the package comment): the
+// envelope is monotone in v, so x is valid for some count in the window
+// iff it is above the lower bound at vmin and below the upper bound at
+// vmax.
+func (b Bounds) ContainsRange(vmin, vmax, x uint64) bool {
+	m := b.Mult
+	if m < 1 {
+		m = 1
+	}
+	if hi := satmath.Add(satmath.Mul(vmax, m), b.Add); x > hi {
+		return false
+	}
+	lo := vmin - min(vmin, b.Buffer)
+	return satmath.Mul(satmath.Add(x, b.Add), m) >= lo
+}
+
+// Counter is the sharded counter: S independently accurate shards summed
+// by readers. Create handles with Handle; the zero value is not usable.
+type Counter struct {
+	n       int
+	k       uint64
+	batch   uint64
+	backend Backend
+	shards  []object.Counter
+	facts   []*prim.Factory
+}
+
+// New creates a sharded counter for n process slots with accuracy
+// parameter k, configured by opts. Each shard is built over its own
+// n-slot prim.Factory, so any handle can read every shard; backend
+// preconditions (e.g. k >= sqrt(n) for MultBackend) apply per shard.
+func New(n int, k uint64, opts ...Option) (*Counter, error) {
+	cfg := config{shards: 1, batch: 1, backend: MultBackend()}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("shard: need at least one process slot, got %d", n)
+	}
+	if cfg.shards < 1 {
+		return nil, fmt.Errorf("shard: shard count must be >= 1, got %d", cfg.shards)
+	}
+	if cfg.batch < 1 {
+		return nil, fmt.Errorf("shard: batch size must be >= 1, got %d", cfg.batch)
+	}
+	c := &Counter{
+		n:       n,
+		k:       k,
+		batch:   uint64(cfg.batch),
+		backend: cfg.backend,
+		shards:  make([]object.Counter, cfg.shards),
+		facts:   make([]*prim.Factory, cfg.shards),
+	}
+	for s := range c.shards {
+		f := prim.NewFactory(n)
+		sc, err := cfg.backend.make(f, k)
+		if err != nil {
+			return nil, fmt.Errorf("shard: building shard %d/%d (%s): %w", s, cfg.shards, cfg.backend.name, err)
+		}
+		c.facts[s] = f
+		c.shards[s] = sc
+	}
+	return c, nil
+}
+
+// N returns the number of process slots.
+func (c *Counter) N() int { return c.n }
+
+// K returns the accuracy parameter passed to the backend.
+func (c *Counter) K() uint64 { return c.k }
+
+// Shards returns the shard count S.
+func (c *Counter) Shards() int { return len(c.shards) }
+
+// Batch returns the per-handle buffer size B (1 means unbuffered).
+func (c *Counter) Batch() uint64 { return c.batch }
+
+// Backend returns the configured backend.
+func (c *Counter) Backend() Backend { return c.backend }
+
+// Bounds returns the combined read envelope for this configuration (see
+// the package comment for the composition argument).
+func (c *Counter) Bounds() Bounds {
+	return Bounds{
+		Mult:   c.backend.mult(c.k),
+		Add:    satmath.Mul(uint64(len(c.shards)), c.backend.add(c.k)),
+		Buffer: satmath.Mul(c.batch-1, uint64(c.n)),
+	}
+}
+
+// Handle binds process slot i (0 <= i < n) to the counter. The handle
+// increments shard i mod S and reads all shards through slot i of each
+// shard's factory. Like every handle in this repository it must be used by
+// a single goroutine.
+func (c *Counter) Handle(i int) *Handle {
+	h := &Handle{
+		c:       c,
+		readers: make([]object.CounterHandle, len(c.shards)),
+		procs:   make([]*prim.Proc, len(c.shards)),
+	}
+	for s := range c.shards {
+		p := c.facts[s].Proc(i) // panics on out-of-range i, like Factory.Proc
+		h.procs[s] = p
+		h.readers[s] = c.shards[s].CounterHandle(p)
+	}
+	home := h.readers[i%len(c.shards)]
+	h.home = home
+	h.homeBulk, _ = home.(object.BulkCounterHandle)
+	return h
+}
+
+// Handle is one process's view of the sharded counter. It satisfies the
+// public CounterHandle interface (Inc, Read, Steps) and adds Flush for
+// draining the batch buffer before quiescent reads.
+type Handle struct {
+	c        *Counter
+	home     object.CounterHandle
+	homeBulk object.BulkCounterHandle // nil when the backend has no bulk path
+	readers  []object.CounterHandle
+	procs    []*prim.Proc
+	pending  uint64
+}
+
+var _ object.CounterHandle = (*Handle)(nil)
+
+// Inc adds one. With Batch(B > 1) the increment is buffered locally and
+// flushed to the home shard every B calls, so B-1 of every B Incs are a
+// single local add.
+func (h *Handle) Inc() {
+	h.pending++
+	if h.pending >= h.c.batch {
+		h.Flush()
+	}
+}
+
+// Flush applies any buffered increments to the home shard in one bulk
+// operation. It is a no-op when the buffer is empty.
+func (h *Handle) Flush() {
+	d := h.pending
+	if d == 0 {
+		return
+	}
+	h.pending = 0
+	if h.homeBulk != nil {
+		h.homeBulk.IncN(d)
+	} else {
+		for ; d > 0; d-- {
+			h.home.Inc()
+		}
+	}
+}
+
+// Read sums one read of every shard. The result is inside the envelope
+// Counter.Bounds describes, relative to the regularity window of the
+// package comment. The sum saturates at MaxUint64 (shard reads of
+// approximate backends may individually saturate).
+func (h *Handle) Read() uint64 {
+	var sum uint64
+	for _, r := range h.readers {
+		sum = satmath.Add(sum, r.Read())
+	}
+	return sum
+}
+
+// Steps returns the shared-memory steps this handle's process slot has
+// taken across all shards.
+func (h *Handle) Steps() uint64 {
+	var steps uint64
+	for _, p := range h.procs {
+		steps += p.Steps()
+	}
+	return steps
+}
+
+// Pending returns the number of locally buffered increments (diagnostic).
+func (h *Handle) Pending() uint64 { return h.pending }

@@ -1,0 +1,85 @@
+package approxobj
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestShardedCounterBasic(t *testing.T) {
+	c, err := NewShardedCounter(8, 4, Shards(4), Batch(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 8 || c.K() != 4 || c.Shards() != 4 || c.Batch() != 8 {
+		t.Fatalf("N=%d K=%d S=%d B=%d, want 8, 4, 4, 8", c.N(), c.K(), c.Shards(), c.Batch())
+	}
+	b := c.Bounds()
+	if b.Mult != 4 || b.Add != 0 || b.Buffer != 7*8 {
+		t.Fatalf("Bounds = %+v, want {4 0 56}", b)
+	}
+	h := c.Handle(0)
+	if got := h.Read(); got != 0 {
+		t.Fatalf("initial Read = %d, want 0", got)
+	}
+	for i := 0; i < 1000; i++ {
+		h.Inc()
+	}
+	bh, ok := h.(BatchedCounterHandle)
+	if !ok {
+		t.Fatal("sharded handle does not implement BatchedCounterHandle")
+	}
+	bh.Flush()
+	x := h.Read()
+	if x < 250 || x > 4000 {
+		t.Fatalf("Read = %d after 1000 incs, want within [250, 4000] (k=4)", x)
+	}
+	if h.Steps() == 0 {
+		t.Fatal("Steps not counted")
+	}
+}
+
+func TestShardedCounterRejectsBadParams(t *testing.T) {
+	if _, err := NewShardedCounter(100, 2); err == nil {
+		t.Fatal("k=2 for n=100 accepted (needs k >= 10 per shard)")
+	}
+	if _, err := NewShardedCounter(4, 2, Shards(0)); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+	if _, err := NewShardedCounter(4, 2, Batch(0)); err == nil {
+		t.Fatal("zero batch accepted")
+	}
+}
+
+func TestShardedCounterConcurrent(t *testing.T) {
+	const n = 8
+	const perProc = 10000
+	c, err := NewShardedCounter(n, 3, Shards(4), Batch(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	handles := make([]CounterHandle, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		h := c.Handle(i)
+		handles[i] = h
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perProc; j++ {
+				h.Inc()
+				if j%1000 == 0 {
+					h.Read()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, h := range handles {
+		h.(BatchedCounterHandle).Flush()
+	}
+	const v = n * perProc
+	got := handles[0].Read()
+	if got < v/3 || got > v*3 {
+		t.Fatalf("Read = %d after %d incs, want within [%d, %d] (k=3)", got, v, v/3, v*3)
+	}
+}
