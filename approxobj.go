@@ -4,45 +4,80 @@
 // "Upper and Lower Bounds for Deterministic Approximate Objects" (Hendler,
 // Khattabi, Milani, Travers; ICDCS 2021).
 //
-// A k-multiplicative-accurate object allows reads to err by a
-// multiplicative factor k: a counter read may return any x with
-// v/k <= x <= v*k for the true count v, and similarly for the maximum value
-// of a max register. Relaxing accuracy buys steep complexity improvements:
+// The paper describes a family of objects trading accuracy for steps, and
+// the API exposes it as one: a spec built from orthogonal functional
+// options names any family member, and every object reports the same
+// universal accuracy envelope (Bounds).
 //
-//   - Counter: wait-free linearizable with O(1) amortized steps per
-//     operation for k >= sqrt(n) (n = number of processes), versus
-//     Omega(n) worst-case / polylog amortized for exact counters.
-//   - BoundedMaxRegister: worst-case O(min(log2 log_k m, n)) steps versus
-//     Theta(log m) for the exact bounded register — an exponential
-//     improvement, matching the paper's lower bound.
+//	// The paper's Algorithm 1: k-multiplicative counter, sharded 4 ways.
+//	c, err := approxobj.NewCounter(
+//		approxobj.WithProcs(16),
+//		approxobj.WithAccuracy(approxobj.Multiplicative(4)),
+//		approxobj.WithShards(4),
+//		approxobj.WithBatch(16),
+//	)
+//
+//	// The paper's Algorithm 2: k-multiplicative m-bounded max register.
+//	r, err := approxobj.NewMaxRegister(
+//		approxobj.WithProcs(16),
+//		approxobj.WithAccuracy(approxobj.Multiplicative(2)),
+//		approxobj.WithBound(1<<20),
+//	)
+//
+// Accuracy (Exact, Additive(k), Multiplicative(k)), process count, shard
+// count, batching, and value bounds compose freely; the constructor
+// validates the combination in one place (e.g. k >= sqrt(n) for
+// multiplicative counters, bounds only on max registers) and returns a
+// descriptive error otherwise. A k-multiplicative-accurate object allows
+// reads to err by a multiplicative factor k — a counter read may return
+// any x with v/k <= x <= v*k for the true count v — which buys steep
+// complexity improvements: O(1) amortized counter steps for k >= sqrt(n)
+// versus Omega(n) exact, and O(min(log2 log_k m, n)) max-register steps
+// versus Theta(log m) exact.
 //
 // # Process handles
 //
 // The algorithms come from the asynchronous shared-memory model with n
 // named processes, each holding persistent local state (scan positions,
-// unannounced counts). Callers therefore bind each concurrent goroutine to
-// a distinct process slot via Handle(i); a handle must not be shared
-// between goroutines. The objects themselves are safe for fully concurrent
-// use through distinct handles and are wait-free: every operation finishes
-// in a bounded number of its own steps regardless of other goroutines
-// stalling or crashing.
+// unannounced counts). Each concurrent goroutine therefore binds to a
+// distinct process slot. The preferred way is the built-in handle pool —
+// Acquire returns an exclusive handle and a release function, Do wraps a
+// function call in an acquire/release pair — which enforces the "one
+// handle per goroutine" invariant by construction and flushes batched
+// increments on release. Handle(i) remains for callers that manage slot
+// assignment themselves; a handle must never be shared between goroutines.
+// The objects themselves are safe for fully concurrent use through
+// distinct slots and are wait-free: every operation finishes in a bounded
+// number of its own steps regardless of other goroutines stalling.
 //
-// All implementations are instrumented: Handle steps are counted, which the
-// benchmark harness (cmd/approxbench) uses to reproduce the paper's step
-// complexity bounds.
+// # Registry
+//
+// A Registry names objects ("requests", "peak-queue-depth", ...) and takes
+// atomic snapshots of value, envelope, and cumulative steps per object,
+// feeding telemetry and export scenarios; see examples/registry.
+//
+// All implementations are instrumented: handle steps are counted, which
+// the benchmark harness (cmd/approxbench) uses to reproduce the paper's
+// step complexity bounds. The legacy per-family constructors
+// (NewExactCounter, NewShardedCounter, NewBoundedMaxRegister, ...) remain
+// as thin deprecated wrappers over the spec surface; see compat.go and the
+// README migration table.
 package approxobj
 
 import (
 	"approxobj/internal/core"
-	"approxobj/internal/counter"
 	"approxobj/internal/maxreg"
+	"approxobj/internal/object"
+	"approxobj/internal/pool"
 	"approxobj/internal/prim"
+	"approxobj/internal/satmath"
 	"approxobj/internal/shard"
+	"sync/atomic"
 )
 
 // CounterHandle is one process's view of a shared counter. Inc adds one;
 // Read returns the (possibly approximate) number of Incs linearized before
-// it. A handle is not safe for concurrent use; create one per goroutine.
+// it. A handle is not safe for concurrent use; acquire one per goroutine.
 type CounterHandle interface {
 	Inc()
 	Read() uint64
@@ -60,302 +95,210 @@ type MaxRegisterHandle interface {
 	Steps() uint64
 }
 
-// Counter is the paper's Algorithm 1: a wait-free linearizable
-// k-multiplicative-accurate unbounded counter with constant amortized step
-// complexity for k >= sqrt(n).
-type Counter struct {
-	f *prim.Factory
-	c *core.MultCounter
-}
-
-// NewCounter creates an approximate counter for n processes with accuracy
-// k. The accuracy guarantee requires k >= sqrt(n) (and k >= 2); NewCounter
-// returns an error otherwise.
-func NewCounter(n int, k uint64) (*Counter, error) {
-	f := prim.NewFactory(n)
-	c, err := core.NewMultCounter(f, k)
-	if err != nil {
-		return nil, err
-	}
-	return &Counter{f: f, c: c}, nil
-}
-
-// N returns the number of process slots.
-func (c *Counter) N() int { return c.c.N() }
-
-// K returns the accuracy parameter.
-func (c *Counter) K() uint64 { return c.c.K() }
-
-// Handle binds process slot i (0 <= i < n) to the counter. Each concurrent
-// goroutine must use its own slot.
-func (c *Counter) Handle(i int) CounterHandle {
-	return c.c.Handle(c.f.Proc(i))
-}
-
-// ExactCounter is the folklore wait-free exact counter (single-writer
-// components summed by readers): O(1) increments, O(n) reads, always
-// precise. It is the baseline the paper's introduction describes.
-type ExactCounter struct {
-	f *prim.Factory
-	c *counter.Collect
-}
-
-// NewExactCounter creates an exact counter for n processes.
-func NewExactCounter(n int) (*ExactCounter, error) {
-	f := prim.NewFactory(n)
-	c, err := counter.NewCollect(f)
-	if err != nil {
-		return nil, err
-	}
-	return &ExactCounter{f: f, c: c}, nil
-}
-
-// N returns the number of process slots.
-func (c *ExactCounter) N() int { return c.f.N() }
-
-// Handle binds process slot i to the counter.
-func (c *ExactCounter) Handle(i int) CounterHandle {
-	p := c.f.Proc(i)
-	return &collectHandle{h: c.c.Handle(p), p: p}
-}
-
-type collectHandle struct {
-	h *counter.CollectHandle
-	p *prim.Proc
-}
-
-func (h *collectHandle) Inc()          { h.h.Inc() }
-func (h *collectHandle) Read() uint64  { return h.h.Read() }
-func (h *collectHandle) Steps() uint64 { return h.p.Steps() }
-
-// AdditiveCounter is a k-additive-accurate counter (reads err by at most
-// ±k), the alternative relaxation the paper contrasts with multiplicative
-// accuracy: cheap batched increments, but reads still cost n steps —
-// consistent with the Omega(min(n-1, log m - log k)) lower bound of Aspnes
-// et al. for this object class.
-type AdditiveCounter struct {
-	f *prim.Factory
-	c *counter.Additive
-}
-
-// NewAdditiveCounter creates a k-additive-accurate counter for n processes.
-func NewAdditiveCounter(n int, k uint64) (*AdditiveCounter, error) {
-	f := prim.NewFactory(n)
-	c, err := counter.NewAdditive(f, k)
-	if err != nil {
-		return nil, err
-	}
-	return &AdditiveCounter{f: f, c: c}, nil
-}
-
-// N returns the number of process slots.
-func (c *AdditiveCounter) N() int { return c.f.N() }
-
-// K returns the additive accuracy parameter.
-func (c *AdditiveCounter) K() uint64 { return c.c.K() }
-
-// Handle binds process slot i to the counter.
-func (c *AdditiveCounter) Handle(i int) CounterHandle {
-	p := c.f.Proc(i)
-	return &additiveHandle{h: c.c.Handle(p), p: p}
-}
-
-type additiveHandle struct {
-	h *counter.AdditiveHandle
-	p *prim.Proc
-}
-
-func (h *additiveHandle) Inc()          { h.h.Inc() }
-func (h *additiveHandle) Read() uint64  { return h.h.Read() }
-func (h *additiveHandle) Steps() uint64 { return h.p.Steps() }
-
 // BatchedCounterHandle is a CounterHandle whose increments may be buffered
-// locally; Flush publishes any buffered increments. Handles of a
-// ShardedCounter created with Batch(B > 1) implement it.
+// locally; Flush publishes any buffered increments. Every counter handle
+// implements it — Flush is a no-op on unbatched (B = 1) counters, and
+// pooled handles flush automatically on release — so type assertions on
+// it cannot fail for handles of this package's counters.
 type BatchedCounterHandle interface {
 	CounterHandle
 	Flush()
 }
 
-// ShardedCounter is the scaling runtime over the paper's counters: S
-// independent shards (each a full k-accurate counter) summed by readers,
-// with handle-affinity increment placement and optional per-handle
-// increment batching. The sum of S k-multiplicative-accurate shards is
-// still k-multiplicative-accurate (both envelope bounds are linear in the
-// per-shard counts), so sharding buys increment parallelism without
-// widening the relative error; batching additionally hides up to B-1
-// increments per handle from readers, a bounded additive slack that
-// Bounds reports. The combined Read is regular rather than linearizable:
-// see internal/shard's package comment for the precise window.
-type ShardedCounter struct {
-	c *shard.Counter
+// Counter is any member of the counter family — exact, k-additive, or
+// k-multiplicative, optionally sharded and batched — built by NewCounter
+// from a spec. All members run on the sharded runtime (an unsharded
+// counter is the S=1 case) and report their accuracy envelope via Bounds.
+type Counter struct {
+	spec Spec
+	c    *shard.Counter
+
+	pool    *pool.Pool
+	handles []*pooledCounterHandle // lazily built, one per pool slot
+	retired atomic.Uint64          // steps credited by released pooled handles
+
+	snap *shard.Handle // registry snapshot handle (slot procs), else nil
 }
 
-// ShardOption configures a ShardedCounter (see Shards and Batch).
-type ShardOption = shard.Option
-
-// Bounds is the documented read envelope of a ShardedCounter: against a
-// true count v, a Read may return any x with
-//
-//	(v - Buffer)/Mult - Add <= x <= Mult*v + Add.
-//
-// Contains and ContainsRange evaluate membership (the latter over the
-// regularity window of a concurrent read). The alias makes the internal
-// type nameable by importers.
-type Bounds = shard.Bounds
-
-// Shards sets the shard count S (default 1).
-func Shards(s int) ShardOption { return shard.Shards(s) }
-
-// Batch sets the per-handle increment buffer B (default 1: unbuffered).
-func Batch(b int) ShardOption { return shard.Batch(b) }
-
-// NewShardedCounter creates a sharded approximate counter for n process
-// slots with accuracy k. Each shard is an independent Algorithm 1 counter
-// over its own base objects, so the precondition k >= sqrt(n) applies as
-// for NewCounter.
-func NewShardedCounter(n int, k uint64, opts ...ShardOption) (*ShardedCounter, error) {
-	c, err := shard.New(n, k, opts...)
+// NewCounter builds the counter the options describe. Defaults: one
+// process slot, Exact() accuracy, unsharded, unbuffered. Option
+// combinations are validated as a whole; e.g. Multiplicative(k) requires
+// k >= 2 and k >= sqrt(n), and WithBound is rejected (counters are
+// unbounded).
+func NewCounter(opts ...Option) (*Counter, error) {
+	spec, err := newSpec(KindCounter, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &ShardedCounter{c: c}, nil
+	return newCounter(spec)
 }
 
-// N returns the number of process slots.
-func (c *ShardedCounter) N() int { return c.c.N() }
+func newCounter(spec Spec) (*Counter, error) {
+	k, sopts := spec.shardOptions()
+	sc, err := shard.New(spec.totalProcs(), k, sopts...)
+	if err != nil {
+		return nil, err
+	}
+	c := &Counter{
+		spec:    spec,
+		c:       sc,
+		pool:    pool.New(spec.procs),
+		handles: make([]*pooledCounterHandle, spec.procs),
+	}
+	if spec.snapshotSlot {
+		c.snap = sc.Handle(spec.procs)
+	}
+	return c, nil
+}
 
-// K returns the accuracy parameter.
-func (c *ShardedCounter) K() uint64 { return c.c.K() }
+// Spec returns the validated spec the counter was built from.
+func (c *Counter) Spec() Spec { return c.spec }
+
+// N returns the number of process slots available to callers.
+func (c *Counter) N() int { return c.spec.procs }
+
+// K returns the accuracy parameter (1 for exact counters).
+func (c *Counter) K() uint64 { return c.spec.acc.K() }
+
+// Accuracy returns the accuracy selection.
+func (c *Counter) Accuracy() Accuracy { return c.spec.acc }
 
 // Shards returns the shard count.
-func (c *ShardedCounter) Shards() int { return c.c.Shards() }
+func (c *Counter) Shards() int { return c.spec.shards }
 
 // Batch returns the per-handle buffer size (1 means unbuffered).
-func (c *ShardedCounter) Batch() uint64 { return c.c.Batch() }
+func (c *Counter) Batch() uint64 { return uint64(c.spec.batch) }
 
-// Bounds returns the documented read envelope: a Read may return any x
-// with (v-Buffer)/Mult - Add <= x <= Mult*v + Add for the true count v.
-func (c *ShardedCounter) Bounds() Bounds { return c.c.Bounds() }
-
-// Handle binds process slot i to the counter. The returned handle also
-// implements BatchedCounterHandle.
-func (c *ShardedCounter) Handle(i int) CounterHandle { return c.c.Handle(i) }
-
-// BoundedMaxRegister is the paper's Algorithm 2: a wait-free linearizable
-// k-multiplicative-accurate m-bounded max register with worst-case step
-// complexity O(min(log2 log_k m, n)) — exponentially faster than exact.
-type BoundedMaxRegister struct {
-	f *prim.Factory
-	r *core.KMultMaxReg
-}
-
-// NewBoundedMaxRegister creates a k-multiplicative-accurate max register
-// for values in {0..m-1}, for n process slots. Requires m >= 2 and k >= 2.
-func NewBoundedMaxRegister(n int, m, k uint64) (*BoundedMaxRegister, error) {
-	f := prim.NewFactory(n)
-	r, err := core.NewKMultMaxReg(f, m, k)
-	if err != nil {
-		return nil, err
+// Bounds returns the counter's read envelope: a Read may return any x
+// with (v-Buffer)/Mult - Add <= x <= Mult*v + Add for the true count v,
+// where Buffer = (B-1)*N for WithBatch(B). Exact counters report the
+// zero envelope.
+func (c *Counter) Bounds() Bounds {
+	b := c.c.Bounds()
+	if c.spec.snapshotSlot {
+		// The shard runtime sizes Buffer over every allocated slot, but
+		// the registry's snapshot slot only ever reads: it can never hold
+		// buffered increments, so the documented (B-1)*n holds.
+		b.Buffer = satmath.Mul(uint64(c.spec.batch-1), uint64(c.spec.procs))
 	}
-	return &BoundedMaxRegister{f: f, r: r}, nil
+	return b
 }
 
-// Bound returns m. Values written must be < m.
-func (r *BoundedMaxRegister) Bound() uint64 { return r.r.Bound() }
-
-// K returns the accuracy parameter.
-func (r *BoundedMaxRegister) K() uint64 { return r.r.K() }
-
-// Handle binds process slot i to the register.
-func (r *BoundedMaxRegister) Handle(i int) MaxRegisterHandle {
-	p := r.f.Proc(i)
-	return &maxRegHandle{w: func(v uint64) { r.r.Write(p, v) }, rd: func() uint64 { return r.r.Read(p) }, p: p}
-}
-
-// ExactBoundedMaxRegister is the exact m-bounded max register of Aspnes,
-// Attiya and Censor-Hillel (the substrate of Algorithm 2), with Theta(log m)
-// worst-case step complexity.
-type ExactBoundedMaxRegister struct {
-	f *prim.Factory
-	r *maxreg.Bounded
-}
-
-// NewExactBoundedMaxRegister creates an exact max register for values in
-// {0..m-1}, for n process slots.
-func NewExactBoundedMaxRegister(n int, m uint64) (*ExactBoundedMaxRegister, error) {
-	f := prim.NewFactory(n)
-	r, err := maxreg.NewBounded(f, m)
-	if err != nil {
-		return nil, err
+// Handle binds process slot i (0 <= i < N) to the counter, for callers
+// managing slot assignment themselves. Each concurrent goroutine must use
+// its own slot; do not mix Handle(i) with Acquire/Do on the same slot
+// range. The returned handle implements BatchedCounterHandle.
+func (c *Counter) Handle(i int) CounterHandle {
+	if i < 0 || i >= c.spec.procs {
+		panic("approxobj: counter handle slot out of range")
 	}
-	return &ExactBoundedMaxRegister{f: f, r: r}, nil
+	return c.c.Handle(i)
 }
 
-// Bound returns m.
-func (r *ExactBoundedMaxRegister) Bound() uint64 { return r.r.Bound() }
-
-// Handle binds process slot i to the register.
-func (r *ExactBoundedMaxRegister) Handle(i int) MaxRegisterHandle {
-	p := r.f.Proc(i)
-	return &maxRegHandle{w: func(v uint64) { r.r.Write(p, v) }, rd: func() uint64 { return r.r.Read(p) }, p: p}
-}
-
-// MaxRegister is the unbounded k-multiplicative-accurate max register the
-// paper sketches in Section I-B: Algorithm 2 plugged into an unbounded
-// epoch construction, with sub-logarithmic step complexity in the value.
+// MaxRegister is any member of the max-register family — exact or
+// k-multiplicative, bounded or unbounded — built by NewMaxRegister from a
+// spec. It reports its accuracy envelope via Bounds.
 type MaxRegister struct {
-	f *prim.Factory
-	r *maxreg.Unbounded
+	spec Spec
+	f    *prim.Factory
+	r    object.MaxReg
+
+	pool    *pool.Pool
+	handles []*pooledMaxRegHandle // lazily built, one per pool slot
+	retired atomic.Uint64         // steps credited by released pooled handles
+
+	snap MaxRegisterHandle // registry snapshot handle (slot procs), else nil
 }
 
-// NewMaxRegister creates an unbounded approximate max register with
-// accuracy k >= 2 for n process slots.
-func NewMaxRegister(n int, k uint64) (*MaxRegister, error) {
-	f := prim.NewFactory(n)
-	r, err := core.NewKMultUnboundedMaxReg(f, k)
+// NewMaxRegister builds the max register the options describe. Defaults:
+// one process slot, Exact() accuracy, unbounded. WithBound(m) selects the
+// m-bounded construction (Algorithm 2 when combined with
+// Multiplicative(k)); WithShards and WithBatch are rejected (max
+// registers are not sharded).
+func NewMaxRegister(opts ...Option) (*MaxRegister, error) {
+	spec, err := newSpec(KindMaxRegister, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &MaxRegister{f: f, r: r}, nil
+	return newMaxRegister(spec)
 }
 
-// Handle binds process slot i to the register.
+func newMaxRegister(spec Spec) (*MaxRegister, error) {
+	f := prim.NewFactory(spec.totalProcs())
+	var (
+		mr  object.MaxReg
+		err error
+	)
+	switch {
+	case spec.acc.IsExact() && spec.boundSet:
+		mr, err = maxreg.NewBounded(f, spec.bound)
+	case spec.acc.IsExact():
+		mr, err = maxreg.NewUnbounded(f, maxreg.ExactFactory)
+	case spec.boundSet:
+		mr, err = core.NewKMultMaxReg(f, spec.bound, spec.acc.k)
+	default:
+		mr, err = core.NewKMultUnboundedMaxReg(f, spec.acc.k)
+	}
+	if err != nil {
+		return nil, err
+	}
+	r := &MaxRegister{
+		spec:    spec,
+		f:       f,
+		r:       mr,
+		pool:    pool.New(spec.procs),
+		handles: make([]*pooledMaxRegHandle, spec.procs),
+	}
+	if spec.snapshotSlot {
+		r.snap = r.handleFor(spec.procs)
+	}
+	return r, nil
+}
+
+// Spec returns the validated spec the register was built from.
+func (r *MaxRegister) Spec() Spec { return r.spec }
+
+// N returns the number of process slots available to callers.
+func (r *MaxRegister) N() int { return r.spec.procs }
+
+// K returns the accuracy parameter (1 for exact registers).
+func (r *MaxRegister) K() uint64 { return r.spec.acc.K() }
+
+// Accuracy returns the accuracy selection.
+func (r *MaxRegister) Accuracy() Accuracy { return r.spec.acc }
+
+// Bound returns the value bound m (writes must be < m), or 0 for
+// unbounded registers.
+func (r *MaxRegister) Bound() uint64 { return r.spec.bound }
+
+// Bounds returns the register's read envelope: a Read may return any x
+// with v/Mult <= x <= Mult*v for the true maximum v. Exact registers
+// report the zero envelope.
+func (r *MaxRegister) Bounds() Bounds {
+	return Bounds{Mult: r.spec.acc.K()}
+}
+
+// Handle binds process slot i (0 <= i < N) to the register, for callers
+// managing slot assignment themselves. Each concurrent goroutine must use
+// its own slot; do not mix Handle(i) with Acquire/Do on the same slot
+// range.
 func (r *MaxRegister) Handle(i int) MaxRegisterHandle {
-	p := r.f.Proc(i)
-	return &maxRegHandle{w: func(v uint64) { r.r.Write(p, v) }, rd: func() uint64 { return r.r.Read(p) }, p: p}
-}
-
-// ExactMaxRegister is the unbounded exact max register (epoch construction
-// over exact bounded registers), with O(log v) step complexity.
-type ExactMaxRegister struct {
-	f *prim.Factory
-	r *maxreg.Unbounded
-}
-
-// NewExactMaxRegister creates an unbounded exact max register for n
-// process slots.
-func NewExactMaxRegister(n int) (*ExactMaxRegister, error) {
-	f := prim.NewFactory(n)
-	r, err := maxreg.NewUnbounded(f, maxreg.ExactFactory)
-	if err != nil {
-		return nil, err
+	if i < 0 || i >= r.spec.procs {
+		panic("approxobj: max-register handle slot out of range")
 	}
-	return &ExactMaxRegister{f: f, r: r}, nil
+	return r.handleFor(i)
 }
 
-// Handle binds process slot i to the register.
-func (r *ExactMaxRegister) Handle(i int) MaxRegisterHandle {
+func (r *MaxRegister) handleFor(i int) MaxRegisterHandle {
 	p := r.f.Proc(i)
-	return &maxRegHandle{w: func(v uint64) { r.r.Write(p, v) }, rd: func() uint64 { return r.r.Read(p) }, p: p}
+	return &maxRegHandle{h: r.r.MaxRegHandle(p), p: p}
 }
 
 type maxRegHandle struct {
-	w  func(uint64)
-	rd func() uint64
-	p  *prim.Proc
+	h object.MaxRegHandle
+	p *prim.Proc
 }
 
-func (h *maxRegHandle) Write(v uint64) { h.w(v) }
-func (h *maxRegHandle) Read() uint64   { return h.rd() }
+func (h *maxRegHandle) Write(v uint64) { h.h.Write(v) }
+func (h *maxRegHandle) Read() uint64   { return h.h.Read() }
 func (h *maxRegHandle) Steps() uint64  { return h.p.Steps() }

@@ -6,7 +6,7 @@ import (
 )
 
 func TestCounterBasic(t *testing.T) {
-	c, err := NewCounter(4, 2)
+	c, err := NewCounter(WithProcs(4), WithAccuracy(Multiplicative(2)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,13 +30,13 @@ func TestCounterBasic(t *testing.T) {
 }
 
 func TestCounterRejectsBadParams(t *testing.T) {
-	if _, err := NewCounter(100, 2); err == nil {
+	if _, err := NewCounter(WithProcs(100), WithAccuracy(Multiplicative(2))); err == nil {
 		t.Fatal("k=2 for n=100 accepted (needs k >= 10)")
 	}
-	if _, err := NewCounter(0, 2); err == nil {
+	if _, err := NewCounter(WithProcs(0), WithAccuracy(Multiplicative(2))); err == nil {
 		t.Fatal("n=0 accepted")
 	}
-	if _, err := NewCounter(1, 1); err == nil {
+	if _, err := NewCounter(WithAccuracy(Multiplicative(1))); err == nil {
 		t.Fatal("k=1 accepted")
 	}
 }
@@ -44,7 +44,7 @@ func TestCounterRejectsBadParams(t *testing.T) {
 func TestCounterConcurrent(t *testing.T) {
 	const n = 8
 	const perProc = 10000
-	c, err := NewCounter(n, 3)
+	c, err := NewCounter(WithProcs(n), WithAccuracy(Multiplicative(3)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +156,7 @@ func TestExactBoundedMaxRegister(t *testing.T) {
 }
 
 func TestUnboundedMaxRegisters(t *testing.T) {
-	approx, err := NewMaxRegister(2, 4)
+	approx, err := NewMaxRegister(WithProcs(2), WithAccuracy(Multiplicative(4)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +179,7 @@ func TestUnboundedMaxRegisters(t *testing.T) {
 
 func TestMaxRegisterConcurrent(t *testing.T) {
 	const n = 8
-	r, err := NewMaxRegister(n, 2)
+	r, err := NewMaxRegister(WithProcs(n), WithAccuracy(Multiplicative(2)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,5 +272,76 @@ func TestAdditiveCounterConcurrent(t *testing.T) {
 	const v = n * perProc
 	if x < v-k || x > v+k {
 		t.Fatalf("Read = %d, want within +-%d of %d", x, k, v)
+	}
+}
+
+// TestCompatBounds asserts that the legacy constructors, now thin wrappers
+// over the spec surface, report the correct universal envelopes: additive
+// counters carry their slack in the Add term, and exact objects report the
+// zero envelope.
+func TestCompatBounds(t *testing.T) {
+	add, err := NewAdditiveCounter(4, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := add.Bounds(); b.Mult != 1 || b.Add != 40 || b.Buffer != 0 {
+		t.Errorf("AdditiveCounter(4, 40).Bounds() = %+v, want {Mult:1 Add:40 Buffer:0}", b)
+	}
+	exact, err := NewExactCounter(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := exact.Bounds(); b != ExactBounds() || !b.IsExact() {
+		t.Errorf("ExactCounter.Bounds() = %+v, want the zero envelope %+v", b, ExactBounds())
+	}
+	mult, err := NewApproxCounter(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := mult.Bounds(); b.Mult != 2 || b.Add != 0 || b.Buffer != 0 {
+		t.Errorf("ApproxCounter(4, 2).Bounds() = %+v, want {Mult:2 Add:0 Buffer:0}", b)
+	}
+	sharded, err := NewShardedCounter(8, 4, Shards(4), Batch(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := sharded.Bounds(); b.Mult != 4 || b.Add != 0 || b.Buffer != 7*8 {
+		t.Errorf("ShardedCounter.Bounds() = %+v, want {Mult:4 Add:0 Buffer:56}", b)
+	}
+	bmr, err := NewBoundedMaxRegister(2, 1<<20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := bmr.Bounds(); b.Mult != 2 || b.Add != 0 || b.Buffer != 0 {
+		t.Errorf("BoundedMaxRegister.Bounds() = %+v, want {Mult:2 Add:0 Buffer:0}", b)
+	}
+	emr, err := NewExactMaxRegister(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := emr.Bounds(); !b.IsExact() {
+		t.Errorf("ExactMaxRegister.Bounds() = %+v, want the zero envelope", b)
+	}
+}
+
+// TestCompatDelegation spot-checks that the wrappers produce objects of
+// the unified types with the specs the legacy parameters imply.
+func TestCompatDelegation(t *testing.T) {
+	c, err := NewShardedCounter(8, 4, Shards(2), Batch(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Spec()
+	if s.Kind() != KindCounter || s.Procs() != 8 || s.Accuracy() != Multiplicative(4) ||
+		s.Shards() != 2 || s.Batch() != 16 {
+		t.Errorf("ShardedCounter spec = %v, want counter{procs: 8, multiplicative(4), shards: 2, batch: 16}", s)
+	}
+	r, err := NewExactBoundedMaxRegister(2, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := r.Spec()
+	if rs.Kind() != KindMaxRegister || rs.Bound() != 1024 || !rs.Accuracy().IsExact() {
+		t.Errorf("ExactBoundedMaxRegister spec = %v, want max register{procs: 2, exact, bound: 1024}", rs)
 	}
 }

@@ -162,7 +162,10 @@ func BenchmarkE7ThroughputAtomicAdd(b *testing.B) {
 
 func BenchmarkE7ThroughputMultCounter(b *testing.B) {
 	const slots = 64
-	c, err := approxobj.NewCounter(slots, 8)
+	c, err := approxobj.NewCounter(
+		approxobj.WithProcs(slots),
+		approxobj.WithAccuracy(approxobj.Multiplicative(8)),
+	)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -181,7 +184,7 @@ func BenchmarkE7ThroughputMultCounter(b *testing.B) {
 	})
 }
 
-func BenchmarkE7ThroughputCollect(b *testing.B) {
+func BenchmarkE7ThroughputExact(b *testing.B) {
 	const slots = 64
 	c, err := approxobj.NewExactCounter(slots)
 	if err != nil {
@@ -330,7 +333,7 @@ func BenchmarkAblationFirstThreshold(b *testing.B) {
 // Micro-benchmarks for the public API.
 
 func BenchmarkCounterInc(b *testing.B) {
-	c, err := approxobj.NewCounter(1, 2)
+	c, err := approxobj.NewCounter(approxobj.WithAccuracy(approxobj.Multiplicative(2)))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -341,7 +344,7 @@ func BenchmarkCounterInc(b *testing.B) {
 }
 
 func BenchmarkCounterRead(b *testing.B) {
-	c, err := approxobj.NewCounter(1, 2)
+	c, err := approxobj.NewCounter(approxobj.WithAccuracy(approxobj.Multiplicative(2)))
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -1,0 +1,26 @@
+package approxobj
+
+import "approxobj/internal/object"
+
+// Bounds is the universal accuracy envelope: every object in the package,
+// exact ones included, reports one. Against a true value v, a read may
+// return any x with
+//
+//	(v - Buffer)/Mult - Add <= x <= Mult*v + Add.
+//
+// Mult is the multiplicative factor (k for Multiplicative(k) objects, 1
+// otherwise), Add the additive slack (S*k for a counter with Additive(k)
+// accuracy sharded S ways, 0 otherwise), and Buffer the maximum number of
+// increments parked in handle-local batch buffers system-wide ((B-1)*n
+// for WithBatch(B) counters, 0 otherwise). Exact objects report the zero
+// envelope {Mult: 1, Add: 0, Buffer: 0}.
+//
+// Contains and ContainsRange evaluate membership; the latter checks a
+// response against the regularity window of a concurrent read (see
+// internal/shard's package comment). The conformance tests in this
+// package sweep every spec combination and assert observed reads against
+// the reported envelope.
+type Bounds = object.Bounds
+
+// ExactBounds is the zero envelope reported by exact objects.
+func ExactBounds() Bounds { return object.ExactBounds() }

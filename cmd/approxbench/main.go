@@ -5,8 +5,11 @@
 // Usage:
 //
 //	approxbench [-quick] [-exp e1,e3,f1] [-json out.json]
+//	approxbench -list
 //
-// Without -exp it runs everything. -quick shrinks parameter sweeps for a
+// Without -exp it runs everything; unknown experiment ids are an error
+// (exit status 2, with the registered ids on stderr). -list prints the
+// registered experiments and exits. -quick shrinks parameter sweeps for a
 // fast smoke run. -json additionally writes the machine-readable records
 // of the selected experiments (scenario, params, ns/op, steps/op) to the
 // given file, so successive runs leave a diffable measurement trajectory.
@@ -33,24 +36,55 @@ type resultFile struct {
 
 func main() {
 	quick := flag.Bool("quick", false, "shrink parameter sweeps for a fast run")
-	exps := flag.String("exp", "all", "comma-separated experiment ids (e1,e2,e3,e4,e5,e7,e8,e9,e10,e11,e12,f1) or 'all'")
+	exps := flag.String("exp", "all", "comma-separated experiment ids (see -list) or 'all'")
+	list := flag.Bool("list", false, "list registered experiments and exit")
 	jsonOut := flag.String("json", "", "write machine-readable records to this file")
 	flag.Parse()
 
+	all := bench.All()
+	if *list {
+		for _, exp := range all {
+			fmt.Printf("%-5s %s\n", exp.ID, exp.Desc)
+		}
+		return
+	}
+
+	known := make(map[string]bool, len(all))
+	ids := make([]string, 0, len(all))
+	for _, exp := range all {
+		known[exp.ID] = true
+		ids = append(ids, exp.ID)
+	}
+
 	selected := map[string]bool{}
-	runAll := *exps == "all"
+	runAll := false
 	for _, id := range strings.Split(*exps, ",") {
-		selected[strings.TrimSpace(strings.ToLower(id))] = true
+		id = strings.TrimSpace(strings.ToLower(id))
+		if id == "" {
+			continue
+		}
+		if id == "all" {
+			runAll = true
+			continue
+		}
+		if !known[id] {
+			fmt.Fprintf(os.Stderr, "approxbench: unknown experiment %q\nusage: approxbench [-quick] [-exp %s | all] [-json out.json]\nrun 'approxbench -list' for descriptions\n",
+				id, strings.Join(ids, ","))
+			os.Exit(2)
+		}
+		selected[id] = true
+	}
+	if !runAll && len(selected) == 0 {
+		fmt.Fprintf(os.Stderr, "approxbench: -exp selects no experiment\nrun 'approxbench -list' for the registered ids\n")
+		os.Exit(2)
 	}
 
 	cfg := bench.Config{Quick: *quick}
 	out := resultFile{Quick: *quick, Records: []bench.Record{}}
-	ran := 0
-	for _, exp := range bench.All() {
+	for _, exp := range all {
 		if !runAll && !selected[exp.ID] {
 			continue
 		}
-		ran++
 		start := time.Now()
 		tables, err := exp.Run(cfg)
 		if err != nil {
@@ -62,10 +96,6 @@ func main() {
 			out.Records = append(out.Records, t.Records...)
 		}
 		fmt.Printf("# %s finished in %v\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
-	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "approxbench: no experiment matches %q\n", *exps)
-		os.Exit(2)
 	}
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(out, "", "  ")

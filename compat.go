@@ -1,0 +1,129 @@
+package approxobj
+
+// This file is the legacy surface: the eight per-family constructors and
+// types that predate the spec API. They are all thin wrappers — every one
+// delegates to NewCounter/NewMaxRegister with the equivalent options, so
+// old call sites keep compiling and get the same objects (pool, Bounds,
+// registry compatibility included). New code should use the spec API; see
+// the README migration table.
+
+// ExactCounter is a Counter with Exact() accuracy: always precise.
+//
+// Deprecated: use NewCounter with WithAccuracy(Exact()); the family is one
+// type now.
+type ExactCounter = Counter
+
+// AdditiveCounter is a Counter with Additive(k) accuracy: reads err by at
+// most ±k.
+//
+// Deprecated: use NewCounter with WithAccuracy(Additive(k)).
+type AdditiveCounter = Counter
+
+// ShardedCounter is a Counter with WithShards/WithBatch scaling.
+//
+// Deprecated: use NewCounter with WithShards(s) and WithBatch(b).
+type ShardedCounter = Counter
+
+// BoundedMaxRegister is a MaxRegister with a value bound (Algorithm 2).
+//
+// Deprecated: use NewMaxRegister with WithBound(m) and
+// WithAccuracy(Multiplicative(k)).
+type BoundedMaxRegister = MaxRegister
+
+// ExactBoundedMaxRegister is a bounded MaxRegister with Exact() accuracy.
+//
+// Deprecated: use NewMaxRegister with WithBound(m).
+type ExactBoundedMaxRegister = MaxRegister
+
+// ExactMaxRegister is an unbounded MaxRegister with Exact() accuracy.
+//
+// Deprecated: use NewMaxRegister with the default Exact() accuracy.
+type ExactMaxRegister = MaxRegister
+
+// ShardOption configures counter sharding and batching.
+//
+// Deprecated: it is now the general Option type; Shards and Batch remain
+// as aliases for WithShards and WithBatch.
+type ShardOption = Option
+
+// Shards sets the shard count S (default 1).
+//
+// Deprecated: use WithShards.
+func Shards(s int) Option { return WithShards(s) }
+
+// Batch sets the per-handle increment buffer B (default 1: unbuffered).
+//
+// Deprecated: use WithBatch.
+func Batch(b int) Option { return WithBatch(b) }
+
+// NewApproxCounter creates the paper's Algorithm 1 counter for n process
+// slots with multiplicative accuracy k (the object NewCounter(n, k) built
+// before the spec API took the NewCounter name).
+//
+// Deprecated: use NewCounter(WithProcs(n), WithAccuracy(Multiplicative(k))).
+func NewApproxCounter(n int, k uint64) (*Counter, error) {
+	return NewCounter(WithProcs(n), WithAccuracy(Multiplicative(k)))
+}
+
+// NewExactCounter creates an exact counter for n processes.
+//
+// Deprecated: use NewCounter(WithProcs(n)) — Exact() is the default
+// accuracy.
+func NewExactCounter(n int) (*ExactCounter, error) {
+	return NewCounter(WithProcs(n))
+}
+
+// NewAdditiveCounter creates a k-additive-accurate counter for n
+// processes.
+//
+// Deprecated: use NewCounter(WithProcs(n), WithAccuracy(Additive(k))).
+func NewAdditiveCounter(n int, k uint64) (*AdditiveCounter, error) {
+	return NewCounter(WithProcs(n), WithAccuracy(Additive(k)))
+}
+
+// NewShardedCounter creates a sharded approximate counter for n process
+// slots with multiplicative accuracy k; each shard is an independent
+// Algorithm 1 counter, so the precondition k >= sqrt(n) applies as for
+// Multiplicative.
+//
+// Deprecated: use NewCounter(WithProcs(n),
+// WithAccuracy(Multiplicative(k)), WithShards(s), WithBatch(b)).
+func NewShardedCounter(n int, k uint64, opts ...Option) (*ShardedCounter, error) {
+	all := append([]Option{WithProcs(n), WithAccuracy(Multiplicative(k))}, opts...)
+	return NewCounter(all...)
+}
+
+// NewApproxMaxRegister creates an unbounded k-multiplicative-accurate max
+// register (the object NewMaxRegister(n, k) built before the spec API
+// took the NewMaxRegister name).
+//
+// Deprecated: use NewMaxRegister(WithProcs(n),
+// WithAccuracy(Multiplicative(k))).
+func NewApproxMaxRegister(n int, k uint64) (*MaxRegister, error) {
+	return NewMaxRegister(WithProcs(n), WithAccuracy(Multiplicative(k)))
+}
+
+// NewBoundedMaxRegister creates a k-multiplicative-accurate max register
+// for values in {0..m-1}, for n process slots.
+//
+// Deprecated: use NewMaxRegister(WithProcs(n),
+// WithAccuracy(Multiplicative(k)), WithBound(m)).
+func NewBoundedMaxRegister(n int, m, k uint64) (*BoundedMaxRegister, error) {
+	return NewMaxRegister(WithProcs(n), WithAccuracy(Multiplicative(k)), WithBound(m))
+}
+
+// NewExactBoundedMaxRegister creates an exact max register for values in
+// {0..m-1}, for n process slots.
+//
+// Deprecated: use NewMaxRegister(WithProcs(n), WithBound(m)).
+func NewExactBoundedMaxRegister(n int, m uint64) (*ExactBoundedMaxRegister, error) {
+	return NewMaxRegister(WithProcs(n), WithBound(m))
+}
+
+// NewExactMaxRegister creates an unbounded exact max register for n
+// process slots.
+//
+// Deprecated: use NewMaxRegister(WithProcs(n)).
+func NewExactMaxRegister(n int) (*ExactMaxRegister, error) {
+	return NewMaxRegister(WithProcs(n))
+}

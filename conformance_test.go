@@ -1,0 +1,239 @@
+package approxobj
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// kSqrt returns an accuracy parameter valid for multiplicative counters on
+// n slots: at least 2 and at least ceil(sqrt(n)).
+func kSqrt(n int) uint64 {
+	k := uint64(math.Ceil(math.Sqrt(float64(n))))
+	if k < 2 {
+		k = 2
+	}
+	return k
+}
+
+// counterSpecs enumerates the counter family: every accuracy crossed with
+// sharding and batching.
+func counterSpecs(procs int) []struct {
+	name string
+	opts []Option
+} {
+	accs := []struct {
+		name string
+		acc  Accuracy
+	}{
+		{"exact", Exact()},
+		{"additive32", Additive(32)},
+		{fmt.Sprintf("mult%d", kSqrt(procs)), Multiplicative(kSqrt(procs))},
+	}
+	var out []struct {
+		name string
+		opts []Option
+	}
+	for _, a := range accs {
+		for _, s := range []int{1, 3} {
+			for _, b := range []int{1, 8} {
+				out = append(out, struct {
+					name string
+					opts []Option
+				}{
+					name: fmt.Sprintf("%s-s%d-b%d", a.name, s, b),
+					opts: []Option{WithProcs(procs), WithAccuracy(a.acc), WithShards(s), WithBatch(b)},
+				})
+			}
+		}
+	}
+	return out
+}
+
+// TestCounterConformance is the generic envelope property: for EVERY
+// counter spec combination, every read observed concurrently must be a
+// valid response for some true count inside the regularity window
+// (increments completed before the read started .. increments started
+// before it returned), per the object's own reported Bounds — and after
+// all pooled handles are released (which flushes batch buffers), a
+// quiescent read must satisfy the envelope with the Buffer term dropped.
+func TestCounterConformance(t *testing.T) {
+	const procs = 6
+	const incers = procs - 1 // one slot left over for the checking reader
+	perG := 3_000
+	if testing.Short() {
+		perG = 400
+	}
+	for _, spec := range counterSpecs(procs) {
+		t.Run(spec.name, func(t *testing.T) {
+			c, err := NewCounter(spec.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bounds := c.Bounds()
+
+			var started, completed atomic.Uint64
+			var done atomic.Bool
+			var wg sync.WaitGroup
+			wg.Add(incers)
+			for g := 0; g < incers; g++ {
+				go func() {
+					defer wg.Done()
+					h, release := c.Acquire()
+					defer release() // flushes the batch buffer
+					for j := 0; j < perG; j++ {
+						started.Add(1)
+						h.Inc()
+						completed.Add(1)
+					}
+				}()
+			}
+
+			var checks int
+			var readerWG sync.WaitGroup
+			readerWG.Add(1)
+			go func() {
+				defer readerWG.Done()
+				c.Do(func(h CounterHandle) {
+					check := func() bool {
+						vmin := completed.Load()
+						x := h.Read()
+						vmax := started.Load()
+						checks++
+						if !bounds.ContainsRange(vmin, vmax, x) {
+							t.Errorf("read %d outside envelope %+v for any count in [%d, %d]", x, bounds, vmin, vmax)
+							return false
+						}
+						return true
+					}
+					for !done.Load() {
+						if !check() {
+							return
+						}
+					}
+					check() // at least one check even if the incrementers win the race
+				})
+			}()
+
+			wg.Wait()
+			done.Store(true)
+			readerWG.Wait()
+			if checks == 0 {
+				t.Fatal("reader performed no checks")
+			}
+
+			// All incrementer handles are released, so their buffers are
+			// flushed: the envelope holds without the Buffer term.
+			flushed := bounds
+			flushed.Buffer = 0
+			total := uint64(incers * perG)
+			c.Do(func(h CounterHandle) {
+				if x := h.Read(); !flushed.Contains(total, x) {
+					t.Errorf("quiescent read %d outside flushed envelope %+v of true count %d", x, flushed, total)
+				}
+			})
+		})
+	}
+}
+
+// TestMaxRegisterConformance is the same property for the max-register
+// family: every spec combination's reads stay inside the reported Bounds
+// relative to the window [max value whose Write completed before the
+// read, max value whose Write started before it returned].
+func TestMaxRegisterConformance(t *testing.T) {
+	const procs = 5
+	const writers = procs - 1
+	perG := 3_000
+	if testing.Short() {
+		perG = 400
+	}
+	const bound = uint64(1) << 20
+	for _, spec := range []struct {
+		name string
+		opts []Option
+	}{
+		{"exact-unbounded", []Option{WithProcs(procs)}},
+		{"exact-bounded", []Option{WithProcs(procs), WithBound(bound)}},
+		{"mult3-unbounded", []Option{WithProcs(procs), WithAccuracy(Multiplicative(3))}},
+		{"mult3-bounded", []Option{WithProcs(procs), WithAccuracy(Multiplicative(3)), WithBound(bound)}},
+	} {
+		t.Run(spec.name, func(t *testing.T) {
+			r, err := NewMaxRegister(spec.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bounds := r.Bounds()
+
+			atomicMax := func(a *atomic.Uint64, v uint64) {
+				for {
+					cur := a.Load()
+					if v <= cur || a.CompareAndSwap(cur, v) {
+						return
+					}
+				}
+			}
+			var startedMax, completedMax atomic.Uint64
+			var done atomic.Bool
+			var wg sync.WaitGroup
+			wg.Add(writers)
+			for g := 0; g < writers; g++ {
+				id := g
+				go func() {
+					defer wg.Done()
+					h, release := r.Acquire()
+					defer release()
+					for j := 1; j <= perG; j++ {
+						// Writers interleave distinct ascending sequences so
+						// the running maximum keeps moving.
+						v := uint64(j*writers + id)
+						atomicMax(&startedMax, v)
+						h.Write(v)
+						atomicMax(&completedMax, v)
+					}
+				}()
+			}
+
+			var checks int
+			var readerWG sync.WaitGroup
+			readerWG.Add(1)
+			go func() {
+				defer readerWG.Done()
+				r.Do(func(h MaxRegisterHandle) {
+					check := func() bool {
+						vmin := completedMax.Load()
+						x := h.Read()
+						vmax := startedMax.Load()
+						checks++
+						if !bounds.ContainsRange(vmin, vmax, x) {
+							t.Errorf("read %d outside envelope %+v for any max in [%d, %d]", x, bounds, vmin, vmax)
+							return false
+						}
+						return true
+					}
+					for !done.Load() {
+						if !check() {
+							return
+						}
+					}
+					check() // at least one check even if the writers win the race
+				})
+			}()
+
+			wg.Wait()
+			done.Store(true)
+			readerWG.Wait()
+			if checks == 0 {
+				t.Fatal("reader performed no checks")
+			}
+
+			trueMax := uint64(perG*writers + writers - 1)
+			r.Do(func(h MaxRegisterHandle) {
+				if x := h.Read(); !bounds.Contains(trueMax, x) {
+					t.Errorf("quiescent read %d outside envelope %+v of true max %d", x, bounds, trueMax)
+				}
+			})
+		})
+	}
+}

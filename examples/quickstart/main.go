@@ -1,6 +1,9 @@
 // Quickstart: the two approximate objects of the paper in their simplest
 // concurrent setting — a k-multiplicative-accurate counter shared by n
 // goroutines and an approximate max register tracking a high-water mark.
+// Both are built through the spec API (orthogonal functional options) and
+// driven through the built-in handle pool, so no goroutine ever computes
+// a process-slot index.
 package main
 
 import (
@@ -12,15 +15,21 @@ import (
 )
 
 func main() {
-	const n = 16      // goroutines = process slots
+	const n = 16      // process slots = max concurrent goroutines
 	const k = 4       // accuracy: reads land within [v/4, 4v]; k >= sqrt(n)
 	const perG = 1000 // increments per goroutine
 
-	counter, err := approxobj.NewCounter(n, k)
+	counter, err := approxobj.NewCounter(
+		approxobj.WithProcs(n),
+		approxobj.WithAccuracy(approxobj.Multiplicative(k)),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	maxReg, err := approxobj.NewMaxRegister(n, k)
+	maxReg, err := approxobj.NewMaxRegister(
+		approxobj.WithProcs(n),
+		approxobj.WithAccuracy(approxobj.Multiplicative(k)),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -28,32 +37,46 @@ func main() {
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
-		go func(slot int) {
+		go func(id int) {
 			defer wg.Done()
-			// One handle per goroutine: handles carry the per-process
-			// state of the paper's algorithms.
-			c := counter.Handle(slot)
-			m := maxReg.Handle(slot)
+			// Acquire borrows an exclusive per-process handle from the
+			// object's slot pool; release returns it for the next
+			// goroutine. Handles carry the persistent local state of the
+			// paper's algorithms.
+			c, releaseC := counter.Acquire()
+			defer releaseC()
+			m, releaseM := maxReg.Acquire()
+			defer releaseM()
 			for j := 1; j <= perG; j++ {
 				c.Inc()
-				m.Write(uint64(slot*perG + j))
+				m.Write(uint64(id*perG + j))
 			}
 		}(i)
 	}
 	wg.Wait()
 
-	reader := counter.Handle(0)
-	count := reader.Read()
-	fmt.Printf("true increments : %d\n", n*perG)
-	fmt.Printf("approx count    : %d (guaranteed within [%d, %d])\n",
-		count, n*perG/k, n*perG*k)
+	// Every object reports its accuracy envelope, exact ones included.
+	b := counter.Bounds()
+	fmt.Printf("spec            : %v\n", counter.Spec())
+	fmt.Printf("envelope        : %+v\n", b)
 
-	peak := maxReg.Handle(0).Read()
-	truePeak := (n-1)*perG + perG
-	fmt.Printf("true high water : %d\n", truePeak)
-	fmt.Printf("approx high     : %d (within a factor %d)\n", peak, k)
+	counter.Do(func(h approxobj.CounterHandle) {
+		// Steps accumulate per process slot (this pooled handle's slot
+		// already incremented above), so cost the read as a delta.
+		before := h.Steps()
+		count := h.Read()
+		fmt.Printf("true increments : %d\n", n*perG)
+		fmt.Printf("approx count    : %d (guaranteed within [%d, %d])\n",
+			count, n*perG/k, n*perG*k)
+		// The price of the answer, in shared-memory steps: this is what
+		// the paper's Theorem III.9 bounds — O(1) amortized per operation.
+		fmt.Printf("reader steps    : %d for 1 read\n", h.Steps()-before)
+	})
 
-	// The price of the answer, in shared-memory steps: this is what the
-	// paper's Theorem III.9 bounds — O(1) amortized per operation.
-	fmt.Printf("reader steps    : %d for 1 read\n", reader.Steps())
+	maxReg.Do(func(h approxobj.MaxRegisterHandle) {
+		peak := h.Read()
+		truePeak := (n-1)*perG + perG
+		fmt.Printf("true high water : %d\n", truePeak)
+		fmt.Printf("approx high     : %d (within a factor %d)\n", peak, k)
+	})
 }

@@ -1,0 +1,117 @@
+// Registry: named objects and atomic snapshots — the telemetry-export
+// scenario the spec/registry API is built for.
+//
+// A registry holds named counters and max registers (get-or-create, like
+// a metrics registry), each built from the same orthogonal spec options
+// as the standalone constructors. Worker goroutines borrow handles from
+// each object's pool (never a slot index); an exporter goroutine calls
+// Registry.Snapshot, which reads every object's value, accuracy envelope,
+// and cumulative steps through a reserved process slot — so exporting
+// never contends with workers for pool slots, no matter how long they
+// hold their handles.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+
+	"approxobj"
+)
+
+const (
+	workers = 8
+	perG    = 100_000
+)
+
+func main() {
+	reg := approxobj.NewRegistry()
+
+	// Named objects, each one spec. Accuracy is per-object: request
+	// counting tolerates a factor-4 error for O(1)-amortized increments;
+	// error counting stays exact; the high-water mark tolerates factor 2.
+	// (Multiplicative counters need k >= sqrt(workers + 1): the registry
+	// reserves one extra slot for snapshots.)
+	requests, err := reg.Counter("http_requests_total",
+		approxobj.WithProcs(workers),
+		approxobj.WithAccuracy(approxobj.Multiplicative(4)),
+		approxobj.WithShards(4),
+		approxobj.WithBatch(32),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	errorsC, err := reg.Counter("http_errors_total",
+		approxobj.WithProcs(workers), // Exact() is the default accuracy
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	peak, err := reg.MaxRegister("peak_payload_bytes",
+		approxobj.WithProcs(workers),
+		approxobj.WithAccuracy(approxobj.Multiplicative(2)),
+		approxobj.WithBound(1<<30),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Re-registering a name with the same spec returns the same object —
+	// handler code can look its counters up wherever it runs.
+	again, err := reg.Counter("http_requests_total",
+		approxobj.WithProcs(workers),
+		approxobj.WithAccuracy(approxobj.Multiplicative(4)),
+		approxobj.WithShards(4),
+		approxobj.WithBatch(32),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("get-or-create: same object back: %v\n\n", again == requests)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			req, release := requests.Acquire()
+			defer release() // flushes the batch buffer on the way out
+			errH, releaseErr := errorsC.Acquire()
+			defer releaseErr()
+			peak.Do(func(ph approxobj.MaxRegisterHandle) {
+				for j := 0; j < perG; j++ {
+					req.Inc()
+					if j%100 == 99 {
+						errH.Inc()
+					}
+					if j%4096 == 0 {
+						ph.Write(uint64((id + 1) * (j + 1)))
+					}
+				}
+			})
+		}(w)
+	}
+	wg.Wait()
+
+	// One call exports everything: value + envelope + cumulative steps
+	// per object, in registration order.
+	fmt.Printf("%-22s %-14s %12s %10s %22s\n", "name", "kind", "value", "steps", "envelope")
+	for _, s := range reg.Snapshot() {
+		env := "exact"
+		if !s.Bounds.IsExact() {
+			env = fmt.Sprintf("x%d +%d buf%d", s.Bounds.Mult, s.Bounds.Add, s.Bounds.Buffer)
+		}
+		fmt.Printf("%-22s %-14s %12d %10d %22s\n", s.Name, s.Kind, s.Value, s.Steps, env)
+	}
+	fmt.Printf("\ntrue requests: %d (approx within factor %d), true errors: %d (exact)\n\n",
+		workers*perG, requests.K(), workers*perG/100)
+
+	// Snapshots marshal cleanly for export pipelines.
+	blob, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(append(blob, '\n'))
+}

@@ -1,12 +1,12 @@
 // Sharded counter walkthrough: the same k-multiplicative counter, scaled
 // out. A plain Counter is one Algorithm 1 instance every goroutine hits;
-// NewShardedCounter splits increment traffic across S independent
-// instances (handle i increments shard i mod S) and sums them on reads —
-// and since both bounds of the k-multiplicative envelope are linear, the
-// sum of S k-accurate shards is still k-accurate. Batch(B) additionally
-// keeps B-1 of every B increments handle-local, trading a bounded
-// additive slack (at most B-1 per handle, reported by Bounds) for an Inc
-// hot path that mostly never touches shared memory.
+// WithShards(S) splits increment traffic across S independent instances
+// (handle i increments shard i mod S) and sums them on reads — and since
+// both bounds of the k-multiplicative envelope are linear, the sum of S
+// k-accurate shards is still k-accurate. WithBatch(B) additionally keeps
+// B-1 of every B increments handle-local, trading a bounded additive
+// slack (at most B-1 per handle, reported by Bounds) for an Inc hot path
+// that mostly never touches shared memory.
 package main
 
 import (
@@ -54,11 +54,13 @@ func drive(c handler) time.Duration {
 }
 
 func main() {
-	plain, err := approxobj.NewCounter(n, k)
+	accuracy := approxobj.WithAccuracy(approxobj.Multiplicative(k))
+	plain, err := approxobj.NewCounter(approxobj.WithProcs(n), accuracy)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sharded, err := approxobj.NewShardedCounter(n, k, approxobj.Shards(8), approxobj.Batch(64))
+	sharded, err := approxobj.NewCounter(approxobj.WithProcs(n), accuracy,
+		approxobj.WithShards(8), approxobj.WithBatch(64))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -24,7 +24,10 @@ func main() {
 	const n = 4
 	const k = 2
 
-	c, err := approxobj.NewCounter(n, k)
+	c, err := approxobj.NewCounter(
+		approxobj.WithProcs(n),
+		approxobj.WithAccuracy(approxobj.Multiplicative(k)),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

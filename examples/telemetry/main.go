@@ -7,7 +7,7 @@
 // polls them continuously for dashboards and alerting. Monitoring does not
 // need exact numbers — it needs cheap, non-contending, always-available
 // ones. The demo contrasts a k-multiplicative-accurate counter with the
-// exact collect counter under the identical workload and reports both the
+// exact counter under the identical workload and reports both the
 // values observed and the shared-memory steps paid for them.
 package main
 
@@ -37,11 +37,14 @@ type endpoint struct {
 
 func newEndpoint(name string) (*endpoint, error) {
 	// Slot workers+1 processes: workers plus the monitor.
-	a, err := approxobj.NewCounter(workers+1, k)
+	a, err := approxobj.NewCounter(
+		approxobj.WithProcs(workers+1),
+		approxobj.WithAccuracy(approxobj.Multiplicative(k)),
+	)
 	if err != nil {
 		return nil, err
 	}
-	e, err := approxobj.NewExactCounter(workers + 1)
+	e, err := approxobj.NewCounter(approxobj.WithProcs(workers + 1)) // Exact() is the default
 	if err != nil {
 		return nil, err
 	}
@@ -90,7 +93,7 @@ func main() {
 		}
 		fmt.Printf("\nmonitor cost for %d polls x %d endpoints:\n", monitorPolls.Load(), len(endpoints))
 		fmt.Printf("  approx reads: %7d steps (amortized O(1) scan, Thm III.9)\n", approxHandles[0].Steps())
-		fmt.Printf("  exact reads : %7d steps (n = %d registers per read)\n", exactHandles[0].Steps(), workers+1)
+		fmt.Printf("  exact reads : %7d steps (a full tree collect per read)\n", exactHandles[0].Steps())
 	}()
 
 	// Workers: Zipf-ish endpoint mix.

@@ -1,0 +1,171 @@
+package approxobj
+
+import (
+	"sync/atomic"
+
+	"approxobj/internal/shard"
+)
+
+// This file implements the pooled side of handle management: every object
+// owns a free list (internal/pool) of its process slots, and goroutines
+// borrow exclusive handles from it instead of computing slot indices.
+// Slot ownership transfers through the pool's channel, which also gives
+// the happens-before edge that lets successive owners reuse a slot's
+// cached handle (and its persistent per-process algorithm state) without
+// extra synchronization. Counter and MaxRegister share the slot-ownership
+// and step-accounting logic through the generic lease below.
+
+// lease acquires slot from an object's handle cache: it builds the slot's
+// handle on first use (safe without a lock — the pool hands each slot to
+// one goroutine at a time, and releases happen-before the next acquire)
+// and returns it with an idempotent release that retires the handle
+// (flushing/step-crediting) and frees the slot. The idempotence guard is
+// atomic, so a cleanup path racing the owner's deferred release cannot
+// retire the handle twice or duplicate the slot in the free list.
+func lease[H interface {
+	comparable
+	retire()
+}](o interface {
+	handleCache() []H
+	newHandle(slot int) H
+	releaseSlot(slot int)
+}, slot int) (H, func()) {
+	cache := o.handleCache()
+	h := cache[slot]
+	if isNil(h) {
+		h = o.newHandle(slot)
+		cache[slot] = h
+	}
+	var released atomic.Bool
+	return h, func() {
+		if !released.CompareAndSwap(false, true) {
+			return
+		}
+		h.retire()
+		o.releaseSlot(slot)
+	}
+}
+
+func isNil[H comparable](h H) bool {
+	var zero H
+	return h == zero
+}
+
+// Acquire borrows an exclusive handle from the counter's slot pool,
+// blocking until a slot is free. The returned release function flushes
+// any batched increments, credits the handle's steps to the object's
+// retired-step counter (see Registry snapshots), and returns the slot;
+// it is idempotent. The handle must not be used after release. Steps()
+// on a pooled handle is cumulative over every previous owner of its
+// slot — cost individual operations as a before/after delta.
+func (c *Counter) Acquire() (CounterHandle, func()) {
+	return lease[*pooledCounterHandle](c, c.pool.Acquire())
+}
+
+// TryAcquire is Acquire without blocking: ok is false (and the handle and
+// release are nil) when every slot is currently held.
+func (c *Counter) TryAcquire() (h CounterHandle, release func(), ok bool) {
+	slot, ok := c.pool.TryAcquire()
+	if !ok {
+		return nil, nil, false
+	}
+	h, release = lease[*pooledCounterHandle](c, slot)
+	return h, release, true
+}
+
+// Do runs f with a pooled handle, releasing it (and flushing batched
+// increments) when f returns. It blocks until a slot is free.
+func (c *Counter) Do(f func(CounterHandle)) {
+	h, release := c.Acquire()
+	defer release()
+	f(h)
+}
+
+// StepsRetired returns the cumulative shared-memory steps credited by
+// released pooled handles. Steps of handles still held, or of manual
+// Handle(i) handles, are not included (their counters are owned by the
+// holding goroutine and cannot be read safely mid-flight).
+func (c *Counter) StepsRetired() uint64 { return c.retired.Load() }
+
+func (c *Counter) handleCache() []*pooledCounterHandle { return c.handles }
+func (c *Counter) releaseSlot(slot int)                { c.pool.Release(slot) }
+func (c *Counter) newHandle(slot int) *pooledCounterHandle {
+	return &pooledCounterHandle{c: c, h: c.c.Handle(slot)}
+}
+
+// pooledCounterHandle wraps a slot's underlying handle with step
+// accounting across acquisitions. It implements BatchedCounterHandle.
+type pooledCounterHandle struct {
+	c        *Counter
+	h        *shard.Handle
+	credited uint64 // steps already added to c.retired
+}
+
+func (h *pooledCounterHandle) Inc()          { h.h.Inc() }
+func (h *pooledCounterHandle) Read() uint64  { return h.h.Read() }
+func (h *pooledCounterHandle) Steps() uint64 { return h.h.Steps() }
+func (h *pooledCounterHandle) Flush()        { h.h.Flush() }
+
+func (h *pooledCounterHandle) retire() {
+	h.h.Flush()
+	s := h.h.Steps()
+	h.c.retired.Add(s - h.credited)
+	h.credited = s
+}
+
+// Acquire borrows an exclusive handle from the register's slot pool,
+// blocking until a slot is free. The returned release function credits
+// the handle's steps and returns the slot; it is idempotent. The handle
+// must not be used after release. Steps() on a pooled handle is
+// cumulative over every previous owner of its slot — cost individual
+// operations as a before/after delta.
+func (r *MaxRegister) Acquire() (MaxRegisterHandle, func()) {
+	return lease[*pooledMaxRegHandle](r, r.pool.Acquire())
+}
+
+// TryAcquire is Acquire without blocking: ok is false (and the handle and
+// release are nil) when every slot is currently held.
+func (r *MaxRegister) TryAcquire() (h MaxRegisterHandle, release func(), ok bool) {
+	slot, ok := r.pool.TryAcquire()
+	if !ok {
+		return nil, nil, false
+	}
+	h, release = lease[*pooledMaxRegHandle](r, slot)
+	return h, release, true
+}
+
+// Do runs f with a pooled handle, releasing it when f returns. It blocks
+// until a slot is free.
+func (r *MaxRegister) Do(f func(MaxRegisterHandle)) {
+	h, release := r.Acquire()
+	defer release()
+	f(h)
+}
+
+// StepsRetired returns the cumulative shared-memory steps credited by
+// released pooled handles (see Counter.StepsRetired).
+func (r *MaxRegister) StepsRetired() uint64 { return r.retired.Load() }
+
+func (r *MaxRegister) handleCache() []*pooledMaxRegHandle { return r.handles }
+func (r *MaxRegister) releaseSlot(slot int)               { r.pool.Release(slot) }
+func (r *MaxRegister) newHandle(slot int) *pooledMaxRegHandle {
+	return &pooledMaxRegHandle{r: r, h: r.handleFor(slot)}
+}
+
+// pooledMaxRegHandle wraps a slot's underlying handle with step
+// accounting across acquisitions.
+type pooledMaxRegHandle struct {
+	r        *MaxRegister
+	h        MaxRegisterHandle
+	credited uint64 // steps already added to r.retired
+}
+
+func (h *pooledMaxRegHandle) Write(v uint64) { h.h.Write(v) }
+func (h *pooledMaxRegHandle) Read() uint64   { return h.h.Read() }
+func (h *pooledMaxRegHandle) Steps() uint64  { return h.h.Steps() }
+
+func (h *pooledMaxRegHandle) retire() {
+	s := h.h.Steps()
+	h.r.retired.Add(s - h.credited)
+	h.credited = s
+}

@@ -1,0 +1,159 @@
+package approxobj
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestHandlePoolSoak churns Acquire/release on a batched counter from far
+// more goroutines than slots. Run with -race it validates that pooled
+// handle reuse across goroutines is properly synchronized (handles carry
+// non-atomic per-process state — scan positions, batch buffers — that
+// successive owners share through the pool's happens-before edge), and
+// the final count checks that release flushed every batch buffer: with
+// exact accuracy, nothing may be lost.
+func TestHandlePoolSoak(t *testing.T) {
+	const slots = 4
+	const goroutines = 4 * slots
+	iters := 300
+	if testing.Short() {
+		iters = 40
+	}
+	const perAcquire = 17 // not a multiple of the batch: buffers stay loaded at release
+	c, err := NewCounter(WithProcs(slots), WithShards(2), WithBatch(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				h, release := c.Acquire()
+				for j := 0; j < perAcquire; j++ {
+					h.Inc()
+				}
+				_ = h.Read()
+				release()
+				release() // idempotent: a double release must not corrupt the pool
+			}
+		}()
+	}
+	wg.Wait()
+
+	want := uint64(goroutines * iters * perAcquire)
+	c.Do(func(h CounterHandle) {
+		if got := h.Read(); got != want {
+			t.Errorf("exact counter lost or duplicated increments through the pool: Read = %d, want %d", got, want)
+		}
+	})
+	if c.StepsRetired() == 0 {
+		t.Error("released handles credited no steps")
+	}
+}
+
+// TestTryAcquireExhaustion checks the non-blocking path: with every slot
+// held, TryAcquire reports failure instead of deadlocking; releasing one
+// slot makes it succeed again.
+func TestTryAcquireExhaustion(t *testing.T) {
+	c, err := NewCounter(WithProcs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rel1, ok := c.TryAcquire()
+	if !ok {
+		t.Fatal("TryAcquire failed on a fresh pool")
+	}
+	_, rel2, ok := c.TryAcquire()
+	if !ok {
+		t.Fatal("TryAcquire failed with one of two slots held")
+	}
+	if _, _, ok := c.TryAcquire(); ok {
+		t.Fatal("TryAcquire succeeded with every slot held")
+	}
+	rel1()
+	h, rel3, ok := c.TryAcquire()
+	if !ok {
+		t.Fatal("TryAcquire failed after a release")
+	}
+	h.Inc()
+	rel3()
+	rel2()
+
+	r, err := NewMaxRegister(WithProcs(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, relM, ok := r.TryAcquire()
+	if !ok {
+		t.Fatal("max register TryAcquire failed on a fresh pool")
+	}
+	if _, _, ok := r.TryAcquire(); ok {
+		t.Fatal("max register TryAcquire succeeded with every slot held")
+	}
+	relM()
+}
+
+// TestDoBlocksUntilFree pins Do's blocking contract: a Do issued while
+// all slots are held completes only after a release.
+func TestDoBlocksUntilFree(t *testing.T) {
+	c, err := NewCounter(WithProcs(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, release := c.Acquire()
+	var ran atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		c.Do(func(h CounterHandle) { ran.Store(true) })
+		close(done)
+	}()
+	if ran.Load() {
+		t.Fatal("Do ran while the only slot was held")
+	}
+	release()
+	<-done
+	if !ran.Load() {
+		t.Fatal("Do never ran")
+	}
+}
+
+// TestMaxRegisterPoolSoak is the max-register counterpart of the pool
+// soak: monotone writes through churning pooled handles, final read must
+// be the true maximum (exact register).
+func TestMaxRegisterPoolSoak(t *testing.T) {
+	const slots = 3
+	const goroutines = 4 * slots
+	iters := 500
+	if testing.Short() {
+		iters = 50
+	}
+	r, err := NewMaxRegister(WithProcs(slots))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var next atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				v := next.Add(1)
+				r.Do(func(h MaxRegisterHandle) { h.Write(v) })
+			}
+		}()
+	}
+	wg.Wait()
+	want := uint64(goroutines * iters)
+	r.Do(func(h MaxRegisterHandle) {
+		if got := h.Read(); got != want {
+			t.Errorf("exact max register Read = %d, want %d", got, want)
+		}
+	})
+	if r.StepsRetired() == 0 {
+		t.Error("released handles credited no steps")
+	}
+}

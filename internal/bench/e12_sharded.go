@@ -8,7 +8,7 @@ import (
 	"sync"
 	"time"
 
-	"approxobj/internal/shard"
+	"approxobj"
 )
 
 // shardedRun drives gs goroutines of opsPer mixed operations (readFrac
@@ -20,8 +20,8 @@ type shardedRun struct {
 	readsPerS float64
 }
 
-func runSharded(c *shard.Counter, gs, opsPer int, readFrac float64) (shardedRun, error) {
-	handles := make([]*shard.Handle, gs)
+func runSharded(c *approxobj.Counter, gs, opsPer int, readFrac float64) (shardedRun, error) {
+	handles := make([]approxobj.CounterHandle, gs)
 	for i := range handles {
 		handles[i] = c.Handle(i)
 	}
@@ -56,7 +56,7 @@ func runSharded(c *shard.Counter, gs, opsPer int, readFrac float64) (shardedRun,
 	// must be inside the flushed (Buffer = 0) envelope of the true count.
 	var total, totalReads uint64
 	for i, h := range handles {
-		h.Flush()
+		h.(approxobj.BatchedCounterHandle).Flush()
 		total += incs[i]
 		totalReads += reads[i]
 	}
@@ -75,8 +75,10 @@ func runSharded(c *shard.Counter, gs, opsPer int, readFrac float64) (shardedRun,
 	}, nil
 }
 
-// E12Sharded is the scaling experiment for the sharded counter runtime
-// (internal/shard): cores x shards x batch sweep of wall-clock throughput,
+// E12Sharded is the scaling experiment for the sharded counter runtime,
+// driven through the public spec API (WithShards x WithBatch over a
+// Multiplicative counter): cores x shards x batch sweep of wall-clock
+// throughput,
 // 95% inc / 5% read. Shards split increment traffic across independent
 // Algorithm 1 instances without widening the k-multiplicative envelope;
 // batching removes shared-memory work from the Inc hot path entirely at
@@ -119,7 +121,12 @@ E7); batching still shows, since it removes work rather than contention.`,
 	for _, gs := range gss {
 		for _, s := range shardCounts {
 			for _, b := range batches {
-				c, err := shard.New(gs, k, shard.Shards(s), shard.Batch(b))
+				c, err := approxobj.NewCounter(
+					approxobj.WithProcs(gs),
+					approxobj.WithAccuracy(approxobj.Multiplicative(k)),
+					approxobj.WithShards(s),
+					approxobj.WithBatch(b),
+				)
 				if err != nil {
 					return nil, err
 				}

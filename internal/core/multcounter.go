@@ -89,7 +89,9 @@ func NewMultCounter(f *prim.Factory, k uint64, opts ...Option) (*MultCounter, er
 	if k < 2 {
 		return nil, fmt.Errorf("core: accuracy parameter k must be >= 2, got %d", k)
 	}
-	if !o.unchecked && k*k < uint64(n) {
+	// The saturating predicate is shared with the public spec layer
+	// (approxobj.Spec.validate), which mirrors this precondition.
+	if !o.unchecked && !satmath.SquareAtLeast(k, uint64(n)) {
 		return nil, fmt.Errorf("core: accuracy guarantee needs k >= sqrt(n): k=%d, n=%d", k, n)
 	}
 	t1 := (k*k-1)/uint64(n) + 1

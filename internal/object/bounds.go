@@ -1,0 +1,52 @@
+package object
+
+import "approxobj/internal/satmath"
+
+// Bounds is the universal accuracy envelope reported by every object in
+// this repository: against a true value v, a read may return any x with
+//
+//	(v - Buffer)/Mult - Add <= x <= Mult*v + Add.
+//
+// Mult is the multiplicative factor (1 for exact objects), Add the
+// additive slack (0 for exact and multiplicative objects; the summed
+// per-shard slack for sharded additive counters), and Buffer the maximum
+// number of increments that may be parked in handle-local batch buffers
+// system-wide (0 for unbatched objects and max registers). Exact objects
+// report the zero envelope {Mult: 1, Add: 0, Buffer: 0}.
+type Bounds struct {
+	Mult   uint64
+	Add    uint64
+	Buffer uint64
+}
+
+// ExactBounds is the zero envelope of precise objects: reads return the
+// true value.
+func ExactBounds() Bounds { return Bounds{Mult: 1} }
+
+// IsExact reports whether the envelope pins reads to the true value.
+func (b Bounds) IsExact() bool { return b.Mult <= 1 && b.Add == 0 && b.Buffer == 0 }
+
+// Contains reports whether response x is inside the envelope for true
+// count v. Bounds are evaluated multiplied-out ((x+Add)*Mult >= v-Buffer
+// rather than x >= (v-Buffer)/Mult - Add) so integer division cannot skew
+// them; overflowing products saturate and count as +infinity.
+func (b Bounds) Contains(v, x uint64) bool { return b.ContainsRange(v, v, x) }
+
+// ContainsRange reports whether x is a valid response for some true count
+// in [vmin, vmax]. Concurrent checkers use it with vmin = increments
+// completed before the Read started and vmax = increments started before
+// it returned (the regularity window; see internal/shard's package
+// comment): the envelope is monotone in v, so x is valid for some count in
+// the window iff it is above the lower bound at vmin and below the upper
+// bound at vmax.
+func (b Bounds) ContainsRange(vmin, vmax, x uint64) bool {
+	m := b.Mult
+	if m < 1 {
+		m = 1
+	}
+	if hi := satmath.Add(satmath.Mul(vmax, m), b.Add); x > hi {
+		return false
+	}
+	lo := vmin - min(vmin, b.Buffer)
+	return satmath.Mul(satmath.Add(x, b.Add), m) >= lo
+}

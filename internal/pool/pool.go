@@ -1,0 +1,72 @@
+// Package pool implements a free list of process slots. Every object in
+// this repository binds goroutines to numbered process slots (the model's
+// named processes); the pool makes the "one slot per goroutine" invariant
+// structural: a goroutine that holds a slot acquired it from the pool, and
+// nobody else can hold the same slot until it is released.
+//
+// The implementation is a buffered channel used as a lock-free free list:
+// Acquire receives a slot, Release sends it back. Channel semantics give
+// exactly the two properties the objects need — mutual exclusion per slot
+// (a slot value exists in at most one place at a time) and a
+// happens-before edge from each Release to the next Acquire of the same
+// slot, so successive owners of a slot may reuse its handle state without
+// further synchronization.
+package pool
+
+import "fmt"
+
+// Pool is a fixed-capacity free list of slots 0..n-1. The zero value is
+// not usable; create pools with New. All methods are safe for concurrent
+// use.
+type Pool struct {
+	free chan int
+}
+
+// New creates a pool over slots 0..n-1, all initially free. n must be at
+// least 1.
+func New(n int) *Pool {
+	if n < 1 {
+		panic(fmt.Sprintf("pool: need at least one slot, got %d", n))
+	}
+	p := &Pool{free: make(chan int, n)}
+	for i := 0; i < n; i++ {
+		p.free <- i
+	}
+	return p
+}
+
+// Cap returns the number of slots the pool manages.
+func (p *Pool) Cap() int { return cap(p.free) }
+
+// Free returns the number of currently unheld slots (diagnostic; the value
+// may be stale by the time it is observed).
+func (p *Pool) Free() int { return len(p.free) }
+
+// Acquire blocks until a slot is free and returns it. The caller owns the
+// slot exclusively until it passes it back via Release.
+func (p *Pool) Acquire() int { return <-p.free }
+
+// TryAcquire returns a free slot without blocking, or ok=false if every
+// slot is currently held.
+func (p *Pool) TryAcquire() (slot int, ok bool) {
+	select {
+	case s := <-p.free:
+		return s, true
+	default:
+		return 0, false
+	}
+}
+
+// Release returns a slot to the pool. Releasing a slot that is not
+// currently held (double release, or a slot never acquired) is a bug in
+// the caller and panics rather than corrupting the free list.
+func (p *Pool) Release(slot int) {
+	if slot < 0 || slot >= cap(p.free) {
+		panic(fmt.Sprintf("pool: release of out-of-range slot %d (capacity %d)", slot, cap(p.free)))
+	}
+	select {
+	case p.free <- slot:
+	default:
+		panic(fmt.Sprintf("pool: release of slot %d into a full pool (double release?)", slot))
+	}
+}

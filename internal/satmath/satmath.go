@@ -25,6 +25,14 @@ func Add(a, b uint64) uint64 {
 	return a + b
 }
 
+// SquareAtLeast reports whether k*k >= n over the naturals: the saturating
+// counterpart of the k >= sqrt(n) precondition of the multiplicative
+// counter, shared by the public spec validation and core.NewMultCounter so
+// the two cannot drift.
+func SquareAtLeast(k, n uint64) bool {
+	return Mul(k, k) >= n
+}
+
 // Pow returns k^e with saturation at MaxUint64.
 func Pow(k, e uint64) uint64 {
 	r := uint64(1)

@@ -149,39 +149,11 @@ func WithBackend(b Backend) Option { return func(c *config) { c.backend = b } }
 //
 //	(v - Buffer)/Mult - Add <= x <= Mult*v + Add.
 //
-// Mult is the multiplicative factor (1 for exact backends), Add the
-// summed additive slack of the shards, and Buffer the maximum number of
-// increments held in handle-local batch buffers system-wide.
-type Bounds struct {
-	Mult   uint64
-	Add    uint64
-	Buffer uint64
-}
-
-// Contains reports whether response x is inside the envelope for true
-// count v. Bounds are evaluated multiplied-out ((x+Add)*Mult >= v-Buffer
-// rather than x >= (v-Buffer)/Mult - Add) so integer division cannot skew
-// them; overflowing products saturate and count as +infinity.
-func (b Bounds) Contains(v, x uint64) bool { return b.ContainsRange(v, v, x) }
-
-// ContainsRange reports whether x is a valid response for some true count
-// in [vmin, vmax]. Concurrent checkers use it with vmin = increments
-// completed before the Read started and vmax = increments started before
-// it returned (the regularity window; see the package comment): the
-// envelope is monotone in v, so x is valid for some count in the window
-// iff it is above the lower bound at vmin and below the upper bound at
-// vmax.
-func (b Bounds) ContainsRange(vmin, vmax, x uint64) bool {
-	m := b.Mult
-	if m < 1 {
-		m = 1
-	}
-	if hi := satmath.Add(satmath.Mul(vmax, m), b.Add); x > hi {
-		return false
-	}
-	lo := vmin - min(vmin, b.Buffer)
-	return satmath.Mul(satmath.Add(x, b.Add), m) >= lo
-}
+// It is the universal envelope type of internal/object, aliased here
+// because the sharded runtime is where all three terms (multiplicative
+// factor, summed per-shard additive slack, handle-buffered increments)
+// first compose.
+type Bounds = object.Bounds
 
 // Counter is the sharded counter: S independently accurate shards summed
 // by readers. Create handles with Handle; the zero value is not usable.

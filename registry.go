@@ -1,0 +1,153 @@
+package approxobj
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Registry is a set of named objects, in the style of a metrics registry:
+// Counter and MaxRegister are get-or-create (a second registration of the
+// same name with the same spec returns the existing object; a conflicting
+// spec is an error), and Snapshot reads every object's current value,
+// accuracy envelope, and cumulative steps in one call, for telemetry and
+// export scenarios.
+//
+// Every registry-owned object reserves one process slot beyond
+// WithProcs(n) for the registry's own snapshot reads, so Snapshot never
+// competes with worker goroutines for pool slots (and cannot deadlock
+// against workers holding handles for their lifetime). Spec validation
+// accounts for the extra slot — e.g. a Multiplicative(k) counter
+// registered with WithProcs(n) needs k >= sqrt(n+1).
+//
+// All methods are safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*regEntry
+	order   []string
+}
+
+type regEntry struct {
+	name    string
+	spec    Spec
+	counter *Counter     // exactly one of counter
+	maxreg  *MaxRegister // and maxreg is non-nil
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*regEntry)}
+}
+
+// Counter returns the named counter, creating it from the options on
+// first registration. Re-registering an existing name with an equivalent
+// spec returns the existing counter; a different spec, or a name held by
+// a max register, is an error.
+func (r *Registry) Counter(name string, opts ...Option) (*Counter, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	spec, err := newSpec(KindCounter, append(opts[:len(opts):len(opts)], withSnapshotSlot()))
+	if err != nil {
+		return nil, err
+	}
+	if e, ok := r.entries[name]; ok {
+		if e.counter == nil {
+			return nil, fmt.Errorf("approxobj: registry name %q is a %s, not a counter", name, e.spec.kind)
+		}
+		if !e.spec.sameObject(spec) {
+			return nil, fmt.Errorf("approxobj: registry name %q already registered as %s, conflicting with %s", name, e.spec, spec)
+		}
+		return e.counter, nil
+	}
+	c, err := newCounter(spec)
+	if err != nil {
+		return nil, err
+	}
+	r.add(&regEntry{name: name, spec: spec, counter: c})
+	return c, nil
+}
+
+// MaxRegister returns the named max register, creating it from the
+// options on first registration, with the same get-or-create semantics as
+// Counter.
+func (r *Registry) MaxRegister(name string, opts ...Option) (*MaxRegister, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	spec, err := newSpec(KindMaxRegister, append(opts[:len(opts):len(opts)], withSnapshotSlot()))
+	if err != nil {
+		return nil, err
+	}
+	if e, ok := r.entries[name]; ok {
+		if e.maxreg == nil {
+			return nil, fmt.Errorf("approxobj: registry name %q is a %s, not a max register", name, e.spec.kind)
+		}
+		if !e.spec.sameObject(spec) {
+			return nil, fmt.Errorf("approxobj: registry name %q already registered as %s, conflicting with %s", name, e.spec, spec)
+		}
+		return e.maxreg, nil
+	}
+	m, err := newMaxRegister(spec)
+	if err != nil {
+		return nil, err
+	}
+	r.add(&regEntry{name: name, spec: spec, maxreg: m})
+	return m, nil
+}
+
+func (r *Registry) add(e *regEntry) {
+	r.entries[e.name] = e
+	r.order = append(r.order, e.name)
+}
+
+// Names returns the registered names in registration order.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.order...)
+}
+
+// ObjectSnapshot is one object's state at snapshot time.
+type ObjectSnapshot struct {
+	// Name and Kind identify the object.
+	Name string
+	Kind Kind
+	// Value is the object's current reading, taken through the registry's
+	// reserved snapshot slot. It obeys Bounds against the true value (for
+	// counters, increments still parked in unreleased batch buffers fall
+	// under the Buffer term).
+	Value uint64
+	// Bounds is the object's accuracy envelope.
+	Bounds Bounds
+	// Steps is the cumulative shared-memory step count attributed to the
+	// object: steps credited by released pooled handles plus the
+	// registry's own snapshot reads. Steps of handles currently held (and
+	// of manual Handle(i) handles) are not included.
+	Steps uint64
+}
+
+// Snapshot reads every registered object — value, envelope, cumulative
+// steps — in registration order. The snapshot is atomic with respect to
+// registration and other snapshots (both serialize on the registry), but
+// each value is an ordinary concurrent read: it lands inside the object's
+// envelope relative to the operations linearized around it.
+func (r *Registry) Snapshot() []ObjectSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ObjectSnapshot, 0, len(r.order))
+	for _, name := range r.order {
+		e := r.entries[name]
+		s := ObjectSnapshot{Name: e.name, Kind: e.spec.kind}
+		if e.counter != nil {
+			c := e.counter
+			s.Value = c.snap.Read()
+			s.Bounds = c.Bounds()
+			s.Steps = c.retired.Load() + c.snap.Steps()
+		} else {
+			m := e.maxreg
+			s.Value = m.snap.Read()
+			s.Bounds = m.Bounds()
+			s.Steps = m.retired.Load() + m.snap.Steps()
+		}
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package approxobj
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1, err := r.Counter("requests", WithProcs(4), WithAccuracy(Multiplicative(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := r.Counter("requests", WithProcs(4), WithAccuracy(Multiplicative(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Error("re-registering the same spec did not return the existing counter")
+	}
+	if _, err := r.Counter("requests", WithProcs(8), WithAccuracy(Multiplicative(3))); err == nil {
+		t.Error("conflicting spec for an existing name accepted")
+	} else if !strings.Contains(err.Error(), "conflicting") {
+		t.Errorf("conflict error %q does not say so", err)
+	}
+	if _, err := r.MaxRegister("requests"); err == nil {
+		t.Error("registering a max register under a counter's name accepted")
+	}
+	m1, err := r.MaxRegister("peak", WithBound(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := r.MaxRegister("peak", WithBound(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Error("re-registering the same spec did not return the existing max register")
+	}
+	if _, err := r.Counter("peak"); err == nil {
+		t.Error("registering a counter under a max register's name accepted")
+	}
+	if got := r.Names(); len(got) != 2 || got[0] != "requests" || got[1] != "peak" {
+		t.Errorf("Names() = %v, want [requests peak] in registration order", got)
+	}
+	// Validation errors surface through the registry too, accounting for
+	// the extra snapshot slot: k=2 fits 4 caller slots, not 4+1.
+	if _, err := r.Counter("tight", WithProcs(4), WithAccuracy(Multiplicative(2))); err == nil {
+		t.Error("k=2 with 4 caller slots + snapshot slot accepted (needs k >= sqrt(5))")
+	} else if !strings.Contains(err.Error(), "snapshot slot") {
+		t.Errorf("error %q does not mention the snapshot slot", err)
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	reqs, err := r.Counter("requests", WithProcs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := r.Counter("requests-approx", WithProcs(2), WithAccuracy(Multiplicative(2)), WithBatch(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak, err := r.MaxRegister("peak", WithProcs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reqs.Do(func(h CounterHandle) {
+		for i := 0; i < 100; i++ {
+			h.Inc()
+		}
+	})
+	approx.Do(func(h CounterHandle) {
+		for i := 0; i < 100; i++ {
+			h.Inc()
+		}
+	})
+	peak.Do(func(h MaxRegisterHandle) { h.Write(77) })
+
+	snaps := r.Snapshot()
+	if len(snaps) != 3 {
+		t.Fatalf("Snapshot returned %d entries, want 3", len(snaps))
+	}
+	byName := map[string]ObjectSnapshot{}
+	for _, s := range snaps {
+		byName[s.Name] = s
+	}
+	if s := byName["requests"]; s.Kind != KindCounter || s.Value != 100 || !s.Bounds.IsExact() {
+		t.Errorf("requests snapshot = %+v, want exact value 100", s)
+	}
+	if s := byName["requests-approx"]; !s.Bounds.Contains(100, s.Value) {
+		t.Errorf("requests-approx snapshot value %d outside its own bounds %+v for count 100", s.Value, s.Bounds)
+	} else if s.Bounds.Mult != 2 || s.Bounds.Buffer != 3*2 {
+		// Buffer counts caller slots only: the registry's snapshot slot
+		// never buffers increments.
+		t.Errorf("requests-approx bounds = %+v, want Mult 2 and Buffer (B-1)*n = 6", s.Bounds)
+	}
+	if s := byName["peak"]; s.Kind != KindMaxRegister || s.Value != 77 {
+		t.Errorf("peak snapshot = %+v, want value 77", s)
+	}
+	for _, s := range snaps {
+		if s.Steps == 0 {
+			t.Errorf("%s snapshot reports zero cumulative steps", s.Name)
+		}
+	}
+}
+
+// TestRegistrySnapshotConcurrent takes snapshots while workers hold every
+// pool slot and hammer the objects: the reserved snapshot slot means
+// Snapshot neither deadlocks nor races, and every observed value respects
+// the object's envelope against the regularity window. Run with -race.
+func TestRegistrySnapshotConcurrent(t *testing.T) {
+	const workers = 4
+	perG := 5_000
+	if testing.Short() {
+		perG = 500
+	}
+	r := NewRegistry()
+	c, err := r.Counter("hits", WithProcs(workers), WithAccuracy(Multiplicative(3)), WithShards(2), WithBatch(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := c.Bounds()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, s := range r.Snapshot() {
+				// True count is somewhere in [0, workers*perG]; the value
+				// must at least be inside the envelope of that range.
+				if !s.Bounds.ContainsRange(0, uint64(workers*perG), s.Value) {
+					t.Errorf("snapshot value %d outside envelope %+v for any count in [0, %d]", s.Value, s.Bounds, workers*perG)
+					return
+				}
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Do(func(h CounterHandle) {
+				for j := 0; j < perG; j++ {
+					h.Inc()
+				}
+			})
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+
+	// Workers released (flushed); a final snapshot sees the full count
+	// within the flush-free envelope.
+	final := r.Snapshot()[0]
+	flushed := bounds
+	flushed.Buffer = 0
+	if !flushed.Contains(uint64(workers*perG), final.Value) {
+		t.Errorf("final snapshot value %d outside flushed envelope %+v of true count %d", final.Value, flushed, workers*perG)
+	}
+}

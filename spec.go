@@ -1,0 +1,302 @@
+package approxobj
+
+import (
+	"fmt"
+
+	"approxobj/internal/satmath"
+	"approxobj/internal/shard"
+)
+
+// Kind identifies an object family: counters (Inc/Read) or max registers
+// (Write/Read).
+type Kind int
+
+// Object kinds.
+const (
+	KindCounter Kind = iota + 1
+	KindMaxRegister
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindMaxRegister:
+		return "max register"
+	default:
+		return "invalid"
+	}
+}
+
+// MarshalText renders the kind by name, so registry snapshots export
+// readably (e.g. as JSON).
+func (k Kind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+type accMode int
+
+const (
+	accExact accMode = iota
+	accAdditive
+	accMultiplicative
+)
+
+// Accuracy selects a point on the paper's accuracy/steps trade-off. Use
+// Exact, Additive, or Multiplicative to build one and WithAccuracy to
+// apply it to a spec. The zero value is Exact().
+type Accuracy struct {
+	mode accMode
+	k    uint64
+}
+
+// Exact requests precise reads: the object's envelope is zero and every
+// read returns the true value.
+func Exact() Accuracy { return Accuracy{mode: accExact} }
+
+// Additive requests k-additive accuracy: reads may err by at most ±k.
+// Implemented for counters (the batched collect of Aspnes et al.'s lower
+// bound regime): increments amortize to O(n/k) steps, reads cost O(n).
+func Additive(k uint64) Accuracy { return Accuracy{mode: accAdditive, k: k} }
+
+// Multiplicative requests k-multiplicative accuracy: reads may err by a
+// factor of k (x in [v/k, k*v]). This is the paper's relaxation —
+// Algorithm 1 for counters (O(1) amortized steps for k >= sqrt(n)) and
+// Algorithm 2 for max registers (O(min(log2 log_k m, n)) worst case).
+func Multiplicative(k uint64) Accuracy { return Accuracy{mode: accMultiplicative, k: k} }
+
+// IsExact reports whether the accuracy pins reads to the true value.
+func (a Accuracy) IsExact() bool { return a.mode == accExact }
+
+// K returns the accuracy parameter: 1 for exact, the additive slack for
+// Additive, the multiplicative factor for Multiplicative.
+func (a Accuracy) K() uint64 {
+	if a.mode == accExact {
+		return 1
+	}
+	return a.k
+}
+
+// String renders the accuracy for error messages and tables.
+func (a Accuracy) String() string {
+	switch a.mode {
+	case accAdditive:
+		return fmt.Sprintf("additive(%d)", a.k)
+	case accMultiplicative:
+		return fmt.Sprintf("multiplicative(%d)", a.k)
+	default:
+		return "exact"
+	}
+}
+
+// Spec is the validated description of an object: which family member to
+// build (accuracy), for how many process slots, and how the runtime
+// should scale it (shards, batching) or bound it (max-register range).
+// Specs are built by NewCounter, NewMaxRegister, and the Registry from
+// functional options; inspect a live object's spec with Counter.Spec or
+// MaxRegister.Spec.
+type Spec struct {
+	kind   Kind
+	procs  int
+	acc    Accuracy
+	shards int
+	batch  int
+	bound  uint64
+
+	// option provenance, so validation can distinguish "defaulted" from
+	// "explicitly set" when rejecting inapplicable options.
+	shardsSet bool
+	batchSet  bool
+	boundSet  bool
+
+	// snapshotSlot reserves one extra process slot (index procs) for the
+	// registry's Snapshot reads; see Registry.
+	snapshotSlot bool
+}
+
+// Kind returns the object family the spec describes.
+func (s Spec) Kind() Kind { return s.kind }
+
+// Procs returns the number of process slots available to callers (the
+// pool capacity; a registry-owned object holds one additional internal
+// slot for snapshots).
+func (s Spec) Procs() int { return s.procs }
+
+// Accuracy returns the accuracy selection.
+func (s Spec) Accuracy() Accuracy { return s.acc }
+
+// Shards returns the shard count (counters; 1 when unsharded).
+func (s Spec) Shards() int { return s.shards }
+
+// Batch returns the per-handle increment buffer size (counters; 1 when
+// unbuffered).
+func (s Spec) Batch() int { return s.batch }
+
+// Bound returns the max-register value bound m (values must be < m), or 0
+// for unbounded registers and counters.
+func (s Spec) Bound() uint64 { return s.bound }
+
+// totalProcs is the number of slots actually allocated in the underlying
+// factories: the caller-visible slots plus the registry snapshot slot.
+func (s Spec) totalProcs() int {
+	if s.snapshotSlot {
+		return s.procs + 1
+	}
+	return s.procs
+}
+
+// sameObject reports whether two specs describe the same object
+// configuration (ignoring option provenance), for Registry idempotence.
+func (s Spec) sameObject(t Spec) bool {
+	return s.kind == t.kind && s.procs == t.procs && s.acc == t.acc &&
+		s.shards == t.shards && s.batch == t.batch && s.bound == t.bound
+}
+
+// String renders the spec compactly, e.g.
+// "counter{procs: 8, multiplicative(4), shards: 4, batch: 16}".
+func (s Spec) String() string {
+	out := fmt.Sprintf("%s{procs: %d, %s", s.kind, s.procs, s.acc)
+	if s.kind == KindCounter {
+		out += fmt.Sprintf(", shards: %d, batch: %d", s.shards, s.batch)
+	} else if s.bound > 0 {
+		out += fmt.Sprintf(", bound: %d", s.bound)
+	}
+	return out + "}"
+}
+
+// Option configures a Spec. Options are orthogonal: any accuracy composes
+// with any shard count, batch size, and process count; validation of the
+// combined spec happens once, in the constructor, instead of in each of
+// the legacy per-family constructors.
+type Option func(*Spec)
+
+// WithProcs sets the number of process slots n (default 1). Handles bind
+// goroutines to slots — via Acquire/Do (pooled) or Handle(i) (manual) —
+// and at most n goroutines can operate concurrently.
+func WithProcs(n int) Option { return func(s *Spec) { s.procs = n } }
+
+// WithAccuracy selects the object's accuracy (default Exact()): see
+// Exact, Additive, and Multiplicative.
+func WithAccuracy(a Accuracy) Option { return func(s *Spec) { s.acc = a } }
+
+// WithShards sets the shard count S for counters (default 1): S
+// independently accurate shards summed by readers, spreading increment
+// contention without widening a multiplicative envelope (an additive
+// envelope widens to S*k; see internal/shard).
+func WithShards(n int) Option {
+	return func(s *Spec) {
+		s.shards = n
+		s.shardsSet = true
+	}
+}
+
+// WithBatch sets the per-handle increment buffer B for counters (default
+// 1, unbuffered): B-1 of every B Incs touch no shared memory, at the cost
+// of up to (B-1)·n increments being invisible to readers between flushes
+// (the Buffer term of Bounds). Releasing a pooled handle flushes it.
+func WithBatch(b int) Option {
+	return func(s *Spec) {
+		s.batch = b
+		s.batchSet = true
+	}
+}
+
+// WithBound sets the max-register value bound m: writes must be < m, and
+// bounded registers get the paper's Algorithm 2 with its
+// O(min(log2 log_k m, n)) worst case. Without it, max registers are
+// unbounded (the epoch construction of Section I-B).
+func WithBound(m uint64) Option {
+	return func(s *Spec) {
+		s.bound = m
+		s.boundSet = true
+	}
+}
+
+// withSnapshotSlot reserves the internal registry snapshot slot.
+func withSnapshotSlot() Option { return func(s *Spec) { s.snapshotSlot = true } }
+
+// newSpec applies opts over the defaults for kind and validates the
+// combination. This is the single validation point of the package: every
+// constructor — new-style or legacy wrapper — funnels through it.
+func newSpec(kind Kind, opts []Option) (Spec, error) {
+	s := Spec{kind: kind, procs: 1, acc: Exact(), shards: 1, batch: 1}
+	for _, opt := range opts {
+		opt(&s)
+	}
+	if err := s.validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// validate checks option compatibility for the spec as a whole.
+func (s Spec) validate() error {
+	if s.procs < 1 {
+		return fmt.Errorf("approxobj: %s needs at least one process slot, got %d", s.kind, s.procs)
+	}
+	switch s.kind {
+	case KindCounter:
+		if s.boundSet {
+			return fmt.Errorf("approxobj: WithBound applies only to max registers, not counters")
+		}
+		if s.shards < 1 {
+			return fmt.Errorf("approxobj: shard count must be >= 1, got %d", s.shards)
+		}
+		if s.batch < 1 {
+			return fmt.Errorf("approxobj: batch size must be >= 1, got %d", s.batch)
+		}
+		if s.acc.mode == accMultiplicative {
+			// Mirrors core.NewMultCounter's precondition (defense in
+			// depth, via the shared satmath.SquareAtLeast predicate):
+			// checking here too gives spec-level error messages
+			// (including the snapshot-slot hint) before any shard is
+			// built.
+			k, n := s.acc.k, uint64(s.totalProcs())
+			if k < 2 {
+				return fmt.Errorf("approxobj: multiplicative accuracy needs k >= 2, got %d", k)
+			}
+			if !satmath.SquareAtLeast(k, n) {
+				if s.snapshotSlot {
+					return fmt.Errorf("approxobj: multiplicative accuracy needs k >= sqrt(n): k=%d, n=%d (%d caller slots + 1 registry snapshot slot)", k, n, s.procs)
+				}
+				return fmt.Errorf("approxobj: multiplicative accuracy needs k >= sqrt(n): k=%d, n=%d", k, n)
+			}
+		}
+	case KindMaxRegister:
+		if s.shardsSet {
+			return fmt.Errorf("approxobj: WithShards applies only to counters, not max registers")
+		}
+		if s.batchSet {
+			return fmt.Errorf("approxobj: WithBatch applies only to counters, not max registers")
+		}
+		switch s.acc.mode {
+		case accAdditive:
+			return fmt.Errorf("approxobj: additive accuracy is not implemented for max registers (use Exact or Multiplicative)")
+		case accMultiplicative:
+			if s.acc.k < 2 {
+				return fmt.Errorf("approxobj: multiplicative accuracy needs k >= 2, got %d", s.acc.k)
+			}
+		}
+		if s.boundSet && s.bound < 2 {
+			return fmt.Errorf("approxobj: max-register bound must be >= 2, got %d", s.bound)
+		}
+	default:
+		return fmt.Errorf("approxobj: invalid object kind %d", s.kind)
+	}
+	return nil
+}
+
+// shardOptions translates the spec into the sharded runtime's
+// configuration: the accuracy selects the per-shard backend, shards and
+// batch pass through.
+func (s Spec) shardOptions() (k uint64, opts []shard.Option) {
+	var be shard.Backend
+	switch s.acc.mode {
+	case accAdditive:
+		be, k = shard.AdditiveBackend(), s.acc.k
+	case accMultiplicative:
+		be, k = shard.MultBackend(), s.acc.k
+	default:
+		be, k = shard.AACHBackend(), 1
+	}
+	return k, []shard.Option{shard.Shards(s.shards), shard.Batch(s.batch), shard.WithBackend(be)}
+}

@@ -1,0 +1,134 @@
+package approxobj
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSpecValidation exercises the single validation point: every option
+// combination that used to be rejected by one of five constructors (or
+// silently accepted) is accepted or rejected here, with the reason in the
+// error.
+func TestSpecValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		kind    Kind
+		opts    []Option
+		wantErr string // substring; "" means the spec must be valid
+	}{
+		{"counter defaults", KindCounter, nil, ""},
+		{"counter exact sharded batched", KindCounter,
+			[]Option{WithProcs(8), WithShards(4), WithBatch(16)}, ""},
+		{"counter additive", KindCounter,
+			[]Option{WithProcs(8), WithAccuracy(Additive(64))}, ""},
+		{"counter mult ok", KindCounter,
+			[]Option{WithProcs(8), WithAccuracy(Multiplicative(3))}, ""},
+		{"counter mult huge k does not overflow", KindCounter,
+			[]Option{WithProcs(4), WithAccuracy(Multiplicative(1 << 32))}, ""},
+		{"counter zero procs", KindCounter,
+			[]Option{WithProcs(0)}, "process slot"},
+		{"counter mult k too small for n", KindCounter,
+			[]Option{WithProcs(100), WithAccuracy(Multiplicative(2))}, "sqrt"},
+		{"counter mult k < 2", KindCounter,
+			[]Option{WithAccuracy(Multiplicative(1))}, "k >= 2"},
+		{"counter zero shards", KindCounter,
+			[]Option{WithShards(0)}, "shard count"},
+		{"counter zero batch", KindCounter,
+			[]Option{WithBatch(0)}, "batch size"},
+		{"counter with bound", KindCounter,
+			[]Option{WithBound(1024)}, "WithBound"},
+		{"maxreg defaults", KindMaxRegister, nil, ""},
+		{"maxreg bounded exact", KindMaxRegister,
+			[]Option{WithProcs(4), WithBound(1024)}, ""},
+		{"maxreg bounded mult", KindMaxRegister,
+			[]Option{WithProcs(4), WithAccuracy(Multiplicative(2)), WithBound(1 << 20)}, ""},
+		{"maxreg unbounded mult", KindMaxRegister,
+			[]Option{WithProcs(4), WithAccuracy(Multiplicative(2))}, ""},
+		{"maxreg bound too small", KindMaxRegister,
+			[]Option{WithBound(1)}, "bound must be >= 2"},
+		{"maxreg mult k < 2", KindMaxRegister,
+			[]Option{WithAccuracy(Multiplicative(1))}, "k >= 2"},
+		{"maxreg additive", KindMaxRegister,
+			[]Option{WithAccuracy(Additive(8))}, "not implemented for max registers"},
+		{"maxreg with shards", KindMaxRegister,
+			[]Option{WithShards(4)}, "WithShards"},
+		{"maxreg with batch", KindMaxRegister,
+			[]Option{WithBatch(8)}, "WithBatch"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var err error
+			if tc.kind == KindCounter {
+				_, err = NewCounter(tc.opts...)
+			} else {
+				_, err = NewMaxRegister(tc.opts...)
+			}
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("spec accepted, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestSpecAccessors checks the spec round-trip: what the options say is
+// what the built object reports.
+func TestSpecAccessors(t *testing.T) {
+	c, err := NewCounter(
+		WithProcs(8),
+		WithAccuracy(Multiplicative(4)),
+		WithShards(2),
+		WithBatch(16),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Spec()
+	if s.Kind() != KindCounter || s.Procs() != 8 || s.Shards() != 2 || s.Batch() != 16 ||
+		s.Bound() != 0 || s.Accuracy() != Multiplicative(4) {
+		t.Errorf("spec = %v, want counter{procs: 8, multiplicative(4), shards: 2, batch: 16}", s)
+	}
+	if c.N() != 8 || c.K() != 4 || c.Shards() != 2 || c.Batch() != 16 {
+		t.Errorf("accessors N=%d K=%d S=%d B=%d, want 8 4 2 16", c.N(), c.K(), c.Shards(), c.Batch())
+	}
+	if got := s.String(); got != "counter{procs: 8, multiplicative(4), shards: 2, batch: 16}" {
+		t.Errorf("String() = %q", got)
+	}
+
+	r, err := NewMaxRegister(WithProcs(2), WithBound(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := r.Spec()
+	if rs.Kind() != KindMaxRegister || rs.Procs() != 2 || rs.Bound() != 1024 || !rs.Accuracy().IsExact() {
+		t.Errorf("spec = %v, want max register{procs: 2, exact, bound: 1024}", rs)
+	}
+	if got := rs.String(); got != "max register{procs: 2, exact, bound: 1024}" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// TestAccuracyK pins the accuracy parameter semantics the compat wrappers
+// and Bounds rely on.
+func TestAccuracyK(t *testing.T) {
+	if Exact().K() != 1 || !Exact().IsExact() {
+		t.Error("Exact() must report K=1")
+	}
+	if Additive(40).K() != 40 || Additive(40).IsExact() {
+		t.Error("Additive(40) must report K=40")
+	}
+	if Multiplicative(4).K() != 4 || Multiplicative(4).IsExact() {
+		t.Error("Multiplicative(4) must report K=4")
+	}
+	var zero Accuracy
+	if !zero.IsExact() || zero.K() != 1 {
+		t.Error("zero Accuracy must behave as Exact()")
+	}
+}
