@@ -43,8 +43,8 @@
 // distinct process slot. The preferred way is the built-in handle pool —
 // Acquire returns an exclusive handle and a release function, Do wraps a
 // function call in an acquire/release pair — which enforces the "one
-// handle per goroutine" invariant by construction and flushes batched
-// increments on release. Handle(i) remains for callers that manage slot
+// handle per goroutine" invariant by construction and flushes buffered
+// mutations (batched increments, elided max-register writes) on release. Handle(i) remains for callers that manage slot
 // assignment themselves; a handle must never be shared between goroutines.
 // The objects themselves are safe for fully concurrent use through
 // distinct slots and are wait-free: every operation finishes in a bounded
@@ -65,11 +65,7 @@
 package approxobj
 
 import (
-	"approxobj/internal/core"
-	"approxobj/internal/maxreg"
-	"approxobj/internal/object"
 	"approxobj/internal/pool"
-	"approxobj/internal/prim"
 	"approxobj/internal/satmath"
 	"approxobj/internal/shard"
 	"sync/atomic"
@@ -102,6 +98,17 @@ type MaxRegisterHandle interface {
 // it cannot fail for handles of this package's counters.
 type BatchedCounterHandle interface {
 	CounterHandle
+	Flush()
+}
+
+// BatchedMaxRegisterHandle is a MaxRegisterHandle whose writes may be
+// elided locally (see WithBatch); Flush publishes the highest elided
+// value. Every max-register handle implements it — Flush is a no-op when
+// nothing is pending, and pooled handles flush automatically on release —
+// so type assertions on it cannot fail for handles of this package's max
+// registers.
+type BatchedMaxRegisterHandle interface {
+	MaxRegisterHandle
 	Flush()
 }
 
@@ -196,25 +203,28 @@ func (c *Counter) Handle(i int) CounterHandle {
 }
 
 // MaxRegister is any member of the max-register family — exact or
-// k-multiplicative, bounded or unbounded — built by NewMaxRegister from a
-// spec. It reports its accuracy envelope via Bounds.
+// k-multiplicative, bounded or unbounded, optionally sharded and with
+// write elision — built by NewMaxRegister from a spec. Like Counter, all
+// members run on the unified sharded runtime (an unsharded register is
+// the S=1 case) and report their accuracy envelope via Bounds.
 type MaxRegister struct {
 	spec Spec
-	f    *prim.Factory
-	r    object.MaxReg
+	m    *shard.MaxReg
 
 	pool    *pool.Pool
 	handles []*pooledMaxRegHandle // lazily built, one per pool slot
 	retired atomic.Uint64         // steps credited by released pooled handles
 
-	snap MaxRegisterHandle // registry snapshot handle (slot procs), else nil
+	snap *shard.MaxRegHandle // registry snapshot handle (slot procs), else nil
 }
 
 // NewMaxRegister builds the max register the options describe. Defaults:
-// one process slot, Exact() accuracy, unbounded. WithBound(m) selects the
-// m-bounded construction (Algorithm 2 when combined with
-// Multiplicative(k)); WithShards and WithBatch are rejected (max
-// registers are not sharded).
+// one process slot, Exact() accuracy, unbounded, unsharded, no elision.
+// WithBound(m) selects the m-bounded construction (Algorithm 2 when
+// combined with Multiplicative(k)); WithShards(S) spreads writes over S
+// independent shards whose max readers combine with no envelope
+// widening; WithBatch(B) elides writes within B-1 of a handle's last
+// flushed value.
 func NewMaxRegister(opts ...Option) (*MaxRegister, error) {
 	spec, err := newSpec(KindMaxRegister, opts)
 	if err != nil {
@@ -224,33 +234,19 @@ func NewMaxRegister(opts ...Option) (*MaxRegister, error) {
 }
 
 func newMaxRegister(spec Spec) (*MaxRegister, error) {
-	f := prim.NewFactory(spec.totalProcs())
-	var (
-		mr  object.MaxReg
-		err error
-	)
-	switch {
-	case spec.acc.IsExact() && spec.boundSet:
-		mr, err = maxreg.NewBounded(f, spec.bound)
-	case spec.acc.IsExact():
-		mr, err = maxreg.NewUnbounded(f, maxreg.ExactFactory)
-	case spec.boundSet:
-		mr, err = core.NewKMultMaxReg(f, spec.bound, spec.acc.k)
-	default:
-		mr, err = core.NewKMultUnboundedMaxReg(f, spec.acc.k)
-	}
+	k, mopts := spec.maxRegOptions()
+	sm, err := shard.NewMaxReg(spec.totalProcs(), k, mopts...)
 	if err != nil {
 		return nil, err
 	}
 	r := &MaxRegister{
 		spec:    spec,
-		f:       f,
-		r:       mr,
+		m:       sm,
 		pool:    pool.New(spec.procs),
 		handles: make([]*pooledMaxRegHandle, spec.procs),
 	}
 	if spec.snapshotSlot {
-		r.snap = r.handleFor(spec.procs)
+		r.snap = sm.Handle(spec.procs)
 	}
 	return r, nil
 }
@@ -271,34 +267,27 @@ func (r *MaxRegister) Accuracy() Accuracy { return r.spec.acc }
 // unbounded registers.
 func (r *MaxRegister) Bound() uint64 { return r.spec.bound }
 
+// Shards returns the shard count.
+func (r *MaxRegister) Shards() int { return r.spec.shards }
+
+// Batch returns the per-handle write-elision window (1 means every
+// value-raising write is published immediately).
+func (r *MaxRegister) Batch() uint64 { return uint64(r.spec.batch) }
+
 // Bounds returns the register's read envelope: a Read may return any x
-// with v/Mult <= x <= Mult*v for the true maximum v. Exact registers
-// report the zero envelope.
-func (r *MaxRegister) Bounds() Bounds {
-	return Bounds{Mult: r.spec.acc.K()}
-}
+// with (v-Buffer)/Mult <= x <= Mult*v for the true maximum v, where
+// Buffer = B-1 for WithBatch(B) (per handle — the maximum lives in one
+// handle, so elision headroom does not scale with N or S). Exact
+// unbatched registers report the zero envelope.
+func (r *MaxRegister) Bounds() Bounds { return r.m.Bounds() }
 
 // Handle binds process slot i (0 <= i < N) to the register, for callers
 // managing slot assignment themselves. Each concurrent goroutine must use
 // its own slot; do not mix Handle(i) with Acquire/Do on the same slot
-// range.
+// range. The returned handle implements BatchedMaxRegisterHandle.
 func (r *MaxRegister) Handle(i int) MaxRegisterHandle {
 	if i < 0 || i >= r.spec.procs {
 		panic("approxobj: max-register handle slot out of range")
 	}
-	return r.handleFor(i)
+	return r.m.Handle(i)
 }
-
-func (r *MaxRegister) handleFor(i int) MaxRegisterHandle {
-	p := r.f.Proc(i)
-	return &maxRegHandle{h: r.r.MaxRegHandle(p), p: p}
-}
-
-type maxRegHandle struct {
-	h object.MaxRegHandle
-	p *prim.Proc
-}
-
-func (h *maxRegHandle) Write(v uint64) { h.h.Write(v) }
-func (h *maxRegHandle) Read() uint64   { return h.h.Read() }
-func (h *maxRegHandle) Steps() uint64  { return h.p.Steps() }

@@ -13,6 +13,10 @@
 // fast smoke run. -json additionally writes the machine-readable records
 // of the selected experiments (scenario, params, ns/op, steps/op) to the
 // given file, so successive runs leave a diffable measurement trajectory.
+// The set of scenarios in that trajectory is derived from the experiment
+// table (bench.All declares each experiment's record scenarios), not kept
+// by hand here: a run whose output is missing a declared scenario exits 1
+// instead of silently dropping it from the trajectory.
 package main
 
 import (
@@ -91,9 +95,23 @@ func main() {
 			fmt.Fprintf(os.Stderr, "approxbench: %s: %v\n", exp.ID, err)
 			os.Exit(1)
 		}
+		emitted := map[string]bool{}
 		for _, t := range tables {
 			t.Fprint(os.Stdout)
 			out.Records = append(out.Records, t.Records...)
+			for _, r := range t.Records {
+				emitted[r.Scenario] = true
+			}
+		}
+		// The record set is derived from the experiment table (bench.All):
+		// an experiment that stops emitting a scenario it declares would
+		// silently drop that scenario from the measurement trajectory, so
+		// it is an error, not a shrug.
+		for _, sc := range exp.Scenarios {
+			if !emitted[sc] {
+				fmt.Fprintf(os.Stderr, "approxbench: %s emitted no records for declared scenario %q (trajectory would lose it)\n", exp.ID, sc)
+				os.Exit(1)
+			}
 		}
 		fmt.Printf("# %s finished in %v\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
 	}

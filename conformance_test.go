@@ -138,10 +138,52 @@ func TestCounterConformance(t *testing.T) {
 	}
 }
 
+// maxRegSpecs enumerates the max-register family: every accuracy/bound
+// member crossed with sharding and write elision — the same shard/batch
+// grid as counterSpecs, now that both kinds run on the unified runtime.
+func maxRegSpecs(procs int, bound uint64) []struct {
+	name string
+	opts []Option
+} {
+	members := []struct {
+		name string
+		opts []Option
+	}{
+		{"exact-unbounded", nil},
+		{"exact-bounded", []Option{WithBound(bound)}},
+		{"mult3-unbounded", []Option{WithAccuracy(Multiplicative(3))}},
+		{"mult3-bounded", []Option{WithAccuracy(Multiplicative(3)), WithBound(bound)}},
+	}
+	var out []struct {
+		name string
+		opts []Option
+	}
+	for _, m := range members {
+		for _, s := range []int{1, 3} {
+			for _, b := range []int{1, 8} {
+				opts := append([]Option{WithProcs(procs)}, m.opts...)
+				opts = append(opts, WithShards(s), WithBatch(b))
+				out = append(out, struct {
+					name string
+					opts []Option
+				}{
+					name: fmt.Sprintf("%s-s%d-b%d", m.name, s, b),
+					opts: opts,
+				})
+			}
+		}
+	}
+	return out
+}
+
 // TestMaxRegisterConformance is the same property for the max-register
 // family: every spec combination's reads stay inside the reported Bounds
 // relative to the window [max value whose Write completed before the
-// read, max value whose Write started before it returned].
+// read, max value whose Write started before it returned] — including
+// sharded registers (whose envelope must NOT widen with S) and elision
+// windows (whose headroom is the Buffer term). After all pooled handles
+// are released (which flushes elided writes), a quiescent read must
+// satisfy the envelope with the Buffer term dropped.
 func TestMaxRegisterConformance(t *testing.T) {
 	const procs = 5
 	const writers = procs - 1
@@ -150,15 +192,7 @@ func TestMaxRegisterConformance(t *testing.T) {
 		perG = 400
 	}
 	const bound = uint64(1) << 20
-	for _, spec := range []struct {
-		name string
-		opts []Option
-	}{
-		{"exact-unbounded", []Option{WithProcs(procs)}},
-		{"exact-bounded", []Option{WithProcs(procs), WithBound(bound)}},
-		{"mult3-unbounded", []Option{WithProcs(procs), WithAccuracy(Multiplicative(3))}},
-		{"mult3-bounded", []Option{WithProcs(procs), WithAccuracy(Multiplicative(3)), WithBound(bound)}},
-	} {
+	for _, spec := range maxRegSpecs(procs, bound) {
 		t.Run(spec.name, func(t *testing.T) {
 			r, err := NewMaxRegister(spec.opts...)
 			if err != nil {
@@ -191,6 +225,12 @@ func TestMaxRegisterConformance(t *testing.T) {
 						atomicMax(&startedMax, v)
 						h.Write(v)
 						atomicMax(&completedMax, v)
+						if j%7 == 0 {
+							// Non-monotone mix: a write of an already-dominated
+							// value must not move the maximum (and is elided
+							// for free by the sharded runtime).
+							h.Write(v / 2)
+						}
 					}
 				}()
 			}
@@ -228,10 +268,14 @@ func TestMaxRegisterConformance(t *testing.T) {
 				t.Fatal("reader performed no checks")
 			}
 
+			// All writer handles are released, so their elided writes are
+			// flushed: the envelope holds without the Buffer term.
+			flushed := bounds
+			flushed.Buffer = 0
 			trueMax := uint64(perG*writers + writers - 1)
 			r.Do(func(h MaxRegisterHandle) {
-				if x := h.Read(); !bounds.Contains(trueMax, x) {
-					t.Errorf("quiescent read %d outside envelope %+v of true max %d", x, bounds, trueMax)
+				if x := h.Read(); !flushed.Contains(trueMax, x) {
+					t.Errorf("quiescent read %d outside flushed envelope %+v of true max %d", x, flushed, trueMax)
 				}
 			})
 		})

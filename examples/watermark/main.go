@@ -1,4 +1,5 @@
-// Watermark: tracking high-water marks with approximate max registers.
+// Watermark: tracking high-water marks with approximate max registers on
+// the unified sharded runtime.
 //
 // A streaming pipeline processes records on parallel shards. Operators
 // want the largest observed record size (to size buffers), the highest
@@ -9,8 +10,16 @@
 // answers in O(log2 log2 m) shared steps instead of the exact register's
 // O(log2 m).
 //
-// The demo runs both registers side by side on the same stream and prints
-// values and step counts.
+// Since the runtime unification, max registers scale the same way
+// counters do: WithShards(S) spreads writes over S independent Algorithm
+// 2 instances (and the max over shards is still 2-accurate — max
+// composes with no envelope widening at all), and WithBatch(B) elides
+// writes within B-1 of a handle's last flushed value, so the fast path
+// of a watermark stream — values below the current high-water mark —
+// never touches shared memory.
+//
+// The demo runs the scaled approximate register and an exact baseline
+// side by side on the same stream and prints values and step counts.
 package main
 
 import (
@@ -23,18 +32,28 @@ import (
 )
 
 const (
-	shards = 8
-	k      = 2
-	bound  = uint64(1) << 32 // record sizes below 4 GiB
-	events = 200_000
+	workers = 8
+	k       = 2
+	bound   = uint64(1) << 32 // record sizes below 4 GiB
+	window  = 1024            // elision window: skip writes within 1023 of the mark
+	events  = 200_000
 )
 
 func main() {
-	approx, err := approxobj.NewBoundedMaxRegister(shards+1, bound, k)
+	approx, err := approxobj.NewMaxRegister(
+		approxobj.WithProcs(workers+1),
+		approxobj.WithAccuracy(approxobj.Multiplicative(k)),
+		approxobj.WithBound(bound),
+		approxobj.WithShards(4),
+		approxobj.WithBatch(window),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	exact, err := approxobj.NewExactBoundedMaxRegister(shards+1, bound)
+	exact, err := approxobj.NewMaxRegister(
+		approxobj.WithProcs(workers+1),
+		approxobj.WithBound(bound),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,7 +63,7 @@ func main() {
 		mu      sync.Mutex
 		trueMax uint64
 	)
-	for s := 0; s < shards; s++ {
+	for s := 0; s < workers; s++ {
 		wg.Add(1)
 		go func(slot int) {
 			defer wg.Done()
@@ -52,7 +71,7 @@ func main() {
 			he := exact.Handle(slot)
 			rng := rand.New(rand.NewSource(int64(slot) + 42))
 			localMax := uint64(0)
-			for i := 0; i < events/shards; i++ {
+			for i := 0; i < events/workers; i++ {
 				// Heavy-tailed record sizes: mostly small, occasional
 				// multi-hundred-MiB spikes.
 				size := uint64(rng.Int63n(1 << 16))
@@ -65,6 +84,10 @@ func main() {
 					localMax = size
 				}
 			}
+			// Publish any value still parked in the elision window before
+			// the goroutine abandons its handle (pooled handles would do
+			// this on release).
+			ha.(approxobj.BatchedMaxRegisterHandle).Flush()
 			mu.Lock()
 			if localMax > trueMax {
 				trueMax = localMax
@@ -74,19 +97,22 @@ func main() {
 	}
 	wg.Wait()
 
-	ra := approx.Handle(shards)
-	re := exact.Handle(shards)
+	ra := approx.Handle(workers)
+	re := exact.Handle(workers)
 	approxVal := ra.Read()
 	exactVal := re.Read()
 
 	fmt.Printf("true max record size : %d\n", trueMax)
 	fmt.Printf("exact register       : %d  (%d steps for 1 read)\n", exactVal, re.Steps())
-	fmt.Printf("approx register (k=%d): %d  (%d steps for 1 read)\n", k, approxVal, ra.Steps())
+	fmt.Printf("approx register (k=%d, S=%d, B=%d): %d  (%d steps for 1 read)\n",
+		k, approx.Shards(), approx.Batch(), approxVal, ra.Steps())
 	fmt.Printf("approx within factor : [%d, %d]\n", trueMax/k, trueMax*k)
 
 	if exactVal != trueMax {
 		log.Fatalf("exact register drifted: %d != %d", exactVal, trueMax)
 	}
+	// Every handle was flushed, so the Buffer headroom is gone and the
+	// pure k-multiplicative envelope applies — sharding added nothing.
 	if approxVal < trueMax/k || approxVal > trueMax*k {
 		log.Fatalf("approx register outside envelope")
 	}

@@ -114,11 +114,12 @@ func (h *pooledCounterHandle) retire() {
 }
 
 // Acquire borrows an exclusive handle from the register's slot pool,
-// blocking until a slot is free. The returned release function credits
-// the handle's steps and returns the slot; it is idempotent. The handle
-// must not be used after release. Steps() on a pooled handle is
-// cumulative over every previous owner of its slot — cost individual
-// operations as a before/after delta.
+// blocking until a slot is free. The returned release function flushes
+// any elided writes, credits the handle's steps to the object's
+// retired-step counter (see Registry snapshots), and returns the slot;
+// it is idempotent. The handle must not be used after release. Steps()
+// on a pooled handle is cumulative over every previous owner of its slot
+// — cost individual operations as a before/after delta.
 func (r *MaxRegister) Acquire() (MaxRegisterHandle, func()) {
 	return lease[*pooledMaxRegHandle](r, r.pool.Acquire())
 }
@@ -134,8 +135,8 @@ func (r *MaxRegister) TryAcquire() (h MaxRegisterHandle, release func(), ok bool
 	return h, release, true
 }
 
-// Do runs f with a pooled handle, releasing it when f returns. It blocks
-// until a slot is free.
+// Do runs f with a pooled handle, releasing it (and flushing elided
+// writes) when f returns. It blocks until a slot is free.
 func (r *MaxRegister) Do(f func(MaxRegisterHandle)) {
 	h, release := r.Acquire()
 	defer release()
@@ -149,22 +150,24 @@ func (r *MaxRegister) StepsRetired() uint64 { return r.retired.Load() }
 func (r *MaxRegister) handleCache() []*pooledMaxRegHandle { return r.handles }
 func (r *MaxRegister) releaseSlot(slot int)               { r.pool.Release(slot) }
 func (r *MaxRegister) newHandle(slot int) *pooledMaxRegHandle {
-	return &pooledMaxRegHandle{r: r, h: r.handleFor(slot)}
+	return &pooledMaxRegHandle{r: r, h: r.m.Handle(slot)}
 }
 
 // pooledMaxRegHandle wraps a slot's underlying handle with step
-// accounting across acquisitions.
+// accounting across acquisitions. It implements BatchedMaxRegisterHandle.
 type pooledMaxRegHandle struct {
 	r        *MaxRegister
-	h        MaxRegisterHandle
+	h        *shard.MaxRegHandle
 	credited uint64 // steps already added to r.retired
 }
 
 func (h *pooledMaxRegHandle) Write(v uint64) { h.h.Write(v) }
 func (h *pooledMaxRegHandle) Read() uint64   { return h.h.Read() }
 func (h *pooledMaxRegHandle) Steps() uint64  { return h.h.Steps() }
+func (h *pooledMaxRegHandle) Flush()         { h.h.Flush() }
 
 func (h *pooledMaxRegHandle) retire() {
+	h.h.Flush()
 	s := h.h.Steps()
 	h.r.retired.Add(s - h.credited)
 	h.credited = s

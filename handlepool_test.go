@@ -122,7 +122,9 @@ func TestDoBlocksUntilFree(t *testing.T) {
 
 // TestMaxRegisterPoolSoak is the max-register counterpart of the pool
 // soak: monotone writes through churning pooled handles, final read must
-// be the true maximum (exact register).
+// be the true maximum. The sharded/elided variant relies on release
+// flushing each handle's pending elided write — with exact accuracy and
+// every handle released, nothing may be stale.
 func TestMaxRegisterPoolSoak(t *testing.T) {
 	const slots = 3
 	const goroutines = 4 * slots
@@ -130,30 +132,40 @@ func TestMaxRegisterPoolSoak(t *testing.T) {
 	if testing.Short() {
 		iters = 50
 	}
-	r, err := NewMaxRegister(WithProcs(slots))
-	if err != nil {
-		t.Fatal(err)
-	}
-	var next atomic.Uint64
-	var wg sync.WaitGroup
-	for g := 0; g < goroutines; g++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := 0; i < iters; i++ {
-				v := next.Add(1)
-				r.Do(func(h MaxRegisterHandle) { h.Write(v) })
+	for _, tc := range []struct {
+		name string
+		opts []Option
+	}{
+		{"plain", []Option{WithProcs(slots)}},
+		{"sharded-elided", []Option{WithProcs(slots), WithShards(2), WithBatch(8)}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := NewMaxRegister(tc.opts...)
+			if err != nil {
+				t.Fatal(err)
 			}
-		}()
-	}
-	wg.Wait()
-	want := uint64(goroutines * iters)
-	r.Do(func(h MaxRegisterHandle) {
-		if got := h.Read(); got != want {
-			t.Errorf("exact max register Read = %d, want %d", got, want)
-		}
-	})
-	if r.StepsRetired() == 0 {
-		t.Error("released handles credited no steps")
+			var next atomic.Uint64
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						v := next.Add(1)
+						r.Do(func(h MaxRegisterHandle) { h.Write(v) })
+					}
+				}()
+			}
+			wg.Wait()
+			want := uint64(goroutines * iters)
+			r.Do(func(h MaxRegisterHandle) {
+				if got := h.Read(); got != want {
+					t.Errorf("exact max register Read = %d, want %d (release must flush elided writes)", got, want)
+				}
+			})
+			if r.StepsRetired() == 0 {
+				t.Error("released handles credited no steps")
+			}
+		})
 	}
 }

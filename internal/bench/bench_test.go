@@ -16,6 +16,7 @@ func TestAllExperimentsQuick(t *testing.T) {
 			if len(tables) == 0 {
 				t.Fatalf("%s produced no tables", exp.ID)
 			}
+			emitted := map[string]bool{}
 			for _, tb := range tables {
 				out := tb.String()
 				if !strings.Contains(out, tb.ID) || len(tb.Rows) == 0 {
@@ -25,6 +26,27 @@ func TestAllExperimentsQuick(t *testing.T) {
 					if len(row) != len(tb.Header) {
 						t.Fatalf("%s: row width %d != header width %d", tb.ID, len(row), len(tb.Header))
 					}
+				}
+				for _, r := range tb.Records {
+					emitted[r.Scenario] = true
+				}
+			}
+			// Declared and emitted record scenarios must match exactly:
+			// the experiment table is the single source of truth for the
+			// -json measurement trajectory. A scenario emitted but not
+			// declared would drop out of the trajectory contract the next
+			// time someone trims the table; a declared one not emitted is
+			// the silent-drop bug this guards against.
+			declared := map[string]bool{}
+			for _, sc := range exp.Scenarios {
+				declared[sc] = true
+				if !emitted[sc] {
+					t.Errorf("%s declares record scenario %q but emitted no records for it", exp.ID, sc)
+				}
+			}
+			for sc := range emitted {
+				if !declared[sc] {
+					t.Errorf("%s emitted records for scenario %q without declaring it in bench.All", exp.ID, sc)
 				}
 			}
 		})

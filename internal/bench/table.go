@@ -117,29 +117,38 @@ type Config struct {
 	Quick bool
 }
 
-// Experiment couples an ID with its generator and a one-line description
-// (printed by approxbench -list).
+// Experiment couples an ID with its generator, a one-line description
+// (printed by approxbench -list), and the record scenarios it contributes
+// to the -json measurement trajectory. Scenarios is the contract for the
+// trajectory: cmd/approxbench fails a run whose output is missing a
+// declared scenario, and the package tests assert that declarations and
+// emissions match exactly — so a new experiment (or a refactor of an old
+// one) cannot silently drop records from the trajectory, and the set of
+// tracked scenarios lives in this table rather than in a hand-kept list
+// somewhere downstream.
 type Experiment struct {
-	ID   string
-	Desc string
-	Run  func(cfg Config) ([]*Table, error)
+	ID        string
+	Desc      string
+	Scenarios []string // record scenarios emitted on every run (nil: table-only experiment)
+	Run       func(cfg Config) ([]*Table, error)
 }
 
 // All returns every experiment in presentation order.
 func All() []Experiment {
 	return []Experiment{
-		{ID: "e1", Desc: "amortized step complexity of the k-multiplicative counter (Thm III.9)", Run: E1Amortized},
+		{ID: "e1", Desc: "amortized step complexity of the k-multiplicative counter (Thm III.9)", Scenarios: []string{"E1a"}, Run: E1Amortized},
 		{ID: "e2", Desc: "awareness propagation under the deterministic scheduler", Run: E2Awareness},
 		{ID: "e3", Desc: "bounded max-register worst-case steps, exact vs approximate (Thm IV.2)", Run: E3MaxRegWorstCase},
 		{ID: "e4", Desc: "perturbation lower-bound construction for max registers", Run: E4PerturbMaxReg},
 		{ID: "e5", Desc: "perturbation lower-bound construction for counters", Run: E5PerturbCounter},
-		{ID: "e7", Desc: "concurrent throughput, approximate vs exact counters", Run: E7Throughput},
+		{ID: "e7", Desc: "concurrent throughput, approximate vs exact counters", Scenarios: []string{"E7"}, Run: E7Throughput},
 		{ID: "e8", Desc: "unbounded max-register step growth", Run: E8UnboundedMaxReg},
 		{ID: "e9", Desc: "Claim III.6 boundary gap: verbatim vs repaired thresholds", Run: E9Boundary},
 		{ID: "e10", Desc: "additive-accuracy counter costs", Run: E10Additive},
 		{ID: "e11", Desc: "randomized baseline comparison (Morris counter)", Run: E11Randomized},
-		{ID: "e12", Desc: "sharded counter scaling: shards x batch sweep via the spec API", Run: E12Sharded},
-		{ID: "e13", Desc: "registry + pooled handles under mixed traffic with concurrent snapshots", Run: E13Registry},
+		{ID: "e12", Desc: "sharded counter scaling: shards x batch sweep via the spec API", Scenarios: []string{"E12"}, Run: E12Sharded},
+		{ID: "e13", Desc: "registry + pooled handles under mixed traffic with concurrent snapshots", Scenarios: []string{"E13"}, Run: E13Registry},
+		{ID: "e14", Desc: "sharded max-register scaling: shards x elision-window sweep via the spec API", Scenarios: []string{"E14"}, Run: E14ShardedMaxReg},
 		{ID: "f1", Desc: "Figure 1 read-case trace reproduction", Run: F1ReadCases},
 	}
 }

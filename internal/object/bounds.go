@@ -10,9 +10,12 @@ import "approxobj/internal/satmath"
 // Mult is the multiplicative factor (1 for exact objects), Add the
 // additive slack (0 for exact and multiplicative objects; the summed
 // per-shard slack for sharded additive counters), and Buffer the maximum
-// number of increments that may be parked in handle-local batch buffers
-// system-wide (0 for unbatched objects and max registers). Exact objects
-// report the zero envelope {Mult: 1, Add: 0, Buffer: 0}.
+// amount by which reads may trail the true value because of handle-local
+// buffering: (B-1)·n increments parked in counter batch buffers
+// system-wide, or B-1 of max-register write-elision headroom (per
+// handle — the maximum lives in one handle). Unbatched objects have
+// Buffer 0; exact objects report the zero envelope
+// {Mult: 1, Add: 0, Buffer: 0}.
 type Bounds struct {
 	Mult   uint64
 	Add    uint64

@@ -48,6 +48,55 @@ func TestPoolPanics(t *testing.T) {
 	mustPanic("double release", func() { p.Release(0) }) // pool is full: 0 was never acquired
 }
 
+// TestPoolDoubleReleaseWhileOtherHeld is the regression test for the
+// exclusivity hole: releasing slot A twice while slot B is still held used
+// to succeed silently (the free list had room for the duplicate), putting
+// A in the hands of two goroutines at once. With the held-slot bitset the
+// second release must panic immediately.
+func TestPoolDoubleReleaseWhileOtherHeld(t *testing.T) {
+	p := pool.New(2)
+	a := p.Acquire()
+	b := p.Acquire() // keeps the free list non-full across the double release
+	p.Release(a)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("double release of slot %d while slot %d is held did not panic", a, b)
+			}
+		}()
+		p.Release(a)
+	}()
+	// The pool must still be consistent: exactly one copy of A free, B held.
+	if p.Free() != 1 {
+		t.Fatalf("Free = %d after double release attempt, want 1", p.Free())
+	}
+	got, ok := p.TryAcquire()
+	if !ok || got != a {
+		t.Fatalf("TryAcquire = %d, %v; want %d, true", got, ok, a)
+	}
+	if _, ok := p.TryAcquire(); ok {
+		t.Fatal("TryAcquire found a third slot in a 2-slot pool")
+	}
+	p.Release(got)
+	p.Release(b)
+}
+
+// TestPoolHeld pins the diagnostic view of the bitset.
+func TestPoolHeld(t *testing.T) {
+	p := pool.New(3)
+	s := p.Acquire()
+	if !p.Held(s) {
+		t.Errorf("Held(%d) = false while checked out", s)
+	}
+	p.Release(s)
+	if p.Held(s) {
+		t.Errorf("Held(%d) = true after release", s)
+	}
+	if p.Held(-1) || p.Held(3) {
+		t.Error("Held out of range must be false")
+	}
+}
+
 // TestPoolSoak churns Acquire/Release from far more goroutines than slots
 // and asserts mutual exclusion per slot: a per-slot atomic flag is CASed
 // 0->1 on acquire and 1->0 on release, so any double ownership trips the

@@ -33,8 +33,19 @@ func SquareAtLeast(k, n uint64) bool {
 	return Mul(k, k) >= n
 }
 
-// Pow returns k^e with saturation at MaxUint64.
+// Pow returns k^e with saturation at MaxUint64 (with the convention
+// 0^0 = 1). It short-circuits as soon as the result can no longer change
+// — k in {0, 1} is a fixed point after the first multiplication, and any
+// k >= 2 saturates within 64 squarings — so the loop is O(min(e, 64))
+// rather than O(e); Pow(1, math.MaxUint64) used to spin for 2^64
+// iterations.
 func Pow(k, e uint64) uint64 {
+	if e == 0 {
+		return 1
+	}
+	if k <= 1 {
+		return k // 0^e = 0, 1^e = 1 for e >= 1
+	}
 	r := uint64(1)
 	for ; e > 0; e-- {
 		r = Mul(r, k)

@@ -1,0 +1,273 @@
+package shard
+
+import (
+	"fmt"
+
+	"approxobj/internal/core"
+	"approxobj/internal/maxreg"
+	"approxobj/internal/object"
+	"approxobj/internal/prim"
+)
+
+// MaxRegBackend constructs one shard's underlying max register and
+// declares its per-shard accuracy envelope. The four backends cover the
+// repository's max-register families: the exact bounded tree of [8], the
+// exact unbounded epoch construction, and the paper's Algorithm 2
+// (k-multiplicative), bounded and unbounded.
+type MaxRegBackend struct {
+	name string
+	// bound is the value bound m (writes must be < m), 0 for unbounded
+	// backends. The runtime checks it before elision so an out-of-range
+	// write panics even when it would otherwise be elided.
+	bound uint64
+	// mult is the per-shard multiplicative accuracy for parameter k
+	// (1 for exact backends).
+	mult func(k uint64) uint64
+	// make builds the shard over its own factory.
+	make func(f *prim.Factory, k uint64) (object.MaxReg, error)
+}
+
+// Name returns the backend's name (for tables and error messages).
+func (b MaxRegBackend) Name() string { return b.name }
+
+// Bound returns the backend's value bound m, or 0 for unbounded backends.
+func (b MaxRegBackend) Bound() uint64 { return b.bound }
+
+// ExactMaxBackend shards the exact unbounded max register (the epoch
+// construction over the tree of [8]): the max over shards is exact.
+func ExactMaxBackend() MaxRegBackend {
+	return MaxRegBackend{
+		name: "exact-unbounded",
+		mult: func(uint64) uint64 { return 1 },
+		make: func(f *prim.Factory, _ uint64) (object.MaxReg, error) {
+			return maxreg.NewUnbounded(f, maxreg.ExactFactory)
+		},
+	}
+}
+
+// ExactBoundedMaxBackend shards the exact m-bounded tree register of [8]:
+// worst-case ceil(log2 m) steps per shard operation, exact reads.
+func ExactBoundedMaxBackend(m uint64) MaxRegBackend {
+	return MaxRegBackend{
+		name:  "exact-bounded",
+		bound: m,
+		mult:  func(uint64) uint64 { return 1 },
+		make: func(f *prim.Factory, _ uint64) (object.MaxReg, error) {
+			return maxreg.NewBounded(f, m)
+		},
+	}
+}
+
+// MultMaxBackend shards the unbounded k-multiplicative register (Algorithm
+// 2 plugged into the epoch construction): each shard is k-accurate, and so
+// is the max.
+func MultMaxBackend() MaxRegBackend {
+	return MaxRegBackend{
+		name: "mult-unbounded",
+		mult: func(k uint64) uint64 { return k },
+		make: func(f *prim.Factory, k uint64) (object.MaxReg, error) {
+			return core.NewKMultUnboundedMaxReg(f, k)
+		},
+	}
+}
+
+// MultBoundedMaxBackend shards the paper's Algorithm 2 (core.KMultMaxReg):
+// k-multiplicative m-bounded, O(min(log2 log_k m, n)) worst-case steps per
+// shard operation.
+func MultBoundedMaxBackend(m uint64) MaxRegBackend {
+	return MaxRegBackend{
+		name:  "mult-bounded",
+		bound: m,
+		mult:  func(k uint64) uint64 { return k },
+		make: func(f *prim.Factory, k uint64) (object.MaxReg, error) {
+			return core.NewKMultMaxReg(f, m, k)
+		},
+	}
+}
+
+// MaxRegOption configures a sharded max register.
+type MaxRegOption func(*maxRegConfig)
+
+type maxRegConfig struct {
+	shards  int
+	batch   int
+	backend MaxRegBackend
+}
+
+// MaxRegShards sets the shard count S (default 1). Writes spread across
+// shards by handle affinity; reads cost one underlying read per shard and
+// take the max — which, unlike the counter's sum, composes with NO
+// envelope widening for any backend (see the package comment).
+func MaxRegShards(s int) MaxRegOption { return func(c *maxRegConfig) { c.shards = s } }
+
+// MaxRegBatch sets the per-handle write-elision window B (default 1). A
+// handle remembers the last value it flushed to its home shard and elides
+// — skips entirely, touching no shared memory — any write within B-1 of
+// it (writes at or below the flushed value are always elided: the shard
+// already holds a value at least as large, so they cost nothing at any
+// B). The highest elided value is kept locally and published by Flush, so
+// readers lag the true maximum by at most B-1; MaxReg.Bounds reports that
+// headroom as the Buffer term.
+func MaxRegBatch(b int) MaxRegOption { return func(c *maxRegConfig) { c.batch = b } }
+
+// WithMaxRegBackend selects the per-shard max-register implementation
+// (default ExactMaxBackend).
+func WithMaxRegBackend(b MaxRegBackend) MaxRegOption {
+	return func(c *maxRegConfig) { c.backend = b }
+}
+
+// MaxReg is the sharded max register: S independently accurate shards
+// combined by taking the max. Create handles with Handle; the zero value
+// is not usable.
+type MaxReg struct {
+	rt      *runtime[object.MaxReg]
+	k       uint64
+	batch   uint64
+	backend MaxRegBackend
+}
+
+// NewMaxReg creates a sharded max register for n process slots with
+// accuracy parameter k (ignored by exact backends), configured by opts.
+// Each shard is built over its own n-slot prim.Factory, so any handle can
+// read every shard.
+func NewMaxReg(n int, k uint64, opts ...MaxRegOption) (*MaxReg, error) {
+	cfg := maxRegConfig{shards: 1, batch: 1, backend: ExactMaxBackend()}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.batch < 1 {
+		return nil, errBatch(cfg.batch)
+	}
+	// Legal writes satisfy v < m, so the largest is m-1: an elision window
+	// of B-1 >= m-1 (i.e. B >= m) would swallow every legal write.
+	if cfg.backend.bound > 0 && uint64(cfg.batch) >= cfg.backend.bound {
+		return nil, fmt.Errorf("shard: batch %d exceeds the %d-bounded register's value range", cfg.batch, cfg.backend.bound)
+	}
+	rt, err := newRuntime(cfg.backend.name, n, cfg.shards, func(f *prim.Factory) (object.MaxReg, error) {
+		return cfg.backend.make(f, k)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &MaxReg{rt: rt, k: k, batch: uint64(cfg.batch), backend: cfg.backend}, nil
+}
+
+// N returns the number of process slots.
+func (m *MaxReg) N() int { return m.rt.n }
+
+// K returns the accuracy parameter passed to the backend.
+func (m *MaxReg) K() uint64 { return m.k }
+
+// Shards returns the shard count S.
+func (m *MaxReg) Shards() int { return len(m.rt.shards) }
+
+// Batch returns the per-handle write-elision window B (1 means every
+// value-raising write is flushed immediately).
+func (m *MaxReg) Batch() uint64 { return m.batch }
+
+// Backend returns the configured backend.
+func (m *MaxReg) Backend() MaxRegBackend { return m.backend }
+
+// Bounds returns the combined read envelope for this configuration:
+// Mult is the backend's per-shard factor (sharding adds nothing — the max
+// over shards is the global max), and Buffer is the write-elision
+// headroom B-1. Unlike counter batching, the headroom is per handle, NOT
+// multiplied by n: the true maximum is held by one handle, whose flushed
+// value trails it by at most B-1.
+func (m *MaxReg) Bounds() Bounds {
+	return Bounds{
+		Mult:   m.backend.mult(m.k),
+		Buffer: m.batch - 1,
+	}
+}
+
+// Handle binds process slot i (0 <= i < n) to the register. The handle
+// writes to shard i mod S and reads all shards through slot i of each
+// shard's factory. Like every handle in this repository it must be used
+// by a single goroutine.
+func (m *MaxReg) Handle(i int) *MaxRegHandle {
+	procs := m.rt.slotProcs(i)
+	h := &MaxRegHandle{
+		m:       m,
+		readers: make([]object.MaxRegHandle, len(m.rt.shards)),
+		procs:   procs,
+	}
+	for s := range m.rt.shards {
+		h.readers[s] = m.rt.shards[s].MaxRegHandle(procs[s])
+	}
+	h.home = h.readers[m.rt.home(i)]
+	return h
+}
+
+// MaxRegHandle is one process's view of the sharded max register. It
+// satisfies the public MaxRegisterHandle interface (Write, Read, Steps)
+// and adds Flush for publishing elided writes before quiescent reads.
+type MaxRegHandle struct {
+	m       *MaxReg
+	home    object.MaxRegHandle
+	readers []object.MaxRegHandle
+	procs   []*prim.Proc
+	// flushed is the highest value this handle has written through to its
+	// home shard; pending the highest elided value above it (0 = none).
+	flushed uint64
+	pending uint64
+}
+
+var _ object.MaxRegHandle = (*MaxRegHandle)(nil)
+
+// Write records v. Writes at or below the handle's last flushed value are
+// always elided for free (the home shard already holds at least that
+// much); with MaxRegBatch(B > 1), writes within B-1 above it are elided
+// too, kept locally as the pending maximum until a larger write or Flush
+// publishes them. On bounded backends, v >= m panics regardless of
+// elision, like an out-of-range slice index.
+func (h *MaxRegHandle) Write(v uint64) {
+	if b := h.m.backend.bound; b > 0 && v >= b {
+		panic(fmt.Sprintf("shard: write %d out of range of %d-bounded max register", v, b))
+	}
+	if v <= h.flushed {
+		return // subsumed: the home shard already holds >= v
+	}
+	if v-h.flushed < h.m.batch {
+		// Elide: v trails a future flush by at most B-1, the staleness
+		// Bounds' Buffer term promises.
+		if v > h.pending {
+			h.pending = v
+		}
+		return
+	}
+	h.home.Write(v)
+	h.flushed = v
+	h.pending = 0 // pending < flushed + B <= v: subsumed by this write
+}
+
+// Flush publishes the pending elided maximum to the home shard. It is a
+// no-op when nothing is pending.
+func (h *MaxRegHandle) Flush() {
+	if h.pending > h.flushed {
+		h.home.Write(h.pending)
+		h.flushed = h.pending
+	}
+	h.pending = 0
+}
+
+// Read takes the max over one read of every shard. The result is inside
+// the envelope MaxReg.Bounds describes, relative to the regularity window
+// of the package comment.
+func (h *MaxRegHandle) Read() uint64 {
+	var max uint64
+	for _, r := range h.readers {
+		if v := r.Read(); v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Steps returns the shared-memory steps this handle's process slot has
+// taken across all shards.
+func (h *MaxRegHandle) Steps() uint64 { return stepsOf(h.procs) }
+
+// Pending returns the highest locally elided, not yet flushed value
+// (diagnostic; 0 when nothing is pending).
+func (h *MaxRegHandle) Pending() uint64 { return h.pending }

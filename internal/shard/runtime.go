@@ -1,0 +1,76 @@
+package shard
+
+import (
+	"fmt"
+
+	"approxobj/internal/prim"
+)
+
+// runtime is the kind-agnostic core of the sharded-object runtime: S
+// independent instances of one underlying object ("shards"), each built
+// over its own n-slot prim.Factory so that any process slot can reach
+// every shard. Counter and MaxReg share it — what differs per kind is
+// only how a handle routes mutations to its home shard (increment
+// batching for counters, write elision for max registers) and how a read
+// combines the shards (sum vs. max).
+type runtime[O any] struct {
+	n      int
+	shards []O
+	facts  []*prim.Factory
+}
+
+// newRuntime builds S shards of n slots each via mk. kind names the
+// backend in construction errors.
+func newRuntime[O any](kind string, n, shards int, mk func(f *prim.Factory) (O, error)) (*runtime[O], error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: need at least one process slot, got %d", n)
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("shard: shard count must be >= 1, got %d", shards)
+	}
+	rt := &runtime[O]{
+		n:      n,
+		shards: make([]O, shards),
+		facts:  make([]*prim.Factory, shards),
+	}
+	for s := range rt.shards {
+		f := prim.NewFactory(n)
+		o, err := mk(f)
+		if err != nil {
+			return nil, fmt.Errorf("shard: building shard %d/%d (%s): %w", s, shards, kind, err)
+		}
+		rt.facts[s] = f
+		rt.shards[s] = o
+	}
+	return rt, nil
+}
+
+// slotProcs binds process slot i to every shard's factory (panics on
+// out-of-range i, like Factory.Proc). The proc at index s drives shard s.
+func (rt *runtime[O]) slotProcs(i int) []*prim.Proc {
+	procs := make([]*prim.Proc, len(rt.facts))
+	for s, f := range rt.facts {
+		procs[s] = f.Proc(i)
+	}
+	return procs
+}
+
+// home returns the home shard of slot i (handle affinity: a handle's
+// mutations all land on shard i mod S, keeping its cache traffic within
+// one shard's base objects).
+func (rt *runtime[O]) home(i int) int { return i % len(rt.shards) }
+
+// errBatch rejects non-positive per-handle buffer sizes (shared by both
+// kinds' constructors).
+func errBatch(b int) error {
+	return fmt.Errorf("shard: batch size must be >= 1, got %d", b)
+}
+
+// stepsOf sums the shared-memory steps a slot has taken across all shards.
+func stepsOf(procs []*prim.Proc) uint64 {
+	var steps uint64
+	for _, p := range procs {
+		steps += p.Steps()
+	}
+	return steps
+}

@@ -1,61 +1,79 @@
-// Package shard implements a sharded concurrent counter runtime: S
-// independently accurate counter shards behind one counter façade, with
-// handle-affinity placement and optional per-handle increment batching.
-// It is the scaling seam between the paper-faithful single objects
-// (internal/core, internal/counter) and a serving workload where every
-// process hammering one object is the bottleneck.
+// Package shard implements the sharded-object runtime: S independently
+// accurate shards of one object kind behind a single façade, with
+// handle-affinity placement of mutations and a per-handle local buffer
+// that keeps most mutations out of shared memory entirely. It is the
+// scaling seam between the paper-faithful single objects (internal/core,
+// internal/counter, internal/maxreg) and a serving workload where every
+// process hammering one object is the bottleneck. Both public object
+// families run on it: counters (Counter: increments spread over shards,
+// reads sum) and max registers (MaxReg: writes spread over shards, reads
+// take the max).
 //
 // # Construction
 //
-// A sharded counter for n process slots is S underlying counters ("shards"),
-// each built over its own prim.Factory with n slots. Handle i increments
-// only its home shard i mod S (handle affinity: an incrementer's cache
-// traffic stays within one shard's base objects), and reads by summing one
-// read of every shard. Optionally each handle buffers B increments locally
-// and flushes them to the home shard in one bulk operation
-// (object.BulkCounterHandle when the backend supports it), so B-1 of every
-// B Incs touch no shared memory at all.
+// A sharded object for n process slots is S underlying objects ("shards"),
+// each built over its own prim.Factory with n slots. Handle i mutates
+// only its home shard i mod S (handle affinity: a mutator's cache
+// traffic stays within one shard's base objects), and reads combine one
+// read of every shard — a sum for counters, a max for max registers.
+// Optionally each handle buffers mutations locally: a counter handle
+// buffers B increments and flushes them in one bulk operation
+// (object.BulkCounterHandle when the backend supports it), and a max
+// register handle elides writes within B-1 of its last flushed value
+// (see MaxReg), so most mutations touch no shared memory at all.
 //
 // # Accuracy composition
 //
 // The combined read stays accurate because both accuracy relaxations in
-// this repository compose additively over a partition of the increments:
+// this repository compose over a partition of the operations:
 //
-//   - Multiplicative: if shard s holds v_s increments and its read returns
-//     x_s with v_s/k <= x_s <= k*v_s, then summing over shards gives
-//     (Σ v_s)/k <= Σ x_s <= k*(Σ v_s), because both envelope bounds are
-//     linear in v_s. The sum of S k-multiplicative-accurate shards is
-//     therefore still k-multiplicative-accurate — independent of S.
-//   - Additive: if each shard read errs by at most ±a, the sum errs by at
-//     most ±S*a. Sharding an additive-accurate backend widens the envelope
-//     by the shard count.
-//   - Batching: a handle buffers at most B-1 increments between flushes, so
-//     at most U = (B-1)*n increments are locally buffered system-wide.
-//     Buffered increments are invisible to readers, which only lowers
-//     reads: against the true count v the shards jointly hold w >= v - U
-//     applied increments, giving x >= (v-U)/M - A while the upper bound
-//     x <= M*v + A is unaffected.
+//   - Multiplicative counters: if shard s holds v_s increments and its
+//     read returns x_s with v_s/k <= x_s <= k*v_s, then summing over
+//     shards gives (Σ v_s)/k <= Σ x_s <= k*(Σ v_s), because both envelope
+//     bounds are linear in v_s. The sum of S k-multiplicative-accurate
+//     shards is therefore still k-multiplicative-accurate — independent
+//     of S.
+//   - Additive counters: if each shard read errs by at most ±a, the sum
+//     errs by at most ±S*a. Sharding an additive-accurate backend widens
+//     the envelope by the shard count.
+//   - Max registers: the max over shards IS the global max, so per-shard
+//     envelopes carry over with no widening at all — even better than
+//     counting. If the true global max v lives in shard s, that shard's
+//     read returns x_s >= v/k, so the combined max is >= v/k; and every
+//     shard's read is <= k * (its own max) <= k*v, so the combined max is
+//     <= k*v. S does not appear.
+//   - Counter batching: a handle buffers at most B-1 increments between
+//     flushes, so at most U = (B-1)*n increments are locally buffered
+//     system-wide. Buffered increments are invisible to readers, which
+//     only lowers reads: against the true count v the shards jointly hold
+//     w >= v - U applied increments, giving x >= (v-U)/M - A while the
+//     upper bound x <= M*v + A is unaffected.
+//   - Max-register write elision: a handle skips the shared write when
+//     the value is within B-1 of its last flushed value, so the shards
+//     may lag the true maximum v by at most U = B-1 — per handle, NOT
+//     times n, because the maximum is held by ONE handle, and that
+//     handle's flushed value is >= v - (B-1). Reads may therefore be
+//     stale by at most B-1 below v; the upper bound is unaffected.
 //
-// Bounds carries the resulting envelope (M, A, U) and Counter.Bounds
-// reports it for the configured backend, shard count, and batch size; the
-// package's property tests assert it against concurrent executions.
+// Bounds carries the resulting envelope (M, A, U) and Counter.Bounds /
+// MaxReg.Bounds report it for the configured backend, shard count, and
+// batch size; the package's property tests assert it against concurrent
+// executions.
 //
 // # Consistency
 //
 // Each shard is linearizable on its own, but the combined Read is a
-// collect over shards: increments landing in an already-summed shard while
-// the read is still visiting later shards are missed. The combined counter
+// collect over shards: mutations landing in an already-visited shard while
+// the read is still visiting later shards are missed. The combined object
 // is therefore regular rather than linearizable — a Read overlapping
-// increments returns a value inside the envelope of some count v between
-// the increments completed before the Read started and those started
-// before it returned. Counters are monotone, so this is the same guarantee
-// a retry-free client can observe anyway, and the soak tests in this
-// package validate exactly this window.
+// mutations returns a value inside the envelope of some true value v
+// between the mutations completed before the Read started and those
+// started before it returned. Counters and max registers are monotone, so
+// this is the same guarantee a retry-free client can observe anyway, and
+// the soak tests in this package validate exactly this window.
 package shard
 
 import (
-	"fmt"
-
 	"approxobj/internal/core"
 	"approxobj/internal/counter"
 	"approxobj/internal/object"
@@ -144,26 +162,24 @@ func Batch(b int) Option { return func(c *config) { c.batch = b } }
 // MultBackend).
 func WithBackend(b Backend) Option { return func(c *config) { c.backend = b } }
 
-// Bounds is the documented read envelope of a sharded counter: against a
-// true count v, a Read may return any x with
+// Bounds is the documented read envelope of a sharded object: against a
+// true value v, a Read may return any x with
 //
 //	(v - Buffer)/Mult - Add <= x <= Mult*v + Add.
 //
 // It is the universal envelope type of internal/object, aliased here
 // because the sharded runtime is where all three terms (multiplicative
-// factor, summed per-shard additive slack, handle-buffered increments)
+// factor, summed per-shard additive slack, handle-buffered mutations)
 // first compose.
 type Bounds = object.Bounds
 
 // Counter is the sharded counter: S independently accurate shards summed
 // by readers. Create handles with Handle; the zero value is not usable.
 type Counter struct {
-	n       int
+	rt      *runtime[object.Counter]
 	k       uint64
 	batch   uint64
 	backend Backend
-	shards  []object.Counter
-	facts   []*prim.Factory
 }
 
 // New creates a sharded counter for n process slots with accuracy
@@ -175,43 +191,26 @@ func New(n int, k uint64, opts ...Option) (*Counter, error) {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	if n < 1 {
-		return nil, fmt.Errorf("shard: need at least one process slot, got %d", n)
-	}
-	if cfg.shards < 1 {
-		return nil, fmt.Errorf("shard: shard count must be >= 1, got %d", cfg.shards)
-	}
 	if cfg.batch < 1 {
-		return nil, fmt.Errorf("shard: batch size must be >= 1, got %d", cfg.batch)
+		return nil, errBatch(cfg.batch)
 	}
-	c := &Counter{
-		n:       n,
-		k:       k,
-		batch:   uint64(cfg.batch),
-		backend: cfg.backend,
-		shards:  make([]object.Counter, cfg.shards),
-		facts:   make([]*prim.Factory, cfg.shards),
+	rt, err := newRuntime(cfg.backend.name, n, cfg.shards, func(f *prim.Factory) (object.Counter, error) {
+		return cfg.backend.make(f, k)
+	})
+	if err != nil {
+		return nil, err
 	}
-	for s := range c.shards {
-		f := prim.NewFactory(n)
-		sc, err := cfg.backend.make(f, k)
-		if err != nil {
-			return nil, fmt.Errorf("shard: building shard %d/%d (%s): %w", s, cfg.shards, cfg.backend.name, err)
-		}
-		c.facts[s] = f
-		c.shards[s] = sc
-	}
-	return c, nil
+	return &Counter{rt: rt, k: k, batch: uint64(cfg.batch), backend: cfg.backend}, nil
 }
 
 // N returns the number of process slots.
-func (c *Counter) N() int { return c.n }
+func (c *Counter) N() int { return c.rt.n }
 
 // K returns the accuracy parameter passed to the backend.
 func (c *Counter) K() uint64 { return c.k }
 
 // Shards returns the shard count S.
-func (c *Counter) Shards() int { return len(c.shards) }
+func (c *Counter) Shards() int { return len(c.rt.shards) }
 
 // Batch returns the per-handle buffer size B (1 means unbuffered).
 func (c *Counter) Batch() uint64 { return c.batch }
@@ -224,8 +223,8 @@ func (c *Counter) Backend() Backend { return c.backend }
 func (c *Counter) Bounds() Bounds {
 	return Bounds{
 		Mult:   c.backend.mult(c.k),
-		Add:    satmath.Mul(uint64(len(c.shards)), c.backend.add(c.k)),
-		Buffer: satmath.Mul(c.batch-1, uint64(c.n)),
+		Add:    satmath.Mul(uint64(len(c.rt.shards)), c.backend.add(c.k)),
+		Buffer: satmath.Mul(c.batch-1, uint64(c.rt.n)),
 	}
 }
 
@@ -234,17 +233,16 @@ func (c *Counter) Bounds() Bounds {
 // shard's factory. Like every handle in this repository it must be used by
 // a single goroutine.
 func (c *Counter) Handle(i int) *Handle {
+	procs := c.rt.slotProcs(i)
 	h := &Handle{
 		c:       c,
-		readers: make([]object.CounterHandle, len(c.shards)),
-		procs:   make([]*prim.Proc, len(c.shards)),
+		readers: make([]object.CounterHandle, len(c.rt.shards)),
+		procs:   procs,
 	}
-	for s := range c.shards {
-		p := c.facts[s].Proc(i) // panics on out-of-range i, like Factory.Proc
-		h.procs[s] = p
-		h.readers[s] = c.shards[s].CounterHandle(p)
+	for s := range c.rt.shards {
+		h.readers[s] = c.rt.shards[s].CounterHandle(procs[s])
 	}
-	home := h.readers[i%len(c.shards)]
+	home := h.readers[c.rt.home(i)]
 	h.home = home
 	h.homeBulk, _ = home.(object.BulkCounterHandle)
 	return h
@@ -305,13 +303,7 @@ func (h *Handle) Read() uint64 {
 
 // Steps returns the shared-memory steps this handle's process slot has
 // taken across all shards.
-func (h *Handle) Steps() uint64 {
-	var steps uint64
-	for _, p := range h.procs {
-		steps += p.Steps()
-	}
-	return steps
-}
+func (h *Handle) Steps() uint64 { return stepsOf(h.procs) }
 
 // Pending returns the number of locally buffered increments (diagnostic).
 func (h *Handle) Pending() uint64 { return h.pending }

@@ -111,9 +111,9 @@ type ObjectSnapshot struct {
 	Name string
 	Kind Kind
 	// Value is the object's current reading, taken through the registry's
-	// reserved snapshot slot. It obeys Bounds against the true value (for
-	// counters, increments still parked in unreleased batch buffers fall
-	// under the Buffer term).
+	// reserved snapshot slot. It obeys Bounds against the true value
+	// (mutations still parked in unreleased handles — batched increments,
+	// elided max-register writes — fall under the Buffer term).
 	Value uint64
 	// Bounds is the object's accuracy envelope.
 	Bounds Bounds

@@ -102,11 +102,10 @@ type Spec struct {
 	batch  int
 	bound  uint64
 
-	// option provenance, so validation can distinguish "defaulted" from
-	// "explicitly set" when rejecting inapplicable options.
-	shardsSet bool
-	batchSet  bool
-	boundSet  bool
+	// option provenance, so validation and backend selection can
+	// distinguish "defaulted" from "explicitly set" (WithBound(0) is not
+	// the same as no bound).
+	boundSet bool
 
 	// snapshotSlot reserves one extra process slot (index procs) for the
 	// registry's Snapshot reads; see Registry.
@@ -124,10 +123,11 @@ func (s Spec) Procs() int { return s.procs }
 // Accuracy returns the accuracy selection.
 func (s Spec) Accuracy() Accuracy { return s.acc }
 
-// Shards returns the shard count (counters; 1 when unsharded).
+// Shards returns the shard count (1 when unsharded).
 func (s Spec) Shards() int { return s.shards }
 
-// Batch returns the per-handle increment buffer size (counters; 1 when
+// Batch returns the per-handle buffer size: the increment buffer for
+// counters, the write-elision window for max registers (1 when
 // unbuffered).
 func (s Spec) Batch() int { return s.batch }
 
@@ -152,12 +152,15 @@ func (s Spec) sameObject(t Spec) bool {
 }
 
 // String renders the spec compactly, e.g.
-// "counter{procs: 8, multiplicative(4), shards: 4, batch: 16}".
+// "counter{procs: 8, multiplicative(4), shards: 4, batch: 16}". Both
+// kinds render shards/batch when they deviate from the unscaled default
+// (counters always do, for continuity with earlier releases).
 func (s Spec) String() string {
 	out := fmt.Sprintf("%s{procs: %d, %s", s.kind, s.procs, s.acc)
-	if s.kind == KindCounter {
+	if s.kind == KindCounter || s.shards != 1 || s.batch != 1 {
 		out += fmt.Sprintf(", shards: %d, batch: %d", s.shards, s.batch)
-	} else if s.bound > 0 {
+	}
+	if s.kind == KindMaxRegister && s.bound > 0 {
 		out += fmt.Sprintf(", bound: %d", s.bound)
 	}
 	return out + "}"
@@ -178,26 +181,26 @@ func WithProcs(n int) Option { return func(s *Spec) { s.procs = n } }
 // Exact, Additive, and Multiplicative.
 func WithAccuracy(a Accuracy) Option { return func(s *Spec) { s.acc = a } }
 
-// WithShards sets the shard count S for counters (default 1): S
-// independently accurate shards summed by readers, spreading increment
-// contention without widening a multiplicative envelope (an additive
-// envelope widens to S*k; see internal/shard).
+// WithShards sets the shard count S (default 1): S independently accurate
+// shards combined by readers, spreading mutation contention across
+// disjoint base objects. Counter reads sum the shards (no widening of a
+// multiplicative envelope; an additive envelope widens to S*k); max
+// register reads take the max over shards, which widens NO envelope at
+// all — the max over shards is the global max. See internal/shard.
 func WithShards(n int) Option {
-	return func(s *Spec) {
-		s.shards = n
-		s.shardsSet = true
-	}
+	return func(s *Spec) { s.shards = n }
 }
 
-// WithBatch sets the per-handle increment buffer B for counters (default
-// 1, unbuffered): B-1 of every B Incs touch no shared memory, at the cost
-// of up to (B-1)·n increments being invisible to readers between flushes
-// (the Buffer term of Bounds). Releasing a pooled handle flushes it.
+// WithBatch sets the per-handle buffer B (default 1, unbuffered). For
+// counters it buffers increments: B-1 of every B Incs touch no shared
+// memory, at the cost of up to (B-1)·n increments being invisible to
+// readers between flushes (the Buffer term of Bounds). For max registers
+// it is the write-elision window: a handle skips the shared write when
+// the value is within B-1 of its last flushed one, so reads may trail the
+// true maximum by at most B-1 (per handle, not times n — the maximum
+// lives in one handle). Releasing a pooled handle flushes either kind.
 func WithBatch(b int) Option {
-	return func(s *Spec) {
-		s.batch = b
-		s.batchSet = true
-	}
+	return func(s *Spec) { s.batch = b }
 }
 
 // WithBound sets the max-register value bound m: writes must be < m, and
@@ -233,16 +236,18 @@ func (s Spec) validate() error {
 	if s.procs < 1 {
 		return fmt.Errorf("approxobj: %s needs at least one process slot, got %d", s.kind, s.procs)
 	}
+	// Sharding and batching apply to both kinds (the unified sharded
+	// runtime); their range checks are kind-independent.
+	if s.shards < 1 {
+		return fmt.Errorf("approxobj: shard count must be >= 1, got %d", s.shards)
+	}
+	if s.batch < 1 {
+		return fmt.Errorf("approxobj: batch size must be >= 1, got %d", s.batch)
+	}
 	switch s.kind {
 	case KindCounter:
 		if s.boundSet {
 			return fmt.Errorf("approxobj: WithBound applies only to max registers, not counters")
-		}
-		if s.shards < 1 {
-			return fmt.Errorf("approxobj: shard count must be >= 1, got %d", s.shards)
-		}
-		if s.batch < 1 {
-			return fmt.Errorf("approxobj: batch size must be >= 1, got %d", s.batch)
 		}
 		if s.acc.mode == accMultiplicative {
 			// Mirrors core.NewMultCounter's precondition (defense in
@@ -262,12 +267,6 @@ func (s Spec) validate() error {
 			}
 		}
 	case KindMaxRegister:
-		if s.shardsSet {
-			return fmt.Errorf("approxobj: WithShards applies only to counters, not max registers")
-		}
-		if s.batchSet {
-			return fmt.Errorf("approxobj: WithBatch applies only to counters, not max registers")
-		}
 		switch s.acc.mode {
 		case accAdditive:
 			return fmt.Errorf("approxobj: additive accuracy is not implemented for max registers (use Exact or Multiplicative)")
@@ -279,13 +278,19 @@ func (s Spec) validate() error {
 		if s.boundSet && s.bound < 2 {
 			return fmt.Errorf("approxobj: max-register bound must be >= 2, got %d", s.bound)
 		}
+		// Legal writes satisfy v < m, so the largest is m-1: an elision
+		// window of B-1 >= m-1 (i.e. B >= m) covers every legal write from
+		// a fresh handle and nothing would ever reach shared memory.
+		if s.boundSet && uint64(s.batch) >= s.bound {
+			return fmt.Errorf("approxobj: batch %d exceeds the %d-bounded register's value range (the elision window would swallow every write)", s.batch, s.bound)
+		}
 	default:
 		return fmt.Errorf("approxobj: invalid object kind %d", s.kind)
 	}
 	return nil
 }
 
-// shardOptions translates the spec into the sharded runtime's
+// shardOptions translates a counter spec into the sharded runtime's
 // configuration: the accuracy selects the per-shard backend, shards and
 // batch pass through.
 func (s Spec) shardOptions() (k uint64, opts []shard.Option) {
@@ -299,4 +304,26 @@ func (s Spec) shardOptions() (k uint64, opts []shard.Option) {
 		be, k = shard.AACHBackend(), 1
 	}
 	return k, []shard.Option{shard.Shards(s.shards), shard.Batch(s.batch), shard.WithBackend(be)}
+}
+
+// maxRegOptions translates a max-register spec into the sharded runtime's
+// configuration: accuracy and bound select the per-shard backend, shards
+// and batch (the write-elision window) pass through.
+func (s Spec) maxRegOptions() (k uint64, opts []shard.MaxRegOption) {
+	var be shard.MaxRegBackend
+	switch {
+	case s.acc.IsExact() && s.boundSet:
+		be, k = shard.ExactBoundedMaxBackend(s.bound), 1
+	case s.acc.IsExact():
+		be, k = shard.ExactMaxBackend(), 1
+	case s.boundSet:
+		be, k = shard.MultBoundedMaxBackend(s.bound), s.acc.k
+	default:
+		be, k = shard.MultMaxBackend(), s.acc.k
+	}
+	return k, []shard.MaxRegOption{
+		shard.MaxRegShards(s.shards),
+		shard.MaxRegBatch(s.batch),
+		shard.WithMaxRegBackend(be),
+	}
 }

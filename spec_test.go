@@ -50,10 +50,22 @@ func TestSpecValidation(t *testing.T) {
 			[]Option{WithAccuracy(Multiplicative(1))}, "k >= 2"},
 		{"maxreg additive", KindMaxRegister,
 			[]Option{WithAccuracy(Additive(8))}, "not implemented for max registers"},
-		{"maxreg with shards", KindMaxRegister,
-			[]Option{WithShards(4)}, "WithShards"},
-		{"maxreg with batch", KindMaxRegister,
-			[]Option{WithBatch(8)}, "WithBatch"},
+		// Since the unified sharded runtime, WithShards and WithBatch are
+		// valid for max registers too.
+		{"maxreg sharded", KindMaxRegister,
+			[]Option{WithProcs(4), WithShards(4)}, ""},
+		{"maxreg batched", KindMaxRegister,
+			[]Option{WithProcs(4), WithBatch(8)}, ""},
+		{"maxreg sharded batched bounded mult", KindMaxRegister,
+			[]Option{WithProcs(4), WithAccuracy(Multiplicative(2)), WithBound(1 << 20), WithShards(2), WithBatch(16)}, ""},
+		{"maxreg zero shards", KindMaxRegister,
+			[]Option{WithShards(0)}, "shard count"},
+		{"maxreg zero batch", KindMaxRegister,
+			[]Option{WithBatch(0)}, "batch size"},
+		{"maxreg batch swallows bound", KindMaxRegister,
+			[]Option{WithBound(16), WithBatch(16)}, "exceeds"}, // B = m already covers every legal write (v <= m-1)
+		{"maxreg batch at bound edge", KindMaxRegister,
+			[]Option{WithBound(16), WithBatch(15)}, ""},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			var err error
@@ -111,6 +123,25 @@ func TestSpecAccessors(t *testing.T) {
 		t.Errorf("spec = %v, want max register{procs: 2, exact, bound: 1024}", rs)
 	}
 	if got := rs.String(); got != "max register{procs: 2, exact, bound: 1024}" {
+		t.Errorf("String() = %q", got)
+	}
+
+	sr, err := NewMaxRegister(
+		WithProcs(4),
+		WithAccuracy(Multiplicative(2)),
+		WithShards(2),
+		WithBatch(8),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.N() != 4 || sr.K() != 2 || sr.Shards() != 2 || sr.Batch() != 8 {
+		t.Errorf("accessors N=%d K=%d S=%d B=%d, want 4 2 2 8", sr.N(), sr.K(), sr.Shards(), sr.Batch())
+	}
+	if got, want := sr.Bounds(), (Bounds{Mult: 2, Buffer: 7}); got != want {
+		t.Errorf("sharded maxreg Bounds = %+v, want %+v", got, want)
+	}
+	if got := sr.Spec().String(); got != "max register{procs: 4, multiplicative(2), shards: 2, batch: 8}" {
 		t.Errorf("String() = %q", got)
 	}
 }
