@@ -1,8 +1,9 @@
 // Package approxobj implements deterministic approximate shared objects —
-// k-multiplicative-accurate counters and max registers — together with the
-// exact objects they are built from and compared against, reproducing
-// "Upper and Lower Bounds for Deterministic Approximate Objects" (Hendler,
-// Khattabi, Milani, Travers; ICDCS 2021).
+// k-multiplicative-accurate counters and max registers, and single-writer
+// atomic snapshots — together with the exact objects they are built from
+// and compared against, reproducing "Upper and Lower Bounds for
+// Deterministic Approximate Objects" (Hendler, Khattabi, Milani, Travers;
+// ICDCS 2021).
 //
 // The paper describes a family of objects trading accuracy for steps, and
 // the API exposes it as one: a spec built from orthogonal functional
@@ -24,6 +25,13 @@
 //		approxobj.WithBound(1<<20),
 //	)
 //
+//	// A sharded single-writer snapshot with component elision.
+//	s, err := approxobj.NewSnapshot(
+//		approxobj.WithProcs(8),
+//		approxobj.WithShards(2),
+//		approxobj.WithBatch(16),
+//	)
+//
 // Accuracy (Exact, Additive(k), Multiplicative(k)), process count, shard
 // count, batching, and value bounds compose freely; the constructor
 // validates the combination in one place (e.g. k >= sqrt(n) for
@@ -35,6 +43,17 @@
 // versus Omega(n) exact, and O(min(log2 log_k m, n)) max-register steps
 // versus Theta(log m) exact.
 //
+// # The backend plane
+//
+// Every object family runs on one sharded runtime (internal/shard),
+// registered in a backend table that drives spec validation, registry
+// dispatch, and envelope composition. A kind is two policies — how a
+// read combines the S per-shard reads (sum, max, per-component merge)
+// and how a handle buffers mutations locally (count batching, write
+// elision, component elision) — plus its set of per-shard backends.
+// Kinds returns the table; adding object family N+1 is a registration,
+// not a new code path.
+//
 // # Process handles
 //
 // The algorithms come from the asynchronous shared-memory model with n
@@ -44,11 +63,12 @@
 // Acquire returns an exclusive handle and a release function, Do wraps a
 // function call in an acquire/release pair — which enforces the "one
 // handle per goroutine" invariant by construction and flushes buffered
-// mutations (batched increments, elided max-register writes) on release. Handle(i) remains for callers that manage slot
-// assignment themselves; a handle must never be shared between goroutines.
-// The objects themselves are safe for fully concurrent use through
-// distinct slots and are wait-free: every operation finishes in a bounded
-// number of its own steps regardless of other goroutines stalling.
+// mutations (batched increments, elided writes) on release. Handle(i)
+// remains for callers that manage slot assignment themselves; a handle
+// must never be shared between goroutines. The objects themselves are
+// safe for fully concurrent use through distinct slots and are wait-free:
+// every operation finishes in a bounded number of its own steps
+// regardless of other goroutines stalling.
 //
 // # Registry
 //
@@ -65,10 +85,10 @@
 package approxobj
 
 import (
-	"approxobj/internal/pool"
+	"fmt"
+
 	"approxobj/internal/satmath"
 	"approxobj/internal/shard"
-	"sync/atomic"
 )
 
 // CounterHandle is one process's view of a shared counter. Inc adds one;
@@ -112,6 +132,57 @@ type BatchedMaxRegisterHandle interface {
 	Flush()
 }
 
+// counterDescriptor registers the counter family in the backend-plane
+// table: reads sum the shards, handles batch increment counts, and the
+// Multiplicative backend carries Algorithm 1's k >= sqrt(n) precondition.
+var counterDescriptor = &kindDescriptor{
+	kind:   KindCounter,
+	name:   "counter",
+	plural: "counters",
+
+	policy:   shard.CounterPolicyRow(),
+	envelope: "Mult unchanged; Add widens to S·k; Buffer = (B-1)·n",
+	scenario: "E12",
+
+	accuracies: map[accMode]func(s Spec) error{
+		accExact:          nil,
+		accAdditive:       nil,
+		accMultiplicative: checkMultCounter,
+	},
+	build: func(s Spec) (instance, error) { return newCounter(s) },
+}
+
+// checkMultCounter mirrors core.NewMultCounter's precondition (defense in
+// depth, via the shared satmath.SquareAtLeast predicate): checking at the
+// spec level gives spec-level error messages (including the
+// snapshot-slot hint) before any shard is built.
+func checkMultCounter(s Spec) error {
+	k, n := s.acc.k, uint64(s.totalProcs())
+	if !satmath.SquareAtLeast(k, n) {
+		if s.snapshotSlot {
+			return fmt.Errorf("approxobj: multiplicative accuracy needs k >= sqrt(n): k=%d, n=%d (%d caller slots + 1 registry snapshot slot)", k, n, s.procs)
+		}
+		return fmt.Errorf("approxobj: multiplicative accuracy needs k >= sqrt(n): k=%d, n=%d", k, n)
+	}
+	return nil
+}
+
+// counterShardOptions translates a counter spec into the sharded
+// runtime's configuration: the accuracy selects the per-shard backend,
+// shards and batch pass through.
+func counterShardOptions(s Spec) (k uint64, opts []shard.Option) {
+	var be shard.Backend
+	switch s.acc.mode {
+	case accAdditive:
+		be, k = shard.AdditiveBackend(), s.acc.k
+	case accMultiplicative:
+		be, k = shard.MultBackend(), s.acc.k
+	default:
+		be, k = shard.AACHBackend(), 1
+	}
+	return k, []shard.Option{shard.Shards(s.shards), shard.Batch(s.batch), shard.WithBackend(be)}
+}
+
 // Counter is any member of the counter family — exact, k-additive, or
 // k-multiplicative, optionally sharded and batched — built by NewCounter
 // from a spec. All members run on the sharded runtime (an unsharded
@@ -120,12 +191,12 @@ type Counter struct {
 	spec Spec
 	c    *shard.Counter
 
-	pool    *pool.Pool
-	handles []*pooledCounterHandle // lazily built, one per pool slot
-	retired atomic.Uint64          // steps credited by released pooled handles
+	slots slotPool[*pooledCounterHandle]
 
 	snap *shard.Handle // registry snapshot handle (slot procs), else nil
 }
+
+var _ instance = (*Counter)(nil)
 
 // NewCounter builds the counter the options describe. Defaults: one
 // process slot, Exact() accuracy, unsharded, unbuffered. Option
@@ -141,17 +212,16 @@ func NewCounter(opts ...Option) (*Counter, error) {
 }
 
 func newCounter(spec Spec) (*Counter, error) {
-	k, sopts := spec.shardOptions()
+	k, sopts := counterShardOptions(spec)
 	sc, err := shard.New(spec.totalProcs(), k, sopts...)
 	if err != nil {
 		return nil, err
 	}
 	c := &Counter{
-		spec:    spec,
-		c:       sc,
-		pool:    pool.New(spec.procs),
-		handles: make([]*pooledCounterHandle, spec.procs),
+		spec: spec,
+		c:    sc,
 	}
+	c.slots.init(spec.procs, c.newPooledHandle)
 	if spec.snapshotSlot {
 		c.snap = sc.Handle(spec.procs)
 	}
@@ -180,13 +250,20 @@ func (c *Counter) Batch() uint64 { return uint64(c.spec.batch) }
 // with (v-Buffer)/Mult - Add <= x <= Mult*v + Add for the true count v,
 // where Buffer = (B-1)*N for WithBatch(B). Exact counters report the
 // zero envelope.
-func (c *Counter) Bounds() Bounds {
-	b := c.c.Bounds()
-	if c.spec.snapshotSlot {
-		// The shard runtime sizes Buffer over every allocated slot, but
-		// the registry's snapshot slot only ever reads: it can never hold
-		// buffered increments, so the documented (B-1)*n holds.
-		b.Buffer = satmath.Mul(uint64(c.spec.batch-1), uint64(c.spec.procs))
+func (c *Counter) Bounds() Bounds { return scaledBounds(c.c.Bounds(), c.spec) }
+
+// scaledBounds adjusts a runtime envelope for the registry's snapshot
+// slot on kinds whose Buffer term scales with the slot count: the shard
+// runtime sizes Buffer over every allocated slot, but the snapshot slot
+// only ever reads — it can never hold buffered mutations, so the
+// documented (B-1)*n over caller slots holds (the same per-handle
+// headroom times slot count that plane.Bounds composes, just over the
+// caller-visible slots). Every kind's Bounds routes through it (a no-op
+// when the kind's Buffer term is per-handle), so a future kind
+// registered with BufferScalesWithProcs gets the correction for free.
+func scaledBounds(b Bounds, spec Spec) Bounds {
+	if spec.snapshotSlot && descriptorOf(spec.kind).policy.BufferScalesWithProcs {
+		b.Buffer = satmath.Mul(uint64(spec.batch-1), uint64(spec.procs))
 	}
 	return b
 }
@@ -202,6 +279,55 @@ func (c *Counter) Handle(i int) CounterHandle {
 	return c.c.Handle(i)
 }
 
+// snapshotValue, snapshotBounds, and snapshotSteps implement the
+// registry's kind-agnostic instance view; see Registry.Snapshot.
+func (c *Counter) snapshotValue() uint64  { return c.snap.Read() }
+func (c *Counter) snapshotBounds() Bounds { return c.Bounds() }
+func (c *Counter) snapshotSteps() uint64  { return c.snap.Steps() }
+
+// maxRegisterDescriptor registers the max-register family in the
+// backend-plane table: reads take the max over shards (no envelope
+// widening), handles elide writes, and WithBound selects the bounded
+// constructions.
+var maxRegisterDescriptor = &kindDescriptor{
+	kind:   KindMaxRegister,
+	name:   "max register",
+	plural: "max registers",
+
+	policy:   shard.MaxRegPolicyRow(),
+	envelope: "Mult unchanged (independent of S); Buffer = B-1, per handle",
+	scenario: "E14",
+
+	accuracies: map[accMode]func(s Spec) error{
+		accExact:          nil,
+		accMultiplicative: nil, // k >= 2 is the generic multiplicative check
+	},
+	allowBound: true,
+	build:      func(s Spec) (instance, error) { return newMaxRegister(s) },
+}
+
+// maxRegShardOptions translates a max-register spec into the sharded
+// runtime's configuration: accuracy and bound select the per-shard
+// backend, shards and batch (the write-elision window) pass through.
+func maxRegShardOptions(s Spec) (k uint64, opts []shard.MaxRegOption) {
+	var be shard.MaxRegBackend
+	switch {
+	case s.acc.IsExact() && s.boundSet:
+		be, k = shard.ExactBoundedMaxBackend(s.bound), 1
+	case s.acc.IsExact():
+		be, k = shard.ExactMaxBackend(), 1
+	case s.boundSet:
+		be, k = shard.MultBoundedMaxBackend(s.bound), s.acc.k
+	default:
+		be, k = shard.MultMaxBackend(), s.acc.k
+	}
+	return k, []shard.MaxRegOption{
+		shard.MaxRegShards(s.shards),
+		shard.MaxRegBatch(s.batch),
+		shard.WithMaxRegBackend(be),
+	}
+}
+
 // MaxRegister is any member of the max-register family — exact or
 // k-multiplicative, bounded or unbounded, optionally sharded and with
 // write elision — built by NewMaxRegister from a spec. Like Counter, all
@@ -211,12 +337,12 @@ type MaxRegister struct {
 	spec Spec
 	m    *shard.MaxReg
 
-	pool    *pool.Pool
-	handles []*pooledMaxRegHandle // lazily built, one per pool slot
-	retired atomic.Uint64         // steps credited by released pooled handles
+	slots slotPool[*pooledMaxRegHandle]
 
 	snap *shard.MaxRegHandle // registry snapshot handle (slot procs), else nil
 }
+
+var _ instance = (*MaxRegister)(nil)
 
 // NewMaxRegister builds the max register the options describe. Defaults:
 // one process slot, Exact() accuracy, unbounded, unsharded, no elision.
@@ -234,17 +360,16 @@ func NewMaxRegister(opts ...Option) (*MaxRegister, error) {
 }
 
 func newMaxRegister(spec Spec) (*MaxRegister, error) {
-	k, mopts := spec.maxRegOptions()
+	k, mopts := maxRegShardOptions(spec)
 	sm, err := shard.NewMaxReg(spec.totalProcs(), k, mopts...)
 	if err != nil {
 		return nil, err
 	}
 	r := &MaxRegister{
-		spec:    spec,
-		m:       sm,
-		pool:    pool.New(spec.procs),
-		handles: make([]*pooledMaxRegHandle, spec.procs),
+		spec: spec,
+		m:    sm,
 	}
+	r.slots.init(spec.procs, r.newPooledHandle)
 	if spec.snapshotSlot {
 		r.snap = sm.Handle(spec.procs)
 	}
@@ -279,7 +404,7 @@ func (r *MaxRegister) Batch() uint64 { return uint64(r.spec.batch) }
 // Buffer = B-1 for WithBatch(B) (per handle — the maximum lives in one
 // handle, so elision headroom does not scale with N or S). Exact
 // unbatched registers report the zero envelope.
-func (r *MaxRegister) Bounds() Bounds { return r.m.Bounds() }
+func (r *MaxRegister) Bounds() Bounds { return scaledBounds(r.m.Bounds(), r.spec) }
 
 // Handle binds process slot i (0 <= i < N) to the register, for callers
 // managing slot assignment themselves. Each concurrent goroutine must use
@@ -291,3 +416,7 @@ func (r *MaxRegister) Handle(i int) MaxRegisterHandle {
 	}
 	return r.m.Handle(i)
 }
+
+func (r *MaxRegister) snapshotValue() uint64  { return r.snap.Read() }
+func (r *MaxRegister) snapshotBounds() Bounds { return r.Bounds() }
+func (r *MaxRegister) snapshotSteps() uint64  { return r.snap.Steps() }

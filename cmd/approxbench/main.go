@@ -4,19 +4,26 @@
 //
 // Usage:
 //
-//	approxbench [-quick] [-exp e1,e3,f1] [-json out.json]
+//	approxbench [-quick] [-seed 42] [-exp e1,e3,f1] [-json out.json]
 //	approxbench -list
 //
 // Without -exp it runs everything; unknown experiment ids are an error
 // (exit status 2, with the registered ids on stderr). -list prints the
 // registered experiments and exits. -quick shrinks parameter sweeps for a
-// fast smoke run. -json additionally writes the machine-readable records
-// of the selected experiments (scenario, params, ns/op, steps/op) to the
-// given file, so successive runs leave a diffable measurement trajectory.
-// The set of scenarios in that trajectory is derived from the experiment
-// table (bench.All declares each experiment's record scenarios), not kept
-// by hand here: a run whose output is missing a declared scenario exits 1
-// instead of silently dropping it from the trajectory.
+// fast smoke run. -seed sets the base seed every scenario RNG derives
+// from (default 0), so two runs with the same -seed and -quick drive
+// identical operation sequences and their -json records are reproducible
+// run-to-run up to machine timing. -json additionally writes the
+// machine-readable records of the selected experiments (scenario, params,
+// ns/op, steps/op) to the given file, so successive runs leave a diffable
+// measurement trajectory. The set of scenarios in that trajectory is
+// derived from the experiment table (bench.All declares each experiment's
+// record scenarios), not kept by hand here: a run whose output is missing
+// a declared scenario exits 1 instead of silently dropping it from the
+// trajectory — and a run starts by cross-checking the backend-plane table
+// (approxobj.Kinds) against those declarations, exiting 1 if any
+// registered object kind has no declared bench scenario, so a new kind
+// cannot ship without a measured workload.
 package main
 
 import (
@@ -27,19 +34,24 @@ import (
 	"strings"
 	"time"
 
+	"approxobj"
 	"approxobj/internal/bench"
 )
 
 // resultFile is the schema of the -json output. Records appear in
 // deterministic order (experiment order of bench.All, row order within
 // each experiment), so files from identical configurations diff cleanly.
+// Seed records the base RNG seed the run used, so a record file names the
+// operation sequences that produced it.
 type resultFile struct {
 	Quick   bool           `json:"quick"`
+	Seed    int64          `json:"seed"`
 	Records []bench.Record `json:"records"`
 }
 
 func main() {
 	quick := flag.Bool("quick", false, "shrink parameter sweeps for a fast run")
+	seed := flag.Int64("seed", 0, "base seed for scenario RNGs; same seed => identical operation sequences, so -json records reproduce run-to-run")
 	exps := flag.String("exp", "all", "comma-separated experiment ids (see -list) or 'all'")
 	list := flag.Bool("list", false, "list registered experiments and exit")
 	jsonOut := flag.String("json", "", "write machine-readable records to this file")
@@ -51,6 +63,28 @@ func main() {
 			fmt.Printf("%-5s %s\n", exp.ID, exp.Desc)
 		}
 		return
+	}
+
+	// Every kind registered in the backend-plane table must be covered by
+	// a declared bench scenario: a new object family without a measured
+	// workload fails the smoke run, not a code review. (-list is exempt
+	// above — it is the diagnostic you would reach for.)
+	declared := map[string]bool{}
+	for _, exp := range all {
+		for _, sc := range exp.Scenarios {
+			declared[sc] = true
+		}
+	}
+	for _, kp := range approxobj.Kinds() {
+		if kp.BenchScenario == "" {
+			fmt.Fprintf(os.Stderr, "approxbench: object kind %q declares no bench scenario in the backend table\n", kp.Kind)
+			os.Exit(1)
+		}
+		if !declared[kp.BenchScenario] {
+			fmt.Fprintf(os.Stderr, "approxbench: object kind %q declares bench scenario %q, which no experiment in bench.All emits\n",
+				kp.Kind, kp.BenchScenario)
+			os.Exit(1)
+		}
 	}
 
 	known := make(map[string]bool, len(all))
@@ -72,7 +106,7 @@ func main() {
 			continue
 		}
 		if !known[id] {
-			fmt.Fprintf(os.Stderr, "approxbench: unknown experiment %q\nusage: approxbench [-quick] [-exp %s | all] [-json out.json]\nrun 'approxbench -list' for descriptions\n",
+			fmt.Fprintf(os.Stderr, "approxbench: unknown experiment %q\nusage: approxbench [-quick] [-seed n] [-exp %s | all] [-json out.json]\nrun 'approxbench -list' for descriptions\n",
 				id, strings.Join(ids, ","))
 			os.Exit(2)
 		}
@@ -83,8 +117,8 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := bench.Config{Quick: *quick}
-	out := resultFile{Quick: *quick, Records: []bench.Record{}}
+	cfg := bench.Config{Quick: *quick, Seed: *seed}
+	out := resultFile{Quick: *quick, Seed: *seed, Records: []bench.Record{}}
 	for _, exp := range all {
 		if !runAll && !selected[exp.ID] {
 			continue

@@ -6,6 +6,12 @@ package approxobj
 // old call sites keep compiling and get the same objects (pool, Bounds,
 // registry compatibility included). New code should use the spec API; see
 // the README migration table.
+//
+// Removal horizon: this surface is frozen as of PR 4 (the backend-plane
+// refactor) — new object kinds (e.g. NewSnapshot) get no legacy
+// wrappers — and the whole file is scheduled for deletion in PR 6, two
+// PRs from now. Migrate call sites to the spec API before then; each
+// wrapper's Deprecated note names its replacement.
 
 // ExactCounter is a Counter with Exact() accuracy: always precise.
 //

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"approxobj/internal/planetest"
 )
 
 // kSqrt returns an accuracy parameter valid for multiplicative counters on
@@ -279,5 +281,153 @@ func TestMaxRegisterConformance(t *testing.T) {
 				}
 			})
 		})
+	}
+}
+
+// snapshotSpecs enumerates the snapshot family: the exact backend
+// crossed with the same shard/batch grid as the other kinds.
+func snapshotSpecs(procs int) []struct {
+	name string
+	opts []Option
+} {
+	var out []struct {
+		name string
+		opts []Option
+	}
+	for _, s := range []int{1, 3} {
+		for _, b := range []int{1, 8} {
+			out = append(out, struct {
+				name string
+				opts []Option
+			}{
+				name: fmt.Sprintf("exact-s%d-b%d", s, b),
+				opts: []Option{WithProcs(procs), WithShards(s), WithBatch(b)},
+			})
+		}
+	}
+	return out
+}
+
+// TestSnapshotConformance is the envelope property for the snapshot
+// family: for EVERY spec combination, under both monotone and mixed
+// (non-monotone) per-component write workloads, every concurrently
+// scanned component must be a valid response for some true component
+// value inside its regularity window (updates completed before the scan
+// started .. updates started before it returned), per the object's own
+// reported Bounds — and after all pooled handles are released (which
+// flushes elided component updates), a quiescent scan must return every
+// component exactly.
+func TestSnapshotConformance(t *testing.T) {
+	const procs = 5
+	const writers = procs - 1 // one slot left over for the checking reader
+	perG := 3_000
+	if testing.Short() {
+		perG = 400
+	}
+	for _, spec := range snapshotSpecs(procs) {
+		for _, mixed := range []bool{false, true} {
+			workload := "monotone"
+			if mixed {
+				workload = "mixed"
+			}
+			t.Run(spec.name+"-"+workload, func(t *testing.T) {
+				s, err := NewSnapshot(spec.opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				bounds := s.Bounds()
+
+				// Per-component op progress, indexed by component: the
+				// single writer of component c stores op j in started[c]
+				// before Update and completed[c] after.
+				started := make([]atomic.Uint64, procs)
+				completed := make([]atomic.Uint64, procs)
+				var done atomic.Bool
+				var wg sync.WaitGroup
+				wg.Add(writers)
+				for g := 0; g < writers; g++ {
+					go func() {
+						defer wg.Done()
+						h, release := s.Acquire()
+						defer release() // flushes any elided component update
+						c := h.Component()
+						for j := 1; j <= perG; j++ {
+							started[c].Store(uint64(j))
+							h.Update(planetest.SeqValue(uint64(j), mixed))
+							completed[c].Store(uint64(j))
+						}
+					}()
+				}
+
+				var checks int
+				var readerWG sync.WaitGroup
+				readerWG.Add(1)
+				go func() {
+					defer readerWG.Done()
+					s.Do(func(h SnapshotHandle) {
+						reader := h.Component()
+						check := func() bool {
+							a := make([]uint64, procs)
+							for c := range a {
+								a[c] = completed[c].Load()
+							}
+							view := h.Scan()
+							if len(view) != procs {
+								t.Errorf("scan returned %d components, want %d", len(view), procs)
+								return false
+							}
+							ok := true
+							for c := 0; c < procs; c++ {
+								if c == reader {
+									continue // the reader's own component stays 0
+								}
+								b := started[c].Load()
+								vmin, vmax := planetest.Window(a[c], b, mixed)
+								checks++
+								if !bounds.ContainsRange(vmin, vmax, view[c]) {
+									t.Errorf("component %d read %d outside envelope %+v for any value in [%d, %d]", c, view[c], bounds, vmin, vmax)
+									ok = false
+								}
+							}
+							return ok
+						}
+						for !done.Load() {
+							if !check() {
+								return
+							}
+						}
+						check() // at least one check even if the writers win the race
+					})
+				}()
+
+				wg.Wait()
+				done.Store(true)
+				readerWG.Wait()
+				if checks == 0 {
+					t.Fatal("reader performed no checks")
+				}
+
+				// All writer handles are released, so their elided updates
+				// are flushed: the exact backend must report every written
+				// component exactly.
+				final := planetest.SeqValue(uint64(perG), mixed)
+				s.Do(func(h SnapshotHandle) {
+					view := h.Scan()
+					wrote := 0
+					for c, v := range view {
+						if v == 0 {
+							continue // the reader slots' components were never written
+						}
+						wrote++
+						if v != final {
+							t.Errorf("quiescent component %d = %d, want exactly %d", c, v, final)
+						}
+					}
+					if wrote != writers {
+						t.Errorf("quiescent scan shows %d written components, want %d", wrote, writers)
+					}
+				})
+			})
+		}
 	}
 }

@@ -3,6 +3,7 @@ package approxobj
 import (
 	"sync/atomic"
 
+	"approxobj/internal/pool"
 	"approxobj/internal/shard"
 )
 
@@ -12,43 +13,92 @@ import (
 // Slot ownership transfers through the pool's channel, which also gives
 // the happens-before edge that lets successive owners reuse a slot's
 // cached handle (and its persistent per-process algorithm state) without
-// extra synchronization. Counter and MaxRegister share the slot-ownership
-// and step-accounting logic through the generic lease below.
+// extra synchronization. All three families share the slot-ownership and
+// step-accounting logic through the generic slotPool below; each family
+// contributes only its typed Acquire/TryAcquire/Do wrappers and its
+// pooled handle type.
 
-// lease acquires slot from an object's handle cache: it builds the slot's
-// handle on first use (safe without a lock — the pool hands each slot to
-// one goroutine at a time, and releases happen-before the next acquire)
-// and returns it with an idempotent release that retires the handle
-// (flushing/step-crediting) and frees the slot. The idempotence guard is
-// atomic, so a cleanup path racing the owner's deferred release cannot
-// retire the handle twice or duplicate the slot in the free list.
-func lease[H interface {
+// retirable is a pooled handle: retire flushes its buffered mutations
+// and credits its steps-since-last-retire to the object's retired-step
+// counter.
+type retirable interface {
 	comparable
-	retire()
-}](o interface {
-	handleCache() []H
-	newHandle(slot int) H
-	releaseSlot(slot int)
-}, slot int) (H, func()) {
-	cache := o.handleCache()
-	h := cache[slot]
+	retire(credit *atomic.Uint64)
+}
+
+// slotPool is the pooled-handle plumbing every object family embeds: the
+// slot free list, the per-slot handle cache, and retired-step
+// accounting.
+type slotPool[H retirable] struct {
+	free    *pool.Pool
+	handles []H              // lazily built, one per pool slot
+	mk      func(slot int) H // builds a slot's handle on first lease
+	retired atomic.Uint64    // steps credited by released pooled handles
+}
+
+// init sizes the pool in place (slotPool embeds an atomic and must not
+// be copied once in use) and binds the owning object's handle
+// constructor, so the acquisition hot path allocates no closures.
+func (p *slotPool[H]) init(slots int, mk func(slot int) H) {
+	p.free = pool.New(slots)
+	p.handles = make([]H, slots)
+	p.mk = mk
+}
+
+// acquire borrows a slot (blocking) and leases its handle.
+func (p *slotPool[H]) acquire() (H, func()) {
+	return p.lease(p.free.Acquire())
+}
+
+// tryAcquire is acquire without blocking; ok is false when every slot is
+// held.
+func (p *slotPool[H]) tryAcquire() (h H, release func(), ok bool) {
+	slot, ok := p.free.TryAcquire()
+	if !ok {
+		return h, nil, false
+	}
+	h, release = p.lease(slot)
+	return h, release, true
+}
+
+// lease hands out slot's cached handle, building it on first use (safe
+// without a lock — the pool hands each slot to one goroutine at a
+// time, and releases happen-before the next acquire), and returns it
+// with an idempotent release that retires the handle (flushing and
+// step-crediting) and frees the slot. The idempotence guard is atomic,
+// so a cleanup path racing the owner's deferred release cannot retire
+// the handle twice or duplicate the slot in the free list.
+func (p *slotPool[H]) lease(slot int) (H, func()) {
+	h := p.handles[slot]
 	if isNil(h) {
-		h = o.newHandle(slot)
-		cache[slot] = h
+		h = p.mk(slot)
+		p.handles[slot] = h
 	}
 	var released atomic.Bool
 	return h, func() {
 		if !released.CompareAndSwap(false, true) {
 			return
 		}
-		h.retire()
-		o.releaseSlot(slot)
+		h.retire(&p.retired)
+		p.free.Release(slot)
 	}
 }
+
+// stepsRetired returns the cumulative steps credited by released pooled
+// handles.
+func (p *slotPool[H]) stepsRetired() uint64 { return p.retired.Load() }
 
 func isNil[H comparable](h H) bool {
 	var zero H
 	return h == zero
+}
+
+// creditSteps retires one pooled handle's step delta into the object's
+// retired counter: handles survive across acquisitions, so only the
+// steps since the last retire are added.
+func creditSteps(credit *atomic.Uint64, steps uint64, credited *uint64) {
+	credit.Add(steps - *credited)
+	*credited = steps
 }
 
 // Acquire borrows an exclusive handle from the counter's slot pool,
@@ -59,18 +109,17 @@ func isNil[H comparable](h H) bool {
 // on a pooled handle is cumulative over every previous owner of its
 // slot — cost individual operations as a before/after delta.
 func (c *Counter) Acquire() (CounterHandle, func()) {
-	return lease[*pooledCounterHandle](c, c.pool.Acquire())
+	return c.slots.acquire()
 }
 
 // TryAcquire is Acquire without blocking: ok is false (and the handle and
 // release are nil) when every slot is currently held.
 func (c *Counter) TryAcquire() (h CounterHandle, release func(), ok bool) {
-	slot, ok := c.pool.TryAcquire()
+	ph, release, ok := c.slots.tryAcquire()
 	if !ok {
 		return nil, nil, false
 	}
-	h, release = lease[*pooledCounterHandle](c, slot)
-	return h, release, true
+	return ph, release, true
 }
 
 // Do runs f with a pooled handle, releasing it (and flushing batched
@@ -85,20 +134,17 @@ func (c *Counter) Do(f func(CounterHandle)) {
 // released pooled handles. Steps of handles still held, or of manual
 // Handle(i) handles, are not included (their counters are owned by the
 // holding goroutine and cannot be read safely mid-flight).
-func (c *Counter) StepsRetired() uint64 { return c.retired.Load() }
+func (c *Counter) StepsRetired() uint64 { return c.slots.stepsRetired() }
 
-func (c *Counter) handleCache() []*pooledCounterHandle { return c.handles }
-func (c *Counter) releaseSlot(slot int)                { c.pool.Release(slot) }
-func (c *Counter) newHandle(slot int) *pooledCounterHandle {
-	return &pooledCounterHandle{c: c, h: c.c.Handle(slot)}
+func (c *Counter) newPooledHandle(slot int) *pooledCounterHandle {
+	return &pooledCounterHandle{h: c.c.Handle(slot)}
 }
 
 // pooledCounterHandle wraps a slot's underlying handle with step
 // accounting across acquisitions. It implements BatchedCounterHandle.
 type pooledCounterHandle struct {
-	c        *Counter
 	h        *shard.Handle
-	credited uint64 // steps already added to c.retired
+	credited uint64 // steps already added to the object's retired counter
 }
 
 func (h *pooledCounterHandle) Inc()          { h.h.Inc() }
@@ -106,11 +152,9 @@ func (h *pooledCounterHandle) Read() uint64  { return h.h.Read() }
 func (h *pooledCounterHandle) Steps() uint64 { return h.h.Steps() }
 func (h *pooledCounterHandle) Flush()        { h.h.Flush() }
 
-func (h *pooledCounterHandle) retire() {
+func (h *pooledCounterHandle) retire(credit *atomic.Uint64) {
 	h.h.Flush()
-	s := h.h.Steps()
-	h.c.retired.Add(s - h.credited)
-	h.credited = s
+	creditSteps(credit, h.h.Steps(), &h.credited)
 }
 
 // Acquire borrows an exclusive handle from the register's slot pool,
@@ -121,18 +165,17 @@ func (h *pooledCounterHandle) retire() {
 // on a pooled handle is cumulative over every previous owner of its slot
 // — cost individual operations as a before/after delta.
 func (r *MaxRegister) Acquire() (MaxRegisterHandle, func()) {
-	return lease[*pooledMaxRegHandle](r, r.pool.Acquire())
+	return r.slots.acquire()
 }
 
 // TryAcquire is Acquire without blocking: ok is false (and the handle and
 // release are nil) when every slot is currently held.
 func (r *MaxRegister) TryAcquire() (h MaxRegisterHandle, release func(), ok bool) {
-	slot, ok := r.pool.TryAcquire()
+	ph, release, ok := r.slots.tryAcquire()
 	if !ok {
 		return nil, nil, false
 	}
-	h, release = lease[*pooledMaxRegHandle](r, slot)
-	return h, release, true
+	return ph, release, true
 }
 
 // Do runs f with a pooled handle, releasing it (and flushing elided
@@ -145,20 +188,17 @@ func (r *MaxRegister) Do(f func(MaxRegisterHandle)) {
 
 // StepsRetired returns the cumulative shared-memory steps credited by
 // released pooled handles (see Counter.StepsRetired).
-func (r *MaxRegister) StepsRetired() uint64 { return r.retired.Load() }
+func (r *MaxRegister) StepsRetired() uint64 { return r.slots.stepsRetired() }
 
-func (r *MaxRegister) handleCache() []*pooledMaxRegHandle { return r.handles }
-func (r *MaxRegister) releaseSlot(slot int)               { r.pool.Release(slot) }
-func (r *MaxRegister) newHandle(slot int) *pooledMaxRegHandle {
-	return &pooledMaxRegHandle{r: r, h: r.m.Handle(slot)}
+func (r *MaxRegister) newPooledHandle(slot int) *pooledMaxRegHandle {
+	return &pooledMaxRegHandle{h: r.m.Handle(slot)}
 }
 
 // pooledMaxRegHandle wraps a slot's underlying handle with step
 // accounting across acquisitions. It implements BatchedMaxRegisterHandle.
 type pooledMaxRegHandle struct {
-	r        *MaxRegister
 	h        *shard.MaxRegHandle
-	credited uint64 // steps already added to r.retired
+	credited uint64 // steps already added to the object's retired counter
 }
 
 func (h *pooledMaxRegHandle) Write(v uint64) { h.h.Write(v) }
@@ -166,9 +206,66 @@ func (h *pooledMaxRegHandle) Read() uint64   { return h.h.Read() }
 func (h *pooledMaxRegHandle) Steps() uint64  { return h.h.Steps() }
 func (h *pooledMaxRegHandle) Flush()         { h.h.Flush() }
 
-func (h *pooledMaxRegHandle) retire() {
+func (h *pooledMaxRegHandle) retire(credit *atomic.Uint64) {
 	h.h.Flush()
-	s := h.h.Steps()
-	h.r.retired.Add(s - h.credited)
-	h.credited = s
+	creditSteps(credit, h.h.Steps(), &h.credited)
+}
+
+// Acquire borrows an exclusive handle from the snapshot's slot pool,
+// blocking until a slot is free: the handle is the single writer of the
+// slot's component (discover which via Component). The returned release
+// function flushes any elided component update, credits the handle's
+// steps to the object's retired-step counter (see Registry snapshots),
+// and returns the slot; it is idempotent. The handle must not be used
+// after release. Steps() on a pooled handle is cumulative over every
+// previous owner of its slot — cost individual operations as a
+// before/after delta.
+func (s *Snapshot) Acquire() (SnapshotHandle, func()) {
+	return s.slots.acquire()
+}
+
+// TryAcquire is Acquire without blocking: ok is false (and the handle and
+// release are nil) when every slot is currently held.
+func (s *Snapshot) TryAcquire() (h SnapshotHandle, release func(), ok bool) {
+	ph, release, ok := s.slots.tryAcquire()
+	if !ok {
+		return nil, nil, false
+	}
+	return ph, release, true
+}
+
+// Do runs f with a pooled handle, releasing it (and flushing any elided
+// component update) when f returns. It blocks until a slot is free.
+func (s *Snapshot) Do(f func(SnapshotHandle)) {
+	h, release := s.Acquire()
+	defer release()
+	f(h)
+}
+
+// StepsRetired returns the cumulative shared-memory steps credited by
+// released pooled handles (see Counter.StepsRetired).
+func (s *Snapshot) StepsRetired() uint64 { return s.slots.stepsRetired() }
+
+func (s *Snapshot) newPooledHandle(slot int) *pooledSnapshotHandle {
+	return &pooledSnapshotHandle{h: s.s.Handle(slot), n: s.spec.procs}
+}
+
+// pooledSnapshotHandle wraps a slot's underlying handle with step
+// accounting across acquisitions, truncating scans to the caller-visible
+// components. It implements BatchedSnapshotHandle.
+type pooledSnapshotHandle struct {
+	h        *shard.SnapshotHandle
+	n        int
+	credited uint64 // steps already added to the object's retired counter
+}
+
+func (h *pooledSnapshotHandle) Update(v uint64) { h.h.Update(v) }
+func (h *pooledSnapshotHandle) Scan() []uint64  { return h.h.Scan()[:h.n] }
+func (h *pooledSnapshotHandle) Component() int  { return h.h.Component() }
+func (h *pooledSnapshotHandle) Steps() uint64   { return h.h.Steps() }
+func (h *pooledSnapshotHandle) Flush()          { h.h.Flush() }
+
+func (h *pooledSnapshotHandle) retire(credit *atomic.Uint64) {
+	h.h.Flush()
+	creditSteps(credit, h.h.Steps(), &h.credited)
 }

@@ -42,19 +42,19 @@ for reference.`,
 	for _, c := range cells {
 		add, err := runAmortized(func(f *prim.Factory) (object.Counter, error) {
 			return counter.NewAdditive(f, c.k)
-		}, c.n, totalOps, readFrac, 5)
+		}, c.n, totalOps, readFrac, cfg.Seed+5)
 		if err != nil {
 			return nil, err
 		}
 		mult, err := runAmortized(func(f *prim.Factory) (object.Counter, error) {
 			return core.NewMultCounter(f, sqrtCeil(c.n))
-		}, c.n, totalOps, readFrac, 5)
+		}, c.n, totalOps, readFrac, cfg.Seed+5)
 		if err != nil {
 			return nil, err
 		}
 		coll, err := runAmortized(func(f *prim.Factory) (object.Counter, error) {
 			return counter.NewCollect(f)
-		}, c.n, totalOps, readFrac, 5)
+		}, c.n, totalOps, readFrac, cfg.Seed+5)
 		if err != nil {
 			return nil, err
 		}

@@ -49,11 +49,11 @@ its a parameter trades update cost for variance.`,
 		acc := object.Accuracy{K: k}
 		for trial := 0; trial < trials; trial++ {
 			f := prim.NewFactory(n)
-			c, err := mk(f, int64(trial))
+			c, err := mk(f, cfg.Seed+int64(trial))
 			if err != nil {
 				return s, err
 			}
-			rng := rand.New(rand.NewSource(int64(trial) * 7))
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(trial)*7))
 			handles := make([]object.CounterHandle, n)
 			for i := range handles {
 				handles[i] = c.CounterHandle(f.Proc(i))

@@ -20,7 +20,7 @@ type shardedRun struct {
 	readsPerS float64
 }
 
-func runSharded(c *approxobj.Counter, gs, opsPer int, readFrac float64) (shardedRun, error) {
+func runSharded(seed int64, c *approxobj.Counter, gs, opsPer int, readFrac float64) (shardedRun, error) {
 	handles := make([]approxobj.CounterHandle, gs)
 	for i := range handles {
 		handles[i] = c.Handle(i)
@@ -32,7 +32,7 @@ func runSharded(c *approxobj.Counter, gs, opsPer int, readFrac float64) (sharded
 	wg.Add(gs)
 	for i := 0; i < gs; i++ {
 		h := handles[i]
-		rng := rand.New(rand.NewSource(int64(i) + 17))
+		rng := rand.New(rand.NewSource(seed + int64(i) + 17))
 		go func(i int) {
 			defer wg.Done()
 			<-startLine
@@ -130,7 +130,7 @@ E7); batching still shows, since it removes work rather than contention.`,
 				if err != nil {
 					return nil, err
 				}
-				res, err := runSharded(c, gs, opsPer, readFrac)
+				res, err := runSharded(cfg.Seed, c, gs, opsPer, readFrac)
 				if err != nil {
 					return nil, err
 				}

@@ -68,7 +68,7 @@ than contention.`,
 				if err != nil {
 					return nil, err
 				}
-				res, err := runShardedMaxReg(r, gs, opsPer, readFrac)
+				res, err := runShardedMaxReg(cfg.Seed, r, gs, opsPer, readFrac)
 				if err != nil {
 					return nil, err
 				}
@@ -92,7 +92,7 @@ than contention.`,
 // (readFrac reads, the rest ascending interleaved writes) against one
 // sharded max register and reports wall-clock throughput plus the final
 // accuracy check inputs.
-func runShardedMaxReg(r *approxobj.MaxRegister, gs, opsPer int, readFrac float64) (shardedRun, error) {
+func runShardedMaxReg(seed int64, r *approxobj.MaxRegister, gs, opsPer int, readFrac float64) (shardedRun, error) {
 	handles := make([]approxobj.MaxRegisterHandle, gs)
 	for i := range handles {
 		handles[i] = r.Handle(i)
@@ -104,7 +104,7 @@ func runShardedMaxReg(r *approxobj.MaxRegister, gs, opsPer int, readFrac float64
 	wg.Add(gs)
 	for i := 0; i < gs; i++ {
 		h := handles[i]
-		rng := rand.New(rand.NewSource(int64(i) + 31))
+		rng := rand.New(rand.NewSource(seed + int64(i) + 31))
 		go func(i int) {
 			defer wg.Done()
 			<-startLine

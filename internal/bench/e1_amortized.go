@@ -72,19 +72,19 @@ O(log n * log v).`,
 		k := sqrtCeil(n)
 		mult, err := runAmortized(func(f *prim.Factory) (object.Counter, error) {
 			return core.NewMultCounter(f, k)
-		}, n, totalOps, readFrac, 1)
+		}, n, totalOps, readFrac, cfg.Seed+1)
 		if err != nil {
 			return nil, err
 		}
 		coll, err := runAmortized(func(f *prim.Factory) (object.Counter, error) {
 			return counter.NewCollect(f)
-		}, n, totalOps, readFrac, 1)
+		}, n, totalOps, readFrac, cfg.Seed+1)
 		if err != nil {
 			return nil, err
 		}
 		aach, err := runAmortized(func(f *prim.Factory) (object.Counter, error) {
 			return counter.NewAACH(f)
-		}, n, totalOps, readFrac, 1)
+		}, n, totalOps, readFrac, cfg.Seed+1)
 		if err != nil {
 			return nil, err
 		}
@@ -113,19 +113,19 @@ of [8] lose once increments are exponential in n).`,
 	for _, ops := range lengths {
 		mult, err := runAmortized(func(f *prim.Factory) (object.Counter, error) {
 			return core.NewMultCounter(f, k2)
-		}, n2, ops, readFrac, 2)
+		}, n2, ops, readFrac, cfg.Seed+2)
 		if err != nil {
 			return nil, err
 		}
 		coll, err := runAmortized(func(f *prim.Factory) (object.Counter, error) {
 			return counter.NewCollect(f)
-		}, n2, ops, readFrac, 2)
+		}, n2, ops, readFrac, cfg.Seed+2)
 		if err != nil {
 			return nil, err
 		}
 		aach, err := runAmortized(func(f *prim.Factory) (object.Counter, error) {
 			return counter.NewAACH(f)
-		}, n2, ops, readFrac, 2)
+		}, n2, ops, readFrac, cfg.Seed+2)
 		if err != nil {
 			return nil, err
 		}

@@ -84,7 +84,7 @@ ceil(log2 m) and ceil(log2(floor(log_k(m-1))+2)).`,
 		if err != nil {
 			return nil, err
 		}
-		row = append(row, exact.Depth(), worstCaseSteps(exact, p, m, ops, 3))
+		row = append(row, exact.Depth(), worstCaseSteps(exact, p, m, ops, cfg.Seed+3))
 
 		for _, k := range ks {
 			fk := prim.NewFactory(1)
@@ -93,7 +93,7 @@ ceil(log2 m) and ceil(log2(floor(log_k(m-1))+2)).`,
 			if err != nil {
 				return nil, err
 			}
-			row = append(row, km.InnerDepth(), worstCaseSteps(km, pk, m, ops, 3))
+			row = append(row, km.InnerDepth(), worstCaseSteps(km, pk, m, ops, cfg.Seed+3))
 		}
 		t.AddRow(row...)
 	}

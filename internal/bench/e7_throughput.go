@@ -16,14 +16,14 @@ import (
 
 // throughput runs gs goroutines of opsPer mixed operations (readFrac reads)
 // against per-goroutine op functions and returns million ops/sec.
-func throughput(gs, opsPer int, readFrac float64, mkOps func(i int) (inc func(), read func())) float64 {
+func throughput(seed int64, gs, opsPer int, readFrac float64, mkOps func(i int) (inc func(), read func())) float64 {
 	var wg sync.WaitGroup
 	var start, stop time.Time
 	startLine := make(chan struct{})
 	wg.Add(gs)
 	for i := 0; i < gs; i++ {
 		inc, read := mkOps(i)
-		rng := rand.New(rand.NewSource(int64(i) + 11))
+		rng := rand.New(rand.NewSource(seed + int64(i) + 11))
 		go func() {
 			defer wg.Done()
 			<-startLine
@@ -77,14 +77,14 @@ single-CPU host all variants serialize and contention gaps are muted.`,
 	for _, gs := range gss {
 		// Raw atomic fetch&add.
 		var av atomic.Uint64
-		atomicRes := throughput(gs, opsPer, readFrac, func(int) (func(), func()) {
+		atomicRes := throughput(cfg.Seed, gs, opsPer, readFrac, func(int) (func(), func()) {
 			return func() { av.Add(1) }, func() { _ = av.Load() }
 		})
 
 		// Global mutex counter.
 		var mu sync.Mutex
 		var mv uint64
-		mutexRes := throughput(gs, opsPer, readFrac, func(int) (func(), func()) {
+		mutexRes := throughput(cfg.Seed, gs, opsPer, readFrac, func(int) (func(), func()) {
 			return func() { mu.Lock(); mv++; mu.Unlock() },
 				func() { mu.Lock(); _ = mv; mu.Unlock() }
 		})
@@ -95,7 +95,7 @@ single-CPU host all variants serialize and contention gaps are muted.`,
 		if err != nil {
 			return nil, err
 		}
-		collectRes := throughput(gs, opsPer, readFrac, func(i int) (func(), func()) {
+		collectRes := throughput(cfg.Seed, gs, opsPer, readFrac, func(i int) (func(), func()) {
 			h := cc.CounterHandle(fc.Proc(i))
 			return h.Inc, func() { _ = h.Read() }
 		})
@@ -107,7 +107,7 @@ single-CPU host all variants serialize and contention gaps are muted.`,
 		if err != nil {
 			return nil, err
 		}
-		multRes := throughput(gs, opsPer, readFrac, func(i int) (func(), func()) {
+		multRes := throughput(cfg.Seed, gs, opsPer, readFrac, func(i int) (func(), func()) {
 			h := mc.CounterHandle(fm.Proc(i))
 			return h.Inc, func() { _ = h.Read() }
 		})

@@ -38,7 +38,7 @@ behaviour of the paper's sketched extension.`,
 		if err != nil {
 			return 0, err
 		}
-		rng := rand.New(rand.NewSource(int64(e)))
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(e)))
 		lim := int64(uint64(1) << e)
 		for i := 0; i < ops; i++ {
 			if rng.Intn(2) == 0 {

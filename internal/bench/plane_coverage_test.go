@@ -1,0 +1,35 @@
+package bench
+
+import (
+	"testing"
+
+	"approxobj"
+)
+
+// TestEveryKindHasBenchScenario mirrors cmd/approxbench's startup gate in
+// the test suite: every object kind registered in the backend-plane
+// table (approxobj.Kinds) must declare a bench scenario that some
+// experiment in All actually emits — so a new object family cannot land
+// without a measured workload, and a trimmed experiment table cannot
+// silently orphan a kind.
+func TestEveryKindHasBenchScenario(t *testing.T) {
+	declared := map[string]bool{}
+	for _, exp := range All() {
+		for _, sc := range exp.Scenarios {
+			declared[sc] = true
+		}
+	}
+	kinds := approxobj.Kinds()
+	if len(kinds) == 0 {
+		t.Fatal("backend table registers no kinds")
+	}
+	for _, kp := range kinds {
+		if kp.BenchScenario == "" {
+			t.Errorf("kind %q declares no bench scenario", kp.Kind)
+			continue
+		}
+		if !declared[kp.BenchScenario] {
+			t.Errorf("kind %q declares bench scenario %q, which no experiment in bench.All emits", kp.Kind, kp.BenchScenario)
+		}
+	}
+}

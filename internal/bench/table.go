@@ -112,9 +112,13 @@ func pad(s string, w int) string {
 }
 
 // Config tunes experiment sizes. Quick shrinks every sweep for use in unit
-// tests and smoke runs.
+// tests and smoke runs. Seed is the base seed every scenario RNG derives
+// from (cmd/approxbench's -seed flag): two runs with the same Seed and
+// Quick setting drive identical operation sequences, so their -json
+// records differ only by machine timing.
 type Config struct {
 	Quick bool
+	Seed  int64
 }
 
 // Experiment couples an ID with its generator, a one-line description
@@ -149,6 +153,7 @@ func All() []Experiment {
 		{ID: "e12", Desc: "sharded counter scaling: shards x batch sweep via the spec API", Scenarios: []string{"E12"}, Run: E12Sharded},
 		{ID: "e13", Desc: "registry + pooled handles under mixed traffic with concurrent snapshots", Scenarios: []string{"E13"}, Run: E13Registry},
 		{ID: "e14", Desc: "sharded max-register scaling: shards x elision-window sweep via the spec API", Scenarios: []string{"E14"}, Run: E14ShardedMaxReg},
+		{ID: "e15", Desc: "sharded snapshot scaling: shards x elision-window sweep via the spec API", Scenarios: []string{"E15"}, Run: E15ShardedSnapshot},
 		{ID: "f1", Desc: "Figure 1 read-case trace reproduction", Run: F1ReadCases},
 	}
 }

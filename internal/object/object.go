@@ -55,6 +55,24 @@ type MaxRegHandle interface {
 	Read() uint64
 }
 
+// Snapshot is a shared single-writer atomic snapshot object supporting
+// Update and Scan through per-process handles: process p owns component
+// p and is the only writer of it; a scan returns a coherent view of all
+// components.
+type Snapshot interface {
+	// SnapshotHandle binds process p to the snapshot.
+	SnapshotHandle(p *prim.Proc) SnapshotHandle
+}
+
+// SnapshotHandle is a process's view of a snapshot.
+type SnapshotHandle interface {
+	// Update sets this process's component to v.
+	Update(v uint64)
+	// Scan returns a view of all components. The returned slice is fresh
+	// (owned by the caller).
+	Scan() []uint64
+}
+
 // Accuracy describes the multiplicative accuracy guarantee of an object: a
 // read may return x for a true value v whenever v/K <= x <= v*K. Exact
 // objects have K == 1.

@@ -1,0 +1,35 @@
+// Package planetest holds the test-support helpers shared by the
+// backend plane's envelope sweeps: the deterministic per-component value
+// sequences that internal/shard's property tests and the public
+// conformance tests both drive, together with the window-hull reasoning
+// the concurrent checkers rely on. Keeping them here means the elision
+// semantics and the hull argument are encoded once.
+package planetest
+
+// SeqValue is the value a component's writer writes at op j. The
+// monotone sequence is the identity; the mixed one doubles it with a
+// periodic downward dip (an always-flushed move under component
+// elision), so its reachable values over any op window have the simple
+// hull Window computes.
+func SeqValue(j uint64, mixed bool) uint64 {
+	if !mixed {
+		return j
+	}
+	if j%5 == 0 {
+		return j // dip: an always-flushed downward move
+	}
+	return 2 * j
+}
+
+// Window returns bounds [vmin, vmax] on the values SeqValue can take
+// over ops [a, b]: tight for the monotone sequence, the conservative
+// hull [a, 2b] for the mixed one (SeqValue(j) is always in [j, 2j], so
+// no replay of the sequence is needed). A concurrent checker passes the
+// component's completed-op count before its read as a and its
+// started-op count after as b.
+func Window(a, b uint64, mixed bool) (vmin, vmax uint64) {
+	if !mixed {
+		return a, b
+	}
+	return a, 2 * b
+}

@@ -13,32 +13,16 @@ import (
 // declares its per-shard accuracy envelope. The four backends cover the
 // repository's max-register families: the exact bounded tree of [8], the
 // exact unbounded epoch construction, and the paper's Algorithm 2
-// (k-multiplicative), bounded and unbounded.
-type MaxRegBackend struct {
-	name string
-	// bound is the value bound m (writes must be < m), 0 for unbounded
-	// backends. The runtime checks it before elision so an out-of-range
-	// write panics even when it would otherwise be elided.
-	bound uint64
-	// mult is the per-shard multiplicative accuracy for parameter k
-	// (1 for exact backends).
-	mult func(k uint64) uint64
-	// make builds the shard over its own factory.
-	make func(f *prim.Factory, k uint64) (object.MaxReg, error)
-}
-
-// Name returns the backend's name (for tables and error messages).
-func (b MaxRegBackend) Name() string { return b.name }
-
-// Bound returns the backend's value bound m, or 0 for unbounded backends.
-func (b MaxRegBackend) Bound() uint64 { return b.bound }
+// (k-multiplicative), bounded and unbounded. A backend's bound (writes
+// must be < m, 0 for unbounded) is checked by the handle before elision,
+// so an out-of-range write panics even when it would otherwise be elided.
+type MaxRegBackend = backend[object.MaxReg]
 
 // ExactMaxBackend shards the exact unbounded max register (the epoch
 // construction over the tree of [8]): the max over shards is exact.
 func ExactMaxBackend() MaxRegBackend {
 	return MaxRegBackend{
-		name: "exact-unbounded",
-		mult: func(uint64) uint64 { return 1 },
+		meta: meta{name: "exact-unbounded"},
 		make: func(f *prim.Factory, _ uint64) (object.MaxReg, error) {
 			return maxreg.NewUnbounded(f, maxreg.ExactFactory)
 		},
@@ -49,9 +33,7 @@ func ExactMaxBackend() MaxRegBackend {
 // worst-case ceil(log2 m) steps per shard operation, exact reads.
 func ExactBoundedMaxBackend(m uint64) MaxRegBackend {
 	return MaxRegBackend{
-		name:  "exact-bounded",
-		bound: m,
-		mult:  func(uint64) uint64 { return 1 },
+		meta: meta{name: "exact-bounded", bound: m},
 		make: func(f *prim.Factory, _ uint64) (object.MaxReg, error) {
 			return maxreg.NewBounded(f, m)
 		},
@@ -63,8 +45,7 @@ func ExactBoundedMaxBackend(m uint64) MaxRegBackend {
 // is the max.
 func MultMaxBackend() MaxRegBackend {
 	return MaxRegBackend{
-		name: "mult-unbounded",
-		mult: func(k uint64) uint64 { return k },
+		meta: meta{name: "mult-unbounded", mult: kIdentity},
 		make: func(f *prim.Factory, k uint64) (object.MaxReg, error) {
 			return core.NewKMultUnboundedMaxReg(f, k)
 		},
@@ -76,9 +57,7 @@ func MultMaxBackend() MaxRegBackend {
 // shard operation.
 func MultBoundedMaxBackend(m uint64) MaxRegBackend {
 	return MaxRegBackend{
-		name:  "mult-bounded",
-		bound: m,
-		mult:  func(k uint64) uint64 { return k },
+		meta: meta{name: "mult-bounded", bound: m, mult: kIdentity},
 		make: func(f *prim.Factory, k uint64) (object.MaxReg, error) {
 			return core.NewKMultMaxReg(f, m, k)
 		},
@@ -116,14 +95,28 @@ func WithMaxRegBackend(b MaxRegBackend) MaxRegOption {
 	return func(c *maxRegConfig) { c.backend = b }
 }
 
+// maxRegPolicy is the max register's row of the plane: reads take the
+// max over shards (no envelope widening — the max over shards is the
+// global max), and handles elide writes (the B-1 staleness lives in the
+// ONE handle holding the maximum, so it does not scale with n).
+var maxRegPolicy = policy{
+	combine: "max",
+	buffer:  writeElision,
+}
+
+// maxOf is the max register's combine.
+func maxOf(a, b uint64) uint64 {
+	if b > a {
+		return b
+	}
+	return a
+}
+
 // MaxReg is the sharded max register: S independently accurate shards
 // combined by taking the max. Create handles with Handle; the zero value
 // is not usable.
 type MaxReg struct {
-	rt      *runtime[object.MaxReg]
-	k       uint64
-	batch   uint64
-	backend MaxRegBackend
+	p *plane[object.MaxReg, object.MaxRegHandle, uint64]
 }
 
 // NewMaxReg creates a sharded max register for n process slots with
@@ -135,38 +128,31 @@ func NewMaxReg(n int, k uint64, opts ...MaxRegOption) (*MaxReg, error) {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	if cfg.batch < 1 {
-		return nil, errBatch(cfg.batch)
-	}
-	// Legal writes satisfy v < m, so the largest is m-1: an elision window
-	// of B-1 >= m-1 (i.e. B >= m) would swallow every legal write.
-	if cfg.backend.bound > 0 && uint64(cfg.batch) >= cfg.backend.bound {
-		return nil, fmt.Errorf("shard: batch %d exceeds the %d-bounded register's value range", cfg.batch, cfg.backend.bound)
-	}
-	rt, err := newRuntime(cfg.backend.name, n, cfg.shards, func(f *prim.Factory) (object.MaxReg, error) {
-		return cfg.backend.make(f, k)
-	})
+	p, err := newPlane(n, k, cfg.shards, cfg.batch, cfg.backend, maxRegPolicy,
+		func(o object.MaxReg, pr *prim.Proc) object.MaxRegHandle { return o.MaxRegHandle(pr) },
+		maxOf,
+	)
 	if err != nil {
 		return nil, err
 	}
-	return &MaxReg{rt: rt, k: k, batch: uint64(cfg.batch), backend: cfg.backend}, nil
+	return &MaxReg{p: p}, nil
 }
 
 // N returns the number of process slots.
-func (m *MaxReg) N() int { return m.rt.n }
+func (m *MaxReg) N() int { return m.p.N() }
 
 // K returns the accuracy parameter passed to the backend.
-func (m *MaxReg) K() uint64 { return m.k }
+func (m *MaxReg) K() uint64 { return m.p.K() }
 
 // Shards returns the shard count S.
-func (m *MaxReg) Shards() int { return len(m.rt.shards) }
+func (m *MaxReg) Shards() int { return m.p.Shards() }
 
 // Batch returns the per-handle write-elision window B (1 means every
 // value-raising write is flushed immediately).
-func (m *MaxReg) Batch() uint64 { return m.batch }
+func (m *MaxReg) Batch() uint64 { return m.p.Batch() }
 
 // Backend returns the configured backend.
-func (m *MaxReg) Backend() MaxRegBackend { return m.backend }
+func (m *MaxReg) Backend() MaxRegBackend { return m.p.be }
 
 // Bounds returns the combined read envelope for this configuration:
 // Mult is the backend's per-shard factor (sharding adds nothing — the max
@@ -174,43 +160,25 @@ func (m *MaxReg) Backend() MaxRegBackend { return m.backend }
 // headroom B-1. Unlike counter batching, the headroom is per handle, NOT
 // multiplied by n: the true maximum is held by one handle, whose flushed
 // value trails it by at most B-1.
-func (m *MaxReg) Bounds() Bounds {
-	return Bounds{
-		Mult:   m.backend.mult(m.k),
-		Buffer: m.batch - 1,
-	}
-}
+func (m *MaxReg) Bounds() Bounds { return m.p.Bounds() }
 
 // Handle binds process slot i (0 <= i < n) to the register. The handle
 // writes to shard i mod S and reads all shards through slot i of each
 // shard's factory. Like every handle in this repository it must be used
 // by a single goroutine.
 func (m *MaxReg) Handle(i int) *MaxRegHandle {
-	procs := m.rt.slotProcs(i)
-	h := &MaxRegHandle{
-		m:       m,
-		readers: make([]object.MaxRegHandle, len(m.rt.shards)),
-		procs:   procs,
-	}
-	for s := range m.rt.shards {
-		h.readers[s] = m.rt.shards[s].MaxRegHandle(procs[s])
-	}
-	h.home = h.readers[m.rt.home(i)]
+	h := &MaxRegHandle{handleCore: m.p.newCore(i), bound: m.p.be.bound}
+	h.buf.flush = h.home.Write
 	return h
 }
 
 // MaxRegHandle is one process's view of the sharded max register. It
 // satisfies the public MaxRegisterHandle interface (Write, Read, Steps)
-// and adds Flush for publishing elided writes before quiescent reads.
+// and adds Flush for publishing elided writes before quiescent reads;
+// Read takes the max over one read of every shard.
 type MaxRegHandle struct {
-	m       *MaxReg
-	home    object.MaxRegHandle
-	readers []object.MaxRegHandle
-	procs   []*prim.Proc
-	// flushed is the highest value this handle has written through to its
-	// home shard; pending the highest elided value above it (0 = none).
-	flushed uint64
-	pending uint64
+	handleCore[object.MaxRegHandle, uint64]
+	bound uint64
 }
 
 var _ object.MaxRegHandle = (*MaxRegHandle)(nil)
@@ -222,52 +190,8 @@ var _ object.MaxRegHandle = (*MaxRegHandle)(nil)
 // publishes them. On bounded backends, v >= m panics regardless of
 // elision, like an out-of-range slice index.
 func (h *MaxRegHandle) Write(v uint64) {
-	if b := h.m.backend.bound; b > 0 && v >= b {
-		panic(fmt.Sprintf("shard: write %d out of range of %d-bounded max register", v, b))
+	if h.bound > 0 && v >= h.bound {
+		panic(fmt.Sprintf("shard: write %d out of range of %d-bounded max register", v, h.bound))
 	}
-	if v <= h.flushed {
-		return // subsumed: the home shard already holds >= v
-	}
-	if v-h.flushed < h.m.batch {
-		// Elide: v trails a future flush by at most B-1, the staleness
-		// Bounds' Buffer term promises.
-		if v > h.pending {
-			h.pending = v
-		}
-		return
-	}
-	h.home.Write(v)
-	h.flushed = v
-	h.pending = 0 // pending < flushed + B <= v: subsumed by this write
+	h.buf.add(v)
 }
-
-// Flush publishes the pending elided maximum to the home shard. It is a
-// no-op when nothing is pending.
-func (h *MaxRegHandle) Flush() {
-	if h.pending > h.flushed {
-		h.home.Write(h.pending)
-		h.flushed = h.pending
-	}
-	h.pending = 0
-}
-
-// Read takes the max over one read of every shard. The result is inside
-// the envelope MaxReg.Bounds describes, relative to the regularity window
-// of the package comment.
-func (h *MaxRegHandle) Read() uint64 {
-	var max uint64
-	for _, r := range h.readers {
-		if v := r.Read(); v > max {
-			max = v
-		}
-	}
-	return max
-}
-
-// Steps returns the shared-memory steps this handle's process slot has
-// taken across all shards.
-func (h *MaxRegHandle) Steps() uint64 { return stepsOf(h.procs) }
-
-// Pending returns the highest locally elided, not yet flushed value
-// (diagnostic; 0 when nothing is pending).
-func (h *MaxRegHandle) Pending() uint64 { return h.pending }

@@ -1,0 +1,371 @@
+package shard
+
+import (
+	"fmt"
+
+	"approxobj/internal/prim"
+	"approxobj/internal/satmath"
+)
+
+// This file is the policy-driven core of the backend plane: one generic
+// object (plane) and one generic handle core (core) parameterized by
+//
+//   - a combine policy: how a read folds the S per-shard reads into the
+//     object's value (sum for counters, max for max registers,
+//     per-component merge for snapshots), and
+//   - a buffer policy: how a handle's mutations are buffered locally
+//     before reaching its home shard (count batching, write elision, or
+//     component elision).
+//
+// The kind-specific files (shard.go, maxreg.go, snapshot.go) contribute
+// only their backends, their mutation method, and their policy row —
+// everything else (construction, handle wiring, combined reads, flushes,
+// envelope composition, step accounting) lives here once.
+
+// Reader is the read side of a per-shard handle: the generic core issues
+// one Read per shard and folds the results with the kind's Combine.
+type Reader[V any] interface{ Read() V }
+
+// Combine folds the next shard's read into the accumulator. It may
+// mutate and return acc (the per-component merge does); acc is always a
+// value the caller owns — the first shard's freshly produced read.
+type Combine[V any] func(acc, next V) V
+
+// bufferPolicy enumerates the handle-local buffering disciplines of the
+// plane. All three trade read freshness (the Buffer term of Bounds) for
+// mutations that touch no shared memory.
+type bufferPolicy int
+
+const (
+	// countBatching buffers mutation counts: a counter handle absorbs
+	// B-1 of every B Incs locally and flushes them in one bulk apply.
+	// System-wide staleness is (B-1) per handle, so the Buffer term
+	// scales with the slot count n.
+	countBatching bufferPolicy = iota
+	// writeElision skips the shared write when the value is inside the
+	// window above the handle's last flushed value, keeping the pending
+	// maximum locally (max registers: values at or below the flushed one
+	// are subsumed and dropped for free). The object's maximum lives in
+	// ONE handle, so the Buffer term is B-1, not scaled by n.
+	writeElision
+	// componentElision is writeElision for last-write-wins components
+	// (snapshots): upward moves inside the window stay local with the
+	// LATEST (not highest) value pending, but downward moves always
+	// flush — a stale higher value would overstate the component, which
+	// the one-sided envelope does not allow. Components are disjoint
+	// across handles, so the per-component Buffer term is B-1.
+	componentElision
+)
+
+// buffer is the handle-local mutation buffer between a handle and its
+// home shard. flush applies a value to shared memory: a pending
+// increment count under countBatching, the pending value under the
+// elision policies.
+type buffer struct {
+	policy bufferPolicy
+	batch  uint64
+	flush  func(v uint64)
+
+	pending uint64
+	flushed uint64 // last value written through (elision policies only)
+	dirty   bool   // pending holds an unflushed elided value
+}
+
+// add routes one mutation (an increment count or a value) through the
+// policy: absorb it locally or flush to the home shard.
+func (b *buffer) add(v uint64) {
+	switch b.policy {
+	case countBatching:
+		b.pending += v
+		if b.pending >= b.batch {
+			d := b.pending
+			b.pending = 0
+			b.flush(d)
+		}
+	case writeElision:
+		if v <= b.flushed {
+			return // subsumed: the home shard already holds >= v
+		}
+		if v-b.flushed < b.batch {
+			// Elide: v trails a future flush by at most B-1, the
+			// staleness the Buffer term of Bounds promises.
+			if v > b.pending {
+				b.pending, b.dirty = v, true
+			}
+			return
+		}
+		b.writeThrough(v)
+	case componentElision:
+		if v == b.flushed {
+			// The component is back at its flushed value: anything
+			// elided in between is superseded.
+			b.pending, b.dirty = 0, false
+			return
+		}
+		if v > b.flushed && v-b.flushed < b.batch {
+			b.pending, b.dirty = v, true // latest value wins, not highest
+			return
+		}
+		b.writeThrough(v)
+	}
+}
+
+func (b *buffer) writeThrough(v uint64) {
+	b.flush(v)
+	b.flushed = v
+	b.pending, b.dirty = 0, false
+}
+
+// Flush publishes the buffered state to the home shard; it is a no-op
+// when nothing is buffered.
+func (b *buffer) Flush() {
+	switch b.policy {
+	case countBatching:
+		if b.pending == 0 {
+			return
+		}
+		d := b.pending
+		b.pending = 0
+		b.flush(d)
+	default:
+		if !b.dirty {
+			return
+		}
+		b.writeThrough(b.pending)
+	}
+}
+
+// Pending returns the buffered state (diagnostic): the buffered
+// increment count under countBatching, the pending elided value (0 when
+// none) under the elision policies.
+func (b *buffer) Pending() uint64 {
+	if b.policy != countBatching && !b.dirty {
+		return 0
+	}
+	return b.pending
+}
+
+// meta is the envelope declaration every backend carries: its name (for
+// tables and errors), its value bound (0 = unbounded), and its per-shard
+// multiplicative/additive accuracy as functions of the parameter k. A
+// nil mult means exact (1); a nil add means no additive slack (0).
+type meta struct {
+	name  string
+	bound uint64
+	mult  func(k uint64) uint64
+	add   func(k uint64) uint64
+}
+
+// Name returns the backend's name (for tables and error messages).
+func (m meta) Name() string { return m.name }
+
+// Bound returns the backend's value bound, or 0 for unbounded backends.
+func (m meta) Bound() uint64 { return m.bound }
+
+func (m meta) multOf(k uint64) uint64 {
+	if m.mult == nil {
+		return 1
+	}
+	return m.mult(k)
+}
+
+func (m meta) addOf(k uint64) uint64 {
+	if m.add == nil {
+		return 0
+	}
+	return m.add(k)
+}
+
+// backend constructs one shard's underlying object of type O and
+// declares its per-shard accuracy envelope. The exported per-kind names
+// (Backend, MaxRegBackend, SnapshotBackend) are instantiations of it.
+type backend[O any] struct {
+	meta
+	make func(f *prim.Factory, k uint64) (O, error)
+}
+
+// String names the buffering discipline for tables and docs.
+func (b bufferPolicy) String() string {
+	switch b {
+	case writeElision:
+		return "write elision"
+	case componentElision:
+		return "component elision"
+	default:
+		return "count batching"
+	}
+}
+
+// PolicyRow is the exported view of one kind's policy row, consumed by
+// the public backend table (approxobj.Kinds) so the spec layer derives
+// its rows from this package instead of hand-mirroring them.
+type PolicyRow struct {
+	// Combine names how a read folds the per-shard reads.
+	Combine string
+	// Buffer names the handle-local buffering discipline.
+	Buffer string
+	// AddScalesWithShards reports whether the per-shard additive slack
+	// sums over shards under this combine.
+	AddScalesWithShards bool
+	// BufferScalesWithProcs reports whether the B-1 buffering headroom
+	// multiplies by the slot count.
+	BufferScalesWithProcs bool
+}
+
+func (p policy) row() PolicyRow {
+	return PolicyRow{
+		Combine:               p.combine,
+		Buffer:                p.buffer.String(),
+		AddScalesWithShards:   p.addScalesWithShards,
+		BufferScalesWithProcs: p.bufferScalesWithProcs,
+	}
+}
+
+// CounterPolicyRow, MaxRegPolicyRow, and SnapshotPolicyRow export the
+// three kinds' policy rows.
+func CounterPolicyRow() PolicyRow  { return counterPolicy.row() }
+func MaxRegPolicyRow() PolicyRow   { return maxRegPolicy.row() }
+func SnapshotPolicyRow() PolicyRow { return snapshotPolicy.row() }
+
+// policy is one kind's row of the plane: how the per-shard envelope
+// composes under the kind's combine, and which buffering discipline its
+// handles use. The spec layer's backend table derives its rows from
+// these via PolicyRow.
+type policy struct {
+	combine string // policy-table name: "sum", "max", "per-component"
+	buffer  bufferPolicy
+	// addScalesWithShards: the per-shard additive slack sums over shards
+	// (true for the counter's sum-combine; false for max and
+	// per-component merge, which pick one shard's value per result).
+	addScalesWithShards bool
+	// bufferScalesWithProcs: the per-handle staleness B-1 can accumulate
+	// across all n handles at once (true for count batching; false for
+	// the elision policies, where the staleness lives in one handle per
+	// result component).
+	bufferScalesWithProcs bool
+}
+
+// plane is the generic sharded object: S shards of O combined on read by
+// the kind's Combine, with handle-local buffering per the kind's policy.
+// Kind-specific object types wrap it and add nothing but their mutation
+// signature.
+type plane[O any, H Reader[V], V any] struct {
+	rt       *runtime[O]
+	k        uint64
+	batch    uint64
+	be       backend[O]
+	pol      policy
+	handleOf func(o O, p *prim.Proc) H
+	combine  Combine[V]
+}
+
+// newPlane validates the shared configuration (batch range, batch vs.
+// backend bound) and builds S shards of n slots each.
+func newPlane[O any, H Reader[V], V any](
+	n int, k uint64, shards, batch int, be backend[O], pol policy,
+	handleOf func(o O, p *prim.Proc) H, combine Combine[V],
+) (*plane[O, H, V], error) {
+	if batch < 1 {
+		return nil, errBatch(batch)
+	}
+	// Legal writes satisfy v < m, so the largest is m-1: an elision
+	// window of B-1 >= m-1 (i.e. B >= m) would swallow every legal write.
+	if be.bound > 0 && uint64(batch) >= be.bound {
+		return nil, fmt.Errorf("shard: batch %d exceeds the %d-bounded backend's value range", batch, be.bound)
+	}
+	rt, err := newRuntime(be.name, n, shards, func(f *prim.Factory) (O, error) {
+		return be.make(f, k)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &plane[O, H, V]{
+		rt: rt, k: k, batch: uint64(batch), be: be, pol: pol,
+		handleOf: handleOf, combine: combine,
+	}, nil
+}
+
+// N returns the number of process slots.
+func (p *plane[O, H, V]) N() int { return p.rt.n }
+
+// K returns the accuracy parameter passed to the backend.
+func (p *plane[O, H, V]) K() uint64 { return p.k }
+
+// Shards returns the shard count S.
+func (p *plane[O, H, V]) Shards() int { return len(p.rt.shards) }
+
+// Batch returns the per-handle buffer size B (1 means unbuffered).
+func (p *plane[O, H, V]) Batch() uint64 { return p.batch }
+
+// Bounds composes the combined read envelope from the backend's
+// per-shard envelope and the kind's policy row: Add widens by S iff the
+// combine sums shards, and the B-1 buffering headroom multiplies by n
+// iff every handle's buffer can be stale at once.
+func (p *plane[O, H, V]) Bounds() Bounds {
+	b := Bounds{Mult: p.be.multOf(p.k), Add: p.be.addOf(p.k)}
+	if p.pol.addScalesWithShards {
+		b.Add = satmath.Mul(uint64(len(p.rt.shards)), b.Add)
+	}
+	head := p.batch - 1
+	if p.pol.bufferScalesWithProcs {
+		head = satmath.Mul(head, uint64(p.rt.n))
+	}
+	b.Buffer = head
+	return b
+}
+
+// newCore binds process slot i to every shard and returns the shared
+// handle core: per-shard readers, the home shard's handle, the combine
+// loop, and the policy's buffer (whose flush function the kind-specific
+// handle wires to its home-shard mutation).
+func (p *plane[O, H, V]) newCore(i int) handleCore[H, V] {
+	procs := p.rt.slotProcs(i)
+	readers := make([]H, len(p.rt.shards))
+	for s := range p.rt.shards {
+		readers[s] = p.handleOf(p.rt.shards[s], procs[s])
+	}
+	return handleCore[H, V]{
+		readers: readers,
+		home:    readers[p.rt.home(i)],
+		procs:   procs,
+		combine: p.combine,
+		buf:     buffer{policy: p.pol.buffer, batch: p.batch},
+	}
+}
+
+// handleCore is the shared per-slot handle core every kind's handle embeds:
+// the per-shard readers bound to one process slot, the home shard's
+// handle, the combined read, the buffer, and step accounting. The
+// kind-specific handle adds only its mutation method (Inc, Write,
+// Update) over buf.add.
+type handleCore[H Reader[V], V any] struct {
+	readers []H
+	home    H
+	procs   []*prim.Proc
+	combine Combine[V]
+	buf     buffer
+}
+
+// Read combines one read of every shard with the kind's Combine. The
+// result is inside the envelope the object's Bounds describes, relative
+// to the regularity window of the package comment.
+func (c *handleCore[H, V]) Read() V {
+	acc := c.readers[0].Read()
+	for _, r := range c.readers[1:] {
+		acc = c.combine(acc, r.Read())
+	}
+	return acc
+}
+
+// Flush publishes any handle-locally buffered mutations to the home
+// shard. It is a no-op when the buffer is empty.
+func (c *handleCore[H, V]) Flush() { c.buf.Flush() }
+
+// Pending returns the handle's buffered state (diagnostic): buffered
+// increments for counters, the pending elided value (0 when none) for
+// max registers and snapshots.
+func (c *handleCore[H, V]) Pending() uint64 { return c.buf.Pending() }
+
+// Steps returns the shared-memory steps this handle's process slot has
+// taken across all shards.
+func (c *handleCore[H, V]) Steps() uint64 { return stepsOf(c.procs) }

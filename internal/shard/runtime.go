@@ -6,13 +6,15 @@ import (
 	"approxobj/internal/prim"
 )
 
-// runtime is the kind-agnostic core of the sharded-object runtime: S
+// runtime is the shard-allocation core of the backend plane: S
 // independent instances of one underlying object ("shards"), each built
 // over its own n-slot prim.Factory so that any process slot can reach
-// every shard. Counter and MaxReg share it — what differs per kind is
-// only how a handle routes mutations to its home shard (increment
-// batching for counters, write elision for max registers) and how a read
-// combines the shards (sum vs. max).
+// every shard. Every kind (Counter, MaxReg, Snapshot) shares it through
+// the generic plane in plane.go — what differs per kind is declared
+// there as a policy row (a Combine for reads, a bufferPolicy for
+// handle-local mutations) plus a backend set. To add object family N+1,
+// register those in a new kind file next to snapshot.go; do not grow
+// bespoke paths here.
 type runtime[O any] struct {
 	n      int
 	shards []O

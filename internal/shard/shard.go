@@ -1,26 +1,42 @@
-// Package shard implements the sharded-object runtime: S independently
-// accurate shards of one object kind behind a single façade, with
-// handle-affinity placement of mutations and a per-handle local buffer
-// that keeps most mutations out of shared memory entirely. It is the
-// scaling seam between the paper-faithful single objects (internal/core,
-// internal/counter, internal/maxreg) and a serving workload where every
-// process hammering one object is the bottleneck. Both public object
-// families run on it: counters (Counter: increments spread over shards,
-// reads sum) and max registers (MaxReg: writes spread over shards, reads
-// take the max).
+// Package shard implements the sharded-object runtime — the backend
+// plane every public object family runs on: S independently accurate
+// shards of one object kind behind a single façade, with handle-affinity
+// placement of mutations and a per-handle local buffer that keeps most
+// mutations out of shared memory entirely. It is the scaling seam
+// between the paper-faithful single objects (internal/core,
+// internal/counter, internal/maxreg, internal/snapshot) and a serving
+// workload where every process hammering one object is the bottleneck.
+//
+// # The plane
+//
+// A kind lives on the plane as two policies plus a set of backends
+// (see plane.go):
+//
+//	kind          combine         buffer policy      envelope composition
+//	counter       sum             count batching     Add -> S*Add, Buffer = (B-1)*n
+//	max register  max             write elision      no widening, Buffer = B-1
+//	snapshot      per-component   component elision  no widening, Buffer = B-1
+//
+// The combine policy folds the S per-shard reads into the object's
+// value; the buffer policy decides which mutations stay handle-local.
+// Everything else — construction, handle wiring, flushes, envelope
+// composition, step accounting — is the generic core, shared by all
+// kinds. Adding object family N+1 means declaring its backends and its
+// policy row, not re-growing the plumbing.
 //
 // # Construction
 //
-// A sharded object for n process slots is S underlying objects ("shards"),
-// each built over its own prim.Factory with n slots. Handle i mutates
-// only its home shard i mod S (handle affinity: a mutator's cache
-// traffic stays within one shard's base objects), and reads combine one
-// read of every shard — a sum for counters, a max for max registers.
-// Optionally each handle buffers mutations locally: a counter handle
-// buffers B increments and flushes them in one bulk operation
-// (object.BulkCounterHandle when the backend supports it), and a max
-// register handle elides writes within B-1 of its last flushed value
-// (see MaxReg), so most mutations touch no shared memory at all.
+// A sharded object for n process slots is S underlying objects
+// ("shards"), each built over its own prim.Factory with n slots. Handle
+// i mutates only its home shard i mod S (handle affinity: a mutator's
+// cache traffic stays within one shard's base objects), and reads
+// combine one read of every shard. Optionally each handle buffers
+// mutations locally: a counter handle buffers B increments and flushes
+// them in one bulk operation (object.BulkCounterHandle when the backend
+// supports it), a max register handle elides writes within B-1 of its
+// last flushed value, and a snapshot handle elides component updates
+// within B-1 above its last flushed value (downward moves always flush),
+// so most mutations touch no shared memory at all.
 //
 // # Accuracy composition
 //
@@ -42,6 +58,10 @@
 //     read returns x_s >= v/k, so the combined max is >= v/k; and every
 //     shard's read is <= k * (its own max) <= k*v, so the combined max is
 //     <= k*v. S does not appear.
+//   - Snapshots: component i is only ever written in its writer's home
+//     shard i mod S, so the per-component merge recovers exactly the
+//     home shard's value — the combined scan is a scan of a partition,
+//     and per-shard envelopes carry over unchanged. S does not appear.
 //   - Counter batching: a handle buffers at most B-1 increments between
 //     flushes, so at most U = (B-1)*n increments are locally buffered
 //     system-wide. Buffered increments are invisible to readers, which
@@ -54,9 +74,15 @@
 //     times n, because the maximum is held by ONE handle, and that
 //     handle's flushed value is >= v - (B-1). Reads may therefore be
 //     stale by at most B-1 below v; the upper bound is unaffected.
+//   - Snapshot component elision: a handle elides updates in the window
+//     [flushed, flushed + B-1] above its last flushed component value
+//     and flushes everything else (in particular every downward move)
+//     immediately, so a scanned component trails its true value v_i by
+//     at most B-1 and never exceeds it. The staleness is per component
+//     (components are disjoint across handles), so Buffer = B-1.
 //
-// Bounds carries the resulting envelope (M, A, U) and Counter.Bounds /
-// MaxReg.Bounds report it for the configured backend, shard count, and
+// Bounds carries the resulting envelope (M, A, U) and each object's
+// Bounds method reports it for the configured backend, shard count, and
 // batch size; the package's property tests assert it against concurrent
 // executions.
 //
@@ -69,8 +95,11 @@
 // mutations returns a value inside the envelope of some true value v
 // between the mutations completed before the Read started and those
 // started before it returned. Counters and max registers are monotone, so
-// this is the same guarantee a retry-free client can observe anyway, and
-// the soak tests in this package validate exactly this window.
+// this is the same guarantee a retry-free client can observe anyway; the
+// snapshot's combined Scan is per-component regular (each component is a
+// single-writer register, for which regular and atomic coincide per
+// component). The soak tests in this package validate exactly these
+// windows.
 package shard
 
 import (
@@ -85,28 +114,17 @@ import (
 // per-shard accuracy envelope. The three backends cover the repository's
 // counter families: the paper's multiplicative counter, the exact AACH
 // tree, and the batched additive collect.
-type Backend struct {
-	name string
-	// mult is the per-shard multiplicative accuracy for parameter k
-	// (1 for exact and additive backends).
-	mult func(k uint64) uint64
-	// add is the per-shard additive accuracy for parameter k (0 for
-	// multiplicative and exact backends).
-	add func(k uint64) uint64
-	// make builds the shard over its own factory.
-	make func(f *prim.Factory, k uint64) (object.Counter, error)
-}
+type Backend = backend[object.Counter]
 
-// Name returns the backend's name (for tables and error messages).
-func (b Backend) Name() string { return b.name }
+// kIdentity is the envelope function of backends whose per-shard
+// accuracy is the parameter k itself.
+func kIdentity(k uint64) uint64 { return k }
 
 // MultBackend shards the paper's Algorithm 1 (core.MultCounter): each shard
 // is k-multiplicative-accurate, and so is the sum.
 func MultBackend() Backend {
 	return Backend{
-		name: "mult",
-		mult: func(k uint64) uint64 { return k },
-		add:  func(uint64) uint64 { return 0 },
+		meta: meta{name: "mult", mult: kIdentity},
 		make: func(f *prim.Factory, k uint64) (object.Counter, error) {
 			return core.NewMultCounter(f, k)
 		},
@@ -117,9 +135,7 @@ func MultBackend() Backend {
 // batching), trading read cost O(S log v) for per-shard increment locality.
 func AACHBackend() Backend {
 	return Backend{
-		name: "aach",
-		mult: func(uint64) uint64 { return 1 },
-		add:  func(uint64) uint64 { return 0 },
+		meta: meta{name: "aach"},
 		make: func(f *prim.Factory, _ uint64) (object.Counter, error) {
 			return counter.NewAACH(f)
 		},
@@ -130,9 +146,7 @@ func AACHBackend() Backend {
 // shard errs by at most ±k, so the sum errs by at most ±S*k.
 func AdditiveBackend() Backend {
 	return Backend{
-		name: "additive",
-		mult: func(uint64) uint64 { return 1 },
-		add:  func(k uint64) uint64 { return k },
+		meta: meta{name: "additive", add: kIdentity},
 		make: func(f *prim.Factory, k uint64) (object.Counter, error) {
 			return counter.NewAdditive(f, k)
 		},
@@ -173,13 +187,20 @@ func WithBackend(b Backend) Option { return func(c *config) { c.backend = b } }
 // first compose.
 type Bounds = object.Bounds
 
+// counterPolicy is the counter's row of the plane: reads sum the shards
+// (so per-shard additive slack sums too), and handles batch increment
+// counts (so the B-1 staleness scales with the handle count).
+var counterPolicy = policy{
+	combine:               "sum",
+	buffer:                countBatching,
+	addScalesWithShards:   true,
+	bufferScalesWithProcs: true,
+}
+
 // Counter is the sharded counter: S independently accurate shards summed
 // by readers. Create handles with Handle; the zero value is not usable.
 type Counter struct {
-	rt      *runtime[object.Counter]
-	k       uint64
-	batch   uint64
-	backend Backend
+	p *plane[object.Counter, object.CounterHandle, uint64]
 }
 
 // New creates a sharded counter for n process slots with accuracy
@@ -191,73 +212,60 @@ func New(n int, k uint64, opts ...Option) (*Counter, error) {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	if cfg.batch < 1 {
-		return nil, errBatch(cfg.batch)
-	}
-	rt, err := newRuntime(cfg.backend.name, n, cfg.shards, func(f *prim.Factory) (object.Counter, error) {
-		return cfg.backend.make(f, k)
-	})
+	p, err := newPlane(n, k, cfg.shards, cfg.batch, cfg.backend, counterPolicy,
+		func(o object.Counter, pr *prim.Proc) object.CounterHandle { return o.CounterHandle(pr) },
+		satmath.Add,
+	)
 	if err != nil {
 		return nil, err
 	}
-	return &Counter{rt: rt, k: k, batch: uint64(cfg.batch), backend: cfg.backend}, nil
+	return &Counter{p: p}, nil
 }
 
 // N returns the number of process slots.
-func (c *Counter) N() int { return c.rt.n }
+func (c *Counter) N() int { return c.p.N() }
 
 // K returns the accuracy parameter passed to the backend.
-func (c *Counter) K() uint64 { return c.k }
+func (c *Counter) K() uint64 { return c.p.K() }
 
 // Shards returns the shard count S.
-func (c *Counter) Shards() int { return len(c.rt.shards) }
+func (c *Counter) Shards() int { return c.p.Shards() }
 
 // Batch returns the per-handle buffer size B (1 means unbuffered).
-func (c *Counter) Batch() uint64 { return c.batch }
+func (c *Counter) Batch() uint64 { return c.p.Batch() }
 
 // Backend returns the configured backend.
-func (c *Counter) Backend() Backend { return c.backend }
+func (c *Counter) Backend() Backend { return c.p.be }
 
 // Bounds returns the combined read envelope for this configuration (see
 // the package comment for the composition argument).
-func (c *Counter) Bounds() Bounds {
-	return Bounds{
-		Mult:   c.backend.mult(c.k),
-		Add:    satmath.Mul(uint64(len(c.rt.shards)), c.backend.add(c.k)),
-		Buffer: satmath.Mul(c.batch-1, uint64(c.rt.n)),
-	}
-}
+func (c *Counter) Bounds() Bounds { return c.p.Bounds() }
 
 // Handle binds process slot i (0 <= i < n) to the counter. The handle
 // increments shard i mod S and reads all shards through slot i of each
 // shard's factory. Like every handle in this repository it must be used by
 // a single goroutine.
 func (c *Counter) Handle(i int) *Handle {
-	procs := c.rt.slotProcs(i)
-	h := &Handle{
-		c:       c,
-		readers: make([]object.CounterHandle, len(c.rt.shards)),
-		procs:   procs,
+	h := &Handle{handleCore: c.p.newCore(i)}
+	if bulk, ok := h.home.(object.BulkCounterHandle); ok {
+		h.buf.flush = bulk.IncN
+	} else {
+		home := h.home
+		h.buf.flush = func(d uint64) {
+			for ; d > 0; d-- {
+				home.Inc()
+			}
+		}
 	}
-	for s := range c.rt.shards {
-		h.readers[s] = c.rt.shards[s].CounterHandle(procs[s])
-	}
-	home := h.readers[c.rt.home(i)]
-	h.home = home
-	h.homeBulk, _ = home.(object.BulkCounterHandle)
 	return h
 }
 
 // Handle is one process's view of the sharded counter. It satisfies the
 // public CounterHandle interface (Inc, Read, Steps) and adds Flush for
-// draining the batch buffer before quiescent reads.
+// draining the batch buffer before quiescent reads; Read sums one read
+// of every shard, saturating at MaxUint64.
 type Handle struct {
-	c        *Counter
-	home     object.CounterHandle
-	homeBulk object.BulkCounterHandle // nil when the backend has no bulk path
-	readers  []object.CounterHandle
-	procs    []*prim.Proc
-	pending  uint64
+	handleCore[object.CounterHandle, uint64]
 }
 
 var _ object.CounterHandle = (*Handle)(nil)
@@ -265,45 +273,4 @@ var _ object.CounterHandle = (*Handle)(nil)
 // Inc adds one. With Batch(B > 1) the increment is buffered locally and
 // flushed to the home shard every B calls, so B-1 of every B Incs are a
 // single local add.
-func (h *Handle) Inc() {
-	h.pending++
-	if h.pending >= h.c.batch {
-		h.Flush()
-	}
-}
-
-// Flush applies any buffered increments to the home shard in one bulk
-// operation. It is a no-op when the buffer is empty.
-func (h *Handle) Flush() {
-	d := h.pending
-	if d == 0 {
-		return
-	}
-	h.pending = 0
-	if h.homeBulk != nil {
-		h.homeBulk.IncN(d)
-	} else {
-		for ; d > 0; d-- {
-			h.home.Inc()
-		}
-	}
-}
-
-// Read sums one read of every shard. The result is inside the envelope
-// Counter.Bounds describes, relative to the regularity window of the
-// package comment. The sum saturates at MaxUint64 (shard reads of
-// approximate backends may individually saturate).
-func (h *Handle) Read() uint64 {
-	var sum uint64
-	for _, r := range h.readers {
-		sum = satmath.Add(sum, r.Read())
-	}
-	return sum
-}
-
-// Steps returns the shared-memory steps this handle's process slot has
-// taken across all shards.
-func (h *Handle) Steps() uint64 { return stepsOf(h.procs) }
-
-// Pending returns the number of locally buffered increments (diagnostic).
-func (h *Handle) Pending() uint64 { return h.pending }
+func (h *Handle) Inc() { h.buf.add(1) }

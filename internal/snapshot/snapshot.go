@@ -11,6 +11,7 @@ package snapshot
 import (
 	"fmt"
 
+	"approxobj/internal/object"
 	"approxobj/internal/prim"
 )
 
@@ -53,6 +54,12 @@ type Handle struct {
 // Handle returns process p's view of the snapshot.
 func (s *Snapshot) Handle(p *prim.Proc) *Handle {
 	return &Handle{s: s, p: p}
+}
+
+// SnapshotHandle implements object.Snapshot, so the sharded runtime can
+// build snapshots like any other backend.
+func (s *Snapshot) SnapshotHandle(p *prim.Proc) object.SnapshotHandle {
+	return s.Handle(p)
 }
 
 // collect reads every component once, returning the observed cells (nil
@@ -119,6 +126,15 @@ func (h *Handle) Scan() []uint64 {
 // scan in the published cell so concurrent scanners can borrow it.
 func (h *Handle) Update(v uint64) {
 	view := h.Scan()
+	if h.seq == 0 {
+		// A fresh handle for a slot that has written before (e.g. a
+		// re-created manual handle) must continue the slot's sequence:
+		// restarting at 1 could collide with a historic cell and make a
+		// concurrent Scan miss the movement. One extra read, once.
+		if c, ok := h.s.regs[h.p.ID()].Read(h.p).(*cell); ok {
+			h.seq = c.seq
+		}
+	}
 	h.seq++
 	h.s.regs[h.p.ID()].Write(h.p, &cell{val: v, seq: h.seq, view: view})
 }

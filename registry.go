@@ -6,11 +6,14 @@ import (
 )
 
 // Registry is a set of named objects, in the style of a metrics registry:
-// Counter and MaxRegister are get-or-create (a second registration of the
-// same name with the same spec returns the existing object; a conflicting
-// spec is an error), and Snapshot reads every object's current value,
-// accuracy envelope, and cumulative steps in one call, for telemetry and
-// export scenarios.
+// the per-kind getters (Counter, MaxRegister, SnapshotObject) are
+// get-or-create (a second registration of the same name with the same
+// spec returns the existing object; a conflicting spec is an error), and
+// Snapshot reads every object's current value, accuracy envelope, and
+// cumulative steps in one call, for telemetry and export scenarios. The
+// registry itself is kind-agnostic: it dispatches through the
+// backend-plane table, so a newly registered kind needs only a typed
+// getter.
 //
 // Every registry-owned object reserves one process slot beyond
 // WithProcs(n) for the registry's own snapshot reads, so Snapshot never
@@ -27,10 +30,9 @@ type Registry struct {
 }
 
 type regEntry struct {
-	name    string
-	spec    Spec
-	counter *Counter     // exactly one of counter
-	maxreg  *MaxRegister // and maxreg is non-nil
+	name string
+	spec Spec
+	obj  instance
 }
 
 // NewRegistry creates an empty registry.
@@ -38,64 +40,67 @@ func NewRegistry() *Registry {
 	return &Registry{entries: make(map[string]*regEntry)}
 }
 
-// Counter returns the named counter, creating it from the options on
-// first registration. Re-registering an existing name with an equivalent
-// spec returns the existing counter; a different spec, or a name held by
-// a max register, is an error.
-func (r *Registry) Counter(name string, opts ...Option) (*Counter, error) {
+// getOrCreate is the kind-agnostic registration path: it validates the
+// spec (with the reserved snapshot slot appended), resolves name
+// collisions, and builds the object through the backend table.
+func (r *Registry) getOrCreate(kind Kind, name string, opts []Option) (instance, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	spec, err := newSpec(KindCounter, append(opts[:len(opts):len(opts)], withSnapshotSlot()))
+	spec, err := newSpec(kind, append(opts[:len(opts):len(opts)], withSnapshotSlot()))
 	if err != nil {
 		return nil, err
 	}
 	if e, ok := r.entries[name]; ok {
-		if e.counter == nil {
-			return nil, fmt.Errorf("approxobj: registry name %q is a %s, not a counter", name, e.spec.kind)
+		if e.spec.kind != kind {
+			return nil, fmt.Errorf("approxobj: registry name %q is a %s, not a %s", name, e.spec.kind, kind)
 		}
 		if !e.spec.sameObject(spec) {
 			return nil, fmt.Errorf("approxobj: registry name %q already registered as %s, conflicting with %s", name, e.spec, spec)
 		}
-		return e.counter, nil
+		return e.obj, nil
 	}
-	c, err := newCounter(spec)
+	obj, err := buildSpec(spec)
 	if err != nil {
 		return nil, err
 	}
-	r.add(&regEntry{name: name, spec: spec, counter: c})
-	return c, nil
+	r.entries[name] = &regEntry{name: name, spec: spec, obj: obj}
+	r.order = append(r.order, name)
+	return obj, nil
+}
+
+// Counter returns the named counter, creating it from the options on
+// first registration. Re-registering an existing name with an equivalent
+// spec returns the existing counter; a different spec, or a name held by
+// another kind, is an error.
+func (r *Registry) Counter(name string, opts ...Option) (*Counter, error) {
+	obj, err := r.getOrCreate(KindCounter, name, opts)
+	if err != nil {
+		return nil, err
+	}
+	return obj.(*Counter), nil
 }
 
 // MaxRegister returns the named max register, creating it from the
 // options on first registration, with the same get-or-create semantics as
 // Counter.
 func (r *Registry) MaxRegister(name string, opts ...Option) (*MaxRegister, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	spec, err := newSpec(KindMaxRegister, append(opts[:len(opts):len(opts)], withSnapshotSlot()))
+	obj, err := r.getOrCreate(KindMaxRegister, name, opts)
 	if err != nil {
 		return nil, err
 	}
-	if e, ok := r.entries[name]; ok {
-		if e.maxreg == nil {
-			return nil, fmt.Errorf("approxobj: registry name %q is a %s, not a max register", name, e.spec.kind)
-		}
-		if !e.spec.sameObject(spec) {
-			return nil, fmt.Errorf("approxobj: registry name %q already registered as %s, conflicting with %s", name, e.spec, spec)
-		}
-		return e.maxreg, nil
-	}
-	m, err := newMaxRegister(spec)
-	if err != nil {
-		return nil, err
-	}
-	r.add(&regEntry{name: name, spec: spec, maxreg: m})
-	return m, nil
+	return obj.(*MaxRegister), nil
 }
 
-func (r *Registry) add(e *regEntry) {
-	r.entries[e.name] = e
-	r.order = append(r.order, e.name)
+// SnapshotObject returns the named single-writer snapshot, creating it
+// from the options on first registration, with the same get-or-create
+// semantics as Counter. (The name avoids colliding with Snapshot, the
+// registry-wide telemetry read.)
+func (r *Registry) SnapshotObject(name string, opts ...Option) (*Snapshot, error) {
+	obj, err := r.getOrCreate(KindSnapshot, name, opts)
+	if err != nil {
+		return nil, err
+	}
+	return obj.(*Snapshot), nil
 }
 
 // Names returns the registered names in registration order.
@@ -111,11 +116,17 @@ type ObjectSnapshot struct {
 	Name string
 	Kind Kind
 	// Value is the object's current reading, taken through the registry's
-	// reserved snapshot slot. It obeys Bounds against the true value
+	// reserved snapshot slot: the (approximate) count for counters, the
+	// (approximate) maximum for max registers, the saturating sum of the
+	// components for snapshots. It obeys Bounds against the true value
 	// (mutations still parked in unreleased handles — batched increments,
-	// elided max-register writes — fall under the Buffer term).
+	// elided writes — fall under the Buffer term).
 	Value uint64
-	// Bounds is the object's accuracy envelope.
+	// Bounds is the envelope that bounds Value. For counters and max
+	// registers it is the object's own envelope; for snapshots — whose
+	// per-object Bounds applies per component — the Buffer term is
+	// widened to (B-1)·n, since every written component of the summed
+	// Value can trail by B-1.
 	Bounds Bounds
 	// Steps is the cumulative shared-memory step count attributed to the
 	// object: steps credited by released pooled handles plus the
@@ -135,19 +146,13 @@ func (r *Registry) Snapshot() []ObjectSnapshot {
 	out := make([]ObjectSnapshot, 0, len(r.order))
 	for _, name := range r.order {
 		e := r.entries[name]
-		s := ObjectSnapshot{Name: e.name, Kind: e.spec.kind}
-		if e.counter != nil {
-			c := e.counter
-			s.Value = c.snap.Read()
-			s.Bounds = c.Bounds()
-			s.Steps = c.retired.Load() + c.snap.Steps()
-		} else {
-			m := e.maxreg
-			s.Value = m.snap.Read()
-			s.Bounds = m.Bounds()
-			s.Steps = m.retired.Load() + m.snap.Steps()
-		}
-		out = append(out, s)
+		out = append(out, ObjectSnapshot{
+			Name:   e.name,
+			Kind:   e.spec.kind,
+			Value:  e.obj.snapshotValue(),
+			Bounds: e.obj.snapshotBounds(),
+			Steps:  e.obj.StepsRetired() + e.obj.snapshotSteps(),
+		})
 	}
 	return out
 }

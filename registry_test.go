@@ -171,3 +171,142 @@ func TestRegistrySnapshotConcurrent(t *testing.T) {
 		t.Errorf("final snapshot value %d outside flushed envelope %+v of true count %d", final.Value, flushed, workers*perG)
 	}
 }
+
+// TestRegistrySnapshotRaceAllKinds takes registry snapshots while
+// workers churn pooled handles (Acquire/Do/Release, including releases
+// mid-run so slots change owners) on all three registered kinds at once.
+// The reserved snapshot slot means Snapshot never contends for pool
+// slots, and every polled value must respect the object's envelope
+// against a conservative bound on the true value. Run with -race this is
+// the cross-kind data-race check for the registry path of the backend
+// plane.
+func TestRegistrySnapshotRaceAllKinds(t *testing.T) {
+	const workers = 3
+	perG := 4_000
+	if testing.Short() {
+		perG = 400
+	}
+	const rounds = 4 // handle churn: each worker re-acquires this many times
+
+	r := NewRegistry()
+	c, err := r.Counter("hits", WithProcs(workers), WithAccuracy(Multiplicative(3)), WithShards(2), WithBatch(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := r.MaxRegister("peak", WithProcs(workers), WithAccuracy(Multiplicative(2)), WithBound(1<<30), WithBatch(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := r.SnapshotObject("load", WithProcs(workers), WithShards(2), WithBatch(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Conservative true-value ceilings for the concurrent envelope check.
+	maxCount := uint64(workers * perG * rounds)
+	maxWritten := uint64(perG)
+	maxComponentSum := uint64(workers) * maxWritten
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, os := range r.Snapshot() {
+				var ceil uint64
+				switch os.Name {
+				case "hits":
+					ceil = maxCount
+				case "peak":
+					ceil = maxWritten
+				case "load":
+					ceil = maxComponentSum
+				}
+				if !os.Bounds.ContainsRange(0, ceil, os.Value) {
+					t.Errorf("%s snapshot value %d outside envelope %+v for any true value in [0, %d]", os.Name, os.Value, os.Bounds, ceil)
+					return
+				}
+				if os.Kind == KindSnapshot && os.Bounds.Mult != 1 {
+					t.Errorf("snapshot kind reports Mult %d, want 1", os.Bounds.Mult)
+					return
+				}
+			}
+		}
+	}()
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				c.Do(func(h CounterHandle) {
+					for j := 0; j < perG; j++ {
+						h.Inc()
+					}
+				})
+				m.Do(func(h MaxRegisterHandle) {
+					for j := 1; j <= perG; j++ {
+						h.Write(uint64(j))
+						if j%9 == 0 {
+							h.Read()
+						}
+					}
+				})
+				s.Do(func(h SnapshotHandle) {
+					for j := 1; j <= perG; j++ {
+						h.Update(uint64(j))
+						if j%64 == 0 {
+							h.Update(uint64(j) / 2) // downward move: always flushed
+						}
+						if j%500 == 0 {
+							h.Scan()
+						}
+					}
+					// The lease's last update is perG, whatever the loop's
+					// dip cadence was: the final-sum check below relies on
+					// every used slot ending at exactly perG.
+					h.Update(uint64(perG))
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+
+	// All handles released (flushed): the final snapshot obeys each
+	// object's flush-free envelope against the exact final state.
+	for _, os := range r.Snapshot() {
+		flushed := os.Bounds
+		flushed.Buffer = 0
+		switch os.Name {
+		case "hits":
+			if !flushed.Contains(maxCount, os.Value) {
+				t.Errorf("final count %d outside flushed envelope %+v of %d", os.Value, flushed, maxCount)
+			}
+		case "peak":
+			if !flushed.Contains(maxWritten, os.Value) {
+				t.Errorf("final peak %d outside flushed envelope %+v of %d", os.Value, flushed, maxWritten)
+			}
+		case "load":
+			// Every slot the pool ever handed out ends with its component
+			// at exactly perG (releases flush elided updates, and the last
+			// update of every lease is perG); slots never used stay 0. The
+			// sum is therefore a positive multiple of perG up to the slot
+			// count.
+			if os.Value == 0 || os.Value%uint64(perG) != 0 || os.Value > maxComponentSum {
+				t.Errorf("final component sum = %d, want a positive multiple of %d up to %d", os.Value, perG, maxComponentSum)
+			}
+		}
+		if os.Steps == 0 {
+			t.Errorf("%s reports zero cumulative steps", os.Name)
+		}
+	}
+}

@@ -2,36 +2,60 @@ package approxobj
 
 import (
 	"fmt"
-
-	"approxobj/internal/satmath"
-	"approxobj/internal/shard"
+	"strings"
 )
 
-// Kind identifies an object family: counters (Inc/Read) or max registers
-// (Write/Read).
+// Kind identifies an object family: counters (Inc/Read), max registers
+// (Write/Read), or single-writer snapshots (Update/Scan). The registered
+// kinds and their composition policies live in the backend-plane table
+// (see Kinds).
 type Kind int
 
 // Object kinds.
 const (
 	KindCounter Kind = iota + 1
 	KindMaxRegister
+	KindSnapshot
 )
 
-// String returns the kind's name.
+// String returns the kind's name, as registered in the backend table.
 func (k Kind) String() string {
-	switch k {
-	case KindCounter:
-		return "counter"
-	case KindMaxRegister:
-		return "max register"
-	default:
-		return "invalid"
+	if d := descriptorOf(k); d != nil {
+		return d.name
 	}
+	return "invalid"
 }
 
 // MarshalText renders the kind by name, so registry snapshots export
 // readably (e.g. as JSON).
 func (k Kind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// UnmarshalText parses a kind by its registered name — the inverse of
+// MarshalText, so registry names and bench records round-trip. Unknown
+// names are an error listing the registered kinds.
+func (k *Kind) UnmarshalText(text []byte) error {
+	parsed, err := ParseKind(string(text))
+	if err != nil {
+		return err
+	}
+	*k = parsed
+	return nil
+}
+
+// ParseKind resolves a kind name ("counter", "max register", "snapshot")
+// against the backend table. Unknown names are an error.
+func ParseKind(name string) (Kind, error) {
+	for _, d := range kindTable {
+		if d.name == name {
+			return d.kind, nil
+		}
+	}
+	known := make([]string, 0, len(kindTable))
+	for _, d := range kindTable {
+		known = append(known, d.name)
+	}
+	return 0, fmt.Errorf("approxobj: unknown object kind %q (registered kinds: %s)", name, strings.Join(known, ", "))
+}
 
 type accMode int
 
@@ -40,6 +64,19 @@ const (
 	accAdditive
 	accMultiplicative
 )
+
+// String names the mode alone ("exact", "additive", "multiplicative"),
+// without the parameter; Accuracy.String renders the full selection.
+func (m accMode) String() string {
+	switch m {
+	case accAdditive:
+		return "additive"
+	case accMultiplicative:
+		return "multiplicative"
+	default:
+		return "exact"
+	}
+}
 
 // Accuracy selects a point on the paper's accuracy/steps trade-off. Use
 // Exact, Additive, or Multiplicative to build one and WithAccuracy to
@@ -91,9 +128,9 @@ func (a Accuracy) String() string {
 // Spec is the validated description of an object: which family member to
 // build (accuracy), for how many process slots, and how the runtime
 // should scale it (shards, batching) or bound it (max-register range).
-// Specs are built by NewCounter, NewMaxRegister, and the Registry from
-// functional options; inspect a live object's spec with Counter.Spec or
-// MaxRegister.Spec.
+// Specs are built by NewCounter, NewMaxRegister, NewSnapshot, and the
+// Registry from functional options; inspect a live object's spec with
+// its Spec method.
 type Spec struct {
 	kind   Kind
 	procs  int
@@ -127,12 +164,12 @@ func (s Spec) Accuracy() Accuracy { return s.acc }
 func (s Spec) Shards() int { return s.shards }
 
 // Batch returns the per-handle buffer size: the increment buffer for
-// counters, the write-elision window for max registers (1 when
-// unbuffered).
+// counters, the write-elision window for max registers, the
+// component-elision window for snapshots (1 when unbuffered).
 func (s Spec) Batch() int { return s.batch }
 
 // Bound returns the max-register value bound m (values must be < m), or 0
-// for unbounded registers and counters.
+// for unbounded registers and the other kinds.
 func (s Spec) Bound() uint64 { return s.bound }
 
 // totalProcs is the number of slots actually allocated in the underlying
@@ -152,15 +189,15 @@ func (s Spec) sameObject(t Spec) bool {
 }
 
 // String renders the spec compactly, e.g.
-// "counter{procs: 8, multiplicative(4), shards: 4, batch: 16}". Both
-// kinds render shards/batch when they deviate from the unscaled default
+// "counter{procs: 8, multiplicative(4), shards: 4, batch: 16}". Every
+// kind renders shards/batch when they deviate from the unscaled default
 // (counters always do, for continuity with earlier releases).
 func (s Spec) String() string {
 	out := fmt.Sprintf("%s{procs: %d, %s", s.kind, s.procs, s.acc)
 	if s.kind == KindCounter || s.shards != 1 || s.batch != 1 {
 		out += fmt.Sprintf(", shards: %d, batch: %d", s.shards, s.batch)
 	}
-	if s.kind == KindMaxRegister && s.bound > 0 {
+	if s.bound > 0 {
 		out += fmt.Sprintf(", bound: %d", s.bound)
 	}
 	return out + "}"
@@ -168,37 +205,46 @@ func (s Spec) String() string {
 
 // Option configures a Spec. Options are orthogonal: any accuracy composes
 // with any shard count, batch size, and process count; validation of the
-// combined spec happens once, in the constructor, instead of in each of
-// the legacy per-family constructors.
+// combined spec happens once, in the constructor, against the kind's
+// backend-table registration instead of in per-family code paths.
 type Option func(*Spec)
 
 // WithProcs sets the number of process slots n (default 1). Handles bind
 // goroutines to slots — via Acquire/Do (pooled) or Handle(i) (manual) —
-// and at most n goroutines can operate concurrently.
+// and at most n goroutines can operate concurrently. For snapshots, n is
+// also the component count: slot i is the single writer of component i.
 func WithProcs(n int) Option { return func(s *Spec) { s.procs = n } }
 
 // WithAccuracy selects the object's accuracy (default Exact()): see
-// Exact, Additive, and Multiplicative.
+// Exact, Additive, and Multiplicative. Each kind's backend table lists
+// the modes it implements; unsupported combinations are rejected by the
+// constructor.
 func WithAccuracy(a Accuracy) Option { return func(s *Spec) { s.acc = a } }
 
 // WithShards sets the shard count S (default 1): S independently accurate
 // shards combined by readers, spreading mutation contention across
-// disjoint base objects. Counter reads sum the shards (no widening of a
-// multiplicative envelope; an additive envelope widens to S*k); max
-// register reads take the max over shards, which widens NO envelope at
-// all — the max over shards is the global max. See internal/shard.
+// disjoint base objects. How the combined read composes is the kind's
+// combine policy (see Kinds): counter reads sum the shards (no widening
+// of a multiplicative envelope; an additive envelope widens to S*k), max
+// register reads take the max over shards, and snapshot scans merge per
+// component — neither of which widens the envelope at all. See
+// internal/shard.
 func WithShards(n int) Option {
 	return func(s *Spec) { s.shards = n }
 }
 
-// WithBatch sets the per-handle buffer B (default 1, unbuffered). For
-// counters it buffers increments: B-1 of every B Incs touch no shared
-// memory, at the cost of up to (B-1)·n increments being invisible to
-// readers between flushes (the Buffer term of Bounds). For max registers
-// it is the write-elision window: a handle skips the shared write when
-// the value is within B-1 of its last flushed one, so reads may trail the
-// true maximum by at most B-1 (per handle, not times n — the maximum
-// lives in one handle). Releasing a pooled handle flushes either kind.
+// WithBatch sets the per-handle buffer B (default 1, unbuffered). What is
+// buffered is the kind's buffer policy (see Kinds). For counters it
+// buffers increments: B-1 of every B Incs touch no shared memory, at the
+// cost of up to (B-1)·n increments being invisible to readers between
+// flushes (the Buffer term of Bounds). For max registers it is the
+// write-elision window: a handle skips the shared write when the value
+// is within B-1 of its last flushed one, so reads may trail the true
+// maximum by at most B-1 (per handle, not times n — the maximum lives in
+// one handle). For snapshots it is the component-elision window: updates
+// within B-1 above the component's last flushed value stay local, so a
+// scanned component may trail its true value by at most B-1 (per
+// component). Releasing a pooled handle flushes every kind.
 func WithBatch(b int) Option {
 	return func(s *Spec) { s.batch = b }
 }
@@ -219,7 +265,8 @@ func withSnapshotSlot() Option { return func(s *Spec) { s.snapshotSlot = true } 
 
 // newSpec applies opts over the defaults for kind and validates the
 // combination. This is the single validation point of the package: every
-// constructor — new-style or legacy wrapper — funnels through it.
+// constructor — new-style, registry, or legacy wrapper — funnels through
+// it.
 func newSpec(kind Kind, opts []Option) (Spec, error) {
 	s := Spec{kind: kind, procs: 1, acc: Exact(), shards: 1, batch: 1}
 	for _, opt := range opts {
@@ -231,99 +278,72 @@ func newSpec(kind Kind, opts []Option) (Spec, error) {
 	return s, nil
 }
 
-// validate checks option compatibility for the spec as a whole.
+// validate checks option compatibility for the spec as a whole. The
+// checks are kind-independent range checks plus whatever the kind's
+// backend-table registration declares (supported accuracy modes and
+// their preconditions, bound support); there is no per-kind branching
+// here — a new kind changes the table, not this function.
 func (s Spec) validate() error {
+	d := descriptorOf(s.kind)
+	if d == nil {
+		return fmt.Errorf("approxobj: invalid object kind %d", s.kind)
+	}
 	if s.procs < 1 {
 		return fmt.Errorf("approxobj: %s needs at least one process slot, got %d", s.kind, s.procs)
 	}
-	// Sharding and batching apply to both kinds (the unified sharded
-	// runtime); their range checks are kind-independent.
+	// Sharding and batching apply to every kind on the unified runtime;
+	// their range checks are kind-independent.
 	if s.shards < 1 {
 		return fmt.Errorf("approxobj: shard count must be >= 1, got %d", s.shards)
 	}
 	if s.batch < 1 {
 		return fmt.Errorf("approxobj: batch size must be >= 1, got %d", s.batch)
 	}
-	switch s.kind {
-	case KindCounter:
-		if s.boundSet {
-			return fmt.Errorf("approxobj: WithBound applies only to max registers, not counters")
-		}
-		if s.acc.mode == accMultiplicative {
-			// Mirrors core.NewMultCounter's precondition (defense in
-			// depth, via the shared satmath.SquareAtLeast predicate):
-			// checking here too gives spec-level error messages
-			// (including the snapshot-slot hint) before any shard is
-			// built.
-			k, n := s.acc.k, uint64(s.totalProcs())
-			if k < 2 {
-				return fmt.Errorf("approxobj: multiplicative accuracy needs k >= 2, got %d", k)
-			}
-			if !satmath.SquareAtLeast(k, n) {
-				if s.snapshotSlot {
-					return fmt.Errorf("approxobj: multiplicative accuracy needs k >= sqrt(n): k=%d, n=%d (%d caller slots + 1 registry snapshot slot)", k, n, s.procs)
-				}
-				return fmt.Errorf("approxobj: multiplicative accuracy needs k >= sqrt(n): k=%d, n=%d", k, n)
-			}
-		}
-	case KindMaxRegister:
-		switch s.acc.mode {
-		case accAdditive:
-			return fmt.Errorf("approxobj: additive accuracy is not implemented for max registers (use Exact or Multiplicative)")
-		case accMultiplicative:
-			if s.acc.k < 2 {
-				return fmt.Errorf("approxobj: multiplicative accuracy needs k >= 2, got %d", s.acc.k)
-			}
-		}
-		if s.boundSet && s.bound < 2 {
+	check, supported := d.accuracies[s.acc.mode]
+	if !supported {
+		return fmt.Errorf("approxobj: %s accuracy is not implemented for %s (use %s)",
+			s.acc.mode, d.plural, supportedAccuracies(d))
+	}
+	if s.acc.mode == accMultiplicative && s.acc.k < 2 {
+		return fmt.Errorf("approxobj: multiplicative accuracy needs k >= 2, got %d", s.acc.k)
+	}
+	if s.boundSet && !d.allowBound {
+		return fmt.Errorf("approxobj: WithBound applies only to max registers, not %s", d.plural)
+	}
+	if s.boundSet {
+		if s.bound < 2 {
 			return fmt.Errorf("approxobj: max-register bound must be >= 2, got %d", s.bound)
 		}
 		// Legal writes satisfy v < m, so the largest is m-1: an elision
 		// window of B-1 >= m-1 (i.e. B >= m) covers every legal write from
 		// a fresh handle and nothing would ever reach shared memory.
-		if s.boundSet && uint64(s.batch) >= s.bound {
+		if uint64(s.batch) >= s.bound {
 			return fmt.Errorf("approxobj: batch %d exceeds the %d-bounded register's value range (the elision window would swallow every write)", s.batch, s.bound)
 		}
-	default:
-		return fmt.Errorf("approxobj: invalid object kind %d", s.kind)
+	}
+	if check != nil {
+		if err := check(s); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-// shardOptions translates a counter spec into the sharded runtime's
-// configuration: the accuracy selects the per-shard backend, shards and
-// batch pass through.
-func (s Spec) shardOptions() (k uint64, opts []shard.Option) {
-	var be shard.Backend
-	switch s.acc.mode {
-	case accAdditive:
-		be, k = shard.AdditiveBackend(), s.acc.k
-	case accMultiplicative:
-		be, k = shard.MultBackend(), s.acc.k
-	default:
-		be, k = shard.AACHBackend(), 1
+// supportedAccuracies renders a kind's accuracy modes for error messages
+// ("Exact or Multiplicative"), in mode order.
+func supportedAccuracies(d *kindDescriptor) string {
+	names := []string{}
+	for _, m := range []accMode{accExact, accAdditive, accMultiplicative} {
+		if _, ok := d.accuracies[m]; ok {
+			names = append(names, m.String())
+		}
 	}
-	return k, []shard.Option{shard.Shards(s.shards), shard.Batch(s.batch), shard.WithBackend(be)}
-}
-
-// maxRegOptions translates a max-register spec into the sharded runtime's
-// configuration: accuracy and bound select the per-shard backend, shards
-// and batch (the write-elision window) pass through.
-func (s Spec) maxRegOptions() (k uint64, opts []shard.MaxRegOption) {
-	var be shard.MaxRegBackend
-	switch {
-	case s.acc.IsExact() && s.boundSet:
-		be, k = shard.ExactBoundedMaxBackend(s.bound), 1
-	case s.acc.IsExact():
-		be, k = shard.ExactMaxBackend(), 1
-	case s.boundSet:
-		be, k = shard.MultBoundedMaxBackend(s.bound), s.acc.k
+	switch len(names) {
+	case 0:
+		return "nothing"
+	case 1:
+		return names[0]
 	default:
-		be, k = shard.MultMaxBackend(), s.acc.k
-	}
-	return k, []shard.MaxRegOption{
-		shard.MaxRegShards(s.shards),
-		shard.MaxRegBatch(s.batch),
-		shard.WithMaxRegBackend(be),
+		return strings.Join(names[:len(names)-1], ", ") + " or " + names[len(names)-1]
 	}
 }

@@ -66,13 +66,32 @@ func TestSpecValidation(t *testing.T) {
 			[]Option{WithBound(16), WithBatch(16)}, "exceeds"}, // B = m already covers every legal write (v <= m-1)
 		{"maxreg batch at bound edge", KindMaxRegister,
 			[]Option{WithBound(16), WithBatch(15)}, ""},
+		// The snapshot family validates through the same backend table.
+		{"snapshot defaults", KindSnapshot, nil, ""},
+		{"snapshot sharded batched", KindSnapshot,
+			[]Option{WithProcs(6), WithShards(3), WithBatch(16)}, ""},
+		{"snapshot zero procs", KindSnapshot,
+			[]Option{WithProcs(0)}, "process slot"},
+		{"snapshot zero shards", KindSnapshot,
+			[]Option{WithShards(0)}, "shard count"},
+		{"snapshot zero batch", KindSnapshot,
+			[]Option{WithBatch(0)}, "batch size"},
+		{"snapshot multiplicative", KindSnapshot,
+			[]Option{WithAccuracy(Multiplicative(4))}, "not implemented for snapshots"},
+		{"snapshot additive", KindSnapshot,
+			[]Option{WithAccuracy(Additive(8))}, "not implemented for snapshots"},
+		{"snapshot with bound", KindSnapshot,
+			[]Option{WithBound(1024)}, "WithBound"},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			var err error
-			if tc.kind == KindCounter {
+			switch tc.kind {
+			case KindCounter:
 				_, err = NewCounter(tc.opts...)
-			} else {
+			case KindMaxRegister:
 				_, err = NewMaxRegister(tc.opts...)
+			default:
+				_, err = NewSnapshot(tc.opts...)
 			}
 			if tc.wantErr == "" {
 				if err != nil {
@@ -143,6 +162,88 @@ func TestSpecAccessors(t *testing.T) {
 	}
 	if got := sr.Spec().String(); got != "max register{procs: 4, multiplicative(2), shards: 2, batch: 8}" {
 		t.Errorf("String() = %q", got)
+	}
+
+	sn, err := NewSnapshot(WithProcs(4), WithShards(2), WithBatch(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sn.N() != 4 || sn.Components() != 4 || sn.Shards() != 2 || sn.Batch() != 8 {
+		t.Errorf("accessors N=%d C=%d S=%d B=%d, want 4 4 2 8", sn.N(), sn.Components(), sn.Shards(), sn.Batch())
+	}
+	if got, want := sn.Bounds(), (Bounds{Mult: 1, Buffer: 7}); got != want {
+		t.Errorf("sharded snapshot Bounds = %+v, want %+v", got, want)
+	}
+	if got := sn.Spec().String(); got != "snapshot{procs: 4, exact, shards: 2, batch: 8}" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// TestKindTextRoundTrip pins the symmetric text encoding of kinds: every
+// kind registered in the backend table must survive MarshalText →
+// UnmarshalText unchanged (so registry names and bench records can parse
+// kinds back), and unknown names must fail with the registered kinds in
+// the error.
+func TestKindTextRoundTrip(t *testing.T) {
+	kinds := Kinds()
+	if len(kinds) != 3 {
+		t.Fatalf("backend table registers %d kinds, want 3", len(kinds))
+	}
+	for _, kp := range kinds {
+		text, err := kp.Kind.MarshalText()
+		if err != nil {
+			t.Fatalf("%v: MarshalText: %v", kp.Kind, err)
+		}
+		var back Kind
+		if err := back.UnmarshalText(text); err != nil {
+			t.Fatalf("UnmarshalText(%q): %v", text, err)
+		}
+		if back != kp.Kind {
+			t.Errorf("round trip %v -> %q -> %v", kp.Kind, text, back)
+		}
+		parsed, err := ParseKind(string(text))
+		if err != nil || parsed != kp.Kind {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", text, parsed, err, kp.Kind)
+		}
+	}
+	var k Kind
+	err := k.UnmarshalText([]byte("bloom filter"))
+	if err == nil {
+		t.Fatal("UnmarshalText accepted an unknown kind name")
+	}
+	for _, name := range []string{"counter", "max register", "snapshot"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("unknown-kind error %q does not list registered kind %q", err, name)
+		}
+	}
+	if Kind(99).String() != "invalid" {
+		t.Errorf("unregistered Kind String() = %q, want \"invalid\"", Kind(99).String())
+	}
+}
+
+// TestKindPolicyTable pins the policy-table rows the README documents:
+// each kind's combine/buffer names and a declared bench scenario.
+func TestKindPolicyTable(t *testing.T) {
+	want := map[Kind][2]string{
+		KindCounter:     {"sum", "count batching"},
+		KindMaxRegister: {"max", "write elision"},
+		KindSnapshot:    {"per-component", "component elision"},
+	}
+	for _, kp := range Kinds() {
+		w, ok := want[kp.Kind]
+		if !ok {
+			t.Errorf("unexpected kind %v in the table", kp.Kind)
+			continue
+		}
+		if kp.Combine != w[0] || kp.Buffer != w[1] {
+			t.Errorf("%v policy = (%q, %q), want (%q, %q)", kp.Kind, kp.Combine, kp.Buffer, w[0], w[1])
+		}
+		if kp.BenchScenario == "" {
+			t.Errorf("%v declares no bench scenario", kp.Kind)
+		}
+		if kp.Envelope == "" {
+			t.Errorf("%v declares no envelope description", kp.Kind)
+		}
 	}
 }
 
