@@ -1,9 +1,9 @@
 // Package approxobj implements deterministic approximate shared objects —
-// k-multiplicative-accurate counters and max registers, and single-writer
-// atomic snapshots — together with the exact objects they are built from
-// and compared against, reproducing "Upper and Lower Bounds for
-// Deterministic Approximate Objects" (Hendler, Khattabi, Milani, Travers;
-// ICDCS 2021).
+// k-multiplicative-accurate counters and max registers, single-writer
+// atomic snapshots, and rounded-bucket histograms with quantile queries —
+// together with the exact objects they are built from and compared
+// against, reproducing "Upper and Lower Bounds for Deterministic
+// Approximate Objects" (Hendler, Khattabi, Milani, Travers; ICDCS 2021).
 //
 // The paper describes a family of objects trading accuracy for steps, and
 // the API exposes it as one: a spec built from orthogonal functional
@@ -30,6 +30,15 @@
 //		approxobj.WithProcs(8),
 //		approxobj.WithShards(2),
 //		approxobj.WithBatch(16),
+//	)
+//
+//	// An approximate histogram: Observe values, query Quantile/Rank/CDF
+//	// with deterministic factor-k value error (MVY rounded buckets).
+//	h, err := approxobj.NewHistogram(
+//		approxobj.WithProcs(8),
+//		approxobj.WithAccuracy(approxobj.Multiplicative(2)),
+//		approxobj.WithShards(4),
+//		approxobj.WithBatch(64),
 //	)
 //
 // Accuracy (Exact, Additive(k), Multiplicative(k)), process count, shard
@@ -302,8 +311,9 @@ var maxRegisterDescriptor = &kindDescriptor{
 		accExact:          nil,
 		accMultiplicative: nil, // k >= 2 is the generic multiplicative check
 	},
-	allowBound: true,
-	build:      func(s Spec) (instance, error) { return newMaxRegister(s) },
+	allowBound:       true,
+	boundLimitsBatch: true, // the batch is a value window: B >= m swallows every write
+	build:            func(s Spec) (instance, error) { return newMaxRegister(s) },
 }
 
 // maxRegShardOptions translates a max-register spec into the sharded

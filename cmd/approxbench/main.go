@@ -5,6 +5,7 @@
 // Usage:
 //
 //	approxbench [-quick] [-seed 42] [-exp e1,e3,f1] [-json out.json]
+//	approxbench [-compare old.json] [-compare-tol 50]
 //	approxbench -list
 //
 // Without -exp it runs everything; unknown experiment ids are an error
@@ -15,15 +16,32 @@
 // identical operation sequences and their -json records are reproducible
 // run-to-run up to machine timing. -json additionally writes the
 // machine-readable records of the selected experiments (scenario, params,
-// ns/op, steps/op) to the given file, so successive runs leave a diffable
-// measurement trajectory. The set of scenarios in that trajectory is
-// derived from the experiment table (bench.All declares each experiment's
-// record scenarios), not kept by hand here: a run whose output is missing
-// a declared scenario exits 1 instead of silently dropping it from the
-// trajectory — and a run starts by cross-checking the backend-plane table
-// (approxobj.Kinds) against those declarations, exiting 1 if any
-// registered object kind has no declared bench scenario, so a new kind
-// cannot ship without a measured workload.
+// ns/op, steps/op, envelope) to the given file, so successive runs leave
+// a diffable measurement trajectory. The set of scenarios in that
+// trajectory is derived from the experiment table (bench.All declares
+// each experiment's record scenarios), not kept by hand here: a run whose
+// output is missing a declared scenario exits 1 instead of silently
+// dropping it from the trajectory — and a run starts by cross-checking
+// the backend-plane table (approxobj.Kinds) against those declarations,
+// exiting 1 if any registered object kind has no declared bench scenario,
+// so a new kind cannot ship without a measured workload.
+//
+// -compare diffs this run's records against a committed record file and
+// exits 1 on regressions, which makes BENCH_*.json files checkable
+// instead of write-only. Three checks run, all on machine-independent
+// data: (1) every scenario present in the baseline must be emitted by
+// this run — a superset is fine (new scenarios accrue), a missing one is
+// a lost trajectory (on an -exp subset, only scenarios the selected
+// experiments declare are in scope); (2) for records matching on
+// (scenario, params), the accuracy envelope must not widen AT ALL on
+// any term — envelopes are deterministic, so any widening means the
+// configuration got less accurate and no tolerance applies; (3) for
+// matched records carrying steps/op, the step count must not regress by
+// more than -compare-tol percent (steps count shared-memory primitives,
+// not wall-clock, but scheduling still jitters them slightly).
+// Records whose (scenario, params) only exist on one side — e.g. sweep
+// cells sized by GOMAXPROCS on a different machine — are skipped; ns/op
+// is never compared (timing is machine noise).
 package main
 
 import (
@@ -31,6 +49,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -55,6 +74,8 @@ func main() {
 	exps := flag.String("exp", "all", "comma-separated experiment ids (see -list) or 'all'")
 	list := flag.Bool("list", false, "list registered experiments and exit")
 	jsonOut := flag.String("json", "", "write machine-readable records to this file")
+	compare := flag.String("compare", "", "diff this run's records against this baseline record file; exit 1 on missing scenarios or regressions")
+	compareTol := flag.Float64("compare-tol", 50, "max percent regression -compare tolerates on steps/op (envelope widening is never tolerated)")
 	flag.Parse()
 
 	all := bench.All()
@@ -161,4 +182,122 @@ func main() {
 		}
 		fmt.Printf("# wrote %d records to %s\n", len(out.Records), *jsonOut)
 	}
+	if *compare != "" {
+		data, err := os.ReadFile(*compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "approxbench: reading baseline %s: %v\n", *compare, err)
+			os.Exit(1)
+		}
+		var base resultFile
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "approxbench: parsing baseline %s: %v\n", *compare, err)
+			os.Exit(1)
+		}
+		// On a full run, every baseline scenario must reappear (one dropped
+		// from the experiment table is a lost trajectory). On an -exp
+		// subset, only scenarios the selected experiments declare are in
+		// scope — comparing e16 alone must not flag e1's records missing.
+		inScope := func(string) bool { return true }
+		if !runAll {
+			ran := map[string]bool{}
+			for _, exp := range all {
+				if selected[exp.ID] {
+					for _, sc := range exp.Scenarios {
+						ran[sc] = true
+					}
+				}
+			}
+			inScope = func(sc string) bool { return ran[sc] }
+		}
+		problems := compareRecords(base.Records, out.Records, *compareTol, inScope)
+		if len(problems) > 0 {
+			for _, p := range problems {
+				fmt.Fprintf(os.Stderr, "approxbench: compare vs %s: %s\n", *compare, p)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("# compare: no regressions against %s (%d baseline records, tolerance %.0f%%)\n",
+			*compare, len(base.Records), *compareTol)
+	}
+}
+
+// recordKey identifies a record cell across runs: its scenario plus its
+// params in sorted order.
+func recordKey(r bench.Record) string {
+	keys := make([]string, 0, len(r.Params))
+	for k := range r.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(r.Scenario)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "|%s=%s", k, r.Params[k])
+	}
+	return b.String()
+}
+
+// compareRecords diffs a run's records against a baseline: every
+// baseline scenario inScope must be present, and cells matched by
+// (scenario, params) must not regress beyond tol percent on any envelope
+// term or on steps/op. Cells present on only one side are skipped —
+// sweep coordinates can legitimately differ between machines — and
+// ns/op is never compared.
+func compareRecords(baseline, current []bench.Record, tol float64, inScope func(string) bool) []string {
+	var problems []string
+	curScenarios := map[string]bool{}
+	curByKey := map[string]bench.Record{}
+	for _, r := range current {
+		curScenarios[r.Scenario] = true
+		curByKey[recordKey(r)] = r
+	}
+	seen := map[string]bool{}
+	for _, o := range baseline {
+		if !seen[o.Scenario] {
+			seen[o.Scenario] = true
+			if inScope(o.Scenario) && !curScenarios[o.Scenario] {
+				problems = append(problems, fmt.Sprintf("baseline scenario %q is missing from this run", o.Scenario))
+			}
+		}
+		n, ok := curByKey[recordKey(o)]
+		if !ok {
+			continue
+		}
+		// regressed reports whether a value grew beyond the tolerance.
+		// Growth from zero has no relative scale: any growth regresses.
+		regressed := func(old, new float64) bool {
+			if new <= old {
+				return false
+			}
+			if old == 0 {
+				return true
+			}
+			return new > old*(1+tol/100)
+		}
+		if o.Envelope != nil && n.Envelope != nil {
+			for _, term := range []struct {
+				name     string
+				old, new uint64
+			}{
+				{"Mult", o.Envelope.Mult, n.Envelope.Mult},
+				{"Add", o.Envelope.Add, n.Envelope.Add},
+				{"Buffer", o.Envelope.Buffer, n.Envelope.Buffer},
+			} {
+				// Envelopes are deterministic — no machine noise to
+				// tolerate — so ANY widening is an accuracy regression;
+				// the tolerance applies only to the measured steps/op.
+				if term.new > term.old {
+					problems = append(problems, fmt.Sprintf(
+						"%s: envelope %s widened %d -> %d (accuracy regression)",
+						recordKey(o), term.name, term.old, term.new))
+				}
+			}
+		}
+		if o.StepsPerOp > 0 && n.StepsPerOp > 0 && regressed(o.StepsPerOp, n.StepsPerOp) {
+			problems = append(problems, fmt.Sprintf(
+				"%s: steps/op regressed %.4f -> %.4f (more than %.0f%%)",
+				recordKey(o), o.StepsPerOp, n.StepsPerOp, tol))
+		}
+	}
+	return problems
 }

@@ -3,11 +3,14 @@ package approxobj
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"testing"
 
+	"approxobj/internal/histogram"
 	"approxobj/internal/planetest"
+	"approxobj/internal/satmath"
 )
 
 // kSqrt returns an accuracy parameter valid for multiplicative counters on
@@ -281,6 +284,194 @@ func TestMaxRegisterConformance(t *testing.T) {
 				}
 			})
 		})
+	}
+}
+
+// histogramSpecs enumerates the histogram family: exact and
+// multiplicative accuracies (bounded and unbounded domains) crossed
+// with the same shard/batch grid as the other kinds.
+func histogramSpecs(procs int, bound uint64) []struct {
+	name string
+	opts []Option
+} {
+	members := []struct {
+		name string
+		opts []Option
+	}{
+		{"exact-bounded", []Option{WithBound(bound)}},
+		{"mult2-unbounded", []Option{WithAccuracy(Multiplicative(2))}},
+		{"mult4-bounded", []Option{WithAccuracy(Multiplicative(4)), WithBound(bound)}},
+	}
+	var out []struct {
+		name string
+		opts []Option
+	}
+	for _, m := range members {
+		for _, s := range []int{1, 3} {
+			for _, b := range []int{1, 8} {
+				opts := append([]Option{WithProcs(procs)}, m.opts...)
+				opts = append(opts, WithShards(s), WithBatch(b))
+				out = append(out, struct {
+					name string
+					opts []Option
+				}{
+					name: fmt.Sprintf("%s-s%d-b%d", m.name, s, b),
+					opts: opts,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// TestHistogramConformance is the envelope property for the histogram
+// family: for EVERY spec combination (accuracy x shards x batch) under
+// both a uniform and a skewed value distribution, concurrent queries
+// stay inside coarse envelope sanity bounds (the count within the
+// regularity window's Buffer slack), and — the strong check — after all
+// pooled handles are released (which flushes observation buffers), every
+// query answer at quiescence is verified against an exact reference
+// histogram of the full observation multiset, per the object's own
+// documented deterministic bounds: counts and ranks exact, quantile and
+// sum values within pure bucket rounding (factor k, one-sided).
+func TestHistogramConformance(t *testing.T) {
+	const procs = 5
+	const observers = procs - 1 // one slot left over for the checking reader
+	perG := 3_000
+	if testing.Short() {
+		perG = 400
+	}
+	const bound = uint64(1) << 12
+	for _, spec := range histogramSpecs(procs, bound) {
+		for _, dist := range []string{"uniform", "skewed"} {
+			t.Run(spec.name+"-"+dist, func(t *testing.T) {
+				h, err := NewHistogram(spec.opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				k := h.K()
+				bounds := h.Bounds()
+				if bounds.Mult != k || bounds.Add != 0 {
+					t.Fatalf("Bounds = %+v, want Mult %d and Add 0", bounds, k)
+				}
+				// Count lives in the rank domain: exact up to Buffer.
+				countBounds := Bounds{Mult: 1, Buffer: bounds.Buffer}
+
+				var started, completed atomic.Uint64
+				var done atomic.Bool
+				observed := make([][]uint64, observers)
+				var wg sync.WaitGroup
+				wg.Add(observers)
+				for g := 0; g < observers; g++ {
+					g := g
+					rng := rand.New(rand.NewSource(int64(g)*31 + 7))
+					go func() {
+						defer wg.Done()
+						vals := make([]uint64, 0, perG)
+						hh, release := h.Acquire()
+						defer release() // flushes the observation buffer
+						for j := 0; j < perG; j++ {
+							var v uint64
+							if dist == "uniform" {
+								v = rng.Uint64() % bound
+							} else {
+								v = uint64(rng.ExpFloat64() * 250)
+								if v >= bound {
+									v = bound - 1
+								}
+							}
+							started.Add(1)
+							hh.Observe(v)
+							completed.Add(1)
+							vals = append(vals, v)
+						}
+						observed[g] = vals
+					}()
+				}
+
+				var checks int
+				var readerWG sync.WaitGroup
+				readerWG.Add(1)
+				go func() {
+					defer readerWG.Done()
+					h.Do(func(hh HistogramHandle) {
+						check := func() bool {
+							vmin := completed.Load()
+							c := hh.Count()
+							vmax := started.Load()
+							checks++
+							if !countBounds.ContainsRange(vmin, vmax, c) {
+								t.Errorf("count %d outside envelope %+v for any total in [%d, %d]", c, countBounds, vmin, vmax)
+								return false
+							}
+							if r := hh.Rank(bound); r > started.Load() {
+								t.Errorf("Rank(bound) = %d exceeds observations started %d", r, started.Load())
+								return false
+							}
+							if cdf := hh.CDF(bound / 2); cdf < 0 || cdf > 1 {
+								t.Errorf("CDF = %v outside [0, 1]", cdf)
+								return false
+							}
+							return true
+						}
+						for !done.Load() {
+							if !check() {
+								return
+							}
+						}
+						check() // at least one check even if the observers win the race
+					})
+				}()
+
+				wg.Wait()
+				done.Store(true)
+				readerWG.Wait()
+				if checks == 0 {
+					t.Fatal("reader performed no checks")
+				}
+
+				// All observer handles are released, so their buffers are
+				// flushed: verify every query against the exact reference,
+				// with only bucket rounding in play.
+				var all []uint64
+				for _, vals := range observed {
+					all = append(all, vals...)
+				}
+				ref := planetest.NewExactRef(all)
+				total := uint64(len(all))
+				h.Do(func(hh HistogramHandle) {
+					if c := hh.Count(); c != total {
+						t.Errorf("quiescent count = %d, want exactly %d", c, total)
+					}
+					if s := hh.Sum(); s > ref.Sum() || satmath.Mul(s, k) < ref.Sum() {
+						t.Errorf("quiescent sum = %d outside [%d/%d, %d]", s, ref.Sum(), k, ref.Sum())
+					}
+					for _, v := range []uint64{0, 1, 100, bound / 2, bound - 1} {
+						r := hh.Rank(v)
+						// Exact up to bucket rounding: at least A(v), at most
+						// A(k*v) (the bucket top is below k*v).
+						lo, hi := ref.Rank(v), ref.Rank(satmath.Mul(v, k))
+						if r < lo || r > hi {
+							t.Errorf("quiescent Rank(%d) = %d outside [A(v), A(k*v)] = [%d, %d]", v, r, lo, hi)
+						}
+						if cdf, want := hh.CDF(v), float64(r)/float64(total); cdf != want {
+							t.Errorf("quiescent CDF(%d) = %v, want Rank/Count = %v", v, cdf, want)
+						}
+					}
+					for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+						got := hh.Quantile(q)
+						y := ref.At(histogram.TargetRank(q, total))
+						if got > y {
+							t.Errorf("quiescent Quantile(%v) = %d overstates the rank value %d", q, got, y)
+						} else if k == 1 && got != y {
+							t.Errorf("quiescent exact Quantile(%v) = %d, want %d", q, got, y)
+						} else if k > 1 && y > 0 && satmath.Mul(got, k) <= y {
+							t.Errorf("quiescent Quantile(%v) = %d understates %d by more than factor %d", q, got, y, k)
+						}
+					}
+				})
+			})
+		}
 	}
 }
 

@@ -269,3 +269,52 @@ func (h *pooledSnapshotHandle) retire(credit *atomic.Uint64) {
 	h.h.Flush()
 	creditSteps(credit, h.h.Steps(), &h.credited)
 }
+
+// Acquire borrows an exclusive handle from the histogram's slot pool,
+// blocking until a slot is free. The returned release function flushes
+// any buffered observations, credits the handle's steps to the object's
+// retired-step counter (see Registry snapshots), and returns the slot;
+// it is idempotent. The handle must not be used after release. Steps()
+// on a pooled handle is cumulative over every previous owner of its
+// slot — cost individual operations as a before/after delta.
+func (h *Histogram) Acquire() (HistogramHandle, func()) {
+	return h.slots.acquire()
+}
+
+// TryAcquire is Acquire without blocking: ok is false (and the handle and
+// release are nil) when every slot is currently held.
+func (h *Histogram) TryAcquire() (hh HistogramHandle, release func(), ok bool) {
+	ph, release, ok := h.slots.tryAcquire()
+	if !ok {
+		return nil, nil, false
+	}
+	return ph, release, true
+}
+
+// Do runs f with a pooled handle, releasing it (and flushing buffered
+// observations) when f returns. It blocks until a slot is free.
+func (h *Histogram) Do(f func(HistogramHandle)) {
+	hh, release := h.Acquire()
+	defer release()
+	f(hh)
+}
+
+// StepsRetired returns the cumulative shared-memory steps credited by
+// released pooled handles (see Counter.StepsRetired).
+func (h *Histogram) StepsRetired() uint64 { return h.slots.stepsRetired() }
+
+func (h *Histogram) newPooledHandle(slot int) *pooledHistogramHandle {
+	return &pooledHistogramHandle{histSlotHandle: histSlotHandle{h: h.h.Handle(slot), bk: h.bk}}
+}
+
+// pooledHistogramHandle wraps a slot's underlying handle with step
+// accounting across acquisitions. It implements BatchedHistogramHandle.
+type pooledHistogramHandle struct {
+	histSlotHandle
+	credited uint64 // steps already added to the object's retired counter
+}
+
+func (h *pooledHistogramHandle) retire(credit *atomic.Uint64) {
+	h.h.Flush()
+	creditSteps(credit, h.h.Steps(), &h.credited)
+}

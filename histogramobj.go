@@ -1,0 +1,269 @@
+package approxobj
+
+import (
+	"fmt"
+
+	"approxobj/internal/histogram"
+	"approxobj/internal/shard"
+)
+
+// This file is the fourth object family on the backend plane — the
+// approximate histogram — and the first whose read side is a query
+// engine rather than a scalar: Quantile, Rank, CDF, Count and Sum over
+// rounded buckets in the style of Matias, Vitter and Young's approximate
+// data structures. Bucket boundaries are spaced by the multiplicative
+// accuracy factor k, so a bucket index is computable without search and
+// every recorded value is represented within a factor k; handle-local
+// observation batching adds a rank-domain slack of at most B-1
+// observations per handle. Like the other families, the kind is one
+// table row plus one internal/shard registration.
+
+// HistogramHandle is one process's view of a shared histogram: an
+// observer (Observe/ObserveN) and a query engine over all observations.
+// Every query folds one merged read of the bucket counts, so its answer
+// is consistent within itself; distinct queries read independently. A
+// handle is not safe for concurrent use; acquire one per goroutine.
+//
+// Deterministic error bounds, with k the accuracy factor, U the Buffer
+// term of the object's Bounds (at most B-1 buffered observations per
+// handle, (B-1)·n system-wide), N the true observation count, and A(x)
+// the true number of observations with value <= x:
+//
+//	Count()     in [N-U, N]
+//	Sum()       never overstates the true sum of the observations it
+//	            counts and understates it by at most a factor k
+//	Rank(v)     in [A(v)-U, A(v')] for some v' <= k·v (the top of v's
+//	            bucket): exact up to U at a value within factor k of v
+//	Quantile(q) returns x with x <= y < k·x (k = 1: x = y), where y is
+//	            the value of rank ceil(q·Count()) among the counted
+//	            observations
+//	CDF(v)      = Rank(v)/Count() from one consistent read
+//
+// At quiescence, once every handle has flushed (releasing a pooled
+// handle flushes), U = 0 and all slack is pure bucket rounding.
+type HistogramHandle interface {
+	// Observe records the value v. It panics if v is outside the
+	// bounded domain [0, m) of WithBound(m), like indexing a slice out
+	// of bounds.
+	Observe(v uint64)
+	// ObserveN records the value v, d times, linearizable as d
+	// consecutive Observes by the same process.
+	ObserveN(v uint64, d uint64)
+	// Count returns the number of observations counted by one merged
+	// read.
+	Count() uint64
+	// Sum returns the sum of the counted observations, each rounded
+	// down to its bucket's lower boundary.
+	Sum() uint64
+	// Rank returns the number of counted observations with value at
+	// most (the top of the bucket of) v.
+	Rank(v uint64) uint64
+	// Quantile returns the q-quantile (q in [0, 1]; 0 the minimum, 1
+	// the maximum) of the counted observations, rounded down to its
+	// bucket's lower boundary. It panics if q is outside [0, 1].
+	Quantile(q float64) uint64
+	// CDF returns the fraction of counted observations with value at
+	// most (the top of the bucket of) v.
+	CDF(v uint64) float64
+	Steps() uint64
+}
+
+// BatchedHistogramHandle is a HistogramHandle whose observations may be
+// buffered locally (see WithBatch); Flush publishes every pending
+// bucket count. Every histogram handle implements it — Flush is a no-op
+// when nothing is pending, and pooled handles flush automatically on
+// release — so type assertions on it cannot fail for handles of this
+// package's histograms.
+type BatchedHistogramHandle interface {
+	HistogramHandle
+	Flush()
+}
+
+// histogramDescriptor registers the histogram family in the
+// backend-plane table: reads sum the shards per bucket (no envelope
+// widening — per-shard bucket counts are exact), and handles batch whole
+// observations, so the B-1 staleness scales with the slot count like the
+// counter's.
+var histogramDescriptor = &kindDescriptor{
+	kind:   KindHistogram,
+	name:   "histogram",
+	plural: "histograms",
+
+	policy:   shard.HistogramPolicyRow(),
+	envelope: "value error Mult = k from bucket rounding (independent of S); rank error Buffer = (B-1)·n",
+	scenario: "E16",
+
+	accuracies: map[accMode]func(s Spec) error{
+		accExact:          checkExactHistogram,
+		accMultiplicative: nil, // k >= 2 is the generic multiplicative check
+	},
+	allowBound: true,
+	build:      func(s Spec) (instance, error) { return newHistogram(s) },
+}
+
+// checkExactHistogram mirrors internal/histogram's layout preconditions
+// at the spec level (defense in depth, like checkMultCounter): the exact
+// bucket-per-value table needs a finite domain small enough to allocate.
+func checkExactHistogram(s Spec) error {
+	if !s.boundSet {
+		return fmt.Errorf("approxobj: exact accuracy for histograms needs WithBound (the bucket-per-value table requires a finite value domain; use Multiplicative(k) for unbounded domains)")
+	}
+	if s.bound > histogram.MaxExactBuckets {
+		return fmt.Errorf("approxobj: exact histogram bound %d exceeds the %d-bucket table limit (use Multiplicative(k) for large domains)", s.bound, histogram.MaxExactBuckets)
+	}
+	return nil
+}
+
+// Histogram is the approximate histogram family — rounded buckets with
+// deterministic per-value multiplicative error, optionally sharded and
+// with observation batching — built by NewHistogram from a spec. Like
+// the other families it runs on the unified sharded runtime and reports
+// its accuracy envelope via Bounds; unlike them its read side is a query
+// engine (see HistogramHandle).
+type Histogram struct {
+	spec Spec
+	bk   histogram.Buckets
+	h    *shard.Histogram
+
+	slots slotPool[*pooledHistogramHandle]
+
+	snap *shard.HistHandle // registry snapshot handle (slot procs), else nil
+}
+
+var _ instance = (*Histogram)(nil)
+
+// NewHistogram builds the histogram the options describe. Defaults: one
+// process slot, Exact() accuracy, unsharded, unbuffered — but note the
+// exact bucket-per-value table requires WithBound(m), so the zero-option
+// call is rejected; typical use selects WithAccuracy(Multiplicative(k))
+// for rounded buckets over any domain. WithShards(S) spreads observation
+// traffic over S shards whose per-bucket sums widen nothing;
+// WithBatch(B) buffers up to B-1 observations per handle.
+func NewHistogram(opts ...Option) (*Histogram, error) {
+	spec, err := newSpec(KindHistogram, opts)
+	if err != nil {
+		return nil, err
+	}
+	return newHistogram(spec)
+}
+
+func newHistogram(spec Spec) (*Histogram, error) {
+	bk, err := histogram.NewBuckets(spec.acc.K(), spec.bound)
+	if err != nil {
+		return nil, err
+	}
+	sh, err := shard.NewHistogram(spec.totalProcs(), spec.acc.K(), bk.N(),
+		shard.HistShards(spec.shards), shard.HistBatch(spec.batch))
+	if err != nil {
+		return nil, err
+	}
+	h := &Histogram{
+		spec: spec,
+		bk:   bk,
+		h:    sh,
+	}
+	h.slots.init(spec.procs, h.newPooledHandle)
+	if spec.snapshotSlot {
+		h.snap = sh.Handle(spec.procs)
+	}
+	return h, nil
+}
+
+// Spec returns the validated spec the histogram was built from.
+func (h *Histogram) Spec() Spec { return h.spec }
+
+// N returns the number of process slots available to callers.
+func (h *Histogram) N() int { return h.spec.procs }
+
+// K returns the accuracy factor the bucket boundaries are spaced by (1
+// for exact histograms).
+func (h *Histogram) K() uint64 { return h.spec.acc.K() }
+
+// Accuracy returns the accuracy selection.
+func (h *Histogram) Accuracy() Accuracy { return h.spec.acc }
+
+// Bound returns the value bound m (observations must be < m), or 0 for
+// histograms over the full uint64 domain.
+func (h *Histogram) Bound() uint64 { return h.spec.bound }
+
+// Shards returns the shard count.
+func (h *Histogram) Shards() int { return h.spec.shards }
+
+// Batch returns the per-handle observation buffer (1 means every
+// observation is published immediately).
+func (h *Histogram) Batch() uint64 { return uint64(h.spec.batch) }
+
+// Buckets returns the number of buckets the value domain rounds into.
+func (h *Histogram) Buckets() int { return h.bk.N() }
+
+// Bounds returns the histogram's accuracy envelope. Its two terms live
+// in different domains: Mult = k bounds the value-domain rounding
+// (every recorded value is represented by a bucket within factor k, so
+// Quantile answers and Rank/CDF value arguments round by at most k),
+// and Buffer = (B-1)·N bounds the rank-domain staleness (how many
+// observations, system-wide, may be parked in handle-local buffers and
+// invisible to queries). See HistogramHandle for the per-query bounds
+// this envelope composes into. Unbatched exact histograms report the
+// zero envelope.
+func (h *Histogram) Bounds() Bounds { return scaledBounds(h.h.Bounds(), h.spec) }
+
+// Handle binds process slot i (0 <= i < N) to the histogram, for
+// callers managing slot assignment themselves. Each concurrent
+// goroutine must use its own slot; do not mix Handle(i) with Acquire/Do
+// on the same slot range. The returned handle implements
+// BatchedHistogramHandle.
+func (h *Histogram) Handle(i int) HistogramHandle {
+	if i < 0 || i >= h.spec.procs {
+		panic("approxobj: histogram handle slot out of range")
+	}
+	return histSlotHandle{h: h.h.Handle(i), bk: h.bk}
+}
+
+// histSlotHandle adapts a runtime histogram handle to the public query
+// interface: observations round through the bucket layout on the way
+// in, and every query folds one merged bucket read through
+// internal/histogram's query engine.
+type histSlotHandle struct {
+	h  *shard.HistHandle
+	bk histogram.Buckets
+}
+
+var _ BatchedHistogramHandle = histSlotHandle{}
+
+func (h histSlotHandle) Observe(v uint64) { h.ObserveN(v, 1) }
+
+func (h histSlotHandle) ObserveN(v uint64, d uint64) {
+	if !h.bk.Contains(v) {
+		panic(fmt.Sprintf("approxobj: observation %d out of range of %d-bounded histogram", v, h.bk.Bound()))
+	}
+	h.h.AddN(h.bk.Index(v), d)
+}
+
+func (h histSlotHandle) Count() uint64        { return histogram.Count(h.h.Buckets()) }
+func (h histSlotHandle) Sum() uint64          { return histogram.Sum(h.bk, h.h.Buckets()) }
+func (h histSlotHandle) Rank(v uint64) uint64 { return histogram.Rank(h.bk, h.h.Buckets(), v) }
+func (h histSlotHandle) Quantile(q float64) uint64 {
+	return histogram.Quantile(h.bk, h.h.Buckets(), q)
+}
+func (h histSlotHandle) CDF(v uint64) float64 { return histogram.CDF(h.bk, h.h.Buckets(), v) }
+func (h histSlotHandle) Steps() uint64        { return h.h.Steps() }
+func (h histSlotHandle) Flush()               { h.h.Flush() }
+
+// snapshotValue reports the observation count — the scalar the registry
+// exports for this kind; pair it with Quantile queries through a
+// HistogramObject handle for the distribution itself.
+func (h *Histogram) snapshotValue() uint64 { return histogram.Count(h.snap.Buckets()) }
+
+// snapshotBounds narrows the envelope to the one that bounds the
+// exported Value: the observation count lives purely in the rank
+// domain, where only the Buffer term applies — the value-domain
+// rounding factor k never skews a count. This keeps the (Value, Bounds)
+// pair in an ObjectSnapshot self-consistent for kind-agnostic telemetry
+// consumers.
+func (h *Histogram) snapshotBounds() Bounds {
+	b := h.Bounds()
+	b.Mult = 1
+	return b
+}
+
+func (h *Histogram) snapshotSteps() uint64 { return h.snap.Steps() }

@@ -142,7 +142,8 @@ E7); batching still shows, since it removes work rather than contention.`,
 						"batch":      strconv.Itoa(b),
 						"k":          strconv.FormatUint(k, 10),
 					},
-					NsPerOp: res.nsPerOp,
+					NsPerOp:  res.nsPerOp,
+					Envelope: EnvelopeOf(c.Bounds()),
 				})
 			}
 		}

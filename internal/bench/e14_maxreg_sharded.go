@@ -80,7 +80,8 @@ than contention.`,
 						"batch":      strconv.Itoa(b),
 						"k":          strconv.FormatUint(k, 10),
 					},
-					NsPerOp: res.nsPerOp,
+					NsPerOp:  res.nsPerOp,
+					Envelope: EnvelopeOf(r.Bounds()),
 				})
 			}
 		}

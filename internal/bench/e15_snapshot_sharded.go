@@ -78,7 +78,8 @@ even on a single-CPU host.`,
 						"shards":     strconv.Itoa(s),
 						"batch":      strconv.Itoa(b),
 					},
-					NsPerOp: res.nsPerOp,
+					NsPerOp:  res.nsPerOp,
+					Envelope: EnvelopeOf(sn.Bounds()),
 				})
 			}
 		}

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"approxobj"
 )
 
 // Record is one machine-readable measurement, emitted alongside the
@@ -16,11 +18,30 @@ import (
 // across PRs so result files can be diffed over time: Scenario names the
 // experiment row source (a table ID), Params the sweep coordinates, and
 // the metric fields are zero when the experiment does not measure them.
+// Envelope, when set, records the cell's configured accuracy envelope —
+// unlike the timing metrics it is machine-independent, so
+// cmd/approxbench's -compare mode can flag envelope regressions between
+// record files exactly.
 type Record struct {
 	Scenario   string            `json:"scenario"`
 	Params     map[string]string `json:"params,omitempty"`
 	NsPerOp    float64           `json:"ns_per_op,omitempty"`
 	StepsPerOp float64           `json:"steps_per_op,omitempty"`
+	Envelope   *RecordEnvelope   `json:"envelope,omitempty"`
+}
+
+// RecordEnvelope is the machine-readable form of a cell's accuracy
+// envelope (approxobj.Bounds): a read may return any x with
+// (v-Buffer)/Mult - Add <= x <= Mult*v + Add against a true value v.
+type RecordEnvelope struct {
+	Mult   uint64 `json:"mult"`
+	Add    uint64 `json:"add"`
+	Buffer uint64 `json:"buffer"`
+}
+
+// EnvelopeOf converts an object's Bounds into record form.
+func EnvelopeOf(b approxobj.Bounds) *RecordEnvelope {
+	return &RecordEnvelope{Mult: b.Mult, Add: b.Add, Buffer: b.Buffer}
 }
 
 // Table is a rendered experiment result.
@@ -154,6 +175,7 @@ func All() []Experiment {
 		{ID: "e13", Desc: "registry + pooled handles under mixed traffic with concurrent snapshots", Scenarios: []string{"E13"}, Run: E13Registry},
 		{ID: "e14", Desc: "sharded max-register scaling: shards x elision-window sweep via the spec API", Scenarios: []string{"E14"}, Run: E14ShardedMaxReg},
 		{ID: "e15", Desc: "sharded snapshot scaling: shards x elision-window sweep via the spec API", Scenarios: []string{"E15"}, Run: E15ShardedSnapshot},
+		{ID: "e16", Desc: "sharded histogram scaling: shards x batch sweep with quantile queries via the spec API", Scenarios: []string{"E16"}, Run: E16ShardedHistogram},
 		{ID: "f1", Desc: "Figure 1 read-case trace reproduction", Run: F1ReadCases},
 	}
 }

@@ -1,0 +1,146 @@
+// Package histogram implements the approximate histogram substrate of
+// the repository: a deterministic rounded-bucket layout in the style of
+// Matias, Vitter and Young's approximate data structures (values are
+// rounded to bucket boundaries spaced by the multiplicative accuracy
+// factor k, so every value is represented within a factor k), the exact
+// per-shard bucket-count vector the sharded runtime builds on, and the
+// query engine (count, sum, rank, quantile, CDF) that turns merged
+// bucket counts into answers with documented deterministic error bounds.
+//
+// The split of responsibilities with internal/shard: this package knows
+// which value lands in which bucket and how to answer queries over a
+// bucket-count vector; internal/shard knows how to shard and buffer the
+// vector. Neither widens the other's error: per-shard bucket counts are
+// exact, so summing them over shards recovers the unsharded counts, and
+// all approximation comes from (a) the bucket rounding (multiplicative
+// in the value domain, factor k) and (b) handle-local buffering
+// (additive in the rank domain, at most B-1 observations per handle).
+package histogram
+
+import (
+	"fmt"
+
+	"approxobj/internal/satmath"
+)
+
+// MaxExactBuckets caps the bucket-per-value table of exact (k = 1)
+// layouts: each bucket costs one register per process slot per shard, so
+// an unbounded exact table is not representable. Exported so the spec
+// layer's defense-in-depth precondition stays equal to the layout's.
+const MaxExactBuckets = 1 << 20
+
+// Buckets is a rounded-bucket layout over the uint64 value domain:
+// bucket 0 holds the value 0, and bucket j >= 1 holds the values in
+// [k^(j-1), k^j - 1] — boundaries spaced by the accuracy factor k, so a
+// value's bucket index is computable by a short log-k loop, not a search,
+// and every value in a bucket is within a factor k of the bucket's lower
+// boundary. The degenerate k = 1 layout is the exact bucket-per-value
+// table over a bounded domain (Index(v) = v). The zero value is not
+// usable; build layouts with NewBuckets.
+type Buckets struct {
+	k     uint64
+	bound uint64 // observations must be < bound; 0 = full uint64 domain
+	n     int
+}
+
+// NewBuckets builds the layout for accuracy factor k (k = 1 exact,
+// k >= 2 rounded) over the domain [0, bound) — bound 0 means the full
+// uint64 domain. Exact layouts need a finite domain of at most 2^20
+// values.
+func NewBuckets(k, bound uint64) (Buckets, error) {
+	if k < 1 {
+		return Buckets{}, fmt.Errorf("histogram: accuracy factor must be >= 1, got %d", k)
+	}
+	if k == 1 {
+		if bound == 0 {
+			return Buckets{}, fmt.Errorf("histogram: exact bucketing needs a finite value domain (a bound)")
+		}
+		if bound > MaxExactBuckets {
+			return Buckets{}, fmt.Errorf("histogram: exact bucketing over %d values exceeds the %d-bucket table limit", bound, MaxExactBuckets)
+		}
+	}
+	b := Buckets{k: k, bound: bound}
+	b.n = b.Index(b.domainMax()) + 1
+	return b, nil
+}
+
+// K returns the accuracy factor the boundaries are spaced by.
+func (b Buckets) K() uint64 { return b.k }
+
+// Bound returns the value domain bound (observations must be < Bound),
+// or 0 for the full uint64 domain.
+func (b Buckets) Bound() uint64 { return b.bound }
+
+// N returns the number of buckets.
+func (b Buckets) N() int { return b.n }
+
+// domainMax is the largest observable value.
+func (b Buckets) domainMax() uint64 {
+	if b.bound > 0 {
+		return b.bound - 1
+	}
+	return ^uint64(0)
+}
+
+// Contains reports whether v is inside the layout's value domain.
+func (b Buckets) Contains(v uint64) bool { return b.bound == 0 || v < b.bound }
+
+// Index returns the bucket of value v: 0 for 0, otherwise the unique j
+// with k^(j-1) <= v <= k^j - 1. The loop multiplies the boundary up by k
+// per iteration — at most log_k(v) iterations, no search over a boundary
+// table.
+func (b Buckets) Index(v uint64) int {
+	if b.k == 1 {
+		// Queries may probe past the bounded domain (only Observe
+		// validates); they land in the top bucket. Without the clamp,
+		// int(v) overflows for huge v and Rank/CDF would sum no buckets.
+		if v >= b.bound {
+			return int(b.bound) - 1
+		}
+		return int(v)
+	}
+	if v == 0 {
+		return 0
+	}
+	j, lo := 1, uint64(1)
+	for {
+		if lo > ^uint64(0)/b.k {
+			// Bucket j's upper boundary saturates the domain: v is here.
+			return j
+		}
+		if v <= lo*b.k-1 {
+			return j
+		}
+		j++
+		lo *= b.k
+	}
+}
+
+// Lo returns the smallest value of bucket j — the bucket's representative
+// in query answers, so answers never overstate the value they stand for.
+func (b Buckets) Lo(j int) uint64 {
+	if b.k == 1 {
+		return uint64(j)
+	}
+	if j == 0 {
+		return 0
+	}
+	return satmath.Pow(b.k, uint64(j-1))
+}
+
+// Hi returns the largest value of bucket j (saturating at the top of the
+// uint64 domain): every value the bucket stands for is in [Lo(j), Hi(j)],
+// and Hi(j) <= k*Lo(j) - 1 — the factor-k rounding guarantee.
+func (b Buckets) Hi(j int) uint64 {
+	if b.k == 1 {
+		return uint64(j)
+	}
+	if j == 0 {
+		return 0
+	}
+	lo := b.Lo(j)
+	if lo > ^uint64(0)/b.k {
+		return ^uint64(0)
+	}
+	return lo*b.k - 1
+}

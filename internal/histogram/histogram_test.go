@@ -1,0 +1,270 @@
+package histogram
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"approxobj/internal/planetest"
+	"approxobj/internal/prim"
+	"approxobj/internal/satmath"
+)
+
+// TestBucketsLayout pins the rounded-bucket geometry for several
+// accuracy factors: every value lands in exactly one bucket whose range
+// contains it, ranges are contiguous, and the factor-k rounding
+// guarantee Hi(j) <= k*Lo(j) - 1 holds for every bucket.
+func TestBucketsLayout(t *testing.T) {
+	for _, k := range []uint64{2, 3, 10} {
+		b, err := NewBuckets(k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := b.Index(0); got != 0 {
+			t.Errorf("k=%d: Index(0) = %d, want 0", k, got)
+		}
+		if b.Lo(0) != 0 || b.Hi(0) != 0 {
+			t.Errorf("k=%d: bucket 0 = [%d, %d], want [0, 0]", k, b.Lo(0), b.Hi(0))
+		}
+		for j := 1; j < b.N(); j++ {
+			lo, hi := b.Lo(j), b.Hi(j)
+			if lo > hi {
+				t.Fatalf("k=%d: bucket %d = [%d, %d] inverted", k, j, lo, hi)
+			}
+			if prev := b.Hi(j - 1); lo != prev+1 {
+				t.Errorf("k=%d: bucket %d starts at %d, want contiguous after %d", k, j, lo, prev)
+			}
+			if hi != ^uint64(0) && (lo > ^uint64(0)/k || hi > lo*k-1) {
+				t.Errorf("k=%d: bucket %d = [%d, %d] wider than factor %d", k, j, lo, hi, k)
+			}
+			for _, v := range []uint64{lo, hi} {
+				if got := b.Index(v); got != j {
+					t.Errorf("k=%d: Index(%d) = %d, want %d", k, v, got, j)
+				}
+			}
+		}
+		// The top bucket reaches the top of the domain.
+		if got := b.Index(^uint64(0)); got != b.N()-1 {
+			t.Errorf("k=%d: Index(MaxUint64) = %d, want top bucket %d", k, got, b.N()-1)
+		}
+		if hi := b.Hi(b.N() - 1); hi != ^uint64(0) {
+			t.Errorf("k=%d: top bucket Hi = %d, want MaxUint64", k, hi)
+		}
+	}
+
+	// k = 2 has a closed form: Index(v) = bits.Len(v) for v >= 1.
+	b2, err := NewBuckets(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []uint64{1, 2, 3, 4, 7, 8, 1023, 1024, 1 << 40, ^uint64(0)} {
+		if got, want := b2.Index(v), bits.Len64(v); got != want {
+			t.Errorf("k=2: Index(%d) = %d, want %d", v, got, want)
+		}
+	}
+
+	// A bound shrinks the table to exactly the buckets the domain needs.
+	bb, err := NewBuckets(2, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bb.N() != 11 { // {0}, [1,1], ..., [512, 1023]
+		t.Errorf("k=2 bound 1024: N = %d, want 11", bb.N())
+	}
+	if !bb.Contains(1023) || bb.Contains(1024) {
+		t.Error("Contains must accept 1023 and reject 1024 for bound 1024")
+	}
+}
+
+// TestBucketsExact pins the k = 1 bucket-per-value table and the layout
+// validation errors.
+func TestBucketsExact(t *testing.T) {
+	b, err := NewBuckets(1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.N() != 100 {
+		t.Errorf("exact bound 100: N = %d, want 100", b.N())
+	}
+	for _, v := range []uint64{0, 1, 42, 99} {
+		if b.Index(v) != int(v) || b.Lo(int(v)) != v || b.Hi(int(v)) != v {
+			t.Errorf("exact: bucket of %d is not the value itself", v)
+		}
+	}
+	for _, tc := range []struct{ k, bound uint64 }{
+		{0, 10},                  // k < 1
+		{1, 0},                   // exact without a domain
+		{1, MaxExactBuckets + 1}, // exact table too large
+	} {
+		if _, err := NewBuckets(tc.k, tc.bound); err == nil {
+			t.Errorf("NewBuckets(%d, %d) accepted, want error", tc.k, tc.bound)
+		}
+	}
+}
+
+// TestQueryEngineAgainstReference drives random value sets through the
+// bucket layout and checks every query against the documented
+// deterministic bound relative to the exact reference — with no
+// buffering in play (U = 0), so the bounds are pure bucket rounding.
+func TestQueryEngineAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, k := range []uint64{1, 2, 4} {
+		bound := uint64(1 << 12)
+		b, err := NewBuckets(k, bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		values := make([]uint64, 5000)
+		counts := make([]uint64, b.N())
+		for i := range values {
+			// Skewed toward small values, like a latency distribution.
+			v := uint64(rng.ExpFloat64() * 200)
+			if v >= bound {
+				v = bound - 1
+			}
+			values[i] = v
+			counts[b.Index(v)]++
+		}
+		ref := planetest.NewExactRef(values)
+
+		if got := Count(counts); got != uint64(len(values)) {
+			t.Errorf("k=%d: Count = %d, want %d", k, got, len(values))
+		}
+		if got := Sum(b, counts); got > ref.Sum() || satmath.Mul(got, k) < ref.Sum() {
+			t.Errorf("k=%d: Sum = %d outside [%d/%d, %d]", k, got, ref.Sum(), k, ref.Sum())
+		}
+		for _, v := range []uint64{0, 1, 17, 100, 555, bound - 1} {
+			got := Rank(b, counts, v)
+			lo, hi := ref.Rank(v), ref.Rank(b.Hi(b.Index(v)))
+			if got < lo || got > hi {
+				t.Errorf("k=%d: Rank(%d) = %d outside [A(v), A(Hi)] = [%d, %d]", k, v, got, lo, hi)
+			}
+			wantCDF := float64(got) / float64(len(values))
+			if cdf := CDF(b, counts, v); cdf != wantCDF {
+				t.Errorf("k=%d: CDF(%d) = %v, want Rank/Count = %v", k, v, cdf, wantCDF)
+			}
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+			got := Quantile(b, counts, q)
+			y := ref.At(TargetRank(q, uint64(len(values))))
+			if got > y {
+				t.Errorf("k=%d: Quantile(%v) = %d overstates the rank value %d", k, q, got, y)
+			} else if k > 1 && y > 0 && satmath.Mul(got, k) <= y {
+				t.Errorf("k=%d: Quantile(%v) = %d understates %d by more than factor %d", k, q, got, y, k)
+			}
+			if k == 1 && got != y {
+				t.Errorf("exact: Quantile(%v) = %d, want %d", q, got, y)
+			}
+		}
+	}
+}
+
+// TestQuantileEdge pins the degenerate query cases.
+func TestQuantileEdge(t *testing.T) {
+	b, err := NewBuckets(2, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := make([]uint64, b.N())
+	if Quantile(b, empty, 0.5) != 0 || Count(empty) != 0 || CDF(b, empty, 7) != 0 {
+		t.Error("empty histogram queries must return 0")
+	}
+	counts := make([]uint64, b.N())
+	counts[b.Index(3)] = 5
+	counts[b.Index(100)] = 5
+	if got := Quantile(b, counts, 0); got != b.Lo(b.Index(3)) {
+		t.Errorf("Quantile(0) = %d, want the minimum's bucket floor %d", got, b.Lo(b.Index(3)))
+	}
+	if got := Quantile(b, counts, 1); got != b.Lo(b.Index(100)) {
+		t.Errorf("Quantile(1) = %d, want the maximum's bucket floor %d", got, b.Lo(b.Index(100)))
+	}
+	for _, q := range []float64{-0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Quantile(%v) did not panic", q)
+				}
+			}()
+			Quantile(b, counts, q)
+		}()
+	}
+}
+
+// TestVector pins the per-shard bucket vector: additions from several
+// processes sum on read, a later addition to a known bucket is a single
+// register write, and a re-created handle continues from the row's
+// current counts instead of restarting at zero.
+func TestVector(t *testing.T) {
+	f := prim.NewFactory(3)
+	v, err := NewVector(f, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Buckets() != 4 {
+		t.Fatalf("Buckets = %d, want 4", v.Buckets())
+	}
+	h0 := v.HistHandle(f.Proc(0))
+	h1 := v.HistHandle(f.Proc(1))
+	h0.AddN(2, 5)
+	h1.AddN(2, 7)
+	h1.AddN(0, 1)
+	reader := v.HistHandle(f.Proc(2))
+	got := reader.Read()
+	if got[0] != 1 || got[1] != 0 || got[2] != 12 || got[3] != 0 {
+		t.Errorf("Read = %v, want [1 0 12 0]", got)
+	}
+
+	// First addition to a bucket reads the register once (2 steps);
+	// later additions to the same bucket are one write.
+	p := f.Proc(0)
+	before := p.Steps()
+	h0.AddN(2, 1)
+	if d := p.Steps() - before; d != 1 {
+		t.Errorf("repeat AddN took %d steps, want 1 (cached row)", d)
+	}
+	before = p.Steps()
+	h0.AddN(3, 1)
+	if d := p.Steps() - before; d != 2 {
+		t.Errorf("first AddN to a fresh bucket took %d steps, want 2 (read + write)", d)
+	}
+	h0.AddN(3, 0) // zero additions take no steps
+	if d := p.Steps() - before; d != 2 {
+		t.Errorf("AddN(_, 0) took steps")
+	}
+
+	// A re-created handle for slot 0 must continue, not reset, bucket 2.
+	h0b := v.HistHandle(f.Proc(0))
+	h0b.AddN(2, 1)
+	if got := reader.Read()[2]; got != 14 {
+		t.Errorf("bucket 2 = %d after re-created handle's AddN, want 14", got)
+	}
+
+	if _, err := NewVector(prim.NewFactory(1), 0); err == nil {
+		t.Error("NewVector accepted zero buckets")
+	}
+}
+
+// TestExactIndexClampsQueries pins the out-of-domain query behavior of
+// the exact layout: Rank/CDF may probe any value (only Observe
+// validates), and huge values must land in the top bucket instead of
+// overflowing int and silently summing no buckets.
+func TestExactIndexClampsQueries(t *testing.T) {
+	b, err := NewBuckets(1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]uint64, b.N())
+	counts[5] = 7
+	counts[99] = 3
+	for _, v := range []uint64{100, 1 << 40, ^uint64(0)} {
+		if got := b.Index(v); got != 99 {
+			t.Errorf("Index(%d) = %d, want the top bucket 99", v, got)
+		}
+		if got := Rank(b, counts, v); got != 10 {
+			t.Errorf("Rank(%d) = %d, want the full count 10", v, got)
+		}
+		if got := CDF(b, counts, v); got != 1 {
+			t.Errorf("CDF(%d) = %v, want 1", v, got)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package histogram
+
+import (
+	"fmt"
+
+	"approxobj/internal/object"
+	"approxobj/internal/prim"
+	"approxobj/internal/satmath"
+)
+
+// Vector is the exact shared bucket-count vector one histogram shard is
+// made of: an n-process grid of single-writer registers, one row per
+// process and one column per bucket. Process p's additions accumulate in
+// row p (so AddN is one register write once the row value is known), and
+// a read sums each column over all rows — the classic collect, regular
+// like every combined read in this repository. All counts saturate at
+// MaxUint64.
+type Vector struct {
+	buckets int
+	rows    [][]*prim.Reg // [process][bucket]
+}
+
+var _ object.Hist = (*Vector)(nil)
+
+// NewVector creates a bucket-count vector with the given number of
+// buckets over f's processes, all counts zero.
+func NewVector(f *prim.Factory, buckets int) (*Vector, error) {
+	if buckets < 1 {
+		return nil, fmt.Errorf("histogram: need at least one bucket, got %d", buckets)
+	}
+	v := &Vector{buckets: buckets, rows: make([][]*prim.Reg, f.N())}
+	for p := range v.rows {
+		v.rows[p] = f.Regs(buckets)
+	}
+	return v, nil
+}
+
+// Buckets returns the number of buckets.
+func (v *Vector) Buckets() int { return v.buckets }
+
+// HistHandle binds process p to the vector.
+func (v *Vector) HistHandle(p *prim.Proc) object.HistHandle {
+	return &VectorHandle{
+		v:     v,
+		p:     p,
+		own:   make([]uint64, v.buckets),
+		known: make([]bool, v.buckets),
+	}
+}
+
+// VectorHandle is one process's view of the vector. It caches its own
+// row's values (the row is single-writer, so the cache cannot go stale):
+// the first addition to a bucket reads the register once — which also
+// lets a re-created handle for a slot that has written before continue
+// from the row's current counts — and every later addition is a single
+// register write.
+type VectorHandle struct {
+	v     *Vector
+	p     *prim.Proc
+	own   []uint64
+	known []bool
+}
+
+var _ object.HistHandle = (*VectorHandle)(nil)
+
+// AddN adds d observations to bucket b. It panics if b is out of range,
+// like indexing a slice out of bounds.
+func (h *VectorHandle) AddN(b int, d uint64) {
+	if d == 0 {
+		return
+	}
+	r := h.v.rows[h.p.ID()][b]
+	if !h.known[b] {
+		h.own[b] = r.Read(h.p)
+		h.known[b] = true
+	}
+	h.own[b] = satmath.Add(h.own[b], d)
+	r.Write(h.p, h.own[b])
+}
+
+// Read returns the per-bucket totals, summing each column over all
+// process rows (saturating).
+func (h *VectorHandle) Read() []uint64 {
+	out := make([]uint64, h.v.buckets)
+	for _, row := range h.v.rows {
+		for b, r := range row {
+			out[b] = satmath.Add(out[b], r.Read(h.p))
+		}
+	}
+	return out
+}

@@ -55,6 +55,28 @@ type MaxRegHandle interface {
 	Read() uint64
 }
 
+// Hist is a shared bucket-count vector object supporting AddN and Read
+// through per-process handles: every process may add observations to any
+// bucket, and a read returns the per-bucket totals. It is the per-shard
+// substrate of the histogram family — the bucket layout (which value
+// lands in which bucket) is decided by the layer above.
+type Hist interface {
+	// HistHandle binds process p to the bucket vector.
+	HistHandle(p *prim.Proc) HistHandle
+	// Buckets returns the number of buckets.
+	Buckets() int
+}
+
+// HistHandle is a process's view of a bucket-count vector.
+type HistHandle interface {
+	// AddN adds d observations to bucket b, linearizable as d consecutive
+	// single additions by the same process.
+	AddN(b int, d uint64)
+	// Read returns the per-bucket observation totals. The returned slice
+	// is fresh (owned by the caller).
+	Read() []uint64
+}
+
 // Snapshot is a shared single-writer atomic snapshot object supporting
 // Update and Scan through per-process handles: process p owns component
 // p and is the only writer of it; a scan returns a coherent view of all
@@ -71,6 +93,17 @@ type SnapshotHandle interface {
 	// Scan returns a view of all components. The returned slice is fresh
 	// (owned by the caller).
 	Scan() []uint64
+}
+
+// ComponentReader is implemented by snapshot handles that can read one
+// component more cheaply than a full Scan (one register read instead of
+// a collect). ReadComponent(i) returns the current value of component i
+// — a regular read of a single-writer register, so for component i read
+// through any handle it is as strong as Scan()[i]. Callers needing only
+// one component (e.g. a re-created sharded handle recovering its elision
+// anchor) type-assert for the fast path and fall back to Scan.
+type ComponentReader interface {
+	ReadComponent(i int) uint64
 }
 
 // Accuracy describes the multiplicative accuracy guarantee of an object: a

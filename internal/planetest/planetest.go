@@ -6,6 +6,8 @@
 // semantics and the hull argument are encoded once.
 package planetest
 
+import "sort"
+
 // SeqValue is the value a component's writer writes at op j. The
 // monotone sequence is the identity; the mixed one doubles it with a
 // periodic downward dip (an always-flushed move under component
@@ -33,3 +35,34 @@ func Window(a, b uint64, mixed bool) (vmin, vmax uint64) {
 	}
 	return a, 2 * b
 }
+
+// ExactRef is the brute-force reference for histogram checks: the
+// sorted multiset of every observation a workload made, with exact rank
+// and quantile lookups. Both internal/histogram's engine tests and the
+// public conformance sweep verify quiescent query answers against it,
+// so the rank convention is encoded once.
+type ExactRef struct {
+	sorted []uint64
+	sum    uint64
+}
+
+// NewExactRef copies and sorts the observed values.
+func NewExactRef(values []uint64) *ExactRef {
+	r := &ExactRef{sorted: append([]uint64(nil), values...)}
+	sort.Slice(r.sorted, func(i, j int) bool { return r.sorted[i] < r.sorted[j] })
+	for _, v := range values {
+		r.sum += v
+	}
+	return r
+}
+
+// Rank returns A(v): the number of observations with value <= v.
+func (r *ExactRef) Rank(v uint64) uint64 {
+	return uint64(sort.Search(len(r.sorted), func(i int) bool { return r.sorted[i] > v }))
+}
+
+// At returns the value of rank i (1-based).
+func (r *ExactRef) At(i uint64) uint64 { return r.sorted[i-1] }
+
+// Sum returns the exact sum of the observations.
+func (r *ExactRef) Sum() uint64 { return r.sum }

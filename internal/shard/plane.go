@@ -17,10 +17,11 @@ import (
 //     before reaching its home shard (count batching, write elision, or
 //     component elision).
 //
-// The kind-specific files (shard.go, maxreg.go, snapshot.go) contribute
-// only their backends, their mutation method, and their policy row —
-// everything else (construction, handle wiring, combined reads, flushes,
-// envelope composition, step accounting) lives here once.
+// The kind-specific files (shard.go, maxreg.go, snapshot.go,
+// histogram.go) contribute only their backends, their mutation method,
+// and their policy row — everything else (construction, handle wiring,
+// combined reads, flushes, envelope composition, step accounting) lives
+// here once.
 
 // Reader is the read side of a per-shard handle: the generic core issues
 // one Read per shard and folds the results with the kind's Combine.
@@ -55,6 +56,15 @@ const (
 	// the one-sided envelope does not allow. Components are disjoint
 	// across handles, so the per-component Buffer term is B-1.
 	componentElision
+	// bucketBatching is count batching for vector-valued mutations
+	// (histograms): a handle accumulates per-bucket observation counts
+	// locally and flushes ALL pending buckets once the total pending
+	// count reaches B, so at most B-1 observations per handle — across
+	// every bucket together, not per bucket — are invisible to readers
+	// between flushes. Like countBatching the staleness scales with the
+	// slot count n (Buffer = (B-1)*n); unlike it the flush replays the
+	// pending counts bucket by bucket.
+	bucketBatching
 )
 
 // buffer is the handle-local mutation buffer between a handle and its
@@ -69,6 +79,14 @@ type buffer struct {
 	pending uint64
 	flushed uint64 // last value written through (elision policies only)
 	dirty   bool   // pending holds an unflushed elided value
+
+	// bucketBatching state: per-bucket pending counts (pending holds
+	// their total), the indices with a nonzero pending count (so a flush
+	// visits only touched buckets — an unbuffered B = 1 handle flushes in
+	// O(1), not O(buckets)), and the per-bucket flush to the home shard.
+	vec         []uint64
+	touched     []int
+	flushBucket func(b int, d uint64)
 }
 
 // add routes one mutation (an increment count or a value) through the
@@ -116,6 +134,40 @@ func (b *buffer) writeThrough(v uint64) {
 	b.pending, b.dirty = 0, false
 }
 
+// addBucket routes d observations of bucket i through the bucketBatching
+// policy: accumulate locally, flush every pending bucket once the total
+// pending count reaches the batch size.
+func (b *buffer) addBucket(i int, d uint64) {
+	if d == 0 {
+		return
+	}
+	if b.vec[i] == 0 {
+		b.touched = append(b.touched, i)
+	}
+	b.vec[i] = satmath.Add(b.vec[i], d)
+	b.pending = satmath.Add(b.pending, d)
+	if b.pending >= b.batch {
+		b.flushBuckets()
+	}
+}
+
+// flushBuckets publishes every pending bucket count to the home shard —
+// visiting only the touched buckets, so the cost is proportional to how
+// many distinct buckets are pending, not to the bucket count.
+func (b *buffer) flushBuckets() {
+	if b.pending == 0 {
+		return
+	}
+	b.pending = 0
+	for _, i := range b.touched {
+		if d := b.vec[i]; d != 0 {
+			b.vec[i] = 0
+			b.flushBucket(i, d)
+		}
+	}
+	b.touched = b.touched[:0]
+}
+
 // Flush publishes the buffered state to the home shard; it is a no-op
 // when nothing is buffered.
 func (b *buffer) Flush() {
@@ -127,6 +179,8 @@ func (b *buffer) Flush() {
 		d := b.pending
 		b.pending = 0
 		b.flush(d)
+	case bucketBatching:
+		b.flushBuckets()
 	default:
 		if !b.dirty {
 			return
@@ -136,13 +190,19 @@ func (b *buffer) Flush() {
 }
 
 // Pending returns the buffered state (diagnostic): the buffered
-// increment count under countBatching, the pending elided value (0 when
-// none) under the elision policies.
+// mutation count under the batching policies (total over buckets for
+// bucketBatching), the pending elided value (0 when none) under the
+// elision policies.
 func (b *buffer) Pending() uint64 {
-	if b.policy != countBatching && !b.dirty {
-		return 0
+	switch b.policy {
+	case countBatching, bucketBatching:
+		return b.pending
+	default:
+		if !b.dirty {
+			return 0
+		}
+		return b.pending
 	}
-	return b.pending
 }
 
 // meta is the envelope declaration every backend carries: its name (for
@@ -191,6 +251,8 @@ func (b bufferPolicy) String() string {
 		return "write elision"
 	case componentElision:
 		return "component elision"
+	case bucketBatching:
+		return "bucket batching"
 	default:
 		return "count batching"
 	}
@@ -221,11 +283,12 @@ func (p policy) row() PolicyRow {
 	}
 }
 
-// CounterPolicyRow, MaxRegPolicyRow, and SnapshotPolicyRow export the
-// three kinds' policy rows.
-func CounterPolicyRow() PolicyRow  { return counterPolicy.row() }
-func MaxRegPolicyRow() PolicyRow   { return maxRegPolicy.row() }
-func SnapshotPolicyRow() PolicyRow { return snapshotPolicy.row() }
+// CounterPolicyRow, MaxRegPolicyRow, SnapshotPolicyRow, and
+// HistogramPolicyRow export the kinds' policy rows.
+func CounterPolicyRow() PolicyRow   { return counterPolicy.row() }
+func MaxRegPolicyRow() PolicyRow    { return maxRegPolicy.row() }
+func SnapshotPolicyRow() PolicyRow  { return snapshotPolicy.row() }
+func HistogramPolicyRow() PolicyRow { return histogramPolicy.row() }
 
 // policy is one kind's row of the plane: how the per-shard envelope
 // composes under the kind's combine, and which buffering discipline its
@@ -362,8 +425,9 @@ func (c *handleCore[H, V]) Read() V {
 func (c *handleCore[H, V]) Flush() { c.buf.Flush() }
 
 // Pending returns the handle's buffered state (diagnostic): buffered
-// increments for counters, the pending elided value (0 when none) for
-// max registers and snapshots.
+// increments for counters, the total pending observation count across
+// all buckets for histograms, the pending elided value (0 when none)
+// for max registers and snapshots.
 func (c *handleCore[H, V]) Pending() uint64 { return c.buf.Pending() }
 
 // Steps returns the shared-memory steps this handle's process slot has

@@ -16,6 +16,7 @@
 //	counter       sum             count batching     Add -> S*Add, Buffer = (B-1)*n
 //	max register  max             write elision      no widening, Buffer = B-1
 //	snapshot      per-component   component elision  no widening, Buffer = B-1
+//	histogram     per-bucket sum  bucket batching    no widening, Buffer = (B-1)*n
 //
 // The combine policy folds the S per-shard reads into the object's
 // value; the buffer policy decides which mutations stay handle-local.
@@ -80,6 +81,14 @@
 //     immediately, so a scanned component trails its true value v_i by
 //     at most B-1 and never exceeds it. The staleness is per component
 //     (components are disjoint across handles), so Buffer = B-1.
+//   - Histograms: per-shard bucket counts are exact and every bucket's
+//     combined count sums a partition over shards, so sharding widens
+//     nothing — like snapshots, S does not appear. A handle buffers at
+//     most B-1 whole observations (across all its buckets together)
+//     between flushes, so at most (B-1)*n observations system-wide are
+//     invisible to readers: the Buffer term is rank-domain slack, while
+//     the declared Mult is the value-domain rounding of the bucket
+//     layout built above this package (internal/histogram).
 //
 // Bounds carries the resulting envelope (M, A, U) and each object's
 // Bounds method reports it for the configured backend, shard count, and

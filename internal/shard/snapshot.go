@@ -146,9 +146,15 @@ func (s *Snapshot) Handle(i int) *SnapshotHandle {
 	// otherwise treat a downward move as an in-window upward one (or, at
 	// any batch, treat Update(0) as the value-unchanged no-op) and elide
 	// it, leaving scans overstating the component. Recover the
-	// component's currently flushed value from the home shard (one scan,
-	// once per handle; pooled handles are cached per slot).
-	h.buf.flushed = h.home.Read()[i]
+	// component's currently flushed value from the home shard — one
+	// register read when the backend's handle can read a single
+	// component, a full scan otherwise (once per handle construction;
+	// pooled handles are cached per slot).
+	if cr, ok := h.home.SnapshotHandle.(object.ComponentReader); ok {
+		h.buf.flushed = cr.ReadComponent(i)
+	} else {
+		h.buf.flushed = h.home.Read()[i]
+	}
 	return h
 }
 

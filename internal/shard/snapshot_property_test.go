@@ -292,6 +292,36 @@ func TestSnapshotHandleRecreation(t *testing.T) {
 	}
 }
 
+// TestSnapshotHandleConstructionCost pins the cost of recovering a
+// handle's elision anchor: the AADGMS backend exposes a single-component
+// read, so (re)creating a handle costs ONE register read on the home
+// shard — not a full O(n^2) scan. (Steps are counted per process slot
+// and survive across handle instances, so the construction cost is the
+// delta around Handle.)
+func TestSnapshotHandleConstructionCost(t *testing.T) {
+	for _, s := range []int{1, 3} {
+		sn, err := shard.NewSnapshot(8, 1, shard.SnapshotShards(s), shard.SnapshotBatch(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 8; i++ {
+			sn.Handle(i).Update(uint64(100 + i))
+		}
+		probe := sn.Handle(0)
+		before := probe.Steps()
+		h := sn.Handle(0)
+		if d := h.Steps() - before; d != 1 {
+			t.Errorf("S=%d: re-creating a handle took %d shared steps, want 1 (one component read)", s, d)
+		}
+		// And the recovered anchor still protects the envelope: the
+		// downward move writes through.
+		h.Update(3)
+		if v := sn.Handle(1).Scan()[0]; v != 3 {
+			t.Errorf("S=%d: component 0 = %d after recovered handle's downward move, want 3", s, v)
+		}
+	}
+}
+
 // TestNewSnapshotValidation mirrors the other kinds' constructor checks.
 func TestNewSnapshotValidation(t *testing.T) {
 	for _, tc := range []struct {

@@ -63,6 +63,11 @@ type kindDescriptor struct {
 	accuracies map[accMode]func(s Spec) error
 	// allowBound reports whether WithBound applies to this kind.
 	allowBound bool
+	// boundLimitsBatch reports whether the kind's batch parameter is a
+	// window in the value domain, so a batch at or past the bound would
+	// swallow every legal write (max registers; histograms batch
+	// observation counts, which the bound does not constrain).
+	boundLimitsBatch bool
 
 	// build constructs the object from a validated spec.
 	build func(s Spec) (instance, error)
@@ -75,6 +80,7 @@ var kindTable = []*kindDescriptor{
 	counterDescriptor,
 	maxRegisterDescriptor,
 	snapshotDescriptor,
+	histogramDescriptor,
 }
 
 // descriptorOf returns the table row for k, or nil for unknown kinds.

@@ -103,6 +103,21 @@ func (r *Registry) SnapshotObject(name string, opts ...Option) (*Snapshot, error
 	return obj.(*Snapshot), nil
 }
 
+// HistogramObject returns the named histogram, creating it from the
+// options on first registration, with the same get-or-create semantics
+// as Counter. The registry's Snapshot exports the histogram's
+// observation count as its Value (with a rank-domain-only envelope, so
+// the (Value, Bounds) pair stays self-consistent); query the
+// distribution itself — Quantile, Rank, CDF — through the returned
+// object's pooled handles.
+func (r *Registry) HistogramObject(name string, opts ...Option) (*Histogram, error) {
+	obj, err := r.getOrCreate(KindHistogram, name, opts)
+	if err != nil {
+		return nil, err
+	}
+	return obj.(*Histogram), nil
+}
+
 // Names returns the registered names in registration order.
 func (r *Registry) Names() []string {
 	r.mu.Lock()

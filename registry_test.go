@@ -108,6 +108,61 @@ func TestRegistrySnapshot(t *testing.T) {
 	}
 }
 
+// TestRegistryHistogramObject pins the histogram getter's get-or-create
+// semantics and the self-consistency of the exported (Value, Bounds)
+// pair with the distribution queried through handles.
+func TestRegistryHistogramObject(t *testing.T) {
+	r := NewRegistry()
+	h1, err := r.HistogramObject("lat", WithProcs(2), WithAccuracy(Multiplicative(2)), WithBatch(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := r.HistogramObject("lat", WithProcs(2), WithAccuracy(Multiplicative(2)), WithBatch(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Error("re-registering the same spec did not return the existing histogram")
+	}
+	if _, err := r.HistogramObject("lat", WithProcs(4), WithAccuracy(Multiplicative(2))); err == nil {
+		t.Error("conflicting spec for an existing name accepted")
+	}
+	if _, err := r.Counter("lat"); err == nil {
+		t.Error("registering a counter under a histogram's name accepted")
+	}
+
+	h1.Do(func(h HistogramHandle) {
+		for j := 1; j <= 100; j++ {
+			h.Observe(uint64(j))
+		}
+	})
+	snaps := r.Snapshot()
+	if len(snaps) != 1 {
+		t.Fatalf("Snapshot returned %d entries, want 1", len(snaps))
+	}
+	s := snaps[0]
+	if s.Kind != KindHistogram {
+		t.Fatalf("snapshot kind = %v, want histogram", s.Kind)
+	}
+	// The worker's handle was released (flushed), so the exported count is
+	// exact — and its paired envelope must be rank-domain only (Mult 1,
+	// Buffer over caller slots), so the pair stays self-consistent.
+	if s.Value != 100 {
+		t.Errorf("snapshot value = %d, want the exact observation count 100", s.Value)
+	}
+	if want := (Bounds{Mult: 1, Buffer: 3 * 2}); s.Bounds != want {
+		t.Errorf("snapshot bounds = %+v, want %+v", s.Bounds, want)
+	}
+	// The distribution itself is self-consistent with the object's own
+	// Bounds: the median of 1..100 rounds down by at most the Mult factor.
+	h1.Do(func(h HistogramHandle) {
+		p50 := h.Quantile(0.5)
+		if k := h1.Bounds().Mult; p50 > 50 || p50*k <= 50 {
+			t.Errorf("p50 = %d not within factor %d below the true median 50", p50, k)
+		}
+	})
+}
+
 // TestRegistrySnapshotConcurrent takes snapshots while workers hold every
 // pool slot and hammer the objects: the reserved snapshot slot means
 // Snapshot neither deadlocks nor races, and every observed value respects
@@ -174,7 +229,7 @@ func TestRegistrySnapshotConcurrent(t *testing.T) {
 
 // TestRegistrySnapshotRaceAllKinds takes registry snapshots while
 // workers churn pooled handles (Acquire/Do/Release, including releases
-// mid-run so slots change owners) on all three registered kinds at once.
+// mid-run so slots change owners) on all four registered kinds at once.
 // The reserved snapshot slot means Snapshot never contends for pool
 // slots, and every polled value must respect the object's envelope
 // against a conservative bound on the true value. Run with -race this is
@@ -201,11 +256,16 @@ func TestRegistrySnapshotRaceAllKinds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	hg, err := r.HistogramObject("latency", WithProcs(workers), WithAccuracy(Multiplicative(2)), WithShards(2), WithBatch(8))
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// Conservative true-value ceilings for the concurrent envelope check.
 	maxCount := uint64(workers * perG * rounds)
 	maxWritten := uint64(perG)
 	maxComponentSum := uint64(workers) * maxWritten
+	maxObserved := uint64(workers * perG * rounds)
 
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
@@ -228,13 +288,17 @@ func TestRegistrySnapshotRaceAllKinds(t *testing.T) {
 					ceil = maxWritten
 				case "load":
 					ceil = maxComponentSum
+				case "latency":
+					ceil = maxObserved
 				}
 				if !os.Bounds.ContainsRange(0, ceil, os.Value) {
 					t.Errorf("%s snapshot value %d outside envelope %+v for any true value in [0, %d]", os.Name, os.Value, os.Bounds, ceil)
 					return
 				}
-				if os.Kind == KindSnapshot && os.Bounds.Mult != 1 {
-					t.Errorf("snapshot kind reports Mult %d, want 1", os.Bounds.Mult)
+				if (os.Kind == KindSnapshot || os.Kind == KindHistogram) && os.Bounds.Mult != 1 {
+					// Both kinds export a pure count as Value: the envelope
+					// paired with it must not carry a value-domain factor.
+					t.Errorf("%s kind reports Mult %d, want 1", os.Kind, os.Bounds.Mult)
 					return
 				}
 			}
@@ -274,6 +338,15 @@ func TestRegistrySnapshotRaceAllKinds(t *testing.T) {
 					// every used slot ending at exactly perG.
 					h.Update(uint64(perG))
 				})
+				hg.Do(func(h HistogramHandle) {
+					for j := 1; j <= perG; j++ {
+						h.Observe(uint64(j % 257))
+						if j%300 == 0 {
+							h.Quantile(0.95)
+							h.Rank(64)
+						}
+					}
+				})
 			}
 		}()
 	}
@@ -303,6 +376,12 @@ func TestRegistrySnapshotRaceAllKinds(t *testing.T) {
 			// count.
 			if os.Value == 0 || os.Value%uint64(perG) != 0 || os.Value > maxComponentSum {
 				t.Errorf("final component sum = %d, want a positive multiple of %d up to %d", os.Value, perG, maxComponentSum)
+			}
+		case "latency":
+			// All handles released (flushed): the exported observation
+			// count is exact.
+			if os.Value != maxObserved {
+				t.Errorf("final observation count = %d, want exactly %d", os.Value, maxObserved)
 			}
 		}
 		if os.Steps == 0 {

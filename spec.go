@@ -6,9 +6,10 @@ import (
 )
 
 // Kind identifies an object family: counters (Inc/Read), max registers
-// (Write/Read), or single-writer snapshots (Update/Scan). The registered
-// kinds and their composition policies live in the backend-plane table
-// (see Kinds).
+// (Write/Read), single-writer snapshots (Update/Scan), or histograms
+// (Observe/Quantile — the first kind whose read side is a query engine,
+// not a scalar). The registered kinds and their composition policies
+// live in the backend-plane table (see Kinds).
 type Kind int
 
 // Object kinds.
@@ -16,6 +17,7 @@ const (
 	KindCounter Kind = iota + 1
 	KindMaxRegister
 	KindSnapshot
+	KindHistogram
 )
 
 // String returns the kind's name, as registered in the backend table.
@@ -42,8 +44,8 @@ func (k *Kind) UnmarshalText(text []byte) error {
 	return nil
 }
 
-// ParseKind resolves a kind name ("counter", "max register", "snapshot")
-// against the backend table. Unknown names are an error.
+// ParseKind resolves a kind name ("counter", "max register", "snapshot",
+// "histogram") against the backend table. Unknown names are an error.
 func ParseKind(name string) (Kind, error) {
 	for _, d := range kindTable {
 		if d.name == name {
@@ -165,11 +167,13 @@ func (s Spec) Shards() int { return s.shards }
 
 // Batch returns the per-handle buffer size: the increment buffer for
 // counters, the write-elision window for max registers, the
-// component-elision window for snapshots (1 when unbuffered).
+// component-elision window for snapshots, the observation buffer for
+// histograms (1 when unbuffered).
 func (s Spec) Batch() int { return s.batch }
 
-// Bound returns the max-register value bound m (values must be < m), or 0
-// for unbounded registers and the other kinds.
+// Bound returns the value bound m (writes/observations must be < m), or
+// 0 for unbounded max registers and histograms and for the boundless
+// kinds.
 func (s Spec) Bound() uint64 { return s.bound }
 
 // totalProcs is the number of slots actually allocated in the underlying
@@ -244,15 +248,23 @@ func WithShards(n int) Option {
 // one handle). For snapshots it is the component-elision window: updates
 // within B-1 above the component's last flushed value stay local, so a
 // scanned component may trail its true value by at most B-1 (per
-// component). Releasing a pooled handle flushes every kind.
+// component). For histograms it buffers whole observations: a handle
+// accumulates per-bucket counts locally and flushes them all once B
+// observations are pending, so up to (B-1)·n observations system-wide
+// may be invisible to queries between flushes (the rank-domain Buffer
+// term of Bounds). Releasing a pooled handle flushes every kind.
 func WithBatch(b int) Option {
 	return func(s *Spec) { s.batch = b }
 }
 
-// WithBound sets the max-register value bound m: writes must be < m, and
-// bounded registers get the paper's Algorithm 2 with its
-// O(min(log2 log_k m, n)) worst case. Without it, max registers are
-// unbounded (the epoch construction of Section I-B).
+// WithBound sets the value bound m of the kinds with a value domain:
+// for max registers, writes must be < m and bounded registers get the
+// paper's Algorithm 2 with its O(min(log2 log_k m, n)) worst case
+// (without it, max registers are unbounded — the epoch construction of
+// Section I-B); for histograms, observations must be < m and the bucket
+// table covers exactly [0, m) (without it, histograms bucket the full
+// uint64 domain — exact histograms require a bound, since their table
+// holds one bucket per value).
 func WithBound(m uint64) Option {
 	return func(s *Spec) {
 		s.bound = m
@@ -308,16 +320,19 @@ func (s Spec) validate() error {
 		return fmt.Errorf("approxobj: multiplicative accuracy needs k >= 2, got %d", s.acc.k)
 	}
 	if s.boundSet && !d.allowBound {
-		return fmt.Errorf("approxobj: WithBound applies only to max registers, not %s", d.plural)
+		return fmt.Errorf("approxobj: WithBound applies only to max registers and histograms, not %s", d.plural)
 	}
 	if s.boundSet {
 		if s.bound < 2 {
-			return fmt.Errorf("approxobj: max-register bound must be >= 2, got %d", s.bound)
+			return fmt.Errorf("approxobj: value bound must be >= 2, got %d", s.bound)
 		}
 		// Legal writes satisfy v < m, so the largest is m-1: an elision
 		// window of B-1 >= m-1 (i.e. B >= m) covers every legal write from
-		// a fresh handle and nothing would ever reach shared memory.
-		if uint64(s.batch) >= s.bound {
+		// a fresh handle and nothing would ever reach shared memory. Only
+		// kinds whose batch IS a value window (max registers) care; for
+		// histograms the batch is an observation count, unrelated to the
+		// value domain.
+		if d.boundLimitsBatch && uint64(s.batch) >= s.bound {
 			return fmt.Errorf("approxobj: batch %d exceeds the %d-bounded register's value range (the elision window would swallow every write)", s.batch, s.bound)
 		}
 	}

@@ -82,6 +82,29 @@ func TestSpecValidation(t *testing.T) {
 			[]Option{WithAccuracy(Additive(8))}, "not implemented for snapshots"},
 		{"snapshot with bound", KindSnapshot,
 			[]Option{WithBound(1024)}, "WithBound"},
+		// The histogram family validates through the same backend table.
+		{"histogram mult unbounded", KindHistogram,
+			[]Option{WithProcs(4), WithAccuracy(Multiplicative(2))}, ""},
+		{"histogram mult bounded sharded batched", KindHistogram,
+			[]Option{WithProcs(6), WithAccuracy(Multiplicative(4)), WithBound(1 << 16), WithShards(3), WithBatch(32)}, ""},
+		{"histogram exact bounded", KindHistogram,
+			[]Option{WithProcs(2), WithBound(1024)}, ""},
+		{"histogram exact needs bound", KindHistogram,
+			[]Option{WithProcs(2)}, "needs WithBound"},
+		{"histogram exact bound too large", KindHistogram,
+			[]Option{WithBound(1 << 21)}, "table limit"},
+		{"histogram mult k < 2", KindHistogram,
+			[]Option{WithAccuracy(Multiplicative(1))}, "k >= 2"},
+		{"histogram additive", KindHistogram,
+			[]Option{WithAccuracy(Additive(8))}, "not implemented for histograms"},
+		// The observation buffer is a count, not a value window: a batch
+		// at or past the bound is fine for histograms (unlike registers).
+		{"histogram batch past bound", KindHistogram,
+			[]Option{WithAccuracy(Multiplicative(2)), WithBound(16), WithBatch(64)}, ""},
+		{"histogram zero shards", KindHistogram,
+			[]Option{WithAccuracy(Multiplicative(2)), WithShards(0)}, "shard count"},
+		{"histogram zero batch", KindHistogram,
+			[]Option{WithAccuracy(Multiplicative(2)), WithBatch(0)}, "batch size"},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			var err error
@@ -90,6 +113,8 @@ func TestSpecValidation(t *testing.T) {
 				_, err = NewCounter(tc.opts...)
 			case KindMaxRegister:
 				_, err = NewMaxRegister(tc.opts...)
+			case KindHistogram:
+				_, err = NewHistogram(tc.opts...)
 			default:
 				_, err = NewSnapshot(tc.opts...)
 			}
@@ -177,6 +202,30 @@ func TestSpecAccessors(t *testing.T) {
 	if got := sn.Spec().String(); got != "snapshot{procs: 4, exact, shards: 2, batch: 8}" {
 		t.Errorf("String() = %q", got)
 	}
+
+	hg, err := NewHistogram(
+		WithProcs(4),
+		WithAccuracy(Multiplicative(2)),
+		WithBound(1<<16),
+		WithShards(2),
+		WithBatch(8),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hg.N() != 4 || hg.K() != 2 || hg.Shards() != 2 || hg.Batch() != 8 || hg.Bound() != 1<<16 {
+		t.Errorf("accessors N=%d K=%d S=%d B=%d m=%d, want 4 2 2 8 65536",
+			hg.N(), hg.K(), hg.Shards(), hg.Batch(), hg.Bound())
+	}
+	if hg.Buckets() != 17 { // {0}, [1,1], [2,3], ..., [2^15, 2^16-1]
+		t.Errorf("Buckets = %d, want 17 for k=2 over [0, 2^16)", hg.Buckets())
+	}
+	if got, want := hg.Bounds(), (Bounds{Mult: 2, Buffer: 28}); got != want {
+		t.Errorf("histogram Bounds = %+v, want %+v (Buffer = (B-1)*n)", got, want)
+	}
+	if got := hg.Spec().String(); got != "histogram{procs: 4, multiplicative(2), shards: 2, batch: 8, bound: 65536}" {
+		t.Errorf("String() = %q", got)
+	}
 }
 
 // TestKindTextRoundTrip pins the symmetric text encoding of kinds: every
@@ -186,8 +235,8 @@ func TestSpecAccessors(t *testing.T) {
 // the error.
 func TestKindTextRoundTrip(t *testing.T) {
 	kinds := Kinds()
-	if len(kinds) != 3 {
-		t.Fatalf("backend table registers %d kinds, want 3", len(kinds))
+	if len(kinds) != 4 {
+		t.Fatalf("backend table registers %d kinds, want 4", len(kinds))
 	}
 	for _, kp := range kinds {
 		text, err := kp.Kind.MarshalText()
@@ -211,7 +260,7 @@ func TestKindTextRoundTrip(t *testing.T) {
 	if err == nil {
 		t.Fatal("UnmarshalText accepted an unknown kind name")
 	}
-	for _, name := range []string{"counter", "max register", "snapshot"} {
+	for _, name := range []string{"counter", "max register", "snapshot", "histogram"} {
 		if !strings.Contains(err.Error(), name) {
 			t.Errorf("unknown-kind error %q does not list registered kind %q", err, name)
 		}
@@ -228,6 +277,7 @@ func TestKindPolicyTable(t *testing.T) {
 		KindCounter:     {"sum", "count batching"},
 		KindMaxRegister: {"max", "write elision"},
 		KindSnapshot:    {"per-component", "component elision"},
+		KindHistogram:   {"per-bucket sum", "bucket batching"},
 	}
 	for _, kp := range Kinds() {
 		w, ok := want[kp.Kind]
