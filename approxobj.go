@@ -87,10 +87,9 @@
 //
 // All implementations are instrumented: handle steps are counted, which
 // the benchmark harness (cmd/approxbench) uses to reproduce the paper's
-// step complexity bounds. The legacy per-family constructors
-// (NewExactCounter, NewShardedCounter, NewBoundedMaxRegister, ...) remain
-// as thin deprecated wrappers over the spec surface; see compat.go and the
-// README migration table.
+// step complexity bounds. The spec surface (NewCounter, NewMaxRegister,
+// NewSnapshot, NewHistogram with options) is the only construction path;
+// the pre-spec per-family constructors were removed in PR 6.
 package approxobj
 
 import (
@@ -153,6 +152,9 @@ var counterDescriptor = &kindDescriptor{
 	envelope: "Mult unchanged; Add widens to S·k; Buffer = (B-1)·n",
 	scenario: "E12",
 
+	staleTerm:    "Read may miss Incs of the last maxStale (window opens maxStale early)",
+	readScenario: "E17",
+
 	accuracies: map[accMode]func(s Spec) error{
 		accExact:          nil,
 		accAdditive:       nil,
@@ -168,8 +170,17 @@ var counterDescriptor = &kindDescriptor{
 func checkMultCounter(s Spec) error {
 	k, n := s.acc.k, uint64(s.totalProcs())
 	if !satmath.SquareAtLeast(k, n) {
-		if s.snapshotSlot {
-			return fmt.Errorf("approxobj: multiplicative accuracy needs k >= sqrt(n): k=%d, n=%d (%d caller slots + 1 registry snapshot slot)", k, n, s.procs)
+		if int(n) != s.procs {
+			// Spell out the internal slots so "n" in the message is not a
+			// mystery to a caller who only passed WithProcs(procs).
+			parts := fmt.Sprintf("%d caller slots", s.procs)
+			if s.snapshotSlot {
+				parts += " + 1 registry snapshot slot"
+			}
+			if s.readStale > 0 {
+				parts += " + 1 read-cache combiner slot"
+			}
+			return fmt.Errorf("approxobj: multiplicative accuracy needs k >= sqrt(n): k=%d, n=%d (%s)", k, n, parts)
 		}
 		return fmt.Errorf("approxobj: multiplicative accuracy needs k >= sqrt(n): k=%d, n=%d", k, n)
 	}
@@ -189,7 +200,11 @@ func counterShardOptions(s Spec) (k uint64, opts []shard.Option) {
 	default:
 		be, k = shard.AACHBackend(), 1
 	}
-	return k, []shard.Option{shard.Shards(s.shards), shard.Batch(s.batch), shard.WithBackend(be)}
+	opts = []shard.Option{shard.Shards(s.shards), shard.Batch(s.batch), shard.WithBackend(be)}
+	if s.readStale > 0 {
+		opts = append(opts, shard.ReadCache(s.readStale))
+	}
+	return k, opts
 }
 
 // Counter is any member of the counter family — exact, k-additive, or
@@ -258,8 +273,15 @@ func (c *Counter) Batch() uint64 { return uint64(c.spec.batch) }
 // Bounds returns the counter's read envelope: a Read may return any x
 // with (v-Buffer)/Mult - Add <= x <= Mult*v + Add for the true count v,
 // where Buffer = (B-1)*N for WithBatch(B). Exact counters report the
-// zero envelope.
+// zero envelope. With WithReadCache the Stale term carries the
+// staleness window: the envelope then holds against some true count in
+// the regularity window opened Stale before the read began.
 func (c *Counter) Bounds() Bounds { return scaledBounds(c.c.Bounds(), c.spec) }
+
+// Close stops the read cache's background combiner goroutine, when
+// WithReadCache is set. Idempotent, and a no-op otherwise; handles stay
+// usable afterwards (cached reads refresh inline).
+func (c *Counter) Close() { c.c.Close() }
 
 // scaledBounds adjusts a runtime envelope for the registry's snapshot
 // slot on kinds whose Buffer term scales with the slot count: the shard
@@ -307,6 +329,9 @@ var maxRegisterDescriptor = &kindDescriptor{
 	envelope: "Mult unchanged (independent of S); Buffer = B-1, per handle",
 	scenario: "E14",
 
+	staleTerm:    "Read may trail the maximum by writes of the last maxStale",
+	readScenario: "E17",
+
 	accuracies: map[accMode]func(s Spec) error{
 		accExact:          nil,
 		accMultiplicative: nil, // k >= 2 is the generic multiplicative check
@@ -331,11 +356,15 @@ func maxRegShardOptions(s Spec) (k uint64, opts []shard.MaxRegOption) {
 	default:
 		be, k = shard.MultMaxBackend(), s.acc.k
 	}
-	return k, []shard.MaxRegOption{
+	opts = []shard.MaxRegOption{
 		shard.MaxRegShards(s.shards),
 		shard.MaxRegBatch(s.batch),
 		shard.WithMaxRegBackend(be),
 	}
+	if s.readStale > 0 {
+		opts = append(opts, shard.MaxRegReadCache(s.readStale))
+	}
+	return k, opts
 }
 
 // MaxRegister is any member of the max-register family — exact or
@@ -413,8 +442,14 @@ func (r *MaxRegister) Batch() uint64 { return uint64(r.spec.batch) }
 // with (v-Buffer)/Mult <= x <= Mult*v for the true maximum v, where
 // Buffer = B-1 for WithBatch(B) (per handle — the maximum lives in one
 // handle, so elision headroom does not scale with N or S). Exact
-// unbatched registers report the zero envelope.
+// unbatched registers report the zero envelope. With WithReadCache the
+// Stale term carries the staleness window of cached reads.
 func (r *MaxRegister) Bounds() Bounds { return scaledBounds(r.m.Bounds(), r.spec) }
+
+// Close stops the read cache's background combiner goroutine, when
+// WithReadCache is set. Idempotent, and a no-op otherwise; handles stay
+// usable afterwards (cached reads refresh inline).
+func (r *MaxRegister) Close() { r.m.Close() }
 
 // Handle binds process slot i (0 <= i < N) to the register, for callers
 // managing slot assignment themselves. Each concurrent goroutine must use

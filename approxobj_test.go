@@ -71,7 +71,7 @@ func TestCounterConcurrent(t *testing.T) {
 }
 
 func TestExactCounter(t *testing.T) {
-	c, err := NewExactCounter(4)
+	c, err := NewCounter(WithProcs(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +88,7 @@ func TestExactCounter(t *testing.T) {
 	if h1.Steps() == 0 {
 		t.Fatal("Steps not counted")
 	}
-	if _, err := NewExactCounter(0); err == nil {
+	if _, err := NewCounter(WithProcs(0)); err == nil {
 		t.Fatal("n=0 accepted")
 	}
 }
@@ -96,7 +96,7 @@ func TestExactCounter(t *testing.T) {
 func TestExactCounterConcurrent(t *testing.T) {
 	const n = 8
 	const perProc = 20000
-	c, err := NewExactCounter(n)
+	c, err := NewCounter(WithProcs(n))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +118,7 @@ func TestExactCounterConcurrent(t *testing.T) {
 }
 
 func TestBoundedMaxRegister(t *testing.T) {
-	r, err := NewBoundedMaxRegister(2, 1<<20, 2)
+	r, err := NewMaxRegister(WithProcs(2), WithAccuracy(Multiplicative(2)), WithBound(1<<20))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,16 +134,16 @@ func TestBoundedMaxRegister(t *testing.T) {
 	if x < 1000 || x > 2000 {
 		t.Fatalf("Read = %d, want in [1000, 2000]", x)
 	}
-	if _, err := NewBoundedMaxRegister(1, 1, 2); err == nil {
+	if _, err := NewMaxRegister(WithProcs(1), WithAccuracy(Multiplicative(2)), WithBound(1)); err == nil {
 		t.Fatal("m=1 accepted")
 	}
-	if _, err := NewBoundedMaxRegister(1, 8, 1); err == nil {
+	if _, err := NewMaxRegister(WithProcs(1), WithAccuracy(Multiplicative(1)), WithBound(8)); err == nil {
 		t.Fatal("k=1 accepted")
 	}
 }
 
 func TestExactBoundedMaxRegister(t *testing.T) {
-	r, err := NewExactBoundedMaxRegister(2, 1024)
+	r, err := NewMaxRegister(WithProcs(2), WithBound(1024))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ func TestUnboundedMaxRegisters(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	exact, err := NewExactMaxRegister(2)
+	exact, err := NewMaxRegister(WithProcs(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +206,7 @@ func TestMaxRegisterConcurrent(t *testing.T) {
 }
 
 func TestMaxRegisterStepsCounted(t *testing.T) {
-	r, err := NewBoundedMaxRegister(1, 1<<30, 2)
+	r, err := NewMaxRegister(WithProcs(1), WithAccuracy(Multiplicative(2)), WithBound(1<<30))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +225,7 @@ func TestMaxRegisterStepsCounted(t *testing.T) {
 }
 
 func TestAdditiveCounter(t *testing.T) {
-	c, err := NewAdditiveCounter(4, 40)
+	c, err := NewCounter(WithProcs(4), WithAccuracy(Additive(40)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +243,7 @@ func TestAdditiveCounter(t *testing.T) {
 	if h.Steps() == 0 {
 		t.Fatal("Steps not counted")
 	}
-	if _, err := NewAdditiveCounter(0, 4); err == nil {
+	if _, err := NewCounter(WithProcs(0), WithAccuracy(Additive(4))); err == nil {
 		t.Fatal("n=0 accepted")
 	}
 }
@@ -252,7 +252,7 @@ func TestAdditiveCounterConcurrent(t *testing.T) {
 	const n = 8
 	const k = 80
 	const perProc = 10000
-	c, err := NewAdditiveCounter(n, k)
+	c, err := NewCounter(WithProcs(n), WithAccuracy(Additive(k)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,73 +275,72 @@ func TestAdditiveCounterConcurrent(t *testing.T) {
 	}
 }
 
-// TestCompatBounds asserts that the legacy constructors, now thin wrappers
-// over the spec surface, report the correct universal envelopes: additive
-// counters carry their slack in the Add term, and exact objects report the
-// zero envelope.
-func TestCompatBounds(t *testing.T) {
-	add, err := NewAdditiveCounter(4, 40)
+// TestSpecBounds asserts that representative spec combinations report
+// the correct universal envelopes: additive counters carry their slack
+// in the Add term, and exact objects report the zero envelope.
+func TestSpecBounds(t *testing.T) {
+	add, err := NewCounter(WithProcs(4), WithAccuracy(Additive(40)))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if b := add.Bounds(); b.Mult != 1 || b.Add != 40 || b.Buffer != 0 {
-		t.Errorf("AdditiveCounter(4, 40).Bounds() = %+v, want {Mult:1 Add:40 Buffer:0}", b)
+		t.Errorf("Additive(40) counter Bounds() = %+v, want {Mult:1 Add:40 Buffer:0}", b)
 	}
-	exact, err := NewExactCounter(4)
+	exact, err := NewCounter(WithProcs(4))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if b := exact.Bounds(); b != ExactBounds() || !b.IsExact() {
-		t.Errorf("ExactCounter.Bounds() = %+v, want the zero envelope %+v", b, ExactBounds())
+		t.Errorf("exact counter Bounds() = %+v, want the zero envelope %+v", b, ExactBounds())
 	}
-	mult, err := NewApproxCounter(4, 2)
+	mult, err := NewCounter(WithProcs(4), WithAccuracy(Multiplicative(2)))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if b := mult.Bounds(); b.Mult != 2 || b.Add != 0 || b.Buffer != 0 {
-		t.Errorf("ApproxCounter(4, 2).Bounds() = %+v, want {Mult:2 Add:0 Buffer:0}", b)
+		t.Errorf("Multiplicative(2) counter Bounds() = %+v, want {Mult:2 Add:0 Buffer:0}", b)
 	}
-	sharded, err := NewShardedCounter(8, 4, Shards(4), Batch(8))
+	sharded, err := NewCounter(WithProcs(8), WithAccuracy(Multiplicative(4)), WithShards(4), WithBatch(8))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if b := sharded.Bounds(); b.Mult != 4 || b.Add != 0 || b.Buffer != 7*8 {
-		t.Errorf("ShardedCounter.Bounds() = %+v, want {Mult:4 Add:0 Buffer:56}", b)
+		t.Errorf("sharded counter Bounds() = %+v, want {Mult:4 Add:0 Buffer:56}", b)
 	}
-	bmr, err := NewBoundedMaxRegister(2, 1<<20, 2)
+	bmr, err := NewMaxRegister(WithProcs(2), WithAccuracy(Multiplicative(2)), WithBound(1<<20))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if b := bmr.Bounds(); b.Mult != 2 || b.Add != 0 || b.Buffer != 0 {
-		t.Errorf("BoundedMaxRegister.Bounds() = %+v, want {Mult:2 Add:0 Buffer:0}", b)
+		t.Errorf("bounded max-register Bounds() = %+v, want {Mult:2 Add:0 Buffer:0}", b)
 	}
-	emr, err := NewExactMaxRegister(2)
+	emr, err := NewMaxRegister(WithProcs(2))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if b := emr.Bounds(); !b.IsExact() {
-		t.Errorf("ExactMaxRegister.Bounds() = %+v, want the zero envelope", b)
+		t.Errorf("exact max-register Bounds() = %+v, want the zero envelope", b)
 	}
 }
 
-// TestCompatDelegation spot-checks that the wrappers produce objects of
-// the unified types with the specs the legacy parameters imply.
-func TestCompatDelegation(t *testing.T) {
-	c, err := NewShardedCounter(8, 4, Shards(2), Batch(16))
+// TestSpecRoundTrip spot-checks that built objects report the specs
+// their options imply.
+func TestSpecRoundTrip(t *testing.T) {
+	c, err := NewCounter(WithProcs(8), WithAccuracy(Multiplicative(4)), WithShards(2), WithBatch(16))
 	if err != nil {
 		t.Fatal(err)
 	}
 	s := c.Spec()
 	if s.Kind() != KindCounter || s.Procs() != 8 || s.Accuracy() != Multiplicative(4) ||
 		s.Shards() != 2 || s.Batch() != 16 {
-		t.Errorf("ShardedCounter spec = %v, want counter{procs: 8, multiplicative(4), shards: 2, batch: 16}", s)
+		t.Errorf("sharded counter spec = %v, want counter{procs: 8, multiplicative(4), shards: 2, batch: 16}", s)
 	}
-	r, err := NewExactBoundedMaxRegister(2, 1024)
+	r, err := NewMaxRegister(WithProcs(2), WithBound(1024))
 	if err != nil {
 		t.Fatal(err)
 	}
 	rs := r.Spec()
 	if rs.Kind() != KindMaxRegister || rs.Bound() != 1024 || !rs.Accuracy().IsExact() {
-		t.Errorf("ExactBoundedMaxRegister spec = %v, want max register{procs: 2, exact, bound: 1024}", rs)
+		t.Errorf("bounded exact max-register spec = %v, want max register{procs: 2, exact, bound: 1024}", rs)
 	}
 }

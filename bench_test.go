@@ -186,7 +186,7 @@ func BenchmarkE7ThroughputMultCounter(b *testing.B) {
 
 func BenchmarkE7ThroughputExact(b *testing.B) {
 	const slots = 64
-	c, err := approxobj.NewExactCounter(slots)
+	c, err := approxobj.NewCounter(approxobj.WithProcs(slots))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -359,7 +359,7 @@ func BenchmarkCounterRead(b *testing.B) {
 }
 
 func BenchmarkBoundedMaxRegisterWrite(b *testing.B) {
-	r, err := approxobj.NewBoundedMaxRegister(1, 1<<40, 2)
+	r, err := approxobj.NewMaxRegister(approxobj.WithProcs(1), approxobj.WithAccuracy(approxobj.Multiplicative(2)), approxobj.WithBound(1<<40))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -370,7 +370,7 @@ func BenchmarkBoundedMaxRegisterWrite(b *testing.B) {
 }
 
 func BenchmarkBoundedMaxRegisterRead(b *testing.B) {
-	r, err := approxobj.NewBoundedMaxRegister(1, 1<<40, 2)
+	r, err := approxobj.NewMaxRegister(approxobj.WithProcs(1), approxobj.WithAccuracy(approxobj.Multiplicative(2)), approxobj.WithBound(1<<40))
 	if err != nil {
 		b.Fatal(err)
 	}

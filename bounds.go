@@ -15,6 +15,15 @@ import "approxobj/internal/object"
 // for WithBatch(B) counters, 0 otherwise). Exact objects report the zero
 // envelope {Mult: 1, Add: 0, Buffer: 0}.
 //
+// Stale is the read-cache staleness window of WithReadCache (0 when the
+// cache is off): a cached read serves a pre-combined value whose
+// underlying combined read started at most Stale earlier, so the
+// envelope holds against some true value in the regularity window
+// opened Stale before the read began. It is a time-domain term — it
+// widens the window checkers evaluate ContainsRange over, not the
+// arithmetic of the envelope itself; see the read-plane table in Kinds
+// for the per-kind reading.
+//
 // Contains and ContainsRange evaluate membership; the latter checks a
 // response against the regularity window of a concurrent read (see
 // internal/shard's package comment). The conformance tests in this

@@ -106,6 +106,21 @@ func main() {
 				kp.Kind, kp.BenchScenario)
 			os.Exit(1)
 		}
+		// A kind that opts into the read-cache policy (it documents a
+		// staleness term) must also name a read-dominated scenario that
+		// some experiment emits, so the O(1) cached-read claim is
+		// measured, not assumed.
+		if kp.StaleTerm != "" {
+			if kp.ReadBenchScenario == "" {
+				fmt.Fprintf(os.Stderr, "approxbench: object kind %q documents a read-cache staleness term but declares no read-dominated bench scenario\n", kp.Kind)
+				os.Exit(1)
+			}
+			if !declared[kp.ReadBenchScenario] {
+				fmt.Fprintf(os.Stderr, "approxbench: object kind %q declares read bench scenario %q, which no experiment in bench.All emits\n",
+					kp.Kind, kp.ReadBenchScenario)
+				os.Exit(1)
+			}
+		}
 	}
 
 	known := make(map[string]bool, len(all))
@@ -282,6 +297,7 @@ func compareRecords(baseline, current []bench.Record, tol float64, inScope func(
 				{"Mult", o.Envelope.Mult, n.Envelope.Mult},
 				{"Add", o.Envelope.Add, n.Envelope.Add},
 				{"Buffer", o.Envelope.Buffer, n.Envelope.Buffer},
+				{"Stale", o.Envelope.Stale, n.Envelope.Stale},
 			} {
 				// Envelopes are deterministic — no machine noise to
 				// tolerate — so ANY widening is an accuracy regression;

@@ -24,7 +24,7 @@ const (
 	perG = 200_000 // increments per goroutine
 )
 
-// handler is the common surface of Counter and ShardedCounter.
+// handler is the common surface of the counters under comparison.
 type handler interface {
 	Handle(int) approxobj.CounterHandle
 }

@@ -58,11 +58,15 @@ func main() {
 	fmt.Printf("%-8s %-12s %-12s\n", "m", "exact", "approx k=2")
 	for _, e := range []uint{8, 16, 32, 48, 60} {
 		m := uint64(1) << e
-		exact, err := approxobj.NewExactBoundedMaxRegister(1, m)
+		exact, err := approxobj.NewMaxRegister(approxobj.WithProcs(1), approxobj.WithBound(m))
 		if err != nil {
 			log.Fatal(err)
 		}
-		approx, err := approxobj.NewBoundedMaxRegister(1, m, 2)
+		approx, err := approxobj.NewMaxRegister(
+			approxobj.WithProcs(1),
+			approxobj.WithAccuracy(approxobj.Multiplicative(2)),
+			approxobj.WithBound(m),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}

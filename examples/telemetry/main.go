@@ -32,7 +32,7 @@ const (
 type endpoint struct {
 	name   string
 	approx *approxobj.Counter
-	exact  *approxobj.ExactCounter
+	exact  *approxobj.Counter
 }
 
 func newEndpoint(name string) (*endpoint, error) {

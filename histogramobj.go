@@ -93,6 +93,9 @@ var histogramDescriptor = &kindDescriptor{
 	envelope: "value error Mult = k from bucket rounding (independent of S); rank error Buffer = (B-1)·n",
 	scenario: "E16",
 
+	staleTerm:    "queries may miss observations of the last maxStale",
+	readScenario: "E17",
+
 	accuracies: map[accMode]func(s Spec) error{
 		accExact:          checkExactHistogram,
 		accMultiplicative: nil, // k >= 2 is the generic multiplicative check
@@ -152,8 +155,11 @@ func newHistogram(spec Spec) (*Histogram, error) {
 	if err != nil {
 		return nil, err
 	}
-	sh, err := shard.NewHistogram(spec.totalProcs(), spec.acc.K(), bk.N(),
-		shard.HistShards(spec.shards), shard.HistBatch(spec.batch))
+	hopts := []shard.HistOption{shard.HistShards(spec.shards), shard.HistBatch(spec.batch)}
+	if spec.readStale > 0 {
+		hopts = append(hopts, shard.HistReadCache(spec.readStale))
+	}
+	sh, err := shard.NewHistogram(spec.totalProcs(), spec.acc.K(), bk.N(), hopts...)
 	if err != nil {
 		return nil, err
 	}
@@ -204,8 +210,15 @@ func (h *Histogram) Buckets() int { return h.bk.N() }
 // observations, system-wide, may be parked in handle-local buffers and
 // invisible to queries). See HistogramHandle for the per-query bounds
 // this envelope composes into. Unbatched exact histograms report the
-// zero envelope.
+// zero envelope. With WithReadCache the Stale term carries the
+// staleness window: every query then folds a pre-combined bucket read
+// whose regularity window opened at most Stale before the query began.
 func (h *Histogram) Bounds() Bounds { return scaledBounds(h.h.Bounds(), h.spec) }
+
+// Close stops the read cache's background combiner goroutine, when
+// WithReadCache is set. Idempotent, and a no-op otherwise; handles stay
+// usable afterwards (cached bucket reads refresh inline).
+func (h *Histogram) Close() { h.h.Close() }
 
 // Handle binds process slot i (0 <= i < N) to the histogram, for
 // callers managing slot assignment themselves. Each concurrent

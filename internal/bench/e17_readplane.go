@@ -1,0 +1,312 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync"
+	"time"
+
+	"approxobj"
+)
+
+// E17ReadPlane measures the read-combiner tier (WithReadCache): the PR 6
+// claim is that a cached read is O(1) in the shard count S — an atomic
+// load of the pre-combined cell — where an uncached read folds all S
+// shards. Two sweeps:
+//
+//   - E17: every object kind x S in {1, 4, 16} x {uncached, cached},
+//     read-only after a populate phase. Uncached read cost grows with S;
+//     cached cost must stay flat (the combiner goroutine pays the fold).
+//   - E17b: a counter under mixed traffic with the reader:writer
+//     operation ratio swept from 1:64 (write-dominated) to 64:1
+//     (read-dominated), cached vs uncached, on a fixed S = 4. The cache
+//     buys the most where reads dominate; write-heavy mixes bound the
+//     overhead of carrying the combiner.
+//
+// Each cached cell re-verifies the convergence contract at quiescence:
+// once the staleness window has passed and writers have flushed, a
+// cached read must land inside the flushed envelope of the true value.
+func E17ReadPlane(cfg Config) ([]*Table, error) {
+	shardCounts := []int{1, 4, 16}
+	reads := 200_000
+	writes := 20_000
+	if cfg.Quick {
+		reads = 20_000
+		writes = 4_000
+	}
+	const stale = 5 * time.Millisecond
+
+	t := &Table{
+		ID:    "E17",
+		Title: "read plane: per-kind read cost, cached vs uncached, across shard counts",
+		Note: `Each row is one (kind, shards, cached) cell: a populate phase through
+handle 0, then a timed read-only loop through handle 1 (Read for the
+counter and max register, Scan for the snapshot, p99 Quantile for the
+histogram). Uncached reads fold all S shards, so their ns/op grows
+with S; cached reads (WithReadCache, maxStale 5ms) load the combiner's
+pre-combined cell, so their ns/op must stay flat across S. The Stale
+column of the recorded envelope is the configured staleness window:
+cached reads serve a value whose combined read began at most that long
+before the read, which is the accuracy price of the O(1) read.`,
+		Header: []string{"kind", "shards", "cached", "read ns/op"},
+	}
+
+	type kindCase struct {
+		kind string
+		// build returns a populate function, the timed read function,
+		// the object's bounds, a quiescent convergence check (cached
+		// cells only; called after the staleness window has passed), and
+		// a close function.
+		build func(s int, cached bool) (populate func(), read func() uint64, bounds approxobj.Bounds, converge func() error, closeFn func(), err error)
+	}
+
+	cachedOpt := func(cached bool) []approxobj.Option {
+		if cached {
+			return []approxobj.Option{approxobj.WithReadCache(stale)}
+		}
+		return nil
+	}
+
+	kinds := []kindCase{
+		{kind: "counter", build: func(s int, cached bool) (func(), func() uint64, approxobj.Bounds, func() error, func(), error) {
+			opts := append([]approxobj.Option{
+				approxobj.WithProcs(2),
+				approxobj.WithAccuracy(approxobj.Multiplicative(2)),
+				approxobj.WithShards(s),
+			}, cachedOpt(cached)...)
+			c, err := approxobj.NewCounter(opts...)
+			if err != nil {
+				return nil, nil, approxobj.Bounds{}, nil, nil, err
+			}
+			w, r := c.Handle(0), c.Handle(1)
+			populate := func() {
+				for i := 0; i < writes; i++ {
+					w.Inc()
+				}
+			}
+			converge := func() error {
+				flushed := c.Bounds()
+				flushed.Buffer = 0
+				if x := r.Read(); !flushed.Contains(uint64(writes), x) {
+					return fmt.Errorf("quiescent cached counter read %d outside flushed envelope %+v of %d", x, flushed, writes)
+				}
+				return nil
+			}
+			return populate, r.Read, c.Bounds(), converge, c.Close, nil
+		}},
+		{kind: "max-register", build: func(s int, cached bool) (func(), func() uint64, approxobj.Bounds, func() error, func(), error) {
+			opts := append([]approxobj.Option{
+				approxobj.WithProcs(2),
+				approxobj.WithBound(1 << 30),
+				approxobj.WithShards(s),
+			}, cachedOpt(cached)...)
+			m, err := approxobj.NewMaxRegister(opts...)
+			if err != nil {
+				return nil, nil, approxobj.Bounds{}, nil, nil, err
+			}
+			w, r := m.Handle(0), m.Handle(1)
+			populate := func() {
+				for i := 0; i < writes; i++ {
+					w.Write(uint64(i))
+				}
+			}
+			converge := func() error {
+				if x := r.Read(); x != uint64(writes-1) {
+					return fmt.Errorf("quiescent cached max-register read %d, want %d", x, writes-1)
+				}
+				return nil
+			}
+			return populate, r.Read, m.Bounds(), converge, m.Close, nil
+		}},
+		{kind: "snapshot", build: func(s int, cached bool) (func(), func() uint64, approxobj.Bounds, func() error, func(), error) {
+			opts := append([]approxobj.Option{
+				approxobj.WithProcs(2),
+				approxobj.WithShards(s),
+			}, cachedOpt(cached)...)
+			sn, err := approxobj.NewSnapshot(opts...)
+			if err != nil {
+				return nil, nil, approxobj.Bounds{}, nil, nil, err
+			}
+			w, r := sn.Handle(0), sn.Handle(1)
+			populate := func() {
+				for i := 1; i <= writes; i++ {
+					w.Update(uint64(i))
+				}
+			}
+			read := func() uint64 { return r.Scan()[0] }
+			converge := func() error {
+				if x := read(); x != uint64(writes) {
+					return fmt.Errorf("quiescent cached snapshot component %d, want %d", x, writes)
+				}
+				return nil
+			}
+			return populate, read, sn.Bounds(), converge, sn.Close, nil
+		}},
+		{kind: "histogram", build: func(s int, cached bool) (func(), func() uint64, approxobj.Bounds, func() error, func(), error) {
+			const bound = uint64(1) << 16
+			opts := append([]approxobj.Option{
+				approxobj.WithProcs(2),
+				approxobj.WithAccuracy(approxobj.Multiplicative(2)),
+				approxobj.WithBound(bound),
+				approxobj.WithShards(s),
+			}, cachedOpt(cached)...)
+			hg, err := approxobj.NewHistogram(opts...)
+			if err != nil {
+				return nil, nil, approxobj.Bounds{}, nil, nil, err
+			}
+			w, r := hg.Handle(0), hg.Handle(1)
+			populate := func() {
+				for i := 0; i < writes; i++ {
+					w.Observe(uint64(i) % bound)
+				}
+			}
+			read := func() uint64 { return r.Quantile(0.99) }
+			converge := func() error {
+				if c := r.Count(); c != uint64(writes) {
+					return fmt.Errorf("quiescent cached histogram count %d, want exactly %d", c, writes)
+				}
+				return nil
+			}
+			return populate, read, hg.Bounds(), converge, hg.Close, nil
+		}},
+	}
+
+	var sink uint64
+	for _, kc := range kinds {
+		for _, s := range shardCounts {
+			for _, cached := range []bool{false, true} {
+				populate, read, bounds, converge, closeFn, err := kc.build(s, cached)
+				if err != nil {
+					return nil, err
+				}
+				populate()
+				read() // warm the cache cell so the loop measures the steady state
+				start := time.Now()
+				for i := 0; i < reads; i++ {
+					sink += read()
+				}
+				elapsed := time.Since(start)
+				if cached {
+					time.Sleep(2 * stale) // cell expires; the next read refreshes inline
+					if err := converge(); err != nil {
+						closeFn()
+						return nil, fmt.Errorf("bench: E17 %s S=%d: %w", kc.kind, s, err)
+					}
+				}
+				closeFn()
+				label := "off"
+				if cached {
+					label = "on"
+				}
+				nsPerOp := float64(elapsed.Nanoseconds()) / float64(reads)
+				t.AddRow(kc.kind, s, label, fmt.Sprintf("%.1f", nsPerOp))
+				t.AddRecord(Record{
+					Params: map[string]string{
+						"kind":   kc.kind,
+						"shards": strconv.Itoa(s),
+						"cached": label,
+					},
+					NsPerOp:  nsPerOp,
+					Envelope: EnvelopeOf(bounds),
+				})
+			}
+		}
+	}
+	if sink == ^uint64(0) {
+		return nil, fmt.Errorf("bench: impossible sink value")
+	}
+
+	t2, err := e17RatioSweep(cfg, stale)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{t, t2}, nil
+}
+
+// e17RatioSweep is the E17b table: a Multiplicative(3) counter on S = 4
+// shards under mixed traffic from 4 goroutines, with the per-operation
+// read probability swept so the expected reader:writer operation ratio
+// runs from 1:64 to 64:1, cached vs uncached.
+func e17RatioSweep(cfg Config, stale time.Duration) (*Table, error) {
+	const gs = 4
+	const shards = 4
+	opsPer := 60_000
+	if cfg.Quick {
+		opsPer = 8_000
+	}
+	ratios := []struct{ r, w int }{
+		{1, 64}, {1, 16}, {1, 4}, {1, 1}, {4, 1}, {16, 1}, {64, 1},
+	}
+
+	t := &Table{
+		ID:    "E17b",
+		Title: fmt.Sprintf("read plane: counter ratio sweep, %d goroutines, S=%d", gs, shards),
+		Note: `Each row drives the same mixed workload (per-op read probability
+r/(r+w)) against a Multiplicative(3) counter with and without
+WithReadCache. The cache converts every read into an O(1) cell load at
+the price of the staleness term, so its advantage grows toward the
+read-dominated end of the sweep; the write-dominated end bounds the
+cost of carrying the combiner goroutine when reads are rare.`,
+		Header: []string{"reads:writes", "cached", "Mops/s", "ns/op"},
+	}
+
+	for _, ratio := range ratios {
+		p := float64(ratio.r) / float64(ratio.r+ratio.w)
+		for _, cached := range []bool{false, true} {
+			opts := []approxobj.Option{
+				approxobj.WithProcs(gs),
+				approxobj.WithAccuracy(approxobj.Multiplicative(3)),
+				approxobj.WithShards(shards),
+			}
+			if cached {
+				opts = append(opts, approxobj.WithReadCache(stale))
+			}
+			c, err := approxobj.NewCounter(opts...)
+			if err != nil {
+				return nil, err
+			}
+			var wg sync.WaitGroup
+			startLine := make(chan struct{})
+			wg.Add(gs)
+			for i := 0; i < gs; i++ {
+				h := c.Handle(i)
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*131 + 17))
+				go func() {
+					defer wg.Done()
+					<-startLine
+					for j := 0; j < opsPer; j++ {
+						if rng.Float64() < p {
+							h.Read()
+						} else {
+							h.Inc()
+						}
+					}
+				}()
+			}
+			start := time.Now()
+			close(startLine)
+			wg.Wait()
+			elapsed := time.Since(start)
+			c.Close()
+
+			label := "off"
+			if cached {
+				label = "on"
+			}
+			totalOps := float64(gs * opsPer)
+			nsPerOp := float64(elapsed.Nanoseconds()) / totalOps
+			name := fmt.Sprintf("%d:%d", ratio.r, ratio.w)
+			t.AddRow(name, label, totalOps/elapsed.Seconds()/1e6, fmt.Sprintf("%.1f", nsPerOp))
+			t.AddRecord(Record{
+				Params: map[string]string{
+					"ratio":  name,
+					"cached": label,
+				},
+				NsPerOp:  nsPerOp,
+				Envelope: EnvelopeOf(c.Bounds()),
+			})
+		}
+	}
+	return t, nil
+}

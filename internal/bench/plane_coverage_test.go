@@ -31,5 +31,17 @@ func TestEveryKindHasBenchScenario(t *testing.T) {
 		if !declared[kp.BenchScenario] {
 			t.Errorf("kind %q declares bench scenario %q, which no experiment in bench.All emits", kp.Kind, kp.BenchScenario)
 		}
+		// A kind with a read-cache policy (documented staleness term)
+		// must also declare an emitted read-dominated scenario, so the
+		// O(1) cached-read claim stays measured.
+		if kp.StaleTerm != "" {
+			if kp.ReadBenchScenario == "" {
+				t.Errorf("kind %q documents a read-cache staleness term but declares no read-dominated bench scenario", kp.Kind)
+				continue
+			}
+			if !declared[kp.ReadBenchScenario] {
+				t.Errorf("kind %q declares read bench scenario %q, which no experiment in bench.All emits", kp.Kind, kp.ReadBenchScenario)
+			}
+		}
 	}
 }

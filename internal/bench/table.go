@@ -37,11 +37,15 @@ type RecordEnvelope struct {
 	Mult   uint64 `json:"mult"`
 	Add    uint64 `json:"add"`
 	Buffer uint64 `json:"buffer"`
+	// Stale is the read-cache staleness window in nanoseconds (0 when
+	// the cell runs uncached); like the other terms it is configured,
+	// not measured, so -compare treats any widening as a regression.
+	Stale uint64 `json:"stale_ns,omitempty"`
 }
 
 // EnvelopeOf converts an object's Bounds into record form.
 func EnvelopeOf(b approxobj.Bounds) *RecordEnvelope {
-	return &RecordEnvelope{Mult: b.Mult, Add: b.Add, Buffer: b.Buffer}
+	return &RecordEnvelope{Mult: b.Mult, Add: b.Add, Buffer: b.Buffer, Stale: uint64(b.Stale)}
 }
 
 // Table is a rendered experiment result.
@@ -176,6 +180,7 @@ func All() []Experiment {
 		{ID: "e14", Desc: "sharded max-register scaling: shards x elision-window sweep via the spec API", Scenarios: []string{"E14"}, Run: E14ShardedMaxReg},
 		{ID: "e15", Desc: "sharded snapshot scaling: shards x elision-window sweep via the spec API", Scenarios: []string{"E15"}, Run: E15ShardedSnapshot},
 		{ID: "e16", Desc: "sharded histogram scaling: shards x batch sweep with quantile queries via the spec API", Scenarios: []string{"E16"}, Run: E16ShardedHistogram},
+		{ID: "e17", Desc: "read plane: cached vs uncached read cost across shard counts, plus a reader:writer ratio sweep", Scenarios: []string{"E17", "E17b"}, Run: E17ReadPlane},
 		{ID: "f1", Desc: "Figure 1 read-case trace reproduction", Run: F1ReadCases},
 	}
 }

@@ -4,6 +4,11 @@
 // k-multiplicative-accurate m-bounded max register with worst-case step
 // complexity O(min(log2 log_k m, n)) (Theorem IV.2), plus the unbounded
 // max-register plug-in the paper sketches in Section I-B.
+//
+// Since PR 6 the public package reaches these algorithms only through the
+// sharded backend plane (internal/shard); the unsharded types here double
+// as reference implementations for the conformance oracles and the
+// benchmark baselines.
 package core
 
 import (

@@ -9,6 +9,12 @@
 //   - AACH: the counter of Aspnes, Attiya and Censor-Hillel [8] — a
 //     balanced tree with max registers at internal nodes — whose increments
 //     cost O(log n * log v) and reads O(log v) steps.
+//
+// Since PR 6 the public package no longer routes to these types directly:
+// they serve as reference implementations — conformance oracles the
+// envelope checkers compare sharded reads against, and step-complexity
+// baselines for the benchmark harness — plus the substrate the sharded
+// backend plane (internal/shard) wraps.
 package counter
 
 import (

@@ -268,3 +268,59 @@ func TestExactIndexClampsQueries(t *testing.T) {
 		}
 	}
 }
+
+// TestRankCDFAtBucketBoundaries pins the inclusion semantics of Rank and
+// CDF exactly at the bucket boundaries, where off-by-one bugs hide: a
+// probe at Lo(j) or Hi(j) counts bucket j in full (Rank answers "at most
+// the top of v's bucket"), and stepping one past Hi(j) picks up the next
+// bucket. Quantile(1.0) must land on the highest nonempty bucket's floor
+// for every layout.
+func TestRankCDFAtBucketBoundaries(t *testing.T) {
+	for _, tc := range []struct {
+		k     uint64
+		bound uint64
+	}{
+		{1, 64},
+		{2, 1 << 10},
+		{4, 1 << 10},
+		{10, 100_000},
+	} {
+		b, err := NewBuckets(tc.k, tc.bound)
+		if err != nil {
+			t.Fatalf("k=%d: %v", tc.k, err)
+		}
+		counts := make([]uint64, b.N())
+		for j := range counts {
+			counts[j] = uint64(j%3) + 1 // nonuniform, every bucket nonempty
+		}
+		total := Count(counts)
+		cum := uint64(0)
+		for j := 0; j < b.N(); j++ {
+			cum += counts[j]
+			for _, v := range []uint64{b.Lo(j), b.Hi(j)} {
+				if got := Rank(b, counts, v); got != cum {
+					t.Errorf("k=%d: Rank(%d) at boundary of bucket %d = %d, want %d", tc.k, v, j, got, cum)
+				}
+				if got, want := CDF(b, counts, v), float64(cum)/float64(total); got != want {
+					t.Errorf("k=%d: CDF(%d) at boundary of bucket %d = %v, want %v", tc.k, v, j, got, want)
+				}
+			}
+			if j+1 < b.N() {
+				if got := Rank(b, counts, b.Hi(j)+1); got != cum+counts[j+1] {
+					t.Errorf("k=%d: Rank(%d) one past bucket %d = %d, want %d", tc.k, b.Hi(j)+1, j, got, cum+counts[j+1])
+				}
+			}
+		}
+		if got, want := Quantile(b, counts, 1.0), b.Lo(b.N()-1); got != want {
+			t.Errorf("k=%d: Quantile(1.0) = %d, want top nonempty bucket floor %d", tc.k, got, want)
+		}
+		// Quantile(1.0) with the top buckets empty must find the highest
+		// NONEMPTY bucket, not the last slot of the vector.
+		sparse := make([]uint64, b.N())
+		mid := b.N() / 2
+		sparse[mid] = 9
+		if got, want := Quantile(b, sparse, 1.0), b.Lo(mid); got != want {
+			t.Errorf("k=%d: sparse Quantile(1.0) = %d, want %d", tc.k, got, want)
+		}
+	}
+}

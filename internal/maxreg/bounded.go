@@ -4,6 +4,11 @@
 // J. ACM 2012; reference [8] of the paper) and an unbounded extension
 // parameterized by any bounded max-register implementation, realizing the
 // "plug-in" construction the paper attributes to Baig et al. [9].
+//
+// Since PR 6 the public package reaches these registers only through the
+// sharded backend plane (internal/shard); the unsharded types here double
+// as reference implementations for the conformance oracles and the
+// benchmark baselines.
 package maxreg
 
 import (

@@ -1,6 +1,10 @@
 package object
 
-import "approxobj/internal/satmath"
+import (
+	"time"
+
+	"approxobj/internal/satmath"
+)
 
 // Bounds is the universal accuracy envelope reported by every object in
 // this repository: against a true value v, a read may return any x with
@@ -16,18 +20,32 @@ import "approxobj/internal/satmath"
 // handle — the maximum lives in one handle). Unbatched objects have
 // Buffer 0; exact objects report the zero envelope
 // {Mult: 1, Add: 0, Buffer: 0}.
+//
+// Stale is the read-cache staleness window (0 when the read cache is
+// off): with a cache, a read may serve a pre-combined value whose
+// underlying combined read STARTED up to Stale ago, so the envelope
+// above holds against some true value v in the widened regularity
+// window that opens Stale before the read began (rather than at the
+// read's own start). Stale is a time-domain term — unlike Mult, Add,
+// and Buffer it does not enter the arithmetic of Contains/ContainsRange;
+// checkers widen the window (their choice of vmin) instead.
 type Bounds struct {
 	Mult   uint64
 	Add    uint64
 	Buffer uint64
+	Stale  time.Duration
 }
 
 // ExactBounds is the zero envelope of precise objects: reads return the
 // true value.
 func ExactBounds() Bounds { return Bounds{Mult: 1} }
 
-// IsExact reports whether the envelope pins reads to the true value.
-func (b Bounds) IsExact() bool { return b.Mult <= 1 && b.Add == 0 && b.Buffer == 0 }
+// IsExact reports whether the envelope pins reads to the true value. A
+// nonzero Stale term disqualifies: a cached read can be exact only
+// against a past value.
+func (b Bounds) IsExact() bool {
+	return b.Mult <= 1 && b.Add == 0 && b.Buffer == 0 && b.Stale == 0
+}
 
 // Contains reports whether response x is inside the envelope for true
 // count v. Bounds are evaluated multiplied-out ((x+Add)*Mult >= v-Buffer

@@ -1,6 +1,8 @@
 package shard
 
 import (
+	"time"
+
 	"approxobj/internal/histogram"
 	"approxobj/internal/object"
 	"approxobj/internal/prim"
@@ -33,9 +35,10 @@ func BucketHistBackend(buckets int) HistBackend {
 type HistOption func(*histConfig)
 
 type histConfig struct {
-	shards  int
-	batch   int
-	backend func(buckets int) HistBackend
+	shards    int
+	batch     int
+	backend   func(buckets int) HistBackend
+	readStale time.Duration
 }
 
 // HistShards sets the shard count S (default 1). Observations spread
@@ -57,6 +60,16 @@ func HistBatch(b int) HistOption { return func(c *histConfig) { c.batch = b } }
 // BucketHistBackend).
 func WithHistBackend(mk func(buckets int) HistBackend) HistOption {
 	return func(c *histConfig) { c.backend = mk }
+}
+
+// HistReadCache enables the read-combiner tier (default off): bucket
+// reads serve a pre-combined bucket vector at most d old in O(buckets)
+// — independent of S — instead of summing S shard vectors, at the cost
+// of the Stale term in Bounds. The histogram's LAST slot is reserved
+// for the background combiner goroutine (so n must be >= 2); stop it
+// with Close.
+func HistReadCache(d time.Duration) HistOption {
+	return func(c *histConfig) { c.readStale = d }
 }
 
 // histogramPolicy is the histogram's row of the plane: reads sum the
@@ -100,9 +113,9 @@ func NewHistogram(n int, k uint64, buckets int, opts ...HistOption) (*Histogram,
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	p, err := newPlane(n, k, cfg.shards, cfg.batch, cfg.backend(buckets), histogramPolicy,
+	p, err := newPlane(n, k, cfg.shards, cfg.batch, cfg.readStale, cfg.backend(buckets), histogramPolicy,
 		func(o object.Hist, pr *prim.Proc) object.HistHandle { return o.HistHandle(pr) },
-		sumBuckets,
+		sumBuckets, cloneU64s,
 	)
 	if err != nil {
 		return nil, err
@@ -128,6 +141,13 @@ func (hg *Histogram) Buckets() int { return hg.buckets }
 
 // Backend returns the configured backend.
 func (hg *Histogram) Backend() HistBackend { return hg.p.be }
+
+// ReadCache returns the read-cache staleness window (0 when off).
+func (hg *Histogram) ReadCache() time.Duration { return hg.p.ReadCache() }
+
+// Close stops the read cache's background combiner goroutine, if any.
+// Idempotent; handles stay usable (cached reads refresh inline).
+func (hg *Histogram) Close() { hg.p.Close() }
 
 // Bounds returns the combined read envelope: Mult is the declared
 // value-domain rounding factor k (sharding adds nothing — per-shard

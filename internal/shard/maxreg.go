@@ -2,6 +2,7 @@ package shard
 
 import (
 	"fmt"
+	"time"
 
 	"approxobj/internal/core"
 	"approxobj/internal/maxreg"
@@ -68,9 +69,10 @@ func MultBoundedMaxBackend(m uint64) MaxRegBackend {
 type MaxRegOption func(*maxRegConfig)
 
 type maxRegConfig struct {
-	shards  int
-	batch   int
-	backend MaxRegBackend
+	shards    int
+	batch     int
+	backend   MaxRegBackend
+	readStale time.Duration
 }
 
 // MaxRegShards sets the shard count S (default 1). Writes spread across
@@ -93,6 +95,15 @@ func MaxRegBatch(b int) MaxRegOption { return func(c *maxRegConfig) { c.batch = 
 // (default ExactMaxBackend).
 func WithMaxRegBackend(b MaxRegBackend) MaxRegOption {
 	return func(c *maxRegConfig) { c.backend = b }
+}
+
+// MaxRegReadCache enables the read-combiner tier (default off): reads
+// serve a pre-combined cell at most d old in O(1) instead of taking the
+// max over S shard reads, at the cost of the Stale term in Bounds. The
+// register's LAST slot is reserved for the background combiner
+// goroutine (so n must be >= 2); stop it with Close.
+func MaxRegReadCache(d time.Duration) MaxRegOption {
+	return func(c *maxRegConfig) { c.readStale = d }
 }
 
 // maxRegPolicy is the max register's row of the plane: reads take the
@@ -128,9 +139,9 @@ func NewMaxReg(n int, k uint64, opts ...MaxRegOption) (*MaxReg, error) {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	p, err := newPlane(n, k, cfg.shards, cfg.batch, cfg.backend, maxRegPolicy,
+	p, err := newPlane(n, k, cfg.shards, cfg.batch, cfg.readStale, cfg.backend, maxRegPolicy,
 		func(o object.MaxReg, pr *prim.Proc) object.MaxRegHandle { return o.MaxRegHandle(pr) },
-		maxOf,
+		maxOf, nil,
 	)
 	if err != nil {
 		return nil, err
@@ -153,6 +164,13 @@ func (m *MaxReg) Batch() uint64 { return m.p.Batch() }
 
 // Backend returns the configured backend.
 func (m *MaxReg) Backend() MaxRegBackend { return m.p.be }
+
+// ReadCache returns the read-cache staleness window (0 when off).
+func (m *MaxReg) ReadCache() time.Duration { return m.p.ReadCache() }
+
+// Close stops the read cache's background combiner goroutine, if any.
+// Idempotent; handles stay usable (cached reads refresh inline).
+func (m *MaxReg) Close() { m.p.Close() }
 
 // Bounds returns the combined read envelope for this configuration:
 // Mult is the backend's per-shard factor (sharding adds nothing — the max

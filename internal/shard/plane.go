@@ -2,6 +2,7 @@ package shard
 
 import (
 	"fmt"
+	"time"
 
 	"approxobj/internal/prim"
 	"approxobj/internal/satmath"
@@ -320,13 +321,21 @@ type plane[O any, H Reader[V], V any] struct {
 	pol      policy
 	handleOf func(o O, p *prim.Proc) H
 	combine  Combine[V]
+	// cache is the read-combiner tier (see readcache.go), nil when the
+	// plane serves every read as a full combine. When non-nil, the last
+	// process slot is reserved for the background combiner goroutine.
+	cache *readCache[V]
 }
 
 // newPlane validates the shared configuration (batch range, batch vs.
-// backend bound) and builds S shards of n slots each.
+// backend bound, read-cache slot reservation) and builds S shards of n
+// slots each. readStale > 0 enables the read-combiner tier with that
+// staleness window and clone as the cell copy (nil for scalar kinds);
+// the LAST of the n slots is then reserved for the background combiner
+// goroutine and must not be handed out.
 func newPlane[O any, H Reader[V], V any](
-	n int, k uint64, shards, batch int, be backend[O], pol policy,
-	handleOf func(o O, p *prim.Proc) H, combine Combine[V],
+	n int, k uint64, shards, batch int, readStale time.Duration, be backend[O], pol policy,
+	handleOf func(o O, p *prim.Proc) H, combine Combine[V], clone func(V) V,
 ) (*plane[O, H, V], error) {
 	if batch < 1 {
 		return nil, errBatch(batch)
@@ -336,16 +345,49 @@ func newPlane[O any, H Reader[V], V any](
 	if be.bound > 0 && uint64(batch) >= be.bound {
 		return nil, fmt.Errorf("shard: batch %d exceeds the %d-bounded backend's value range", batch, be.bound)
 	}
+	if readStale < 0 {
+		return nil, fmt.Errorf("shard: read-cache staleness must be >= 0, got %v", readStale)
+	}
+	if readStale > 0 && n < 2 {
+		return nil, fmt.Errorf("shard: read cache needs a dedicated combiner slot (n >= 2), got n = %d", n)
+	}
 	rt, err := newRuntime(be.name, n, shards, func(f *prim.Factory) (O, error) {
 		return be.make(f, k)
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &plane[O, H, V]{
+	p := &plane[O, H, V]{
 		rt: rt, k: k, batch: uint64(batch), be: be, pol: pol,
 		handleOf: handleOf, combine: combine,
-	}, nil
+	}
+	if readStale > 0 {
+		p.cache = newReadCache(readStale, clone)
+		// The combiner owns the reserved last slot outright: handles for
+		// it are refused (newCore), so its per-shard readers race with
+		// nothing.
+		core := p.coreAt(n - 1)
+		go p.cache.run(core.combined)
+	}
+	return p, nil
+}
+
+// ReadCache returns the read-cache staleness window (0 when the
+// read-combiner tier is off).
+func (p *plane[O, H, V]) ReadCache() time.Duration {
+	if p.cache == nil {
+		return 0
+	}
+	return p.cache.maxStale
+}
+
+// Close stops the plane's background combiner goroutine, if any, and
+// waits for it to exit. Idempotent; reads stay valid afterwards (cached
+// reads fall back to inline refreshes).
+func (p *plane[O, H, V]) Close() {
+	if p.cache != nil {
+		p.cache.close()
+	}
 }
 
 // N returns the number of process slots.
@@ -362,8 +404,11 @@ func (p *plane[O, H, V]) Batch() uint64 { return p.batch }
 
 // Bounds composes the combined read envelope from the backend's
 // per-shard envelope and the kind's policy row: Add widens by S iff the
-// combine sums shards, and the B-1 buffering headroom multiplies by n
-// iff every handle's buffer can be stale at once.
+// combine sums shards, and the B-1 buffering headroom multiplies by the
+// number of mutating slots iff every handle's buffer can be stale at
+// once (the reserved combiner slot never mutates, so it is excluded).
+// With the read-combiner tier on, Stale carries the staleness window as
+// a further, time-domain widening of the regularity window.
 func (p *plane[O, H, V]) Bounds() Bounds {
 	b := Bounds{Mult: p.be.multOf(p.k), Add: p.be.addOf(p.k)}
 	if p.pol.addScalesWithShards {
@@ -371,17 +416,40 @@ func (p *plane[O, H, V]) Bounds() Bounds {
 	}
 	head := p.batch - 1
 	if p.pol.bufferScalesWithProcs {
-		head = satmath.Mul(head, uint64(p.rt.n))
+		head = satmath.Mul(head, uint64(p.writers()))
 	}
 	b.Buffer = head
+	if p.cache != nil {
+		b.Stale = p.cache.maxStale
+	}
 	return b
 }
 
+// writers is the number of slots that can hold buffered mutations: all
+// of them, minus the reserved combiner slot when the read cache is on.
+func (p *plane[O, H, V]) writers() int {
+	if p.cache != nil {
+		return p.rt.n - 1
+	}
+	return p.rt.n
+}
+
 // newCore binds process slot i to every shard and returns the shared
-// handle core: per-shard readers, the home shard's handle, the combine
-// loop, and the policy's buffer (whose flush function the kind-specific
-// handle wires to its home-shard mutation).
+// handle core. With the read cache on, the last slot belongs to the
+// background combiner and is refused here (slot handles are strictly
+// single-goroutine; handing it out would race with the combiner).
 func (p *plane[O, H, V]) newCore(i int) handleCore[H, V] {
+	if p.cache != nil && i == p.rt.n-1 {
+		panic(fmt.Sprintf("shard: slot %d is reserved for the read-cache combiner", i))
+	}
+	return p.coreAt(i)
+}
+
+// coreAt binds process slot i to every shard and returns the shared
+// handle core: per-shard readers, the home shard's handle, the combine
+// loop, the policy's buffer (whose flush function the kind-specific
+// handle wires to its home-shard mutation), and the plane's read cache.
+func (p *plane[O, H, V]) coreAt(i int) handleCore[H, V] {
 	procs := p.rt.slotProcs(i)
 	readers := make([]H, len(p.rt.shards))
 	for s := range p.rt.shards {
@@ -393,6 +461,7 @@ func (p *plane[O, H, V]) newCore(i int) handleCore[H, V] {
 		procs:   procs,
 		combine: p.combine,
 		buf:     buffer{policy: p.pol.buffer, batch: p.batch},
+		cache:   p.cache,
 	}
 }
 
@@ -407,12 +476,27 @@ type handleCore[H Reader[V], V any] struct {
 	procs   []*prim.Proc
 	combine Combine[V]
 	buf     buffer
+	cache   *readCache[V] // the plane's read-combiner tier, nil when off
 }
 
-// Read combines one read of every shard with the kind's Combine. The
-// result is inside the envelope the object's Bounds describes, relative
-// to the regularity window of the package comment.
+// Read returns the object's combined value. Without the read cache it
+// combines one read of every shard with the kind's Combine — O(S) — and
+// the result is inside the envelope the object's Bounds describes,
+// relative to the regularity window of the package comment. With the
+// read cache it serves the plane's pre-combined cell in O(1) when fresh
+// (falling back to an inline re-combine through this handle's own
+// readers when not); the same envelope then holds against the
+// regularity window widened backward by the Stale term of Bounds.
 func (c *handleCore[H, V]) Read() V {
+	if c.cache == nil {
+		return c.combined()
+	}
+	return c.cache.read(c.combined)
+}
+
+// combined is the raw combine loop: one read of every shard, folded by
+// the kind's Combine.
+func (c *handleCore[H, V]) combined() V {
 	acc := c.readers[0].Read()
 	for _, r := range c.readers[1:] {
 		acc = c.combine(acc, r.Read())

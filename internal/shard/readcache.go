@@ -1,0 +1,144 @@
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the read-combiner tier of the backend plane: one
+// pre-combined cell per plane instance, so a cached Read returns the
+// cell's value in O(1) — independent of the shard count S and, for
+// vector kinds, of how the combine folds — instead of paying one
+// underlying read per shard. The price is freshness: the cell may be up
+// to maxStale old, which plane.Bounds reports as the envelope's Stale
+// term (the same accuracy-for-speed trade batching makes in the rank
+// domain, moved to the time domain).
+//
+// The cell is refreshed two ways, whichever happens first:
+//
+//   - a background combiner goroutine, bound to the plane's reserved
+//     combiner slot (the last slot), re-combines every maxStale/2, so
+//     steady-state readers virtually always hit a fresh cell; and
+//   - a read-triggered inline refresh: a reader finding the cell stale
+//     (or never filled — a brand-new object) re-combines through its own
+//     per-shard readers under the refresh lock and publishes the result.
+//     This keeps the staleness bound unconditional — it holds even if
+//     the combiner goroutine is descheduled — and makes the very first
+//     read of an empty object return the empty value, never a sentinel.
+//
+// The cell is stamped with the time the refreshing combined read
+// STARTED, so "fresh" means "the underlying combined read began at most
+// maxStale ago": the value obeys the object's envelope against the
+// regularity window of that underlying read, which opened at most
+// maxStale before the cached read began.
+
+// readCell is one published pre-combined value: the folded combined
+// read and the time that read started.
+type readCell[V any] struct {
+	v  V
+	at time.Time
+}
+
+// readCache is a plane's read-combiner state. Readers load the cell
+// lock-free; refreshes (inline or background) serialize on mu so at
+// most one combined read is in flight per plane.
+type readCache[V any] struct {
+	maxStale time.Duration
+	// clone copies a cell value out (and in), so callers never share
+	// mutable state with the cell; nil for scalar kinds, where
+	// assignment is the copy.
+	clone func(V) V
+
+	mu   sync.Mutex // serializes refreshes
+	cell atomic.Pointer[readCell[V]]
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+func newReadCache[V any](maxStale time.Duration, clone func(V) V) *readCache[V] {
+	return &readCache[V]{
+		maxStale: maxStale,
+		clone:    clone,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+func (rc *readCache[V]) cloneOf(v V) V {
+	if rc.clone == nil {
+		return v
+	}
+	return rc.clone(v)
+}
+
+// read serves a combined read through the cache: the cell if it is
+// fresh, otherwise an inline refresh through combined (the caller's own
+// per-shard combined read).
+func (rc *readCache[V]) read(combined func() V) V {
+	if cell := rc.cell.Load(); cell != nil && time.Since(cell.at) <= rc.maxStale {
+		return rc.cloneOf(cell.v)
+	}
+	rc.mu.Lock()
+	// Another reader (or the combiner) may have refreshed while we
+	// waited for the lock.
+	if cell := rc.cell.Load(); cell != nil && time.Since(cell.at) <= rc.maxStale {
+		rc.mu.Unlock()
+		return rc.cloneOf(cell.v)
+	}
+	v := rc.refreshLocked(combined)
+	rc.mu.Unlock()
+	return rc.cloneOf(v)
+}
+
+// refreshLocked re-combines and publishes the cell. Callers hold rc.mu.
+// The stamp is taken before the combined read starts, so a cell that
+// passes the freshness check is backed by a combined read that started
+// within the staleness window.
+func (rc *readCache[V]) refreshLocked(combined func() V) V {
+	at := time.Now()
+	v := combined()
+	rc.cell.Store(&readCell[V]{v: v, at: at})
+	return v
+}
+
+// run is the background combiner loop, driving refreshes through the
+// reserved combiner slot's combined read at half the staleness window
+// (so a reader racing the ticker still finds a fresh cell).
+func (rc *readCache[V]) run(combined func() V) {
+	defer close(rc.done)
+	period := rc.maxStale / 2
+	if period <= 0 {
+		period = rc.maxStale
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-rc.stop:
+			return
+		case <-t.C:
+			rc.mu.Lock()
+			rc.refreshLocked(combined)
+			rc.mu.Unlock()
+		}
+	}
+}
+
+// close stops the background combiner and waits for it to exit. It is
+// idempotent. Reads remain valid after close: they fall back to inline
+// refreshes.
+func (rc *readCache[V]) close() {
+	rc.once.Do(func() {
+		close(rc.stop)
+		<-rc.done
+	})
+}
+
+// cloneU64s is the cell clone of the vector-valued kinds (snapshot
+// scans, histogram bucket vectors): cells and callers must never share
+// a slice, because combines mutate their accumulator and handle
+// contracts promise freshly owned slices.
+func cloneU64s(v []uint64) []uint64 { return append([]uint64(nil), v...) }

@@ -25,6 +25,13 @@
 // kinds. Adding object family N+1 means declaring its backends and its
 // policy row, not re-growing the plumbing.
 //
+// Every kind can additionally enable the read-combiner tier (the
+// per-kind ReadCache options; see readcache.go): the plane keeps one
+// pre-combined cell — refreshed by a background combiner goroutine on a
+// reserved slot and by read-triggered inline refreshes — so reads are
+// O(1) in S at the cost of a bounded staleness window, reported as the
+// Stale term of Bounds.
+//
 // # Construction
 //
 // A sharded object for n process slots is S underlying objects
@@ -112,6 +119,8 @@
 package shard
 
 import (
+	"time"
+
 	"approxobj/internal/core"
 	"approxobj/internal/counter"
 	"approxobj/internal/object"
@@ -166,9 +175,10 @@ func AdditiveBackend() Backend {
 type Option func(*config)
 
 type config struct {
-	shards  int
-	batch   int
-	backend Backend
+	shards    int
+	batch     int
+	backend   Backend
+	readStale time.Duration
 }
 
 // Shards sets the shard count S (default 1). Increments spread across
@@ -184,6 +194,13 @@ func Batch(b int) Option { return func(c *config) { c.batch = b } }
 // WithBackend selects the per-shard counter implementation (default
 // MultBackend).
 func WithBackend(b Backend) Option { return func(c *config) { c.backend = b } }
+
+// ReadCache enables the read-combiner tier (default off): reads serve a
+// pre-combined cell at most d old in O(1) instead of summing S shard
+// reads, at the cost of the Stale term in Bounds. The counter's LAST
+// slot is reserved for the background combiner goroutine (so n must be
+// >= 2); stop it with Close.
+func ReadCache(d time.Duration) Option { return func(c *config) { c.readStale = d } }
 
 // Bounds is the documented read envelope of a sharded object: against a
 // true value v, a Read may return any x with
@@ -221,9 +238,9 @@ func New(n int, k uint64, opts ...Option) (*Counter, error) {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	p, err := newPlane(n, k, cfg.shards, cfg.batch, cfg.backend, counterPolicy,
+	p, err := newPlane(n, k, cfg.shards, cfg.batch, cfg.readStale, cfg.backend, counterPolicy,
 		func(o object.Counter, pr *prim.Proc) object.CounterHandle { return o.CounterHandle(pr) },
-		satmath.Add,
+		satmath.Add, nil,
 	)
 	if err != nil {
 		return nil, err
@@ -245,6 +262,13 @@ func (c *Counter) Batch() uint64 { return c.p.Batch() }
 
 // Backend returns the configured backend.
 func (c *Counter) Backend() Backend { return c.p.be }
+
+// ReadCache returns the read-cache staleness window (0 when off).
+func (c *Counter) ReadCache() time.Duration { return c.p.ReadCache() }
+
+// Close stops the read cache's background combiner goroutine, if any.
+// Idempotent; handles stay usable (cached reads refresh inline).
+func (c *Counter) Close() { c.p.Close() }
 
 // Bounds returns the combined read envelope for this configuration (see
 // the package comment for the composition argument).

@@ -1,6 +1,8 @@
 package shard
 
 import (
+	"time"
+
 	"approxobj/internal/object"
 	"approxobj/internal/prim"
 	"approxobj/internal/snapshot"
@@ -29,9 +31,10 @@ func ExactSnapshotBackend() SnapshotBackend {
 type SnapshotOption func(*snapshotConfig)
 
 type snapshotConfig struct {
-	shards  int
-	batch   int
-	backend SnapshotBackend
+	shards    int
+	batch     int
+	backend   SnapshotBackend
+	readStale time.Duration
 }
 
 // SnapshotShards sets the shard count S (default 1). Component updates
@@ -53,6 +56,16 @@ func SnapshotBatch(b int) SnapshotOption { return func(c *snapshotConfig) { c.ba
 // (default ExactSnapshotBackend).
 func WithSnapshotBackend(b SnapshotBackend) SnapshotOption {
 	return func(c *snapshotConfig) { c.backend = b }
+}
+
+// SnapshotReadCache enables the read-combiner tier (default off): scans
+// serve a pre-combined component vector at most d old in O(components)
+// — independent of S — instead of merging S shard scans, at the cost of
+// the Stale term in Bounds. The snapshot's LAST slot is reserved for
+// the background combiner goroutine (so n must be >= 2; that slot's
+// component stays zero); stop it with Close.
+func SnapshotReadCache(d time.Duration) SnapshotOption {
+	return func(c *snapshotConfig) { c.readStale = d }
 }
 
 // snapshotPolicy is the snapshot's row of the plane: reads merge the
@@ -100,9 +113,9 @@ func NewSnapshot(n int, k uint64, opts ...SnapshotOption) (*Snapshot, error) {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	p, err := newPlane(n, k, cfg.shards, cfg.batch, cfg.backend, snapshotPolicy,
+	p, err := newPlane(n, k, cfg.shards, cfg.batch, cfg.readStale, cfg.backend, snapshotPolicy,
 		func(o object.Snapshot, pr *prim.Proc) snapHandle { return snapHandle{o.SnapshotHandle(pr)} },
-		mergeComponents,
+		mergeComponents, cloneU64s,
 	)
 	if err != nil {
 		return nil, err
@@ -125,6 +138,13 @@ func (s *Snapshot) Batch() uint64 { return s.p.Batch() }
 
 // Backend returns the configured backend.
 func (s *Snapshot) Backend() SnapshotBackend { return s.p.be }
+
+// ReadCache returns the read-cache staleness window (0 when off).
+func (s *Snapshot) ReadCache() time.Duration { return s.p.ReadCache() }
+
+// Close stops the read cache's background combiner goroutine, if any.
+// Idempotent; handles stay usable (cached scans refresh inline).
+func (s *Snapshot) Close() { s.p.Close() }
 
 // Bounds returns the per-component read envelope for this configuration:
 // Mult is the backend's per-shard factor (sharding adds nothing — the

@@ -25,6 +25,10 @@ type instance interface {
 	Bounds() Bounds
 	// StepsRetired returns the steps credited by released pooled handles.
 	StepsRetired() uint64
+	// Close stops the object's background resources — the read cache's
+	// combiner goroutine, when WithReadCache is set. Idempotent; a no-op
+	// for objects without any.
+	Close()
 	// snapshotValue reads the object's current value through the
 	// registry's reserved snapshot slot (only registry-owned objects
 	// have one).
@@ -56,6 +60,16 @@ type kindDescriptor struct {
 	policy   shard.PolicyRow
 	envelope string // how the per-shard envelope composes (prose)
 	scenario string // bench scenario covering this kind (CI-checked)
+
+	// staleTerm documents, per kind, what the WithReadCache staleness
+	// window adds to the envelope (the read-plane analogue of envelope;
+	// source for the README's read-plane table).
+	staleTerm string
+	// readScenario names the read-dominated bench scenario covering this
+	// kind's cached read path. Every kind accepts WithReadCache (the
+	// read-combiner tier is generic), so the startup gate and the bench
+	// coverage test require it to be declared and emitted, like scenario.
+	readScenario string
 
 	// accuracies maps each supported accuracy mode to an extra
 	// precondition check (nil = none beyond the generic ones). A mode
@@ -123,6 +137,13 @@ type KindPolicy struct {
 	// BenchScenario names the bench record scenario covering this kind
 	// (see internal/bench and cmd/approxbench).
 	BenchScenario string
+	// StaleTerm describes what the WithReadCache staleness window adds
+	// to the kind's envelope (the read-plane analogue of Envelope).
+	StaleTerm string
+	// ReadBenchScenario names the read-dominated bench scenario covering
+	// this kind's cached read path (CI-checked like BenchScenario: a kind
+	// on the read-combiner tier without one fails the startup gate).
+	ReadBenchScenario string
 }
 
 // Kinds returns the policy table of every registered object kind, in
@@ -131,11 +152,13 @@ func Kinds() []KindPolicy {
 	out := make([]KindPolicy, 0, len(kindTable))
 	for _, d := range kindTable {
 		out = append(out, KindPolicy{
-			Kind:          d.kind,
-			Combine:       d.policy.Combine,
-			Buffer:        d.policy.Buffer,
-			Envelope:      d.envelope,
-			BenchScenario: d.scenario,
+			Kind:              d.kind,
+			Combine:           d.policy.Combine,
+			Buffer:            d.policy.Buffer,
+			Envelope:          d.envelope,
+			BenchScenario:     d.scenario,
+			StaleTerm:         d.staleTerm,
+			ReadBenchScenario: d.readScenario,
 		})
 	}
 	return out

@@ -1,0 +1,555 @@
+package approxobj
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"approxobj/internal/planetest"
+)
+
+// This file is the conformance surface of the read-combiner tier
+// (WithReadCache): the staleness-widened envelope property for every
+// kind x shards x batch combination, convergence to the uncached value
+// at quiescence, the never-refreshed-cache-on-empty-object edge case,
+// and the combiner goroutine lifecycle (Close drains, reads survive).
+//
+// The Stale term is time-domain, so the checkers here widen the
+// regularity window themselves instead of feeding Stale into
+// ContainsRange: the lower end of the window (vmin) is sampled at least
+// maxStale BEFORE the read begins. Any cached value served then comes
+// from a combined read that started after the sample, so the ordinary
+// envelope must hold against [that sample, operations started before
+// the read returned].
+
+const testStale = 5 * time.Millisecond
+
+// staleWindowChecks runs fn repeatedly until done flips, each time
+// sampling vmin, waiting out the staleness window, and then letting fn
+// perform the read and the envelope check. Returns the check count.
+func staleWindowChecks(done *atomic.Bool, fn func() bool) int {
+	checks := 0
+	for {
+		last := done.Load()
+		if !fn() {
+			return checks + 1
+		}
+		checks++
+		if last {
+			return checks
+		}
+	}
+}
+
+// TestReadCacheEmptyObjects pins the never-refreshed-cache edge case:
+// an object built with WithReadCache whose background combiner has not
+// ticked yet (maxStale is an hour) must serve the EMPTY value on its
+// first read — the inline refresh folds the zero state, it does not
+// return garbage or block. This is the "Read() on a zero-observation
+// histogram" bug sweep case, applied to every kind.
+func TestReadCacheEmptyObjects(t *testing.T) {
+	const stale = time.Hour // combiner ticks at maxStale/2: never during the test
+
+	c, err := NewCounter(WithProcs(2), WithReadCache(stale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if b := c.Bounds(); b.Stale != stale {
+		t.Errorf("counter Bounds.Stale = %v, want %v", b.Stale, stale)
+	} else if b.IsExact() {
+		t.Error("cached counter Bounds.IsExact() = true, want false (Stale != 0)")
+	}
+	c.Do(func(h CounterHandle) {
+		if x := h.Read(); x != 0 {
+			t.Errorf("never-incremented cached counter Read() = %d, want 0", x)
+		}
+	})
+
+	r, err := NewMaxRegister(WithProcs(2), WithReadCache(stale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.Do(func(h MaxRegisterHandle) {
+		if x := h.Read(); x != 0 {
+			t.Errorf("never-written cached max register Read() = %d, want 0", x)
+		}
+	})
+
+	s, err := NewSnapshot(WithProcs(2), WithReadCache(stale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Do(func(h SnapshotHandle) {
+		for i, v := range h.Scan() {
+			if v != 0 {
+				t.Errorf("never-updated cached snapshot component %d = %d, want 0", i, v)
+			}
+		}
+	})
+
+	h, err := NewHistogram(WithProcs(2), WithAccuracy(Multiplicative(2)), WithBound(1<<20), WithReadCache(stale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	h.Do(func(hh HistogramHandle) {
+		if got := hh.Count(); got != 0 {
+			t.Errorf("zero-observation cached histogram Count() = %d, want 0", got)
+		}
+		if got := hh.Sum(); got != 0 {
+			t.Errorf("zero-observation cached histogram Sum() = %d, want 0", got)
+		}
+		if got := hh.Quantile(1.0); got != 0 {
+			t.Errorf("zero-observation cached histogram Quantile(1.0) = %d, want 0", got)
+		}
+		if got := hh.Rank(12345); got != 0 {
+			t.Errorf("zero-observation cached histogram Rank = %d, want 0", got)
+		}
+		if got := hh.CDF(12345); got != 0 {
+			t.Errorf("zero-observation cached histogram CDF = %v, want 0", got)
+		}
+	})
+}
+
+// TestCachedCounterConformance is TestCounterConformance with
+// WithReadCache on every spec combination: cached reads must satisfy
+// the ordinary envelope against the staleness-widened regularity
+// window, and at quiescence — once the cell has expired and the writers'
+// buffers are flushed — the cached read converges to the uncached
+// value (envelope with Buffer dropped; exactly, for the exact counter).
+func TestCachedCounterConformance(t *testing.T) {
+	const procs = 6
+	const incers = procs - 1
+	perG := 1_500
+	if testing.Short() {
+		perG = 300
+	}
+	for _, spec := range counterSpecs(procs) {
+		t.Run(spec.name, func(t *testing.T) {
+			c, err := NewCounter(append(spec.opts, WithReadCache(testStale))...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			bounds := c.Bounds()
+			if bounds.Stale != testStale {
+				t.Fatalf("Bounds.Stale = %v, want %v", bounds.Stale, testStale)
+			}
+
+			var started, completed atomic.Uint64
+			var done atomic.Bool
+			var wg sync.WaitGroup
+			wg.Add(incers)
+			for g := 0; g < incers; g++ {
+				go func() {
+					defer wg.Done()
+					h, release := c.Acquire()
+					defer release()
+					for j := 0; j < perG; j++ {
+						started.Add(1)
+						h.Inc()
+						completed.Add(1)
+					}
+				}()
+			}
+
+			var checks int
+			var readerWG sync.WaitGroup
+			readerWG.Add(1)
+			go func() {
+				defer readerWG.Done()
+				c.Do(func(h CounterHandle) {
+					checks = staleWindowChecks(&done, func() bool {
+						vmin := completed.Load()
+						time.Sleep(testStale) // any cell served below is newer than vmin
+						x := h.Read()
+						vmax := started.Load()
+						if !bounds.ContainsRange(vmin, vmax, x) {
+							t.Errorf("cached read %d outside envelope %+v for any count in [%d, %d]", x, bounds, vmin, vmax)
+							return false
+						}
+						return true
+					})
+				})
+			}()
+
+			wg.Wait()
+			done.Store(true)
+			readerWG.Wait()
+			if checks == 0 {
+				t.Fatal("reader performed no checks")
+			}
+
+			// Quiescence: handles released (buffers flushed), cell expired —
+			// the next cached read refreshes inline over the flushed state.
+			time.Sleep(2 * testStale)
+			flushed := bounds
+			flushed.Buffer = 0
+			total := uint64(incers * perG)
+			c.Do(func(h CounterHandle) {
+				x := h.Read()
+				if !flushed.Contains(total, x) {
+					t.Errorf("quiescent cached read %d outside flushed envelope %+v of true count %d", x, flushed, total)
+				}
+				if flushed.Mult <= 1 && flushed.Add == 0 && x != total {
+					t.Errorf("quiescent cached exact read %d did not converge to %d", x, total)
+				}
+			})
+		})
+	}
+}
+
+// TestCachedMaxRegisterConformance is the same property for the
+// max-register family under WithReadCache.
+func TestCachedMaxRegisterConformance(t *testing.T) {
+	const procs = 5
+	const writers = procs - 1
+	perG := 1_500
+	if testing.Short() {
+		perG = 300
+	}
+	const bound = uint64(1) << 20
+	for _, spec := range maxRegSpecs(procs, bound) {
+		t.Run(spec.name, func(t *testing.T) {
+			r, err := NewMaxRegister(append(spec.opts, WithReadCache(testStale))...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			bounds := r.Bounds()
+
+			atomicMax := func(a *atomic.Uint64, v uint64) {
+				for {
+					cur := a.Load()
+					if v <= cur || a.CompareAndSwap(cur, v) {
+						return
+					}
+				}
+			}
+			var startedMax, completedMax atomic.Uint64
+			var done atomic.Bool
+			var wg sync.WaitGroup
+			wg.Add(writers)
+			for g := 0; g < writers; g++ {
+				id := g
+				go func() {
+					defer wg.Done()
+					h, release := r.Acquire()
+					defer release()
+					for j := 1; j <= perG; j++ {
+						v := uint64(j*writers + id)
+						atomicMax(&startedMax, v)
+						h.Write(v)
+						atomicMax(&completedMax, v)
+					}
+				}()
+			}
+
+			var checks int
+			var readerWG sync.WaitGroup
+			readerWG.Add(1)
+			go func() {
+				defer readerWG.Done()
+				r.Do(func(h MaxRegisterHandle) {
+					checks = staleWindowChecks(&done, func() bool {
+						vmin := completedMax.Load()
+						time.Sleep(testStale)
+						x := h.Read()
+						vmax := startedMax.Load()
+						if !bounds.ContainsRange(vmin, vmax, x) {
+							t.Errorf("cached read %d outside envelope %+v for any max in [%d, %d]", x, bounds, vmin, vmax)
+							return false
+						}
+						return true
+					})
+				})
+			}()
+
+			wg.Wait()
+			done.Store(true)
+			readerWG.Wait()
+			if checks == 0 {
+				t.Fatal("reader performed no checks")
+			}
+
+			time.Sleep(2 * testStale)
+			flushed := bounds
+			flushed.Buffer = 0
+			trueMax := uint64(perG*writers + writers - 1)
+			r.Do(func(h MaxRegisterHandle) {
+				if x := h.Read(); !flushed.Contains(trueMax, x) {
+					t.Errorf("quiescent cached read %d outside flushed envelope %+v of true max %d", x, flushed, trueMax)
+				}
+			})
+		})
+	}
+}
+
+// TestCachedSnapshotConformance is the same property for the snapshot
+// family under WithReadCache, per component and monotone workload.
+func TestCachedSnapshotConformance(t *testing.T) {
+	const procs = 5
+	const writers = procs - 1
+	perG := 1_500
+	if testing.Short() {
+		perG = 300
+	}
+	for _, spec := range snapshotSpecs(procs) {
+		t.Run(spec.name, func(t *testing.T) {
+			s, err := NewSnapshot(append(spec.opts, WithReadCache(testStale))...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			bounds := s.Bounds()
+
+			started := make([]atomic.Uint64, procs)
+			completed := make([]atomic.Uint64, procs)
+			var done atomic.Bool
+			var wg sync.WaitGroup
+			wg.Add(writers)
+			for g := 0; g < writers; g++ {
+				go func() {
+					defer wg.Done()
+					h, release := s.Acquire()
+					defer release()
+					c := h.Component()
+					for j := 1; j <= perG; j++ {
+						started[c].Store(uint64(j))
+						h.Update(planetest.SeqValue(uint64(j), false))
+						completed[c].Store(uint64(j))
+					}
+				}()
+			}
+
+			var checks int
+			var readerWG sync.WaitGroup
+			readerWG.Add(1)
+			go func() {
+				defer readerWG.Done()
+				s.Do(func(h SnapshotHandle) {
+					reader := h.Component()
+					checks = staleWindowChecks(&done, func() bool {
+						a := make([]uint64, procs)
+						for c := range a {
+							a[c] = completed[c].Load()
+						}
+						time.Sleep(testStale)
+						view := h.Scan()
+						ok := true
+						for c := 0; c < procs; c++ {
+							if c == reader {
+								continue
+							}
+							b := started[c].Load()
+							vmin, vmax := planetest.Window(a[c], b, false)
+							if !bounds.ContainsRange(vmin, vmax, view[c]) {
+								t.Errorf("cached component %d read %d outside envelope %+v for any value in [%d, %d]", c, view[c], bounds, vmin, vmax)
+								ok = false
+							}
+						}
+						return ok
+					})
+				})
+			}()
+
+			wg.Wait()
+			done.Store(true)
+			readerWG.Wait()
+			if checks == 0 {
+				t.Fatal("reader performed no checks")
+			}
+
+			time.Sleep(2 * testStale)
+			final := planetest.SeqValue(uint64(perG), false)
+			s.Do(func(h SnapshotHandle) {
+				wrote := 0
+				for c, v := range h.Scan() {
+					if v == 0 {
+						continue
+					}
+					wrote++
+					if v != final {
+						t.Errorf("quiescent cached component %d = %d, want exactly %d", c, v, final)
+					}
+				}
+				if wrote != writers {
+					t.Errorf("quiescent cached scan shows %d written components, want %d", wrote, writers)
+				}
+			})
+		})
+	}
+}
+
+// TestCachedHistogramConformance is the same property for the histogram
+// family under WithReadCache: every query folds the cached bucket cell,
+// so Count is the conformance scalar (rank domain, staleness-widened
+// window) and the quiescent checks assert exact convergence of the
+// whole query engine to the flushed state.
+func TestCachedHistogramConformance(t *testing.T) {
+	const procs = 5
+	const observers = procs - 1
+	perG := 1_500
+	if testing.Short() {
+		perG = 300
+	}
+	const bound = uint64(1) << 12
+	for _, spec := range histogramSpecs(procs, bound) {
+		t.Run(spec.name, func(t *testing.T) {
+			h, err := NewHistogram(append(spec.opts, WithReadCache(testStale))...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer h.Close()
+			bounds := h.Bounds()
+			countBounds := Bounds{Mult: 1, Buffer: bounds.Buffer}
+
+			var started, completed atomic.Uint64
+			var done atomic.Bool
+			var wg sync.WaitGroup
+			wg.Add(observers)
+			for g := 0; g < observers; g++ {
+				g := g
+				go func() {
+					defer wg.Done()
+					hh, release := h.Acquire()
+					defer release()
+					for j := 0; j < perG; j++ {
+						started.Add(1)
+						hh.Observe(uint64(g*perG+j) % bound)
+						completed.Add(1)
+					}
+				}()
+			}
+
+			var checks int
+			var readerWG sync.WaitGroup
+			readerWG.Add(1)
+			go func() {
+				defer readerWG.Done()
+				h.Do(func(hh HistogramHandle) {
+					checks = staleWindowChecks(&done, func() bool {
+						vmin := completed.Load()
+						time.Sleep(testStale)
+						c := hh.Count()
+						vmax := started.Load()
+						if !countBounds.ContainsRange(vmin, vmax, c) {
+							t.Errorf("cached count %d outside envelope %+v for any total in [%d, %d]", c, countBounds, vmin, vmax)
+							return false
+						}
+						if r := hh.Rank(bound); r > started.Load() {
+							t.Errorf("cached Rank(bound) = %d exceeds observations started %d", r, started.Load())
+							return false
+						}
+						return true
+					})
+				})
+			}()
+
+			wg.Wait()
+			done.Store(true)
+			readerWG.Wait()
+			if checks == 0 {
+				t.Fatal("reader performed no checks")
+			}
+
+			time.Sleep(2 * testStale)
+			total := uint64(observers * perG)
+			h.Do(func(hh HistogramHandle) {
+				if c := hh.Count(); c != total {
+					t.Errorf("quiescent cached count = %d, want exactly %d", c, total)
+				}
+				if cdf := hh.CDF(bound); cdf != 1 {
+					t.Errorf("quiescent cached CDF(bound) = %v, want 1", cdf)
+				}
+			})
+		})
+	}
+}
+
+// TestReadCacheCombinerLifecycle is the goroutine-leak soak for the
+// background combiner: churning cached objects of every kind —
+// including registry-owned ones — and closing them must return the
+// goroutine count to its baseline, Close must be idempotent, and
+// cached reads must keep working after Close (inline refresh).
+func TestReadCacheCombinerLifecycle(t *testing.T) {
+	rounds := 5
+	if testing.Short() {
+		rounds = 2
+	}
+	// Let unrelated goroutines (test runner warmup) settle first.
+	runtime.GC()
+	time.Sleep(10 * time.Millisecond)
+	baseline := runtime.NumGoroutine()
+
+	for round := 0; round < rounds; round++ {
+		const stale = 500 * time.Microsecond // fast ticker: lots of combiner activity
+
+		c, err := NewCounter(WithProcs(2), WithAccuracy(Multiplicative(2)), WithShards(2), WithReadCache(stale))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewMaxRegister(WithProcs(2), WithBound(1<<16), WithReadCache(stale))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewSnapshot(WithProcs(2), WithBatch(4), WithReadCache(stale))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hg, err := NewHistogram(WithProcs(2), WithAccuracy(Multiplicative(2)), WithBound(1<<16), WithReadCache(stale))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := NewRegistry()
+		rc, err := reg.Counter("hits", WithProcs(2), WithReadCache(stale))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		c.Do(func(h CounterHandle) { h.Inc(); h.Read() })
+		r.Do(func(h MaxRegisterHandle) { h.Write(42); h.Read() })
+		s.Do(func(h SnapshotHandle) { h.Update(7); h.Scan() })
+		hg.Do(func(h HistogramHandle) { h.Observe(9); h.Count() })
+		rc.Do(func(h CounterHandle) { h.Inc() })
+		reg.Snapshot()
+		time.Sleep(2 * stale) // let the combiners tick at least once
+
+		c.Close()
+		c.Close() // idempotent
+		r.Close()
+		s.Close()
+		hg.Close()
+		reg.Close()
+		reg.Close() // idempotent
+
+		// Reads still work after Close: the cache refreshes inline.
+		c.Do(func(h CounterHandle) {
+			if x := h.Read(); x == 0 {
+				t.Error("post-Close cached read lost the increment")
+			}
+		})
+		if got := reg.Snapshot(); len(got) != 1 || got[0].Value == 0 {
+			t.Errorf("post-Close registry snapshot = %+v, want the surviving increment", got)
+		}
+	}
+
+	// All combiners are closed (Close blocks on the goroutine's exit),
+	// so the count must settle back; allow slack for runtime helpers.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

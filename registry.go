@@ -33,6 +33,13 @@ type regEntry struct {
 	name string
 	spec Spec
 	obj  instance
+
+	// snapMu serializes reads of obj's reserved snapshot handle, which —
+	// like every handle — is single-goroutine. Snapshot reads objects
+	// OUTSIDE the registry lock (a slow multi-shard read must not block
+	// registration or snapshots of other objects), so the exclusivity the
+	// registry lock used to provide lives here, per object.
+	snapMu sync.Mutex
 }
 
 // NewRegistry creates an empty registry.
@@ -151,23 +158,51 @@ type ObjectSnapshot struct {
 }
 
 // Snapshot reads every registered object — value, envelope, cumulative
-// steps — in registration order. The snapshot is atomic with respect to
-// registration and other snapshots (both serialize on the registry), but
-// each value is an ordinary concurrent read: it lands inside the object's
-// envelope relative to the operations linearized around it.
+// steps — in registration order. The entry list is captured atomically
+// with respect to registration (so the result is a consistent roster),
+// but the object reads happen OUTSIDE the registry lock: one slow
+// multi-shard read does not block registration or other snapshots,
+// which serialize only per object (on the object's reserved snapshot
+// handle). Each value is an ordinary concurrent read: it lands inside
+// the object's envelope relative to the operations linearized around
+// it. Objects registered after the roster was captured are not
+// included.
 func (r *Registry) Snapshot() []ObjectSnapshot {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]ObjectSnapshot, 0, len(r.order))
+	entries := make([]*regEntry, 0, len(r.order))
 	for _, name := range r.order {
-		e := r.entries[name]
-		out = append(out, ObjectSnapshot{
+		entries = append(entries, r.entries[name])
+	}
+	r.mu.Unlock()
+
+	out := make([]ObjectSnapshot, 0, len(entries))
+	for _, e := range entries {
+		e.snapMu.Lock()
+		snap := ObjectSnapshot{
 			Name:   e.name,
 			Kind:   e.spec.kind,
 			Value:  e.obj.snapshotValue(),
 			Bounds: e.obj.snapshotBounds(),
 			Steps:  e.obj.StepsRetired() + e.obj.snapshotSteps(),
-		})
+		}
+		e.snapMu.Unlock()
+		out = append(out, snap)
 	}
 	return out
+}
+
+// Close stops the background resources of every registered object (the
+// read-cache combiner goroutines of objects registered with
+// WithReadCache). Idempotent; the registry and its objects stay usable
+// afterwards — cached reads simply refresh inline.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	entries := make([]*regEntry, 0, len(r.order))
+	for _, name := range r.order {
+		entries = append(entries, r.entries[name])
+	}
+	r.mu.Unlock()
+	for _, e := range entries {
+		e.obj.Close()
+	}
 }

@@ -389,3 +389,79 @@ func TestRegistrySnapshotRaceAllKinds(t *testing.T) {
 		}
 	}
 }
+
+// TestRegistrySnapshotWhileRegistering races Snapshot against ongoing
+// registrations: the fixed roster of objects is mutated continuously
+// while snapshotters poll. Before the PR 6 fix, Snapshot held the
+// registry lock across every object's multi-shard read, so a slow read
+// serialized all registration; now the roster is copied under the lock
+// and the reads happen outside it, serializing only per object. Run
+// with -race this is the data-race check for that split.
+func TestRegistrySnapshotWhileRegistering(t *testing.T) {
+	r := NewRegistry()
+	// One long-lived object so snapshots always have something to read.
+	if _, err := r.Counter("base", WithProcs(2), WithShards(2)); err != nil {
+		t.Fatal(err)
+	}
+
+	regs := 60
+	if testing.Short() {
+		regs = 15
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, os := range r.Snapshot() {
+					if os.Name == "" {
+						t.Error("snapshot entry with empty name")
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	names := make(map[string]bool)
+	for i := 0; i < regs; i++ {
+		name := "obj-" + strings.Repeat("x", i%7) + string(rune('a'+i%26))
+		names[name] = true
+		switch i % 3 {
+		case 0:
+			c, err := r.Counter(name, WithProcs(2), WithAccuracy(Multiplicative(3)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Do(func(h CounterHandle) { h.Inc() })
+		case 1:
+			m, err := r.MaxRegister(name, WithProcs(2), WithBound(1<<10))
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.Do(func(h MaxRegisterHandle) { h.Write(uint64(i)) })
+		default:
+			if _, err := r.SnapshotObject(name, WithProcs(2)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Quiesced: a final snapshot sees the complete roster in order.
+	final := r.Snapshot()
+	if want := len(names) + 1; len(final) != want {
+		t.Fatalf("final snapshot has %d entries, want %d", len(final), want)
+	}
+	if final[0].Name != "base" {
+		t.Errorf("first snapshot entry = %q, want the first registration", final[0].Name)
+	}
+}

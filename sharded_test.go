@@ -6,7 +6,7 @@ import (
 )
 
 func TestShardedCounterBasic(t *testing.T) {
-	c, err := NewShardedCounter(8, 4, Shards(4), Batch(8))
+	c, err := NewCounter(WithProcs(8), WithAccuracy(Multiplicative(4)), WithShards(4), WithBatch(8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,13 +39,13 @@ func TestShardedCounterBasic(t *testing.T) {
 }
 
 func TestShardedCounterRejectsBadParams(t *testing.T) {
-	if _, err := NewShardedCounter(100, 2); err == nil {
+	if _, err := NewCounter(WithProcs(100), WithAccuracy(Multiplicative(2))); err == nil {
 		t.Fatal("k=2 for n=100 accepted (needs k >= 10 per shard)")
 	}
-	if _, err := NewShardedCounter(4, 2, Shards(0)); err == nil {
+	if _, err := NewCounter(WithProcs(4), WithAccuracy(Multiplicative(2)), WithShards(0)); err == nil {
 		t.Fatal("zero shards accepted")
 	}
-	if _, err := NewShardedCounter(4, 2, Batch(0)); err == nil {
+	if _, err := NewCounter(WithProcs(4), WithAccuracy(Multiplicative(2)), WithBatch(0)); err == nil {
 		t.Fatal("zero batch accepted")
 	}
 }
@@ -53,7 +53,7 @@ func TestShardedCounterRejectsBadParams(t *testing.T) {
 func TestShardedCounterConcurrent(t *testing.T) {
 	const n = 8
 	const perProc = 10000
-	c, err := NewShardedCounter(n, 3, Shards(4), Batch(16))
+	c, err := NewCounter(WithProcs(n), WithAccuracy(Multiplicative(3)), WithShards(4), WithBatch(16))
 	if err != nil {
 		t.Fatal(err)
 	}

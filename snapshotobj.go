@@ -53,6 +53,9 @@ var snapshotDescriptor = &kindDescriptor{
 	envelope: "exact per component (independent of S); Buffer = B-1, per component",
 	scenario: "E15",
 
+	staleTerm:    "Scan may trail each component by updates of the last maxStale",
+	readScenario: "E17",
+
 	accuracies: map[accMode]func(s Spec) error{
 		accExact: nil,
 	},
@@ -64,11 +67,15 @@ var snapshotDescriptor = &kindDescriptor{
 // snapshot, so only shards and batch (the component-elision window) pass
 // through.
 func snapshotShardOptions(s Spec) (k uint64, opts []shard.SnapshotOption) {
-	return 1, []shard.SnapshotOption{
+	opts = []shard.SnapshotOption{
 		shard.SnapshotShards(s.shards),
 		shard.SnapshotBatch(s.batch),
 		shard.WithSnapshotBackend(shard.ExactSnapshotBackend()),
 	}
+	if s.readStale > 0 {
+		opts = append(opts, shard.SnapshotReadCache(s.readStale))
+	}
+	return 1, opts
 }
 
 // Snapshot is the single-writer atomic snapshot family — the classic
@@ -147,8 +154,16 @@ func (s *Snapshot) Batch() uint64 { return uint64(s.spec.batch) }
 // for its true value v_i, where Buffer = B-1 for WithBatch(B) (per
 // component — components are disjoint across handles, so the headroom
 // scales with neither N nor S). Unbatched snapshots report the zero
-// envelope.
+// envelope. With WithReadCache the Stale term carries the staleness
+// window: each scanned component then obeys its envelope against some
+// true value in the regularity window opened Stale before the scan
+// began.
 func (s *Snapshot) Bounds() Bounds { return scaledBounds(s.s.Bounds(), s.spec) }
+
+// Close stops the read cache's background combiner goroutine, when
+// WithReadCache is set. Idempotent, and a no-op otherwise; handles stay
+// usable afterwards (cached scans refresh inline).
+func (s *Snapshot) Close() { s.s.Close() }
 
 // Handle binds process slot i (0 <= i < N) to the snapshot, for callers
 // managing slot assignment themselves: the returned handle is the single

@@ -3,6 +3,7 @@ package approxobj
 import (
 	"fmt"
 	"strings"
+	"time"
 )
 
 // Kind identifies an object family: counters (Inc/Read), max registers
@@ -134,17 +135,22 @@ func (a Accuracy) String() string {
 // Registry from functional options; inspect a live object's spec with
 // its Spec method.
 type Spec struct {
-	kind   Kind
-	procs  int
-	acc    Accuracy
-	shards int
-	batch  int
-	bound  uint64
+	kind      Kind
+	procs     int
+	acc       Accuracy
+	shards    int
+	batch     int
+	bound     uint64
+	readStale time.Duration
 
 	// option provenance, so validation and backend selection can
 	// distinguish "defaulted" from "explicitly set" (WithBound(0) is not
 	// the same as no bound).
 	boundSet bool
+	// readCacheSet records that WithReadCache was applied, so validation
+	// can reject WithReadCache(0) (which would otherwise silently mean
+	// "off") with a spec-level error.
+	readCacheSet bool
 
 	// snapshotSlot reserves one extra process slot (index procs) for the
 	// registry's Snapshot reads; see Registry.
@@ -176,20 +182,31 @@ func (s Spec) Batch() int { return s.batch }
 // kinds.
 func (s Spec) Bound() uint64 { return s.bound }
 
+// ReadCache returns the read-cache staleness window (0 when the
+// read-combiner tier is off); see WithReadCache.
+func (s Spec) ReadCache() time.Duration { return s.readStale }
+
 // totalProcs is the number of slots actually allocated in the underlying
-// factories: the caller-visible slots plus the registry snapshot slot.
+// factories: the caller-visible slots, plus the registry snapshot slot,
+// plus the read cache's reserved combiner slot. Backend preconditions
+// (e.g. k >= sqrt(n) for multiplicative counters) apply to this total.
 func (s Spec) totalProcs() int {
+	n := s.procs
 	if s.snapshotSlot {
-		return s.procs + 1
+		n++
 	}
-	return s.procs
+	if s.readStale > 0 {
+		n++
+	}
+	return n
 }
 
 // sameObject reports whether two specs describe the same object
 // configuration (ignoring option provenance), for Registry idempotence.
 func (s Spec) sameObject(t Spec) bool {
 	return s.kind == t.kind && s.procs == t.procs && s.acc == t.acc &&
-		s.shards == t.shards && s.batch == t.batch && s.bound == t.bound
+		s.shards == t.shards && s.batch == t.batch && s.bound == t.bound &&
+		s.readStale == t.readStale
 }
 
 // String renders the spec compactly, e.g.
@@ -203,6 +220,9 @@ func (s Spec) String() string {
 	}
 	if s.bound > 0 {
 		out += fmt.Sprintf(", bound: %d", s.bound)
+	}
+	if s.readStale > 0 {
+		out += fmt.Sprintf(", cache: %s", s.readStale)
 	}
 	return out + "}"
 }
@@ -272,6 +292,29 @@ func WithBound(m uint64) Option {
 	}
 }
 
+// WithReadCache enables the read-combiner tier with staleness window
+// maxStale (default off). The object keeps one pre-combined cell —
+// refreshed by a background combiner goroutine and by read-triggered
+// inline refreshes — and serves reads from it in O(1) in the shard
+// count: Read for counters and max registers, Scan for snapshots, and
+// the bucket read under every histogram query (Count, Quantile, Rank,
+// CDF). The cell's underlying combined read started at most maxStale
+// before the cached read, so the object's Bounds envelope holds against
+// the regularity window widened backward by maxStale — reported as the
+// Stale term of Bounds; all other envelope terms are unchanged.
+//
+// The cache reserves one extra internal process slot for the combiner
+// goroutine (like the registry's snapshot slot, it counts toward
+// backend preconditions such as k >= sqrt(n)). Call the object's Close
+// to stop the goroutine; reads stay valid afterwards, refreshing
+// inline.
+func WithReadCache(maxStale time.Duration) Option {
+	return func(s *Spec) {
+		s.readStale = maxStale
+		s.readCacheSet = true
+	}
+}
+
 // withSnapshotSlot reserves the internal registry snapshot slot.
 func withSnapshotSlot() Option { return func(s *Spec) { s.snapshotSlot = true } }
 
@@ -310,6 +353,9 @@ func (s Spec) validate() error {
 	}
 	if s.batch < 1 {
 		return fmt.Errorf("approxobj: batch size must be >= 1, got %d", s.batch)
+	}
+	if s.readCacheSet && s.readStale <= 0 {
+		return fmt.Errorf("approxobj: read-cache staleness must be > 0, got %v (omit WithReadCache to disable caching)", s.readStale)
 	}
 	check, supported := d.accuracies[s.acc.mode]
 	if !supported {
