@@ -155,6 +155,9 @@ var counterDescriptor = &kindDescriptor{
 	staleTerm:    "Read may miss Incs of the last maxStale (window opens maxStale early)",
 	readScenario: "E17",
 
+	windowTerm:     "Read sums the Incs of the last d (Add widens to epochs·S·k; one epoch of edge skew)",
+	windowScenario: "E18",
+
 	accuracies: map[accMode]func(s Spec) error{
 		accExact:          nil,
 		accAdditive:       nil,
@@ -207,17 +210,30 @@ func counterShardOptions(s Spec) (k uint64, opts []shard.Option) {
 	return k, opts
 }
 
+// counterRT is the runtime surface shared by the cumulative and
+// windowed counter backends: the handle methods the public layer (slot
+// handles, pooled handles, registry snapshot reads) programs against.
+// *shard.Handle and *shard.WCounterHandle both satisfy it.
+type counterRT interface {
+	Inc()
+	Read() uint64
+	Steps() uint64
+	Flush()
+}
+
 // Counter is any member of the counter family — exact, k-additive, or
-// k-multiplicative, optionally sharded and batched — built by NewCounter
-// from a spec. All members run on the sharded runtime (an unsharded
-// counter is the S=1 case) and report their accuracy envelope via Bounds.
+// k-multiplicative, optionally sharded, batched, and windowed — built
+// by NewCounter from a spec. All members run on the sharded runtime (an
+// unsharded counter is the S=1 case; a windowed one is a rotating ring
+// of plane instances) and report their accuracy envelope via Bounds.
 type Counter struct {
 	spec Spec
-	c    *shard.Counter
+	c    *shard.Counter         // cumulative runtime, nil when windowed
+	wc   *shard.WindowedCounter // windowed runtime, nil when cumulative
 
 	slots slotPool[*pooledCounterHandle]
 
-	snap *shard.Handle // registry snapshot handle (slot procs), else nil
+	snap counterRT // registry snapshot handle (slot procs), else nil
 }
 
 var _ instance = (*Counter)(nil)
@@ -237,19 +253,33 @@ func NewCounter(opts ...Option) (*Counter, error) {
 
 func newCounter(spec Spec) (*Counter, error) {
 	k, sopts := counterShardOptions(spec)
-	sc, err := shard.New(spec.totalProcs(), k, sopts...)
-	if err != nil {
-		return nil, err
-	}
-	c := &Counter{
-		spec: spec,
-		c:    sc,
+	c := &Counter{spec: spec}
+	if spec.Windowed() {
+		wc, err := shard.NewWindowedCounter(spec.totalProcs(), k, spec.windowDur, spec.windowEpochs, sopts...)
+		if err != nil {
+			return nil, err
+		}
+		c.wc = wc
+	} else {
+		sc, err := shard.New(spec.totalProcs(), k, sopts...)
+		if err != nil {
+			return nil, err
+		}
+		c.c = sc
 	}
 	c.slots.init(spec.procs, c.newPooledHandle)
 	if spec.snapshotSlot {
-		c.snap = sc.Handle(spec.procs)
+		c.snap = c.runtimeHandle(spec.procs)
 	}
 	return c, nil
+}
+
+// runtimeHandle binds a slot on whichever runtime backs the counter.
+func (c *Counter) runtimeHandle(i int) counterRT {
+	if c.wc != nil {
+		return c.wc.Handle(i)
+	}
+	return c.c.Handle(i)
 }
 
 // Spec returns the validated spec the counter was built from.
@@ -275,13 +305,56 @@ func (c *Counter) Batch() uint64 { return uint64(c.spec.batch) }
 // where Buffer = (B-1)*N for WithBatch(B). Exact counters report the
 // zero envelope. With WithReadCache the Stale term carries the
 // staleness window: the envelope then holds against some true count in
-// the regularity window opened Stale before the read began.
-func (c *Counter) Bounds() Bounds { return scaledBounds(c.c.Bounds(), c.spec) }
+// the regularity window opened Stale before the read began. With
+// WithWindow(d, n) the true count is the count of the live window and
+// the Window term carries the one-epoch truncation skew d/n; the
+// additive slack sums over the ring (Add x n).
+func (c *Counter) Bounds() Bounds {
+	if c.wc != nil {
+		return scaledBounds(c.wc.Bounds(), c.spec)
+	}
+	return scaledBounds(c.c.Bounds(), c.spec)
+}
 
-// Close stops the read cache's background combiner goroutine, when
-// WithReadCache is set. Idempotent, and a no-op otherwise; handles stay
-// usable afterwards (cached reads refresh inline).
-func (c *Counter) Close() { c.c.Close() }
+// Close stops the counter's background goroutines — the read cache's
+// combiner when WithReadCache is set, and the epoch rotator when
+// WithWindow is set (the window freezes: no further aging; reads keep
+// serving the frozen ring and Reset returns an error). Idempotent, and
+// a no-op otherwise; handles stay usable afterwards.
+func (c *Counter) Close() {
+	if c.wc != nil {
+		c.wc.Close()
+		return
+	}
+	c.c.Close()
+}
+
+// Reset replaces the whole window with fresh epochs — the counter
+// restarts from zero. Only windowed counters (WithWindow) support it;
+// it is an error otherwise, and after Close. Reset is not atomic with
+// concurrent mutations: an Inc racing it lands on either side, exactly
+// like an Inc racing a rotation.
+func (c *Counter) Reset() error {
+	if c.wc == nil {
+		return fmt.Errorf("approxobj: Reset needs a windowed counter (WithWindow); this one is cumulative")
+	}
+	return c.wc.Reset()
+}
+
+// Snapshot reads the counter through a pooled handle and, when reset
+// is true, resets the window afterwards — the go-metrics read idiom
+// ("read and restart the interval"). The read and the reset are two
+// steps, not one atomic action: Incs racing Snapshot land on either
+// side of the reset. reset = true on a cumulative (non-windowed)
+// counter returns the value alongside the Reset error.
+func (c *Counter) Snapshot(reset bool) (uint64, error) {
+	var v uint64
+	c.Do(func(h CounterHandle) { v = h.Read() })
+	if reset {
+		return v, c.Reset()
+	}
+	return v, nil
+}
 
 // scaledBounds adjusts a runtime envelope for the registry's snapshot
 // slot on kinds whose Buffer term scales with the slot count: the shard
@@ -307,14 +380,16 @@ func (c *Counter) Handle(i int) CounterHandle {
 	if i < 0 || i >= c.spec.procs {
 		panic("approxobj: counter handle slot out of range")
 	}
-	return c.c.Handle(i)
+	return c.runtimeHandle(i)
 }
 
-// snapshotValue, snapshotBounds, and snapshotSteps implement the
-// registry's kind-agnostic instance view; see Registry.Snapshot.
-func (c *Counter) snapshotValue() uint64  { return c.snap.Read() }
-func (c *Counter) snapshotBounds() Bounds { return c.Bounds() }
-func (c *Counter) snapshotSteps() uint64  { return c.snap.Steps() }
+// snapshotValue, snapshotBounds, snapshotSteps, and snapshotDetail
+// implement the registry's kind-agnostic instance view; see
+// Registry.Snapshot.
+func (c *Counter) snapshotValue() uint64            { return c.snap.Read() }
+func (c *Counter) snapshotBounds() Bounds           { return c.Bounds() }
+func (c *Counter) snapshotSteps() uint64            { return c.snap.Steps() }
+func (c *Counter) snapshotDetail() *HistogramDetail { return nil }
 
 // maxRegisterDescriptor registers the max-register family in the
 // backend-plane table: reads take the max over shards (no envelope
@@ -331,6 +406,9 @@ var maxRegisterDescriptor = &kindDescriptor{
 
 	staleTerm:    "Read may trail the maximum by writes of the last maxStale",
 	readScenario: "E17",
+
+	windowTerm:     "Read is the maximum written in the last d (an expiring high-water mark; no widening)",
+	windowScenario: "E18",
 
 	accuracies: map[accMode]func(s Spec) error{
 		accExact:          nil,
@@ -367,18 +445,31 @@ func maxRegShardOptions(s Spec) (k uint64, opts []shard.MaxRegOption) {
 	return k, opts
 }
 
+// maxRegRT is the runtime surface shared by the cumulative and
+// windowed max-register backends; *shard.MaxRegHandle and
+// *shard.WMaxRegHandle both satisfy it.
+type maxRegRT interface {
+	Write(v uint64)
+	Read() uint64
+	Steps() uint64
+	Flush()
+}
+
 // MaxRegister is any member of the max-register family — exact or
-// k-multiplicative, bounded or unbounded, optionally sharded and with
-// write elision — built by NewMaxRegister from a spec. Like Counter, all
-// members run on the unified sharded runtime (an unsharded register is
-// the S=1 case) and report their accuracy envelope via Bounds.
+// k-multiplicative, bounded or unbounded, optionally sharded, with
+// write elision, and windowed — built by NewMaxRegister from a spec.
+// Like Counter, all members run on the unified sharded runtime (an
+// unsharded register is the S=1 case; a windowed one — an expiring
+// high-water mark — is a rotating ring of plane instances) and report
+// their accuracy envelope via Bounds.
 type MaxRegister struct {
 	spec Spec
-	m    *shard.MaxReg
+	m    *shard.MaxReg         // cumulative runtime, nil when windowed
+	wm   *shard.WindowedMaxReg // windowed runtime, nil when cumulative
 
 	slots slotPool[*pooledMaxRegHandle]
 
-	snap *shard.MaxRegHandle // registry snapshot handle (slot procs), else nil
+	snap maxRegRT // registry snapshot handle (slot procs), else nil
 }
 
 var _ instance = (*MaxRegister)(nil)
@@ -400,19 +491,33 @@ func NewMaxRegister(opts ...Option) (*MaxRegister, error) {
 
 func newMaxRegister(spec Spec) (*MaxRegister, error) {
 	k, mopts := maxRegShardOptions(spec)
-	sm, err := shard.NewMaxReg(spec.totalProcs(), k, mopts...)
-	if err != nil {
-		return nil, err
-	}
-	r := &MaxRegister{
-		spec: spec,
-		m:    sm,
+	r := &MaxRegister{spec: spec}
+	if spec.Windowed() {
+		wm, err := shard.NewWindowedMaxReg(spec.totalProcs(), k, spec.windowDur, spec.windowEpochs, mopts...)
+		if err != nil {
+			return nil, err
+		}
+		r.wm = wm
+	} else {
+		sm, err := shard.NewMaxReg(spec.totalProcs(), k, mopts...)
+		if err != nil {
+			return nil, err
+		}
+		r.m = sm
 	}
 	r.slots.init(spec.procs, r.newPooledHandle)
 	if spec.snapshotSlot {
-		r.snap = sm.Handle(spec.procs)
+		r.snap = r.runtimeHandle(spec.procs)
 	}
 	return r, nil
+}
+
+// runtimeHandle binds a slot on whichever runtime backs the register.
+func (r *MaxRegister) runtimeHandle(i int) maxRegRT {
+	if r.wm != nil {
+		return r.wm.Handle(i)
+	}
+	return r.m.Handle(i)
 }
 
 // Spec returns the validated spec the register was built from.
@@ -443,13 +548,50 @@ func (r *MaxRegister) Batch() uint64 { return uint64(r.spec.batch) }
 // Buffer = B-1 for WithBatch(B) (per handle — the maximum lives in one
 // handle, so elision headroom does not scale with N or S). Exact
 // unbatched registers report the zero envelope. With WithReadCache the
-// Stale term carries the staleness window of cached reads.
-func (r *MaxRegister) Bounds() Bounds { return scaledBounds(r.m.Bounds(), r.spec) }
+// Stale term carries the staleness window of cached reads. With
+// WithWindow(d, n) the true maximum is the maximum of the live window
+// (an expiring high-water mark) and the Window term carries the
+// one-epoch truncation skew d/n; nothing else widens.
+func (r *MaxRegister) Bounds() Bounds {
+	if r.wm != nil {
+		return scaledBounds(r.wm.Bounds(), r.spec)
+	}
+	return scaledBounds(r.m.Bounds(), r.spec)
+}
 
-// Close stops the read cache's background combiner goroutine, when
-// WithReadCache is set. Idempotent, and a no-op otherwise; handles stay
-// usable afterwards (cached reads refresh inline).
-func (r *MaxRegister) Close() { r.m.Close() }
+// Close stops the register's background goroutines — the read cache's
+// combiner when WithReadCache is set, and the epoch rotator when
+// WithWindow is set (the window freezes; see Counter.Close).
+// Idempotent, and a no-op otherwise; handles stay usable afterwards.
+func (r *MaxRegister) Close() {
+	if r.wm != nil {
+		r.wm.Close()
+		return
+	}
+	r.m.Close()
+}
+
+// Reset replaces the whole window with fresh epochs — the high-water
+// mark restarts from zero. Only windowed registers (WithWindow)
+// support it; it is an error otherwise, and after Close.
+func (r *MaxRegister) Reset() error {
+	if r.wm == nil {
+		return fmt.Errorf("approxobj: Reset needs a windowed max register (WithWindow); this one is cumulative")
+	}
+	return r.wm.Reset()
+}
+
+// Snapshot reads the register through a pooled handle and, when reset
+// is true, resets the window afterwards (see Counter.Snapshot for the
+// two-step, non-atomic contract).
+func (r *MaxRegister) Snapshot(reset bool) (uint64, error) {
+	var v uint64
+	r.Do(func(h MaxRegisterHandle) { v = h.Read() })
+	if reset {
+		return v, r.Reset()
+	}
+	return v, nil
+}
 
 // Handle binds process slot i (0 <= i < N) to the register, for callers
 // managing slot assignment themselves. Each concurrent goroutine must use
@@ -459,9 +601,10 @@ func (r *MaxRegister) Handle(i int) MaxRegisterHandle {
 	if i < 0 || i >= r.spec.procs {
 		panic("approxobj: max-register handle slot out of range")
 	}
-	return r.m.Handle(i)
+	return r.runtimeHandle(i)
 }
 
-func (r *MaxRegister) snapshotValue() uint64  { return r.snap.Read() }
-func (r *MaxRegister) snapshotBounds() Bounds { return r.Bounds() }
-func (r *MaxRegister) snapshotSteps() uint64  { return r.snap.Steps() }
+func (r *MaxRegister) snapshotValue() uint64            { return r.snap.Read() }
+func (r *MaxRegister) snapshotBounds() Bounds           { return r.Bounds() }
+func (r *MaxRegister) snapshotSteps() uint64            { return r.snap.Steps() }
+func (r *MaxRegister) snapshotDetail() *HistogramDetail { return nil }

@@ -23,8 +23,11 @@
 // output is missing a declared scenario exits 1 instead of silently
 // dropping it from the trajectory — and a run starts by cross-checking
 // the backend-plane table (approxobj.Kinds) against those declarations,
-// exiting 1 if any registered object kind has no declared bench scenario,
-// so a new kind cannot ship without a measured workload.
+// exiting 1 if any registered object kind lacks a declared-and-emitted
+// bench scenario (including the read-plane and windowed scenarios of
+// kinds documenting those policies), so a new kind cannot ship without
+// a measured workload. Every coverage gap is reported before exiting,
+// not just the first.
 //
 // -compare diffs this run's records against a committed record file and
 // exits 1 on regressions, which makes BENCH_*.json files checkable
@@ -89,38 +92,21 @@ func main() {
 	// Every kind registered in the backend-plane table must be covered by
 	// a declared bench scenario: a new object family without a measured
 	// workload fails the smoke run, not a code review. (-list is exempt
-	// above — it is the diagnostic you would reach for.)
+	// above — it is the diagnostic you would reach for.) All coverage
+	// gaps are collected and reported together — a run with three
+	// missing scenarios names all three, not the first, so one fix-run
+	// cycle suffices.
 	declared := map[string]bool{}
 	for _, exp := range all {
 		for _, sc := range exp.Scenarios {
 			declared[sc] = true
 		}
 	}
-	for _, kp := range approxobj.Kinds() {
-		if kp.BenchScenario == "" {
-			fmt.Fprintf(os.Stderr, "approxbench: object kind %q declares no bench scenario in the backend table\n", kp.Kind)
-			os.Exit(1)
+	if problems := kindCoverageProblems(approxobj.Kinds(), declared); len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintf(os.Stderr, "approxbench: %s\n", p)
 		}
-		if !declared[kp.BenchScenario] {
-			fmt.Fprintf(os.Stderr, "approxbench: object kind %q declares bench scenario %q, which no experiment in bench.All emits\n",
-				kp.Kind, kp.BenchScenario)
-			os.Exit(1)
-		}
-		// A kind that opts into the read-cache policy (it documents a
-		// staleness term) must also name a read-dominated scenario that
-		// some experiment emits, so the O(1) cached-read claim is
-		// measured, not assumed.
-		if kp.StaleTerm != "" {
-			if kp.ReadBenchScenario == "" {
-				fmt.Fprintf(os.Stderr, "approxbench: object kind %q documents a read-cache staleness term but declares no read-dominated bench scenario\n", kp.Kind)
-				os.Exit(1)
-			}
-			if !declared[kp.ReadBenchScenario] {
-				fmt.Fprintf(os.Stderr, "approxbench: object kind %q declares read bench scenario %q, which no experiment in bench.All emits\n",
-					kp.Kind, kp.ReadBenchScenario)
-				os.Exit(1)
-			}
-		}
+		os.Exit(1)
 	}
 
 	known := make(map[string]bool, len(all))
@@ -236,6 +222,47 @@ func main() {
 	}
 }
 
+// kindCoverageProblems cross-checks the backend-plane table against the
+// declared bench scenarios and returns every gap it finds (never
+// stopping at the first): each kind needs an emitted BenchScenario,
+// each kind documenting a staleness term needs an emitted
+// ReadBenchScenario, and each kind documenting a window term needs an
+// emitted WindowBenchScenario.
+func kindCoverageProblems(kinds []approxobj.KindPolicy, declared map[string]bool) []string {
+	var problems []string
+	add := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+	for _, kp := range kinds {
+		if kp.BenchScenario == "" {
+			add("object kind %q declares no bench scenario in the backend table", kp.Kind)
+		} else if !declared[kp.BenchScenario] {
+			add("object kind %q declares bench scenario %q, which no experiment in bench.All emits", kp.Kind, kp.BenchScenario)
+		}
+		// A kind that opts into the read-cache policy (it documents a
+		// staleness term) must also name a read-dominated scenario that
+		// some experiment emits, so the O(1) cached-read claim is
+		// measured, not assumed.
+		if kp.StaleTerm != "" {
+			if kp.ReadBenchScenario == "" {
+				add("object kind %q documents a read-cache staleness term but declares no read-dominated bench scenario", kp.Kind)
+			} else if !declared[kp.ReadBenchScenario] {
+				add("object kind %q declares read bench scenario %q, which no experiment in bench.All emits", kp.Kind, kp.ReadBenchScenario)
+			}
+		}
+		// Likewise for window support: a kind documenting a window term
+		// must name an emitted windowed observe+scrape scenario.
+		if kp.WindowTerm != "" {
+			if kp.WindowBenchScenario == "" {
+				add("object kind %q documents a window term but declares no windowed bench scenario", kp.Kind)
+			} else if !declared[kp.WindowBenchScenario] {
+				add("object kind %q declares window bench scenario %q, which no experiment in bench.All emits", kp.Kind, kp.WindowBenchScenario)
+			}
+		}
+	}
+	return problems
+}
+
 // recordKey identifies a record cell across runs: its scenario plus its
 // params in sorted order.
 func recordKey(r bench.Record) string {
@@ -298,6 +325,7 @@ func compareRecords(baseline, current []bench.Record, tol float64, inScope func(
 				{"Add", o.Envelope.Add, n.Envelope.Add},
 				{"Buffer", o.Envelope.Buffer, n.Envelope.Buffer},
 				{"Stale", o.Envelope.Stale, n.Envelope.Stale},
+				{"Window", o.Envelope.Window, n.Envelope.Window},
 			} {
 				// Envelopes are deterministic — no machine noise to
 				// tolerate — so ANY widening is an accuracy regression;

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"approxobj"
+	"approxobj/internal/bench"
+)
+
+// TestKindCoverageAccumulatesAllProblems drives the startup gate with a
+// table that has several independent gaps and checks every one is
+// reported — the gate must not stop at the first problem, so one
+// fix-run cycle names all the missing scenarios.
+func TestKindCoverageAccumulatesAllProblems(t *testing.T) {
+	kinds := []approxobj.KindPolicy{
+		{Kind: approxobj.KindCounter},                                                                      // no scenario at all
+		{Kind: approxobj.KindMaxRegister, BenchScenario: "E-nowhere"},                                      // declared but unemitted
+		{Kind: approxobj.KindSnapshot, BenchScenario: "E-ok", StaleTerm: "trails"},                         // missing read scenario
+		{Kind: approxobj.KindHistogram, BenchScenario: "E-ok", WindowTerm: "folds the last d"},             // missing window scenario
+		{Kind: approxobj.KindCounter, BenchScenario: "E-ok", WindowTerm: "x", WindowBenchScenario: "E-no"}, // window scenario unemitted
+	}
+	problems := kindCoverageProblems(kinds, map[string]bool{"E-ok": true})
+	if len(problems) != 5 {
+		t.Fatalf("want all 5 problems reported, got %d:\n%s", len(problems), strings.Join(problems, "\n"))
+	}
+	for i, want := range []string{
+		"declares no bench scenario",
+		`bench scenario "E-nowhere", which no experiment`,
+		"declares no read-dominated bench scenario",
+		"declares no windowed bench scenario",
+		`window bench scenario "E-no", which no experiment`,
+	} {
+		if !strings.Contains(problems[i], want) {
+			t.Errorf("problem %d = %q, want it to mention %q", i, problems[i], want)
+		}
+	}
+}
+
+// TestKindCoverageCleanTable checks the real backend table against the
+// real experiment declarations — the gate must pass on the shipped
+// configuration.
+func TestKindCoverageCleanTable(t *testing.T) {
+	declared := map[string]bool{}
+	for _, exp := range bench.All() {
+		for _, sc := range exp.Scenarios {
+			declared[sc] = true
+		}
+	}
+	if problems := kindCoverageProblems(approxobj.Kinds(), declared); len(problems) > 0 {
+		t.Fatalf("startup gate fails on the shipped table:\n%s", strings.Join(problems, "\n"))
+	}
+}
+
+// TestCompareRecordsAccumulatesAllProblems checks that -compare reports
+// every regression in one pass: a missing scenario, two widened
+// envelope terms (including the new Window term), and a steps/op
+// regression must all appear.
+func TestCompareRecordsAccumulatesAllProblems(t *testing.T) {
+	baseline := []bench.Record{
+		{Scenario: "GONE", Params: map[string]string{"k": "1"}},
+		{Scenario: "A", Params: map[string]string{"k": "1"}, Envelope: &bench.RecordEnvelope{Mult: 2, Window: 1000}},
+		{Scenario: "B", Params: map[string]string{"k": "1"}, StepsPerOp: 10},
+	}
+	current := []bench.Record{
+		{Scenario: "A", Params: map[string]string{"k": "1"}, Envelope: &bench.RecordEnvelope{Mult: 4, Window: 2000}},
+		{Scenario: "B", Params: map[string]string{"k": "1"}, StepsPerOp: 100},
+	}
+	problems := compareRecords(baseline, current, 50, func(string) bool { return true })
+	if len(problems) != 4 {
+		t.Fatalf("want 4 problems (missing scenario, Mult, Window, steps), got %d:\n%s",
+			len(problems), strings.Join(problems, "\n"))
+	}
+	for _, want := range []string{
+		`baseline scenario "GONE" is missing`,
+		"Mult widened 2 -> 4",
+		"Window widened 1000 -> 2000",
+		"steps/op regressed",
+	} {
+		found := false
+		for _, p := range problems {
+			if strings.Contains(p, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no problem mentions %q:\n%s", want, strings.Join(problems, "\n"))
+		}
+	}
+}
+
+// TestCompareRecordsClean checks the no-regression path: identical
+// records produce no problems.
+func TestCompareRecordsClean(t *testing.T) {
+	recs := []bench.Record{
+		{Scenario: "A", Params: map[string]string{"k": "1"}, Envelope: &bench.RecordEnvelope{Mult: 2, Stale: 5, Window: 7}, StepsPerOp: 3},
+	}
+	if problems := compareRecords(recs, recs, 50, func(string) bool { return true }); len(problems) != 0 {
+		t.Fatalf("identical records flagged: %v", problems)
+	}
+}

@@ -1,130 +1,173 @@
-// Telemetry: scalable statistics counters — the application domain the
-// paper cites for approximate counting (Dice, Lev, Moir: "Scalable
-// statistics counters", SPAA '13).
+// Telemetry: a live monitoring endpoint over windowed approximate
+// objects — the application domain the paper cites for approximate
+// counting (Dice, Lev, Moir: "Scalable statistics counters", SPAA '13),
+// grown into the full exposition pipeline.
 //
 // A simulated server handles requests on many worker goroutines. Every
-// request bumps per-endpoint statistics counters; a monitoring goroutine
-// polls them continuously for dashboards and alerting. Monitoring does not
-// need exact numbers — it needs cheap, non-contending, always-available
-// ones. The demo contrasts a k-multiplicative-accurate counter with the
-// exact counter under the identical workload and reports both the
-// values observed and the shared-memory steps paid for them.
+// request bumps a windowed per-endpoint counter and records its latency
+// into a windowed histogram (rate and p99 over the last few seconds,
+// not since boot), a max register tracks the peak queue depth, and a
+// snapshot object tracks per-worker progress. The whole registry is
+// served live over HTTP in Prometheus text format by expose.Handler
+// while a scraper polls it under full write churn — each scrape carries
+// the objects' deterministic envelopes as _bound companion series, so
+// the dashboard knows the guarantee alongside the value. After the
+// registry is closed the endpoint keeps answering with the frozen
+// window (the post-Close contract).
 package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
-	"runtime"
+	"net"
+	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"approxobj"
+	"approxobj/expose"
 )
 
 const (
-	workers      = 32
-	k            = 6 // sqrt(32) ~ 5.7
-	requests     = 50_000
-	pollInterval = 64 // monitor polls every pollInterval requests
+	workers      = 16
+	window       = 2 * time.Second // rate/p99 over the last 2s ...
+	epochs       = 4               // ... in 4 epochs of 500ms
+	churnFor     = 3 * time.Second
+	scrapeEvery  = 500 * time.Millisecond
+	maxLatencyUs = 1 << 16
 )
 
-type endpoint struct {
-	name   string
-	approx *approxobj.Counter
-	exact  *approxobj.Counter
-}
-
-func newEndpoint(name string) (*endpoint, error) {
-	// Slot workers+1 processes: workers plus the monitor.
-	a, err := approxobj.NewCounter(
-		approxobj.WithProcs(workers+1),
-		approxobj.WithAccuracy(approxobj.Multiplicative(k)),
-	)
-	if err != nil {
-		return nil, err
-	}
-	e, err := approxobj.NewCounter(approxobj.WithProcs(workers + 1)) // Exact() is the default
-	if err != nil {
-		return nil, err
-	}
-	return &endpoint{name: name, approx: a, exact: e}, nil
-}
-
 func main() {
-	endpoints := make([]*endpoint, 0, 3)
-	for _, name := range []string{"/api/search", "/api/cart", "/api/login"} {
-		e, err := newEndpoint(name)
-		if err != nil {
-			log.Fatal(err)
-		}
-		endpoints = append(endpoints, e)
+	reg := approxobj.NewRegistry()
+	procs := approxobj.WithProcs(workers)
+
+	requests, err := reg.Counter("http.requests", procs,
+		approxobj.WithAccuracy(approxobj.Multiplicative(5)), // sqrt(17) ~ 4.2
+		approxobj.WithShards(4), approxobj.WithBatch(8),
+		approxobj.WithWindow(window, epochs))
+	if err != nil {
+		log.Fatal(err)
+	}
+	latency, err := reg.HistogramObject("latency_us", procs,
+		approxobj.WithAccuracy(approxobj.Multiplicative(2)),
+		approxobj.WithBound(maxLatencyUs),
+		approxobj.WithShards(4), approxobj.WithBatch(8),
+		approxobj.WithWindow(window, epochs))
+	if err != nil {
+		log.Fatal(err)
+	}
+	peak, err := reg.MaxRegister("peak.queue.depth", procs,
+		approxobj.WithWindow(window, epochs))
+	if err != nil {
+		log.Fatal(err)
+	}
+	progress, err := reg.SnapshotObject("worker.progress", procs)
+	if err != nil {
+		log.Fatal(err)
 	}
 
+	// The live endpoint: expose the registry on a real listener.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: expose.Handler(reg)}
+	go srv.Serve(ln)
+	url := "http://" + ln.Addr().String() + "/metrics"
+	fmt.Printf("serving %s for %v under %d-worker churn\n\n", url, churnFor, workers)
+
+	// Churn: workers hammer every object until told to stop.
 	var (
-		wg       sync.WaitGroup
-		served   atomic.Uint64
-		trueHits = make([]atomic.Uint64, len(endpoints))
+		wg    sync.WaitGroup
+		stop  atomic.Bool
+		depth atomic.Int64
 	)
-
-	// Monitor: polls every endpoint through the LAST process slot.
-	monitorDone := make(chan struct{})
-	var monitorPolls atomic.Uint64
-	go func() {
-		defer close(monitorDone)
-		approxHandles := make([]approxobj.CounterHandle, len(endpoints))
-		exactHandles := make([]approxobj.CounterHandle, len(endpoints))
-		for i, e := range endpoints {
-			approxHandles[i] = e.approx.Handle(workers)
-			exactHandles[i] = e.exact.Handle(workers)
-		}
-		for served.Load() < requests {
-			for i := range endpoints {
-				approxHandles[i].Read()
-				exactHandles[i].Read()
-			}
-			monitorPolls.Add(1)
-		}
-		// Final dashboard.
-		fmt.Printf("%-12s %12s %12s %12s\n", "endpoint", "true", "approx", "exact-read")
-		for i, e := range endpoints {
-			fmt.Printf("%-12s %12d %12d %12d\n", e.name,
-				trueHits[i].Load(), approxHandles[i].Read(), exactHandles[i].Read())
-		}
-		fmt.Printf("\nmonitor cost for %d polls x %d endpoints:\n", monitorPolls.Load(), len(endpoints))
-		fmt.Printf("  approx reads: %7d steps (amortized O(1) scan, Thm III.9)\n", approxHandles[0].Steps())
-		fmt.Printf("  exact reads : %7d steps (a full tree collect per read)\n", exactHandles[0].Steps())
-	}()
-
-	// Workers: Zipf-ish endpoint mix.
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(slot int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(slot)))
-			approxHandles := make([]approxobj.CounterHandle, len(endpoints))
-			exactHandles := make([]approxobj.CounterHandle, len(endpoints))
-			for i, e := range endpoints {
-				approxHandles[i] = e.approx.Handle(slot)
-				exactHandles[i] = e.exact.Handle(slot)
-			}
-			for served.Add(1) <= requests {
-				ep := 0
-				switch r := rng.Intn(10); {
-				case r >= 9:
-					ep = 2
-				case r >= 7:
-					ep = 1
-				}
-				approxHandles[ep].Inc()
-				exactHandles[ep].Inc()
-				trueHits[ep].Add(1)
-				if served.Load()%1024 == 0 {
-					runtime.Gosched() // let the monitor breathe on small hosts
+			rh, releaseR := requests.Acquire()
+			defer releaseR()
+			lh, releaseL := latency.Acquire()
+			defer releaseL()
+			ph, releaseP := peak.Acquire()
+			defer releaseP()
+			sh, releaseS := progress.Acquire()
+			defer releaseS()
+			var served uint64
+			for !stop.Load() {
+				d := depth.Add(1)
+				rh.Inc()
+				lh.Observe(uint64(rng.ExpFloat64() * 800)) // ~exponential latencies, tail past 10ms
+				ph.Write(uint64(d))
+				served++
+				sh.Update(served)
+				depth.Add(-1)
+				if served%256 == 0 {
+					time.Sleep(time.Millisecond) // keep the scraper competitive
 				}
 			}
 		}(w)
 	}
+
+	// Scraper: polls the live endpoint while the workers churn. Every
+	// scrape must parse; the last one is printed.
+	var last string
+	deadline := time.Now().Add(churnFor)
+	for n := 1; time.Now().Before(deadline); n++ {
+		time.Sleep(scrapeEvery)
+		resp, err := http.Get(url)
+		if err != nil {
+			log.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		last = string(body)
+		fmt.Printf("scrape %d: %d bytes, %d series\n", n, len(body), strings.Count(last, "\n")-strings.Count(last, "#"))
+	}
+	stop.Store(true)
 	wg.Wait()
-	<-monitorDone
+
+	fmt.Println("\nlast scrape under churn (requests, p99 inputs, and their envelopes):")
+	printMatching(last, "http_requests", "latency_us_bucket{le=\"+Inf\"}", "latency_us_count", "peak_queue_depth", "_bound")
+
+	// Close freezes the windows and stops every rotator and combiner;
+	// the endpoint keeps serving the last value.
+	reg.Close()
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	frozen, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nafter Close (frozen window, still serving):")
+	printMatching(string(frozen), "http_requests_total", "latency_us_count")
+	srv.Close()
+}
+
+// printMatching prints the sample lines whose metric name contains any
+// of the given substrings (comments excluded).
+func printMatching(text string, subs ...string) {
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		for _, sub := range subs {
+			if strings.Contains(line, sub) {
+				fmt.Println("  " + line)
+				break
+			}
+		}
+	}
 }

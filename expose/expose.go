@@ -1,0 +1,258 @@
+// Package expose renders a Registry in the Prometheus text exposition
+// format (version 0.0.4), turning the package's approximate objects into
+// a scrape endpoint: Handler serves a live snapshot on every request,
+// and WriteRegistry renders one into any io.Writer for push pipelines
+// and tests.
+//
+// # Metric-name mapping
+//
+// Registered names map to metric names by sanitization — every byte
+// outside [a-zA-Z0-9_:] becomes '_', and a leading digit gets a '_'
+// prefix — followed by a kind-dependent suffix:
+//
+//	Counter      <name>_total                     TYPE counter
+//	MaxRegister  <name>                           TYPE gauge
+//	Snapshot     <name>                           TYPE gauge (component sum)
+//	Histogram    <name>_bucket{le="..."},         TYPE histogram
+//	             <name>_sum, <name>_count
+//
+// The _total suffix is added only when the sanitized name does not
+// already end in it. Histogram buckets are cumulative at the upper
+// boundary of each occupied bucket, with an explicit le="+Inf" bucket
+// equal to the observation count (an unbounded layout's saturated last
+// bucket renders as +Inf directly), so an empty windowed histogram
+// still exposes a valid series: one le="+Inf" bucket at 0. Registered
+// names that collide after sanitization are all emitted; keep names
+// distinct under the mapping.
+//
+// # Accuracy annotations
+//
+// Every value this package's objects report is approximate within a
+// deterministic envelope (see approxobj.Bounds), and a scrape that
+// silently drops the envelope misrepresents the value. Each object's
+// nonzero envelope terms are therefore exported as a companion gauge
+// family
+//
+//	<name>_bound{term="mult"|"add"|"buffer"|"stale_seconds"|"window_seconds"}
+//
+// where <name> is the sanitized name without kind suffixes: mult is the
+// multiplicative factor (emitted when > 1), add and buffer the
+// additive and buffered-mutation slacks in the value/rank domain, and
+// stale_seconds / window_seconds the read-staleness and epoch-skew
+// windows in seconds. The envelope is also summarized in the metric's
+// HELP line, so a human reading the endpoint sees the contract next to
+// the value.
+package expose
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"approxobj"
+)
+
+// Handler returns an http.Handler that serves reg in the Prometheus
+// text exposition format. Every request takes a fresh
+// Registry.Snapshot — one consistent read per object — so concurrent
+// writers never block a scrape for more than one object read.
+func Handler(reg *approxobj.Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// The snapshot is taken before the first byte is written, so a
+		// mid-render failure cannot interleave two scrapes' values.
+		var b strings.Builder
+		if err := WriteRegistry(&b, reg); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		io.WriteString(w, b.String())
+	})
+}
+
+// WriteRegistry renders one Registry.Snapshot of reg into w in the
+// Prometheus text exposition format, in registration order. It returns
+// the first write error.
+func WriteRegistry(w io.Writer, reg *approxobj.Registry) error {
+	for _, s := range reg.Snapshot() {
+		if err := writeObject(w, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeObject(w io.Writer, s approxobj.ObjectSnapshot) error {
+	base := SanitizeName(s.Name)
+	var err error
+	switch s.Kind {
+	case approxobj.KindCounter:
+		name := base
+		if !strings.HasSuffix(name, "_total") {
+			name += "_total"
+		}
+		err = writeScalar(w, name, "counter", s, "incremented count")
+	case approxobj.KindMaxRegister:
+		err = writeScalar(w, base, "gauge", s, "high-water mark")
+	case approxobj.KindSnapshot:
+		err = writeScalar(w, base, "gauge", s, "component sum")
+	case approxobj.KindHistogram:
+		// ObjectSnapshot.Bounds narrows Mult to 1 (counts never round);
+		// restore the bucket layout's rounding factor for the bucket
+		// series and its annotations.
+		if s.Histogram != nil && s.Histogram.Mult > s.Bounds.Mult {
+			s.Bounds.Mult = s.Histogram.Mult
+		}
+		err = writeHistogram(w, base, s)
+	default:
+		return fmt.Errorf("expose: unknown object kind %v for %q", s.Kind, s.Name)
+	}
+	if err != nil {
+		return err
+	}
+	return writeBounds(w, base, s.Bounds)
+}
+
+func writeScalar(w io.Writer, name, typ string, s approxobj.ObjectSnapshot, what string) error {
+	_, err := fmt.Fprintf(w, "# HELP %s approxobj %s \"%s\": %s%s\n# TYPE %s %s\n%s %s\n",
+		name, s.Kind, escapeHelp(s.Name), what, envelopeNote(s.Bounds), name, typ, name, formatUint(s.Value))
+	return err
+}
+
+func writeHistogram(w io.Writer, name string, s approxobj.ObjectSnapshot) error {
+	d := s.Histogram
+	if d == nil {
+		// A histogram snapshot always carries detail; guard anyway so a
+		// foreign ObjectSnapshot renders as an empty histogram rather
+		// than panicking.
+		d = &approxobj.HistogramDetail{}
+	}
+	if _, err := fmt.Fprintf(w, "# HELP %s approxobj histogram \"%s\": observed value distribution%s\n# TYPE %s histogram\n",
+		name, escapeHelp(s.Name), envelopeNote(s.Bounds), name); err != nil {
+		return err
+	}
+	sawInf := false
+	for _, b := range d.Buckets {
+		le := "+Inf"
+		if b.UpperBound != ^uint64(0) {
+			le = formatUint(b.UpperBound)
+		} else {
+			sawInf = true
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %s\n", name, le, formatUint(b.CumulativeCount)); err != nil {
+			return err
+		}
+	}
+	if !sawInf {
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %s\n", name, formatUint(d.Count)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %s\n", name, formatUint(d.Sum), name, formatUint(d.Count))
+	return err
+}
+
+// writeBounds emits the companion _bound gauge family for b's nonzero
+// terms; objects with the zero envelope (exact, unbuffered, uncached,
+// cumulative) emit nothing.
+func writeBounds(w io.Writer, base string, b approxobj.Bounds) error {
+	type term struct {
+		label string
+		value string
+	}
+	var terms []term
+	if b.Mult > 1 {
+		terms = append(terms, term{"mult", formatUint(b.Mult)})
+	}
+	if b.Add > 0 {
+		terms = append(terms, term{"add", formatUint(b.Add)})
+	}
+	if b.Buffer > 0 {
+		terms = append(terms, term{"buffer", formatUint(b.Buffer)})
+	}
+	if b.Stale > 0 {
+		terms = append(terms, term{"stale_seconds", formatSeconds(b.Stale.Seconds())})
+	}
+	if b.Window > 0 {
+		terms = append(terms, term{"window_seconds", formatSeconds(b.Window.Seconds())})
+	}
+	if len(terms) == 0 {
+		return nil
+	}
+	name := base + "_bound"
+	if _, err := fmt.Fprintf(w, "# HELP %s nonzero accuracy-envelope terms of %s (see approxobj.Bounds)\n# TYPE %s gauge\n",
+		name, base, name); err != nil {
+		return err
+	}
+	for _, t := range terms {
+		if _, err := fmt.Fprintf(w, "%s{term=%q} %s\n", name, t.label, t.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// envelopeNote renders the nonzero envelope terms for HELP lines, or ""
+// for the zero envelope.
+func envelopeNote(b approxobj.Bounds) string {
+	if b.IsExact() {
+		return " (exact)"
+	}
+	var parts []string
+	if b.Mult > 1 {
+		parts = append(parts, "mult="+formatUint(b.Mult))
+	}
+	if b.Add > 0 {
+		parts = append(parts, "add="+formatUint(b.Add))
+	}
+	if b.Buffer > 0 {
+		parts = append(parts, "buffer="+formatUint(b.Buffer))
+	}
+	if b.Stale > 0 {
+		parts = append(parts, "stale="+b.Stale.String())
+	}
+	if b.Window > 0 {
+		parts = append(parts, "window="+b.Window.String())
+	}
+	return " (approximate: " + strings.Join(parts, " ") + ")"
+}
+
+// SanitizeName maps a registry name to a valid Prometheus metric name:
+// every byte outside [a-zA-Z0-9_:] becomes '_', and a leading digit is
+// prefixed with '_'. The empty name maps to "_".
+func SanitizeName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// formatUint renders a uint64 sample value. The text format carries
+// float64 samples, so values above 2^53 lose precision at the consumer;
+// the rendered text itself stays exact.
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func formatSeconds(s float64) string { return strconv.FormatFloat(s, 'g', -1, 64) }
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

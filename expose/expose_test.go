@@ -1,0 +1,255 @@
+package expose
+
+import (
+	"io"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"approxobj"
+)
+
+// sampleRe matches one sample line of the text format: a metric name,
+// an optional label set, and a decimal value.
+var sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? ([0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?)$`)
+
+// validateText checks that body is well-formed Prometheus text format:
+// every line is a HELP/TYPE comment or a sample, every sample's family
+// was TYPEd first, and every histogram family has nondecreasing
+// cumulative buckets ending in le="+Inf" equal to its _count.
+func validateText(t *testing.T, body string) {
+	t.Helper()
+	typed := map[string]string{} // family -> type
+	buckets := map[string][]uint64{}
+	lastLE := map[string]string{}
+	counts := map[string]uint64{}
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			typed[f[2]] = f[3]
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		name, labels, val := m[1], m[2], m[3]
+		family := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if base, ok := strings.CutSuffix(name, suf); ok && typed[base] == "histogram" {
+				family = base
+			}
+		}
+		if typed[family] == "" {
+			t.Fatalf("sample %q has no preceding TYPE", line)
+		}
+		if strings.HasSuffix(name, "_bucket") && typed[family] == "histogram" {
+			v, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				t.Fatalf("non-integer bucket value in %q: %v", line, err)
+			}
+			bs := buckets[family]
+			if len(bs) > 0 && v < bs[len(bs)-1] {
+				t.Fatalf("histogram %s buckets not cumulative: %v then %d", family, bs, v)
+			}
+			buckets[family] = append(bs, v)
+			if le := regexp.MustCompile(`le="([^"]*)"`).FindStringSubmatch(labels); le != nil {
+				lastLE[family] = le[1]
+			}
+		}
+		if strings.HasSuffix(name, "_count") && typed[family] == "histogram" {
+			v, _ := strconv.ParseUint(val, 10, 64)
+			counts[family] = v
+		}
+	}
+	for fam, bs := range buckets {
+		if lastLE[fam] != "+Inf" {
+			t.Errorf("histogram %s does not end in le=%q bucket (got %q)", fam, "+Inf", lastLE[fam])
+		}
+		if bs[len(bs)-1] != counts[fam] {
+			t.Errorf("histogram %s +Inf bucket %d != _count %d", fam, bs[len(bs)-1], counts[fam])
+		}
+	}
+}
+
+func buildRegistry(t *testing.T) *approxobj.Registry {
+	t.Helper()
+	reg := approxobj.NewRegistry()
+	c, err := reg.Counter("http.requests", approxobj.WithProcs(4), approxobj.WithShards(2), approxobj.WithBatch(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := reg.MaxRegister("peak-queue-depth", approxobj.WithProcs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := reg.SnapshotObject("worker progress", approxobj.WithProcs(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := reg.HistogramObject("latency_us", approxobj.WithProcs(4),
+		approxobj.WithAccuracy(approxobj.Multiplicative(2)), approxobj.WithBatch(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Do(func(h approxobj.CounterHandle) {
+		for i := 0; i < 10; i++ {
+			h.Inc()
+		}
+	})
+	m.Do(func(h approxobj.MaxRegisterHandle) { h.Write(42) })
+	s.Do(func(h approxobj.SnapshotHandle) { h.Update(7) })
+	h.Do(func(hh approxobj.HistogramHandle) {
+		for _, v := range []uint64{1, 5, 5, 100, 10_000} {
+			hh.Observe(v)
+		}
+	})
+	return reg
+}
+
+func TestWriteRegistryFormat(t *testing.T) {
+	reg := buildRegistry(t)
+	var b strings.Builder
+	if err := WriteRegistry(&b, reg); err != nil {
+		t.Fatal(err)
+	}
+	body := b.String()
+	validateText(t, body)
+
+	for _, want := range []string{
+		"# TYPE http_requests_total counter",
+		"http_requests_total 10",
+		"# TYPE peak_queue_depth gauge",
+		"peak_queue_depth 42",
+		"worker_progress 7",
+		"# TYPE latency_us histogram",
+		"latency_us_count 5",
+		`http_requests_bound{term="buffer"}`,
+		`latency_us_bound{term="mult"} 2`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("output missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestHandlerUnderConcurrentWriters scrapes the HTTP handler while
+// writers churn every object; each scrape must be well-formed.
+func TestHandlerUnderConcurrentWriters(t *testing.T) {
+	reg := buildRegistry(t)
+	c, _ := reg.Counter("http.requests", approxobj.WithProcs(4), approxobj.WithShards(2), approxobj.WithBatch(4))
+	h, _ := reg.HistogramObject("latency_us", approxobj.WithProcs(4),
+		approxobj.WithAccuracy(approxobj.Multiplicative(2)), approxobj.WithBatch(8))
+
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Do(func(h approxobj.CounterHandle) { h.Inc() })
+				h.Do(func(hh approxobj.HistogramHandle) { hh.Observe(17) })
+			}
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		resp, err := srv.Client().Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+			t.Errorf("content type %q lacks version=0.0.4", ct)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		validateText(t, string(body))
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestEmptyWindowedHistogram checks the zero-observation window: a
+// windowed histogram that has never been observed must still render a
+// valid histogram (one +Inf bucket at 0) plus its window bound term.
+func TestEmptyWindowedHistogram(t *testing.T) {
+	reg := approxobj.NewRegistry()
+	if _, err := reg.HistogramObject("empty", approxobj.WithProcs(2),
+		approxobj.WithAccuracy(approxobj.Multiplicative(2)),
+		approxobj.WithWindow(time.Minute, 6)); err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	var b strings.Builder
+	if err := WriteRegistry(&b, reg); err != nil {
+		t.Fatal(err)
+	}
+	body := b.String()
+	validateText(t, body)
+	for _, want := range []string{
+		`empty_bucket{le="+Inf"} 0`,
+		"empty_sum 0",
+		"empty_count 0",
+		`empty_bound{term="window_seconds"} 10`, // 60s / 6 epochs
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("output missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestScrapeAfterClose renders the registry after Close: windowed
+// objects freeze and the scrape still serves the last values.
+func TestScrapeAfterClose(t *testing.T) {
+	reg := approxobj.NewRegistry()
+	c, err := reg.Counter("reqs", approxobj.WithProcs(2), approxobj.WithWindow(time.Hour, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Do(func(h approxobj.CounterHandle) { h.Inc(); h.Inc(); h.Inc() })
+	reg.Close()
+	var b strings.Builder
+	if err := WriteRegistry(&b, reg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "reqs_total 3") {
+		t.Errorf("post-Close scrape lost the value:\n%s", b.String())
+	}
+	validateText(t, b.String())
+}
+
+func TestSanitizeName(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"http.requests", "http_requests"},
+		{"peak-queue-depth", "peak_queue_depth"},
+		{"already_ok:colons", "already_ok:colons"},
+		{"9lives", "_9lives"},
+		{"", "_"},
+		{"sp ace", "sp_ace"},
+	} {
+		if got := SanitizeName(tc.in); got != tc.want {
+			t.Errorf("SanitizeName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"sync/atomic"
 
 	"approxobj/internal/pool"
-	"approxobj/internal/shard"
 )
 
 // This file implements the pooled side of handle management: every object
@@ -137,13 +136,13 @@ func (c *Counter) Do(f func(CounterHandle)) {
 func (c *Counter) StepsRetired() uint64 { return c.slots.stepsRetired() }
 
 func (c *Counter) newPooledHandle(slot int) *pooledCounterHandle {
-	return &pooledCounterHandle{h: c.c.Handle(slot)}
+	return &pooledCounterHandle{h: c.runtimeHandle(slot)}
 }
 
 // pooledCounterHandle wraps a slot's underlying handle with step
 // accounting across acquisitions. It implements BatchedCounterHandle.
 type pooledCounterHandle struct {
-	h        *shard.Handle
+	h        counterRT
 	credited uint64 // steps already added to the object's retired counter
 }
 
@@ -191,13 +190,13 @@ func (r *MaxRegister) Do(f func(MaxRegisterHandle)) {
 func (r *MaxRegister) StepsRetired() uint64 { return r.slots.stepsRetired() }
 
 func (r *MaxRegister) newPooledHandle(slot int) *pooledMaxRegHandle {
-	return &pooledMaxRegHandle{h: r.m.Handle(slot)}
+	return &pooledMaxRegHandle{h: r.runtimeHandle(slot)}
 }
 
 // pooledMaxRegHandle wraps a slot's underlying handle with step
 // accounting across acquisitions. It implements BatchedMaxRegisterHandle.
 type pooledMaxRegHandle struct {
-	h        *shard.MaxRegHandle
+	h        maxRegRT
 	credited uint64 // steps already added to the object's retired counter
 }
 
@@ -247,14 +246,14 @@ func (s *Snapshot) Do(f func(SnapshotHandle)) {
 func (s *Snapshot) StepsRetired() uint64 { return s.slots.stepsRetired() }
 
 func (s *Snapshot) newPooledHandle(slot int) *pooledSnapshotHandle {
-	return &pooledSnapshotHandle{h: s.s.Handle(slot), n: s.spec.procs}
+	return &pooledSnapshotHandle{h: s.runtimeHandle(slot), n: s.spec.procs}
 }
 
 // pooledSnapshotHandle wraps a slot's underlying handle with step
 // accounting across acquisitions, truncating scans to the caller-visible
 // components. It implements BatchedSnapshotHandle.
 type pooledSnapshotHandle struct {
-	h        *shard.SnapshotHandle
+	h        snapshotRT
 	n        int
 	credited uint64 // steps already added to the object's retired counter
 }
@@ -304,7 +303,7 @@ func (h *Histogram) Do(f func(HistogramHandle)) {
 func (h *Histogram) StepsRetired() uint64 { return h.slots.stepsRetired() }
 
 func (h *Histogram) newPooledHandle(slot int) *pooledHistogramHandle {
-	return &pooledHistogramHandle{histSlotHandle: histSlotHandle{h: h.h.Handle(slot), bk: h.bk}}
+	return &pooledHistogramHandle{histSlotHandle: histSlotHandle{h: h.runtimeHandle(slot), bk: h.bk}}
 }
 
 // pooledHistogramHandle wraps a slot's underlying handle with step

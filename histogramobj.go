@@ -96,6 +96,9 @@ var histogramDescriptor = &kindDescriptor{
 	staleTerm:    "queries may miss observations of the last maxStale",
 	readScenario: "E17",
 
+	windowTerm:     "queries fold the observations of the last d (per-bucket sums across epochs; rounding k and rank slack unchanged; one epoch of edge skew)",
+	windowScenario: "E18",
+
 	accuracies: map[accMode]func(s Spec) error{
 		accExact:          checkExactHistogram,
 		accMultiplicative: nil, // k >= 2 is the generic multiplicative check
@@ -126,11 +129,22 @@ func checkExactHistogram(s Spec) error {
 type Histogram struct {
 	spec Spec
 	bk   histogram.Buckets
-	h    *shard.Histogram
+	h    *shard.Histogram         // cumulative runtime, nil when windowed
+	wh   *shard.WindowedHistogram // windowed runtime, nil when cumulative
 
 	slots slotPool[*pooledHistogramHandle]
 
-	snap *shard.HistHandle // registry snapshot handle (slot procs), else nil
+	snap histRT // registry snapshot handle (slot procs), else nil
+}
+
+// histRT is the runtime surface shared by the cumulative and windowed
+// histogram backends; *shard.HistHandle and *shard.WHistHandle both
+// satisfy it.
+type histRT interface {
+	AddN(bucket int, d uint64)
+	Buckets() []uint64
+	Steps() uint64
+	Flush()
 }
 
 var _ instance = (*Histogram)(nil)
@@ -159,20 +173,33 @@ func newHistogram(spec Spec) (*Histogram, error) {
 	if spec.readStale > 0 {
 		hopts = append(hopts, shard.HistReadCache(spec.readStale))
 	}
-	sh, err := shard.NewHistogram(spec.totalProcs(), spec.acc.K(), bk.N(), hopts...)
-	if err != nil {
-		return nil, err
-	}
-	h := &Histogram{
-		spec: spec,
-		bk:   bk,
-		h:    sh,
+	h := &Histogram{spec: spec, bk: bk}
+	if spec.Windowed() {
+		wh, err := shard.NewWindowedHistogram(spec.totalProcs(), spec.acc.K(), bk.N(), spec.windowDur, spec.windowEpochs, hopts...)
+		if err != nil {
+			return nil, err
+		}
+		h.wh = wh
+	} else {
+		sh, err := shard.NewHistogram(spec.totalProcs(), spec.acc.K(), bk.N(), hopts...)
+		if err != nil {
+			return nil, err
+		}
+		h.h = sh
 	}
 	h.slots.init(spec.procs, h.newPooledHandle)
 	if spec.snapshotSlot {
-		h.snap = sh.Handle(spec.procs)
+		h.snap = h.runtimeHandle(spec.procs)
 	}
 	return h, nil
+}
+
+// runtimeHandle binds a slot on whichever runtime backs the histogram.
+func (h *Histogram) runtimeHandle(i int) histRT {
+	if h.wh != nil {
+		return h.wh.Handle(i)
+	}
+	return h.h.Handle(i)
 }
 
 // Spec returns the validated spec the histogram was built from.
@@ -212,13 +239,87 @@ func (h *Histogram) Buckets() int { return h.bk.N() }
 // this envelope composes into. Unbatched exact histograms report the
 // zero envelope. With WithReadCache the Stale term carries the
 // staleness window: every query then folds a pre-combined bucket read
-// whose regularity window opened at most Stale before the query began.
-func (h *Histogram) Bounds() Bounds { return scaledBounds(h.h.Bounds(), h.spec) }
+// whose regularity window opened at most Stale before the read began.
+// With WithWindow(d, n) queries fold the observations of the live
+// window (per-bucket sums across the epoch ring) and the Window term
+// carries the one-epoch truncation skew d/n; rounding (Mult) and rank
+// slack (Buffer) are unchanged — a handle's pending observations live
+// in at most one epoch at a time.
+func (h *Histogram) Bounds() Bounds {
+	if h.wh != nil {
+		return scaledBounds(h.wh.Bounds(), h.spec)
+	}
+	return scaledBounds(h.h.Bounds(), h.spec)
+}
 
-// Close stops the read cache's background combiner goroutine, when
-// WithReadCache is set. Idempotent, and a no-op otherwise; handles stay
-// usable afterwards (cached bucket reads refresh inline).
-func (h *Histogram) Close() { h.h.Close() }
+// Close stops the histogram's background goroutines — the read cache's
+// combiner when WithReadCache is set, and the epoch rotator when
+// WithWindow is set (the window freezes; see Counter.Close).
+// Idempotent, and a no-op otherwise; handles stay usable afterwards
+// (cached bucket reads refresh inline).
+func (h *Histogram) Close() {
+	if h.wh != nil {
+		h.wh.Close()
+		return
+	}
+	h.h.Close()
+}
+
+// Reset replaces the whole window with fresh epochs — the distribution
+// restarts empty. Only windowed histograms (WithWindow) support it; it
+// is an error otherwise, and after Close.
+func (h *Histogram) Reset() error {
+	if h.wh == nil {
+		return fmt.Errorf("approxobj: Reset needs a windowed histogram (WithWindow); this one is cumulative")
+	}
+	return h.wh.Reset()
+}
+
+// Snapshot freezes one consistent bucket read into a queryable
+// HistogramSnapshot and, when reset is true, resets the window
+// afterwards (see Counter.Snapshot for the two-step, non-atomic
+// contract). Unlike handle queries, which each fold a fresh read, every
+// query on the returned snapshot folds the same frozen counts.
+func (h *Histogram) Snapshot(reset bool) (HistogramSnapshot, error) {
+	ph, release := h.slots.acquire()
+	counts := ph.h.Buckets()
+	release()
+	snap := HistogramSnapshot{bk: h.bk, counts: counts}
+	if reset {
+		return snap, h.Reset()
+	}
+	return snap, nil
+}
+
+// HistogramSnapshot is a frozen, queryable view of a histogram's bucket
+// counts at one instant — the query surface of HistogramHandle over one
+// consistent read instead of a fresh read per query. The zero value is
+// an empty snapshot whose queries all return zero.
+type HistogramSnapshot struct {
+	bk     histogram.Buckets
+	counts []uint64
+}
+
+// Count returns the number of observations in the snapshot.
+func (s HistogramSnapshot) Count() uint64 { return histogram.Count(s.counts) }
+
+// Sum returns the sum of the snapshot's observations, each rounded down
+// to its bucket's lower boundary.
+func (s HistogramSnapshot) Sum() uint64 { return histogram.Sum(s.bk, s.counts) }
+
+// Rank returns the number of observations with value at most (the top
+// of the bucket of) v.
+func (s HistogramSnapshot) Rank(v uint64) uint64 { return histogram.Rank(s.bk, s.counts, v) }
+
+// Quantile returns the q-quantile of the snapshot (see
+// HistogramHandle.Quantile); it panics if q is outside [0, 1].
+func (s HistogramSnapshot) Quantile(q float64) uint64 {
+	return histogram.Quantile(s.bk, s.counts, q)
+}
+
+// CDF returns the fraction of observations with value at most (the top
+// of the bucket of) v.
+func (s HistogramSnapshot) CDF(v uint64) float64 { return histogram.CDF(s.bk, s.counts, v) }
 
 // Handle binds process slot i (0 <= i < N) to the histogram, for
 // callers managing slot assignment themselves. Each concurrent
@@ -229,7 +330,7 @@ func (h *Histogram) Handle(i int) HistogramHandle {
 	if i < 0 || i >= h.spec.procs {
 		panic("approxobj: histogram handle slot out of range")
 	}
-	return histSlotHandle{h: h.h.Handle(i), bk: h.bk}
+	return histSlotHandle{h: h.runtimeHandle(i), bk: h.bk}
 }
 
 // histSlotHandle adapts a runtime histogram handle to the public query
@@ -237,7 +338,7 @@ func (h *Histogram) Handle(i int) HistogramHandle {
 // in, and every query folds one merged bucket read through
 // internal/histogram's query engine.
 type histSlotHandle struct {
-	h  *shard.HistHandle
+	h  histRT
 	bk histogram.Buckets
 }
 
@@ -280,3 +381,29 @@ func (h *Histogram) snapshotBounds() Bounds {
 }
 
 func (h *Histogram) snapshotSteps() uint64 { return h.snap.Steps() }
+
+// snapshotDetail folds one consistent bucket read into the registry's
+// kind-agnostic distribution detail: cumulative counts at the upper
+// boundary of each occupied bucket (the Prometheus bucket shape — see
+// package expose). Only occupied buckets are emitted, which keeps the
+// detail compact even for exact layouts with one bucket per value.
+func (h *Histogram) snapshotDetail() *HistogramDetail {
+	counts := h.snap.Buckets()
+	d := &HistogramDetail{
+		Count: histogram.Count(counts),
+		Sum:   histogram.Sum(h.bk, counts),
+		Mult:  h.spec.acc.K(),
+	}
+	var cum uint64
+	for j, c := range counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		d.Buckets = append(d.Buckets, HistogramBucket{
+			UpperBound:      h.bk.Hi(j),
+			CumulativeCount: cum,
+		})
+	}
+	return d
+}

@@ -1,0 +1,289 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"approxobj"
+	"approxobj/expose"
+)
+
+// E18Windowed measures the windowed tier (WithWindow) under the
+// observe+scrape traffic an exposition endpoint sees: every kind is
+// built windowed, a writer goroutine churns it continuously, and the
+// timed loop is the read side — the per-kind windowed read (which folds
+// the live epoch ring) for the four kind rows, and a full
+// expose.WriteRegistry render (the scrape itself) for the
+// registry-scrape row. The window is deliberately long (no rotation
+// fires mid-cell), so after the writer stops and flushes, the windowed
+// read must land inside the object's envelope against the exact
+// write count — re-verified per cell.
+func E18Windowed(cfg Config) ([]*Table, error) {
+	reads := 100_000
+	if cfg.Quick {
+		reads = 10_000
+	}
+	// Long window: rotation (d/epochs = 2 min) never fires inside a
+	// cell, so the convergence checks see the whole write history. The
+	// envelope still carries the Window term — it is configured, not
+	// measured.
+	const (
+		windowDur    = 10 * time.Minute
+		windowEpochs = 5
+	)
+	window := []approxobj.Option{approxobj.WithWindow(windowDur, windowEpochs)}
+
+	t := &Table{
+		ID:    "E18",
+		Title: "windowed objects: read cost under concurrent observation, plus a registry scrape",
+		Note: `Each kind row times the windowed read (Read/Scan/p99 Quantile) through
+one handle while a writer goroutine churns another: the read folds the
+live epoch ring (epochs x shards per-kind combines), which is the
+steady-state cost a windowed object adds over a cumulative one. The
+registry-scrape row times one expose.WriteRegistry render of a registry
+holding all four windowed kinds under the same churn — the cost of one
+Prometheus scrape. The recorded envelope carries the Window term
+(d/epochs); the window is long enough that no rotation fires mid-cell,
+so each cell re-verifies quiescent convergence exactly.`,
+		Header: []string{"case", "epochs", "read ns/op"},
+	}
+
+	type windowCase struct {
+		name string
+		// build returns the write step (returns how much it added to the
+		// tracked total), the timed read, the object's bounds, a
+		// quiescent convergence check against the written total, and a
+		// close function.
+		build func() (write func() uint64, read func() uint64, bounds approxobj.Bounds, converge func(total uint64) error, closeFn func(), err error)
+	}
+
+	cases := []windowCase{
+		{name: "counter", build: func() (func() uint64, func() uint64, approxobj.Bounds, func(uint64) error, func(), error) {
+			c, err := approxobj.NewCounter(append([]approxobj.Option{
+				approxobj.WithProcs(2),
+				approxobj.WithAccuracy(approxobj.Multiplicative(2)),
+				approxobj.WithShards(2),
+			}, window...)...)
+			if err != nil {
+				return nil, nil, approxobj.Bounds{}, nil, nil, err
+			}
+			w, r := c.Handle(0), c.Handle(1)
+			write := func() uint64 { w.Inc(); return 1 }
+			converge := func(total uint64) error {
+				flushed := c.Bounds()
+				flushed.Buffer = 0
+				if x := r.Read(); !flushed.Contains(total, x) {
+					return fmt.Errorf("windowed counter read %d outside flushed envelope %+v of %d", x, flushed, total)
+				}
+				return nil
+			}
+			return write, r.Read, c.Bounds(), converge, c.Close, nil
+		}},
+		{name: "max-register", build: func() (func() uint64, func() uint64, approxobj.Bounds, func(uint64) error, func(), error) {
+			m, err := approxobj.NewMaxRegister(append([]approxobj.Option{
+				approxobj.WithProcs(2),
+				approxobj.WithBound(1 << 30),
+			}, window...)...)
+			if err != nil {
+				return nil, nil, approxobj.Bounds{}, nil, nil, err
+			}
+			w, r := m.Handle(0), m.Handle(1)
+			var next uint64
+			write := func() uint64 { next++; w.Write(next); return 1 }
+			converge := func(total uint64) error {
+				if x := r.Read(); x != next {
+					return fmt.Errorf("windowed max-register read %d, want high-water mark %d", x, next)
+				}
+				return nil
+			}
+			return write, r.Read, m.Bounds(), converge, m.Close, nil
+		}},
+		{name: "snapshot", build: func() (func() uint64, func() uint64, approxobj.Bounds, func(uint64) error, func(), error) {
+			sn, err := approxobj.NewSnapshot(append([]approxobj.Option{
+				approxobj.WithProcs(2),
+			}, window...)...)
+			if err != nil {
+				return nil, nil, approxobj.Bounds{}, nil, nil, err
+			}
+			w, r := sn.Handle(0), sn.Handle(1)
+			var next uint64
+			write := func() uint64 { next++; w.Update(next); return 1 }
+			read := func() uint64 { return r.Scan()[0] }
+			converge := func(total uint64) error {
+				if x := read(); x != next {
+					return fmt.Errorf("windowed snapshot component %d, want high-water mark %d", x, next)
+				}
+				return nil
+			}
+			return write, read, sn.Bounds(), converge, sn.Close, nil
+		}},
+		{name: "histogram", build: func() (func() uint64, func() uint64, approxobj.Bounds, func(uint64) error, func(), error) {
+			const bound = uint64(1) << 16
+			hg, err := approxobj.NewHistogram(append([]approxobj.Option{
+				approxobj.WithProcs(2),
+				approxobj.WithAccuracy(approxobj.Multiplicative(2)),
+				approxobj.WithBound(bound),
+				approxobj.WithShards(2),
+			}, window...)...)
+			if err != nil {
+				return nil, nil, approxobj.Bounds{}, nil, nil, err
+			}
+			w, r := hg.Handle(0), hg.Handle(1)
+			var next uint64
+			write := func() uint64 { next++; w.Observe(next % bound); return 1 }
+			read := func() uint64 { return r.Quantile(0.99) }
+			converge := func(total uint64) error {
+				if c := r.Count(); c != total {
+					return fmt.Errorf("windowed histogram count %d, want exactly %d", c, total)
+				}
+				return nil
+			}
+			return write, read, hg.Bounds(), converge, hg.Close, nil
+		}},
+	}
+
+	var sink uint64
+	for _, wc := range cases {
+		write, read, bounds, converge, closeFn, err := wc.build()
+		if err != nil {
+			return nil, err
+		}
+		nsPerOp, err := timeUnderChurn(reads, write, read, converge, &sink)
+		closeFn()
+		if err != nil {
+			return nil, fmt.Errorf("bench: E18 %s: %w", wc.name, err)
+		}
+		t.AddRow(wc.name, windowEpochs, fmt.Sprintf("%.1f", nsPerOp))
+		t.AddRecord(Record{
+			Params:   map[string]string{"kind": wc.name},
+			NsPerOp:  nsPerOp,
+			Envelope: EnvelopeOf(bounds),
+		})
+	}
+	if sink == ^uint64(0) {
+		return nil, fmt.Errorf("bench: impossible sink value")
+	}
+
+	scrape, err := e18Scrape(cfg, reads/100, window, windowDur, windowEpochs)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, scrape.Rows...)
+	t.Records = append(t.Records, scrape.Records...)
+	return []*Table{t}, nil
+}
+
+// timeUnderChurn runs the timed read loop while a writer goroutine
+// applies write steps continuously, then stops the writer, flushes by
+// reading once more at quiescence, and runs the convergence check
+// against the total applied.
+func timeUnderChurn(reads int, write func() uint64, read func() uint64, converge func(total uint64) error, sink *uint64) (float64, error) {
+	var total atomic.Uint64
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				total.Add(write())
+			}
+		}
+	}()
+	start := time.Now()
+	for i := 0; i < reads; i++ {
+		*sink += read()
+	}
+	elapsed := time.Since(start)
+	close(stop)
+	<-done
+	if err := converge(total.Load()); err != nil {
+		return 0, err
+	}
+	return float64(elapsed.Nanoseconds()) / float64(reads), nil
+}
+
+// e18Scrape times a full expose.WriteRegistry render of a registry
+// holding one windowed object of every kind, while one writer goroutine
+// per object churns it — the per-scrape cost of the exposition
+// endpoint.
+func e18Scrape(cfg Config, scrapes int, window []approxobj.Option, d time.Duration, epochs int) (*Table, error) {
+	if scrapes < 100 {
+		scrapes = 100
+	}
+	reg := approxobj.NewRegistry()
+	c, err := reg.Counter("e18.requests", append([]approxobj.Option{
+		approxobj.WithProcs(2), approxobj.WithAccuracy(approxobj.Multiplicative(2)),
+	}, window...)...)
+	if err != nil {
+		return nil, err
+	}
+	m, err := reg.MaxRegister("e18.peak", append([]approxobj.Option{
+		approxobj.WithProcs(2), approxobj.WithBound(1 << 30),
+	}, window...)...)
+	if err != nil {
+		return nil, err
+	}
+	sn, err := reg.SnapshotObject("e18.progress", append([]approxobj.Option{
+		approxobj.WithProcs(2),
+	}, window...)...)
+	if err != nil {
+		return nil, err
+	}
+	hg, err := reg.HistogramObject("e18.latency", append([]approxobj.Option{
+		approxobj.WithProcs(2), approxobj.WithAccuracy(approxobj.Multiplicative(2)), approxobj.WithBound(1 << 16),
+	}, window...)...)
+	if err != nil {
+		return nil, err
+	}
+	defer reg.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	churn := func(step func(i uint64)) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := uint64(1); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					step(i)
+				}
+			}
+		}()
+	}
+	ch, cm, cs, chg := c.Handle(0), m.Handle(0), sn.Handle(0), hg.Handle(0)
+	churn(func(i uint64) { ch.Inc() })
+	churn(func(i uint64) { cm.Write(i) })
+	churn(func(i uint64) { cs.Update(i) })
+	churn(func(i uint64) { chg.Observe(i % (1 << 16)) })
+
+	start := time.Now()
+	for i := 0; i < scrapes; i++ {
+		if err := expose.WriteRegistry(io.Discard, reg); err != nil {
+			close(stop)
+			wg.Wait()
+			return nil, fmt.Errorf("bench: E18 scrape: %w", err)
+		}
+	}
+	elapsed := time.Since(start)
+	close(stop)
+	wg.Wait()
+
+	nsPerOp := float64(elapsed.Nanoseconds()) / float64(scrapes)
+	t := &Table{ID: "E18"}
+	t.AddRow("registry-scrape", epochs, fmt.Sprintf("%.1f", nsPerOp))
+	t.AddRecord(Record{
+		Params:   map[string]string{"kind": "registry-scrape"},
+		NsPerOp:  nsPerOp,
+		Envelope: &RecordEnvelope{Mult: 1, Window: uint64(d / time.Duration(epochs))},
+	})
+	return t, nil
+}

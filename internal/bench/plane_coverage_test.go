@@ -43,5 +43,16 @@ func TestEveryKindHasBenchScenario(t *testing.T) {
 				t.Errorf("kind %q declares read bench scenario %q, which no experiment in bench.All emits", kp.Kind, kp.ReadBenchScenario)
 			}
 		}
+		// A kind with window support (documented window term) must also
+		// declare an emitted windowed observe+scrape scenario.
+		if kp.WindowTerm != "" {
+			if kp.WindowBenchScenario == "" {
+				t.Errorf("kind %q documents a window term but declares no windowed bench scenario", kp.Kind)
+				continue
+			}
+			if !declared[kp.WindowBenchScenario] {
+				t.Errorf("kind %q declares window bench scenario %q, which no experiment in bench.All emits", kp.Kind, kp.WindowBenchScenario)
+			}
+		}
 	}
 }

@@ -41,11 +41,15 @@ type RecordEnvelope struct {
 	// the cell runs uncached); like the other terms it is configured,
 	// not measured, so -compare treats any widening as a regression.
 	Stale uint64 `json:"stale_ns,omitempty"`
+	// Window is the epoch-truncation skew of windowed cells in
+	// nanoseconds — d/n for WithWindow(d, n), 0 for cumulative cells.
+	// Configured like Stale, so -compare flags widening exactly.
+	Window uint64 `json:"window_ns,omitempty"`
 }
 
 // EnvelopeOf converts an object's Bounds into record form.
 func EnvelopeOf(b approxobj.Bounds) *RecordEnvelope {
-	return &RecordEnvelope{Mult: b.Mult, Add: b.Add, Buffer: b.Buffer, Stale: uint64(b.Stale)}
+	return &RecordEnvelope{Mult: b.Mult, Add: b.Add, Buffer: b.Buffer, Stale: uint64(b.Stale), Window: uint64(b.Window)}
 }
 
 // Table is a rendered experiment result.
@@ -181,6 +185,7 @@ func All() []Experiment {
 		{ID: "e15", Desc: "sharded snapshot scaling: shards x elision-window sweep via the spec API", Scenarios: []string{"E15"}, Run: E15ShardedSnapshot},
 		{ID: "e16", Desc: "sharded histogram scaling: shards x batch sweep with quantile queries via the spec API", Scenarios: []string{"E16"}, Run: E16ShardedHistogram},
 		{ID: "e17", Desc: "read plane: cached vs uncached read cost across shard counts, plus a reader:writer ratio sweep", Scenarios: []string{"E17", "E17b"}, Run: E17ReadPlane},
+		{ID: "e18", Desc: "windowed objects: per-kind reads under concurrent observation, plus a full-registry scrape", Scenarios: []string{"E18"}, Run: E18Windowed},
 		{ID: "f1", Desc: "Figure 1 read-case trace reproduction", Run: F1ReadCases},
 	}
 }

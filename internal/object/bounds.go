@@ -29,11 +29,24 @@ import (
 // read's own start). Stale is a time-domain term — unlike Mult, Add,
 // and Buffer it does not enter the arithmetic of Contains/ContainsRange;
 // checkers widen the window (their choice of vmin) instead.
+//
+// Window is the epoch-truncation skew of windowed objects (0 when the
+// object is cumulative): a windowed object keeps a ring of epoch
+// instances rotated every Window (= the window duration divided by the
+// epoch count), and a read combines the live ring. The combined value
+// covers at least the last d - Window and at most the last d of
+// mutations, and a read racing a rotation may additionally miss the
+// epoch being evicted — in total at most one epoch of truncation skew
+// at either edge of the window. Like Stale it is a time-domain term:
+// it bounds WHICH mutations the window covers, not the arithmetic of
+// the envelope, so Contains/ContainsRange ignore it and checkers pick
+// their true-value window accordingly.
 type Bounds struct {
 	Mult   uint64
 	Add    uint64
 	Buffer uint64
 	Stale  time.Duration
+	Window time.Duration
 }
 
 // ExactBounds is the zero envelope of precise objects: reads return the
@@ -41,10 +54,11 @@ type Bounds struct {
 func ExactBounds() Bounds { return Bounds{Mult: 1} }
 
 // IsExact reports whether the envelope pins reads to the true value. A
-// nonzero Stale term disqualifies: a cached read can be exact only
-// against a past value.
+// nonzero Stale or Window term disqualifies: a cached read can be exact
+// only against a past value, and a windowed read only against a
+// truncated one.
 func (b Bounds) IsExact() bool {
-	return b.Mult <= 1 && b.Add == 0 && b.Buffer == 0 && b.Stale == 0
+	return b.Mult <= 1 && b.Add == 0 && b.Buffer == 0 && b.Stale == 0 && b.Window == 0
 }
 
 // Contains reports whether response x is inside the envelope for true

@@ -1,0 +1,636 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"approxobj/internal/satmath"
+)
+
+// This file is the windowed tier of the backend plane: an object becomes
+// a small ring of plane instances ("epochs") rotated on a fixed period,
+// so reads answer over the last d of mutations instead of
+// since-creation. The construction reuses everything below it — each
+// epoch is an ordinary kind object with its own shards, buffers, and
+// (optionally) read-combiner tier — and everything above it: writers
+// stamp into the current epoch through the kind's existing handle
+// plumbing, and reads fold the live ring with the kind's existing
+// Combine, so the per-epoch accuracy envelope carries over to the
+// window with only the documented widenings (Add x epochs for
+// sum-combines; a one-epoch truncation skew, the Window term of
+// Bounds).
+//
+// # Rotation
+//
+// The ring holds `epochs` instances; a background rotator goroutine
+// advances the sequence number every d/epochs. Rotation is
+// install-then-publish: the fresh epoch is swapped into the ring slot
+// the new sequence number maps to BEFORE the sequence number is
+// published, so a writer that loads the new sequence number always
+// finds the new epoch installed, and a writer holding the old one
+// writes into the previous epoch — still live in the ring for
+// epochs >= 2. Writes therefore land in the epoch current when the
+// handle resolved the ring, or an adjacent newer one; never in an
+// unreachable instance, and never lost from the live window. The
+// evicted instance (from `epochs` rotations ago) is closed — its
+// read-combiner goroutine, if any, stops — but stays readable for any
+// reader that loaded its pointer just before the swap.
+//
+// # Handles
+//
+// A window handle caches one kind handle per ring slot, re-homing
+// lazily: it rebinds a slot's handle when the installed epoch's
+// sequence number changed, flushing the outgoing handle's buffered
+// mutations into its own epoch first (they happened during that epoch's
+// span, so that is where they belong — and for a live epoch they stay
+// visible to windowed reads). The handle also flushes its previous
+// write slot whenever the current ring slot moves, so at any moment at
+// most ONE of its cached handles holds buffered mutations — which is
+// why the Buffer term of the windowed envelope equals the per-epoch
+// one, not epochs times it.
+//
+// # Reads
+//
+// A windowed read folds one combined read of every ring slot with the
+// kind's Combine. Every live epoch holds a disjoint share of the
+// window's mutations, so the same composition arguments as sharding
+// apply: a sum of per-epoch k-multiplicative counts is
+// k-multiplicative, per-epoch additive slack sums (Add x epochs), max
+// and per-component merges widen nothing. The fold visits the ring
+// racing rotation, so a read may miss the epoch being evicted and see
+// the fresh one empty: at most one epoch (d/epochs) of truncation skew,
+// reported as the Window term of Bounds.
+
+// wepoch is one ring entry: a kind object and the rotation sequence
+// number under which it was installed.
+type wepoch[T any] struct {
+	seq uint64
+	obj T
+}
+
+// window is the generic epoch ring. T is the kind object (*Counter,
+// *MaxReg, ...), H its handle type, V the combined-read value; the
+// per-kind function fields adapt the ring to the kind, exactly like the
+// plane's policy rows adapt the shard fold.
+type window[T any, H any, V any] struct {
+	dur    time.Duration
+	epochs int
+
+	mk       func() (T, error) // builds one fresh epoch instance
+	bind     func(T, int) H    // binds a process slot to an epoch
+	readOf   func(H) V         // the epoch's combined read
+	flushOf  func(H)
+	stepsOf  func(H) uint64
+	closeOf  func(T)
+	boundsOf func(T) Bounds
+	combine  Combine[V]
+	// sumCombine: the kind's Combine sums values, so per-epoch additive
+	// slack accumulates over the live ring (counters; false for max,
+	// per-component, and per-bucket folds, which partition instead).
+	sumCombine bool
+
+	// seq is published AFTER the epoch for it is installed in the ring,
+	// so ring[seq%epochs] always holds an instance at least as new as
+	// seq.
+	seq  atomic.Uint64
+	ring []atomic.Pointer[wepoch[T]]
+
+	mu     sync.Mutex // serializes rotate, reset, and close
+	closed bool
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// newWindow builds the ring (all epochs pre-installed, so the very
+// first read folds a full window of empty instances) and starts the
+// rotator goroutine.
+func newWindow[T any, H any, V any](d time.Duration, epochs int, w *window[T, H, V]) (*window[T, H, V], error) {
+	if d <= 0 {
+		return nil, fmt.Errorf("shard: window duration must be > 0, got %v", d)
+	}
+	if epochs < 2 {
+		return nil, fmt.Errorf("shard: window needs at least 2 epochs (1 would truncate the whole window on every rotation), got %d", epochs)
+	}
+	w.dur, w.epochs = d, epochs
+	w.ring = make([]atomic.Pointer[wepoch[T]], epochs)
+	for j := 0; j < epochs; j++ {
+		obj, err := w.mk()
+		if err != nil {
+			for i := 0; i < j; i++ {
+				w.closeOf(w.ring[i].Load().obj)
+			}
+			return nil, err
+		}
+		w.ring[j].Store(&wepoch[T]{seq: uint64(j), obj: obj})
+	}
+	w.seq.Store(uint64(epochs - 1))
+	w.stop = make(chan struct{})
+	w.done = make(chan struct{})
+	go w.run()
+	return w, nil
+}
+
+// run is the rotator loop: one rotation every d/epochs.
+func (w *window[T, H, V]) run() {
+	defer close(w.done)
+	t := time.NewTicker(w.dur / time.Duration(w.epochs))
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			w.rotate()
+		}
+	}
+}
+
+// rotate installs a fresh epoch and evicts the oldest: install into the
+// new sequence number's ring slot first, publish the sequence number
+// second, close the evicted instance last. After Close it is a no-op
+// (the window is frozen). A kind construction that cannot fail built
+// the ring, so mk cannot fail here either; a failure is surfaced by
+// keeping the current window (no rotation) rather than poisoning the
+// ring.
+func (w *window[T, H, V]) rotate() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return
+	}
+	fresh, err := w.mk()
+	if err != nil {
+		return
+	}
+	s := w.seq.Load() + 1
+	old := w.ring[s%uint64(w.epochs)].Swap(&wepoch[T]{seq: s, obj: fresh})
+	w.seq.Store(s)
+	w.closeOf(old.obj)
+}
+
+// Rotate forces one rotation, for deterministic tests and manual epoch
+// control: the windowed conformance sweeps drive epochs by hand instead
+// of sleeping through wall-clock rotations.
+func (w *window[T, H, V]) Rotate() { w.rotate() }
+
+// Reset replaces every live epoch with a fresh instance — the
+// go-metrics Snapshot(reset) idiom. It is NOT atomic with a preceding
+// read: mutations racing the reset land in an epoch that is either
+// kept (the tail of the replacement loop) or discarded with the window,
+// exactly like mutations racing a rotation land on either side of it.
+// After Close, Reset returns an error (the window is frozen).
+func (w *window[T, H, V]) Reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("shard: Reset on a closed windowed object (the window is frozen)")
+	}
+	fresh := make([]T, w.epochs)
+	for i := range fresh {
+		obj, err := w.mk()
+		if err != nil {
+			for j := 0; j < i; j++ {
+				w.closeOf(fresh[j])
+			}
+			return err
+		}
+		fresh[i] = obj
+	}
+	s := w.seq.Load()
+	for i := 1; i <= w.epochs; i++ {
+		ns := s + uint64(i)
+		old := w.ring[ns%uint64(w.epochs)].Swap(&wepoch[T]{seq: ns, obj: fresh[i-1]})
+		w.closeOf(old.obj)
+	}
+	w.seq.Store(s + uint64(w.epochs))
+	return nil
+}
+
+// Close stops the rotator goroutine and every live epoch's background
+// resources, freezing the window: no further aging, reads keep serving
+// the frozen ring (they remain fully valid — per-epoch cached reads
+// fall back to inline refreshes), writes keep landing in the frozen
+// current epoch, and Reset returns an error. Idempotent.
+func (w *window[T, H, V]) Close() {
+	w.once.Do(func() {
+		close(w.stop)
+		<-w.done
+	})
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return
+	}
+	w.closed = true
+	for j := range w.ring {
+		w.closeOf(w.ring[j].Load().obj)
+	}
+}
+
+// Window returns the window duration d.
+func (w *window[T, H, V]) Window() time.Duration { return w.dur }
+
+// Epochs returns the ring size.
+func (w *window[T, H, V]) Epochs() int { return w.epochs }
+
+// Bounds composes the windowed envelope from the per-epoch one: Add
+// widens by the epoch count iff the kind's Combine sums (per-epoch
+// slack accumulates over the fold, exactly like per-shard slack under a
+// sum), Buffer is unchanged (a handle holds buffered mutations in at
+// most one epoch at a time — see the handle comment), Stale is
+// unchanged (each epoch's cache is its own), and Window carries the
+// one-epoch truncation skew d/epochs.
+func (w *window[T, H, V]) Bounds() Bounds {
+	e := w.ring[w.seq.Load()%uint64(w.epochs)].Load()
+	b := w.boundsOf(e.obj)
+	if w.sumCombine {
+		b.Add = satmath.Mul(b.Add, uint64(w.epochs))
+	}
+	b.Window = w.dur / time.Duration(w.epochs)
+	return b
+}
+
+// windowCore is one cached per-ring-slot kind handle.
+type windowCore[H any] struct {
+	seq uint64
+	h   H
+	ok  bool
+}
+
+// windowHandle is the per-slot handle over the ring: cached kind
+// handles per ring slot, lazy re-homing, and steps accounting across
+// rebinds. Like every handle in this repository it must be used by a
+// single goroutine; rotation happens on another goroutine but
+// communicates only through the ring's atomics.
+type windowHandle[T any, H any, V any] struct {
+	w     *window[T, H, V]
+	slot  int
+	cores []windowCore[H]
+	// lastWrite is the ring slot of the most recent mutation, so moving
+	// to a new current slot flushes the previous one's buffer first:
+	// buffered mutations live in at most one cached handle at a time.
+	lastWrite int
+	// retired accumulates the steps of rebound (dropped) cores, keeping
+	// Steps monotone across epochs.
+	retired uint64
+}
+
+func newWindowHandle[T any, H any, V any](w *window[T, H, V], slot int) windowHandle[T, H, V] {
+	return windowHandle[T, H, V]{w: w, slot: slot, cores: make([]windowCore[H], w.epochs), lastWrite: -1}
+}
+
+// core returns the cached kind handle for ring slot j's installed epoch
+// e, rebinding (flush old, bind new) when the slot was rotated under
+// it.
+func (h *windowHandle[T, H, V]) core(j int, e *wepoch[T]) H {
+	c := &h.cores[j]
+	if !c.ok || c.seq != e.seq {
+		if c.ok {
+			h.w.flushOf(c.h)
+			h.retired += h.w.stepsOf(c.h)
+		}
+		c.h = h.w.bind(e.obj, h.slot)
+		c.seq = e.seq
+		c.ok = true
+	}
+	return c.h
+}
+
+// cur resolves the current epoch's handle for a mutation, flushing the
+// previous write slot when the current ring slot moved. The epoch
+// loaded may be newer than the sequence number read (a rotation
+// in-flight); either is live, so the mutation is never lost.
+func (h *windowHandle[T, H, V]) cur() H {
+	j := int(h.w.seq.Load() % uint64(h.w.epochs))
+	if h.lastWrite >= 0 && h.lastWrite != j && h.cores[h.lastWrite].ok {
+		h.w.flushOf(h.cores[h.lastWrite].h)
+	}
+	h.lastWrite = j
+	return h.core(j, h.w.ring[j].Load())
+}
+
+// readWindow folds one combined read of every ring slot with the
+// kind's Combine. The accumulator is the first epoch's fresh read
+// (handles return freshly owned values), so vector combines may mutate
+// it, exactly as in the shard fold.
+func (h *windowHandle[T, H, V]) readWindow() V {
+	e := h.w.ring[0].Load()
+	acc := h.w.readOf(h.core(0, e))
+	for j := 1; j < h.w.epochs; j++ {
+		e := h.w.ring[j].Load()
+		acc = h.w.combine(acc, h.w.readOf(h.core(j, e)))
+	}
+	return acc
+}
+
+// flushAll publishes every cached handle's buffered mutations.
+func (h *windowHandle[T, H, V]) flushAll() {
+	for j := range h.cores {
+		if h.cores[j].ok {
+			h.w.flushOf(h.cores[j].h)
+		}
+	}
+}
+
+// steps returns the handle's cumulative shared-memory steps: retired
+// cores plus every live cached handle. Monotone across rebinds (fresh
+// epoch handles start at zero and retired only grows).
+func (h *windowHandle[T, H, V]) steps() uint64 {
+	s := h.retired
+	for j := range h.cores {
+		if h.cores[j].ok {
+			s += h.w.stepsOf(h.cores[j].h)
+		}
+	}
+	return s
+}
+
+// WindowedCounter is a counter over a rotating epoch ring: Incs land in
+// the current epoch, Reads sum the live ring. Each epoch is a full
+// *Counter (shards, batching, optional read cache) built from the same
+// configuration.
+type WindowedCounter struct {
+	w *window[*Counter, *Handle, uint64]
+}
+
+// NewWindowedCounter builds a windowed counter: a ring of `epochs`
+// instances of New(n, k, opts...) rotated every d/epochs.
+func NewWindowedCounter(n int, k uint64, d time.Duration, epochs int, opts ...Option) (*WindowedCounter, error) {
+	w := &window[*Counter, *Handle, uint64]{
+		mk:         func() (*Counter, error) { return New(n, k, opts...) },
+		bind:       func(c *Counter, i int) *Handle { return c.Handle(i) },
+		readOf:     func(h *Handle) uint64 { return h.Read() },
+		flushOf:    func(h *Handle) { h.Flush() },
+		stepsOf:    func(h *Handle) uint64 { return h.Steps() },
+		closeOf:    func(c *Counter) { c.Close() },
+		boundsOf:   func(c *Counter) Bounds { return c.Bounds() },
+		combine:    satmath.Add,
+		sumCombine: true,
+	}
+	if _, err := newWindow(d, epochs, w); err != nil {
+		return nil, err
+	}
+	return &WindowedCounter{w: w}, nil
+}
+
+// Handle binds process slot i to the windowed counter.
+func (c *WindowedCounter) Handle(i int) *WCounterHandle {
+	return &WCounterHandle{h: newWindowHandle(c.w, i)}
+}
+
+// Bounds returns the windowed read envelope (see window.Bounds).
+func (c *WindowedCounter) Bounds() Bounds { return c.w.Bounds() }
+
+// Close freezes the window (see window.Close).
+func (c *WindowedCounter) Close() { c.w.Close() }
+
+// Reset replaces every live epoch with a fresh one (see window.Reset).
+func (c *WindowedCounter) Reset() error { return c.w.Reset() }
+
+// Rotate forces one epoch rotation (deterministic tests).
+func (c *WindowedCounter) Rotate() { c.w.Rotate() }
+
+// Window returns the window duration; Epochs the ring size.
+func (c *WindowedCounter) Window() time.Duration { return c.w.Window() }
+func (c *WindowedCounter) Epochs() int           { return c.w.Epochs() }
+
+// WCounterHandle is one process's view of a windowed counter. It
+// satisfies the same contract as *Handle (Inc, Read, Steps, Flush).
+type WCounterHandle struct {
+	h windowHandle[*Counter, *Handle, uint64]
+}
+
+// Inc adds one to the current epoch.
+func (h *WCounterHandle) Inc() { h.h.cur().Inc() }
+
+// Read sums one combined read of every live epoch (saturating).
+func (h *WCounterHandle) Read() uint64 { return h.h.readWindow() }
+
+// Flush publishes buffered increments in every cached epoch handle.
+func (h *WCounterHandle) Flush() { h.h.flushAll() }
+
+// Steps returns the cumulative shared-memory steps across epochs.
+func (h *WCounterHandle) Steps() uint64 { return h.h.steps() }
+
+// WindowedMaxReg is a max register over a rotating epoch ring: Writes
+// land in the current epoch, Reads take the max over the live ring —
+// the maximum over the last window, a running high-water mark that
+// expires.
+type WindowedMaxReg struct {
+	w *window[*MaxReg, *MaxRegHandle, uint64]
+}
+
+// NewWindowedMaxReg builds a windowed max register: a ring of `epochs`
+// instances of NewMaxReg(n, k, opts...) rotated every d/epochs.
+func NewWindowedMaxReg(n int, k uint64, d time.Duration, epochs int, opts ...MaxRegOption) (*WindowedMaxReg, error) {
+	w := &window[*MaxReg, *MaxRegHandle, uint64]{
+		mk:       func() (*MaxReg, error) { return NewMaxReg(n, k, opts...) },
+		bind:     func(m *MaxReg, i int) *MaxRegHandle { return m.Handle(i) },
+		readOf:   func(h *MaxRegHandle) uint64 { return h.Read() },
+		flushOf:  func(h *MaxRegHandle) { h.Flush() },
+		stepsOf:  func(h *MaxRegHandle) uint64 { return h.Steps() },
+		closeOf:  func(m *MaxReg) { m.Close() },
+		boundsOf: func(m *MaxReg) Bounds { return m.Bounds() },
+		combine:  maxOf,
+	}
+	if _, err := newWindow(d, epochs, w); err != nil {
+		return nil, err
+	}
+	return &WindowedMaxReg{w: w}, nil
+}
+
+// Handle binds process slot i to the windowed register.
+func (m *WindowedMaxReg) Handle(i int) *WMaxRegHandle {
+	return &WMaxRegHandle{h: newWindowHandle(m.w, i)}
+}
+
+// Bounds returns the windowed read envelope (see window.Bounds).
+func (m *WindowedMaxReg) Bounds() Bounds { return m.w.Bounds() }
+
+// Close freezes the window (see window.Close).
+func (m *WindowedMaxReg) Close() { m.w.Close() }
+
+// Reset replaces every live epoch with a fresh one (see window.Reset).
+func (m *WindowedMaxReg) Reset() error { return m.w.Reset() }
+
+// Rotate forces one epoch rotation (deterministic tests).
+func (m *WindowedMaxReg) Rotate() { m.w.Rotate() }
+
+// Window returns the window duration; Epochs the ring size.
+func (m *WindowedMaxReg) Window() time.Duration { return m.w.Window() }
+func (m *WindowedMaxReg) Epochs() int           { return m.w.Epochs() }
+
+// WMaxRegHandle is one process's view of a windowed max register. It
+// satisfies the same contract as *MaxRegHandle (Write, Read, Steps,
+// Flush).
+type WMaxRegHandle struct {
+	h windowHandle[*MaxReg, *MaxRegHandle, uint64]
+}
+
+// Write records v in the current epoch.
+func (h *WMaxRegHandle) Write(v uint64) { h.h.cur().Write(v) }
+
+// Read returns the maximum over one combined read of every live epoch.
+func (h *WMaxRegHandle) Read() uint64 { return h.h.readWindow() }
+
+// Flush publishes elided writes in every cached epoch handle.
+func (h *WMaxRegHandle) Flush() { h.h.flushAll() }
+
+// Steps returns the cumulative shared-memory steps across epochs.
+func (h *WMaxRegHandle) Steps() uint64 { return h.h.steps() }
+
+// WindowedSnapshot is a single-writer snapshot over a rotating epoch
+// ring. Updates land in the current epoch; a windowed Scan merges the
+// live ring per component with the snapshot's usual element-wise max,
+// so each component reads as its high-water mark over the window (a
+// component untouched for a full window reads zero).
+type WindowedSnapshot struct {
+	w *window[*Snapshot, *SnapshotHandle, []uint64]
+}
+
+// NewWindowedSnapshot builds a windowed snapshot: a ring of `epochs`
+// instances of NewSnapshot(n, k, opts...) rotated every d/epochs.
+func NewWindowedSnapshot(n int, k uint64, d time.Duration, epochs int, opts ...SnapshotOption) (*WindowedSnapshot, error) {
+	w := &window[*Snapshot, *SnapshotHandle, []uint64]{
+		mk:       func() (*Snapshot, error) { return NewSnapshot(n, k, opts...) },
+		bind:     func(s *Snapshot, i int) *SnapshotHandle { return s.Handle(i) },
+		readOf:   func(h *SnapshotHandle) []uint64 { return h.Scan() },
+		flushOf:  func(h *SnapshotHandle) { h.Flush() },
+		stepsOf:  func(h *SnapshotHandle) uint64 { return h.Steps() },
+		closeOf:  func(s *Snapshot) { s.Close() },
+		boundsOf: func(s *Snapshot) Bounds { return s.Bounds() },
+		combine:  mergeComponents,
+	}
+	if _, err := newWindow(d, epochs, w); err != nil {
+		return nil, err
+	}
+	return &WindowedSnapshot{w: w}, nil
+}
+
+// Handle binds process slot i to the windowed snapshot: the single
+// writer of component i.
+func (s *WindowedSnapshot) Handle(i int) *WSnapshotHandle {
+	return &WSnapshotHandle{h: newWindowHandle(s.w, i), slot: i}
+}
+
+// Bounds returns the windowed read envelope (see window.Bounds).
+func (s *WindowedSnapshot) Bounds() Bounds { return s.w.Bounds() }
+
+// Close freezes the window (see window.Close).
+func (s *WindowedSnapshot) Close() { s.w.Close() }
+
+// Reset replaces every live epoch with a fresh one (see window.Reset).
+func (s *WindowedSnapshot) Reset() error { return s.w.Reset() }
+
+// Rotate forces one epoch rotation (deterministic tests).
+func (s *WindowedSnapshot) Rotate() { s.w.Rotate() }
+
+// Window returns the window duration; Epochs the ring size.
+func (s *WindowedSnapshot) Window() time.Duration { return s.w.Window() }
+func (s *WindowedSnapshot) Epochs() int           { return s.w.Epochs() }
+
+// WSnapshotHandle is one process's view of a windowed snapshot. It
+// satisfies the same contract as *SnapshotHandle (Update, Scan,
+// Component, Steps, Flush).
+type WSnapshotHandle struct {
+	h    windowHandle[*Snapshot, *SnapshotHandle, []uint64]
+	slot int
+}
+
+// Update sets this handle's component in the current epoch.
+func (h *WSnapshotHandle) Update(v uint64) { h.h.cur().Update(v) }
+
+// Scan merges one scan of every live epoch per component (element-wise
+// max: the component's high-water mark over the window). The slice is
+// fresh (owned by the caller).
+func (h *WSnapshotHandle) Scan() []uint64 { return h.h.readWindow() }
+
+// Component returns the index of the component this handle writes.
+func (h *WSnapshotHandle) Component() int { return h.slot }
+
+// Flush publishes elided component updates in every cached epoch
+// handle.
+func (h *WSnapshotHandle) Flush() { h.h.flushAll() }
+
+// Steps returns the cumulative shared-memory steps across epochs.
+func (h *WSnapshotHandle) Steps() uint64 { return h.h.steps() }
+
+// WindowedHistogram is a histogram over a rotating epoch ring:
+// observations land in the current epoch, bucket reads sum the live
+// ring per bucket — so every query (Count, Quantile, Rank, CDF at the
+// public layer) answers over the last window of observations.
+type WindowedHistogram struct {
+	w       *window[*Histogram, *HistHandle, []uint64]
+	buckets int
+}
+
+// NewWindowedHistogram builds a windowed histogram: a ring of `epochs`
+// instances of NewHistogram(n, k, buckets, opts...) rotated every
+// d/epochs.
+func NewWindowedHistogram(n int, k uint64, buckets int, d time.Duration, epochs int, opts ...HistOption) (*WindowedHistogram, error) {
+	w := &window[*Histogram, *HistHandle, []uint64]{
+		mk:       func() (*Histogram, error) { return NewHistogram(n, k, buckets, opts...) },
+		bind:     func(hg *Histogram, i int) *HistHandle { return hg.Handle(i) },
+		readOf:   func(h *HistHandle) []uint64 { return h.Buckets() },
+		flushOf:  func(h *HistHandle) { h.Flush() },
+		stepsOf:  func(h *HistHandle) uint64 { return h.Steps() },
+		closeOf:  func(hg *Histogram) { hg.Close() },
+		boundsOf: func(hg *Histogram) Bounds { return hg.Bounds() },
+		combine:  sumBuckets,
+	}
+	if _, err := newWindow(d, epochs, w); err != nil {
+		return nil, err
+	}
+	return &WindowedHistogram{w: w, buckets: buckets}, nil
+}
+
+// Handle binds process slot i to the windowed histogram.
+func (hg *WindowedHistogram) Handle(i int) *WHistHandle {
+	return &WHistHandle{h: newWindowHandle(hg.w, i)}
+}
+
+// Bounds returns the windowed read envelope (see window.Bounds).
+func (hg *WindowedHistogram) Bounds() Bounds { return hg.w.Bounds() }
+
+// Buckets returns the number of buckets.
+func (hg *WindowedHistogram) Buckets() int { return hg.buckets }
+
+// Close freezes the window (see window.Close).
+func (hg *WindowedHistogram) Close() { hg.w.Close() }
+
+// Reset replaces every live epoch with a fresh one (see window.Reset).
+func (hg *WindowedHistogram) Reset() error { return hg.w.Reset() }
+
+// Rotate forces one epoch rotation (deterministic tests).
+func (hg *WindowedHistogram) Rotate() { hg.w.Rotate() }
+
+// Window returns the window duration; Epochs the ring size.
+func (hg *WindowedHistogram) Window() time.Duration { return hg.w.Window() }
+func (hg *WindowedHistogram) Epochs() int           { return hg.w.Epochs() }
+
+// WHistHandle is one process's view of a windowed histogram. It
+// satisfies the same contract as *HistHandle (Add, AddN, Buckets,
+// Steps, Flush).
+type WHistHandle struct {
+	h windowHandle[*Histogram, *HistHandle, []uint64]
+}
+
+// Add adds one observation to bucket b of the current epoch.
+func (h *WHistHandle) Add(b int) { h.AddN(b, 1) }
+
+// AddN adds d observations to bucket b of the current epoch.
+func (h *WHistHandle) AddN(b int, d uint64) { h.h.cur().AddN(b, d) }
+
+// Buckets returns the per-bucket counts summed over the live ring. The
+// slice is fresh (owned by the caller).
+func (h *WHistHandle) Buckets() []uint64 { return h.h.readWindow() }
+
+// Flush publishes buffered observations in every cached epoch handle.
+func (h *WHistHandle) Flush() { h.h.flushAll() }
+
+// Steps returns the cumulative shared-memory steps across epochs.
+func (h *WHistHandle) Steps() uint64 { return h.h.steps() }

@@ -40,6 +40,10 @@ type instance interface {
 	snapshotBounds() Bounds
 	// snapshotSteps returns the steps the snapshot slot has taken.
 	snapshotSteps() uint64
+	// snapshotDetail returns the distribution detail of histogram
+	// objects (one consistent bucket read, for exposition formats — see
+	// package expose), nil for every scalar kind.
+	snapshotDetail() *HistogramDetail
 }
 
 // kindDescriptor is one registration in the backend-plane table:
@@ -70,6 +74,17 @@ type kindDescriptor struct {
 	// read-combiner tier is generic), so the startup gate and the bench
 	// coverage test require it to be declared and emitted, like scenario.
 	readScenario string
+
+	// windowTerm documents, per kind, what a windowed read means under
+	// the kind's combine — which aggregate "over the last d" the live
+	// ring folds to (source for the README's windowed-objects table).
+	windowTerm string
+	// windowScenario names the windowed observe+scrape bench scenario
+	// covering this kind. Every kind supports WithWindow (the epoch ring
+	// is generic), so the startup gate and the bench coverage test
+	// require it to be declared and emitted, like scenario and
+	// readScenario.
+	windowScenario string
 
 	// accuracies maps each supported accuracy mode to an extra
 	// precondition check (nil = none beyond the generic ones). A mode
@@ -144,6 +159,13 @@ type KindPolicy struct {
 	// this kind's cached read path (CI-checked like BenchScenario: a kind
 	// on the read-combiner tier without one fails the startup gate).
 	ReadBenchScenario string
+	// WindowTerm describes what a WithWindow read aggregates under the
+	// kind's combine — the per-kind reading of "over the last d".
+	WindowTerm string
+	// WindowBenchScenario names the windowed observe+scrape bench
+	// scenario covering this kind (CI-checked like BenchScenario: a kind
+	// declaring window support without one fails the startup gate).
+	WindowBenchScenario string
 }
 
 // Kinds returns the policy table of every registered object kind, in
@@ -152,13 +174,15 @@ func Kinds() []KindPolicy {
 	out := make([]KindPolicy, 0, len(kindTable))
 	for _, d := range kindTable {
 		out = append(out, KindPolicy{
-			Kind:              d.kind,
-			Combine:           d.policy.Combine,
-			Buffer:            d.policy.Buffer,
-			Envelope:          d.envelope,
-			BenchScenario:     d.scenario,
-			StaleTerm:         d.staleTerm,
-			ReadBenchScenario: d.readScenario,
+			Kind:                d.kind,
+			Combine:             d.policy.Combine,
+			Buffer:              d.policy.Buffer,
+			Envelope:            d.envelope,
+			BenchScenario:       d.scenario,
+			StaleTerm:           d.staleTerm,
+			ReadBenchScenario:   d.readScenario,
+			WindowTerm:          d.windowTerm,
+			WindowBenchScenario: d.windowScenario,
 		})
 	}
 	return out

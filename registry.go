@@ -155,6 +155,40 @@ type ObjectSnapshot struct {
 	// registry's own snapshot reads. Steps of handles currently held (and
 	// of manual Handle(i) handles) are not included.
 	Steps uint64
+	// Histogram carries the distribution detail of histogram objects (one
+	// consistent bucket read, taken atomically with Value under the same
+	// snapshot-handle lock), nil for every scalar kind. Exposition
+	// formats (see package expose) render it as a cumulative bucket
+	// series.
+	Histogram *HistogramDetail
+}
+
+// HistogramBucket is one cumulative bucket of a HistogramDetail:
+// CumulativeCount observations had values at most UpperBound. The last
+// bucket of an unbounded layout saturates UpperBound at the maximum
+// uint64 (rendered as +Inf by exposition formats).
+type HistogramBucket struct {
+	UpperBound      uint64
+	CumulativeCount uint64
+}
+
+// HistogramDetail is the distribution detail the registry exports for
+// histogram objects: cumulative counts at the upper boundary of each
+// occupied bucket (unoccupied buckets are elided — they add no
+// information to a cumulative series), plus the total observation count
+// and the bucket-rounded observation sum. All values come from one
+// consistent bucket read and obey the object's Bounds (the Buffer term
+// in the rank domain, Mult in the value domain).
+type HistogramDetail struct {
+	Buckets []HistogramBucket
+	Count   uint64
+	Sum     uint64
+	// Mult is the value-domain rounding factor k of the bucket layout
+	// (1 for exact layouts). ObjectSnapshot.Bounds narrows Mult to 1 —
+	// the exported Value is a count, which rounding never skews — so the
+	// detail carries the factor that does apply to the bucket
+	// boundaries.
+	Mult uint64
 }
 
 // Snapshot reads every registered object — value, envelope, cumulative
@@ -179,11 +213,12 @@ func (r *Registry) Snapshot() []ObjectSnapshot {
 	for _, e := range entries {
 		e.snapMu.Lock()
 		snap := ObjectSnapshot{
-			Name:   e.name,
-			Kind:   e.spec.kind,
-			Value:  e.obj.snapshotValue(),
-			Bounds: e.obj.snapshotBounds(),
-			Steps:  e.obj.StepsRetired() + e.obj.snapshotSteps(),
+			Name:      e.name,
+			Kind:      e.spec.kind,
+			Value:     e.obj.snapshotValue(),
+			Bounds:    e.obj.snapshotBounds(),
+			Steps:     e.obj.StepsRetired() + e.obj.snapshotSteps(),
+			Histogram: e.obj.snapshotDetail(),
 		}
 		e.snapMu.Unlock()
 		out = append(out, snap)
@@ -191,10 +226,16 @@ func (r *Registry) Snapshot() []ObjectSnapshot {
 	return out
 }
 
-// Close stops the background resources of every registered object (the
+// Close stops the background resources of every registered object: the
 // read-cache combiner goroutines of objects registered with
-// WithReadCache). Idempotent; the registry and its objects stay usable
-// afterwards — cached reads simply refresh inline.
+// WithReadCache, and the epoch rotators of objects registered with
+// WithWindow. Close leaves no background goroutine running and is
+// idempotent; the registry and its objects stay usable afterwards —
+// Snapshot and handle reads return the last value (cached reads refresh
+// inline; windowed objects freeze at their final ring, so their values
+// stop aging out and Reset returns an error). Mutations through handles
+// also remain safe — a frozen window still accepts writes into its
+// final epochs, useful for draining in-flight workers during shutdown.
 func (r *Registry) Close() {
 	r.mu.Lock()
 	entries := make([]*regEntry, 0, len(r.order))

@@ -1,9 +1,11 @@
 package approxobj
 
 import (
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestRegistryGetOrCreate(t *testing.T) {
@@ -464,4 +466,81 @@ func TestRegistrySnapshotWhileRegistering(t *testing.T) {
 	if final[0].Name != "base" {
 		t.Errorf("first snapshot entry = %q, want the first registration", final[0].Name)
 	}
+}
+
+// TestRegistryCloseContract pins the post-Close contract end to end:
+// Close stops every background goroutine (read-cache combiners and
+// epoch rotators), is idempotent, and afterwards Snapshot and direct
+// reads neither panic nor block — they keep returning the last value
+// (windowed objects freeze, so nothing ages out after Close).
+func TestRegistryCloseContract(t *testing.T) {
+	before := goroutines()
+
+	r := NewRegistry()
+	c, err := r.Counter("reqs", WithProcs(2), WithShards(2), WithReadCache(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, err := r.Counter("reqs-window", WithProcs(2), WithWindow(time.Hour, 4), WithReadCache(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := r.MaxRegister("peak", WithProcs(2), WithWindow(time.Hour, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hg, err := r.HistogramObject("lat", WithProcs(2), WithAccuracy(Multiplicative(2)), WithWindow(time.Hour, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Do(func(h CounterHandle) { h.Inc(); h.Inc() })
+	wc.Do(func(h CounterHandle) { h.Inc(); h.Inc(); h.Inc() })
+	m.Do(func(h MaxRegisterHandle) { h.Write(41) })
+	hg.Do(func(h HistogramHandle) { h.Observe(7) })
+
+	r.Close()
+	r.Close() // idempotent
+
+	// Reads after Close return the last value, for both the snapshot
+	// path and direct handles; the frozen window does not age anything
+	// out, even across what would have been many rotation periods.
+	time.Sleep(3 * time.Millisecond) // let the cached cells lapse: reads refresh inline
+	for round := 0; round < 2; round++ {
+		snap := r.Snapshot()
+		got := map[string]uint64{}
+		for _, os := range snap {
+			got[os.Name] = os.Value
+		}
+		want := map[string]uint64{"reqs": 2, "reqs-window": 3, "peak": 41, "lat": 1}
+		for name, v := range want {
+			if got[name] != v {
+				t.Errorf("round %d: post-Close snapshot %q = %d, want last value %d", round, name, got[name], v)
+			}
+		}
+	}
+	wc.Do(func(h CounterHandle) {
+		if v := h.Read(); v != 3 {
+			t.Errorf("post-Close direct windowed read = %d, want 3", v)
+		}
+	})
+	if err := wc.Reset(); err == nil {
+		t.Error("Reset after Close succeeded, want frozen-window error")
+	}
+
+	// No goroutine leak: the combiners and rotators are gone.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if goroutines() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d goroutines before, %d after Close", before, goroutines())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func goroutines() int {
+	runtime.GC()
+	return runtime.NumGoroutine()
 }

@@ -1,6 +1,8 @@
 package approxobj
 
 import (
+	"fmt"
+
 	"approxobj/internal/satmath"
 	"approxobj/internal/shard"
 )
@@ -56,6 +58,9 @@ var snapshotDescriptor = &kindDescriptor{
 	staleTerm:    "Scan may trail each component by updates of the last maxStale",
 	readScenario: "E17",
 
+	windowTerm:     "Scan reads each component's high-water mark over the last d (max across epochs; untouched components expire to 0)",
+	windowScenario: "E18",
+
 	accuracies: map[accMode]func(s Spec) error{
 		accExact: nil,
 	},
@@ -87,11 +92,23 @@ func snapshotShardOptions(s Spec) (k uint64, opts []shard.SnapshotOption) {
 // per component.
 type Snapshot struct {
 	spec Spec
-	s    *shard.Snapshot
+	s    *shard.Snapshot         // cumulative runtime, nil when windowed
+	ws   *shard.WindowedSnapshot // windowed runtime, nil when cumulative
 
 	slots slotPool[*pooledSnapshotHandle]
 
-	snap *shard.SnapshotHandle // registry snapshot handle (slot procs), else nil
+	snap snapshotRT // registry snapshot handle (slot procs), else nil
+}
+
+// snapshotRT is the runtime surface shared by the cumulative and
+// windowed snapshot backends; *shard.SnapshotHandle and
+// *shard.WSnapshotHandle both satisfy it.
+type snapshotRT interface {
+	Update(v uint64)
+	Scan() []uint64
+	Component() int
+	Steps() uint64
+	Flush()
 }
 
 var _ instance = (*Snapshot)(nil)
@@ -113,19 +130,33 @@ func NewSnapshot(opts ...Option) (*Snapshot, error) {
 
 func newSnapshot(spec Spec) (*Snapshot, error) {
 	k, sopts := snapshotShardOptions(spec)
-	ss, err := shard.NewSnapshot(spec.totalProcs(), k, sopts...)
-	if err != nil {
-		return nil, err
-	}
-	s := &Snapshot{
-		spec: spec,
-		s:    ss,
+	s := &Snapshot{spec: spec}
+	if spec.Windowed() {
+		ws, err := shard.NewWindowedSnapshot(spec.totalProcs(), k, spec.windowDur, spec.windowEpochs, sopts...)
+		if err != nil {
+			return nil, err
+		}
+		s.ws = ws
+	} else {
+		ss, err := shard.NewSnapshot(spec.totalProcs(), k, sopts...)
+		if err != nil {
+			return nil, err
+		}
+		s.s = ss
 	}
 	s.slots.init(spec.procs, s.newPooledHandle)
 	if spec.snapshotSlot {
-		s.snap = ss.Handle(spec.procs)
+		s.snap = s.runtimeHandle(spec.procs)
 	}
 	return s, nil
+}
+
+// runtimeHandle binds a slot on whichever runtime backs the snapshot.
+func (s *Snapshot) runtimeHandle(i int) snapshotRT {
+	if s.ws != nil {
+		return s.ws.Handle(i)
+	}
+	return s.s.Handle(i)
 }
 
 // Spec returns the validated spec the snapshot was built from.
@@ -157,13 +188,51 @@ func (s *Snapshot) Batch() uint64 { return uint64(s.spec.batch) }
 // envelope. With WithReadCache the Stale term carries the staleness
 // window: each scanned component then obeys its envelope against some
 // true value in the regularity window opened Stale before the scan
-// began.
-func (s *Snapshot) Bounds() Bounds { return scaledBounds(s.s.Bounds(), s.spec) }
+// began. With WithWindow(d, n) each scanned component is its high-water
+// mark over the live window (max across epochs, so untouched components
+// expire to 0) and the Window term carries the one-epoch truncation
+// skew d/n; the per-component envelope does not widen (max-combine).
+func (s *Snapshot) Bounds() Bounds {
+	if s.ws != nil {
+		return scaledBounds(s.ws.Bounds(), s.spec)
+	}
+	return scaledBounds(s.s.Bounds(), s.spec)
+}
 
-// Close stops the read cache's background combiner goroutine, when
-// WithReadCache is set. Idempotent, and a no-op otherwise; handles stay
-// usable afterwards (cached scans refresh inline).
-func (s *Snapshot) Close() { s.s.Close() }
+// Close stops the snapshot's background goroutines — the read cache's
+// combiner when WithReadCache is set, and the epoch rotator when
+// WithWindow is set (the window freezes; see Counter.Close).
+// Idempotent, and a no-op otherwise; handles stay usable afterwards
+// (cached scans refresh inline).
+func (s *Snapshot) Close() {
+	if s.ws != nil {
+		s.ws.Close()
+		return
+	}
+	s.s.Close()
+}
+
+// Reset replaces the whole window with fresh epochs — every component
+// restarts from zero. Only windowed snapshots (WithWindow) support it;
+// it is an error otherwise, and after Close.
+func (s *Snapshot) Reset() error {
+	if s.ws == nil {
+		return fmt.Errorf("approxobj: Reset needs a windowed snapshot (WithWindow); this one is cumulative")
+	}
+	return s.ws.Reset()
+}
+
+// Snapshot scans the components through a pooled handle and, when reset
+// is true, resets the window afterwards (see Counter.Snapshot for the
+// two-step, non-atomic contract).
+func (s *Snapshot) Snapshot(reset bool) ([]uint64, error) {
+	var out []uint64
+	s.Do(func(h SnapshotHandle) { out = h.Scan() })
+	if reset {
+		return out, s.Reset()
+	}
+	return out, nil
+}
 
 // Handle binds process slot i (0 <= i < N) to the snapshot, for callers
 // managing slot assignment themselves: the returned handle is the single
@@ -174,7 +243,7 @@ func (s *Snapshot) Handle(i int) SnapshotHandle {
 	if i < 0 || i >= s.spec.procs {
 		panic("approxobj: snapshot handle slot out of range")
 	}
-	return snapshotSlotHandle{h: s.s.Handle(i), n: s.spec.procs}
+	return snapshotSlotHandle{h: s.runtimeHandle(i), n: s.spec.procs}
 }
 
 // snapshotSlotHandle adapts a runtime snapshot handle to the public
@@ -182,7 +251,7 @@ func (s *Snapshot) Handle(i int) SnapshotHandle {
 // registry-owned snapshot holds one extra, never-written slot for
 // Registry.Snapshot reads).
 type snapshotSlotHandle struct {
-	h *shard.SnapshotHandle
+	h snapshotRT
 	n int
 }
 
@@ -215,4 +284,5 @@ func (s *Snapshot) snapshotBounds() Bounds {
 	return b
 }
 
-func (s *Snapshot) snapshotSteps() uint64 { return s.snap.Steps() }
+func (s *Snapshot) snapshotSteps() uint64            { return s.snap.Steps() }
+func (s *Snapshot) snapshotDetail() *HistogramDetail { return nil }

@@ -143,6 +143,12 @@ type Spec struct {
 	bound     uint64
 	readStale time.Duration
 
+	// windowed objects (WithWindow): the window duration and the number
+	// of epoch instances it is divided into. windowEpochs == 0 means
+	// cumulative (no window).
+	windowDur    time.Duration
+	windowEpochs int
+
 	// option provenance, so validation and backend selection can
 	// distinguish "defaulted" from "explicitly set" (WithBound(0) is not
 	// the same as no bound).
@@ -151,6 +157,10 @@ type Spec struct {
 	// can reject WithReadCache(0) (which would otherwise silently mean
 	// "off") with a spec-level error.
 	readCacheSet bool
+	// windowSet records that WithWindow was applied, so validation can
+	// reject degenerate windows (d <= 0, epochs < 2) instead of silently
+	// treating them as "cumulative".
+	windowSet bool
 
 	// snapshotSlot reserves one extra process slot (index procs) for the
 	// registry's Snapshot reads; see Registry.
@@ -186,6 +196,14 @@ func (s Spec) Bound() uint64 { return s.bound }
 // read-combiner tier is off); see WithReadCache.
 func (s Spec) ReadCache() time.Duration { return s.readStale }
 
+// Window returns the window duration (0 for cumulative objects) and
+// the number of epoch instances it is divided into (0 likewise); see
+// WithWindow.
+func (s Spec) Window() (d time.Duration, epochs int) { return s.windowDur, s.windowEpochs }
+
+// Windowed reports whether the spec describes a windowed object.
+func (s Spec) Windowed() bool { return s.windowEpochs > 0 }
+
 // totalProcs is the number of slots actually allocated in the underlying
 // factories: the caller-visible slots, plus the registry snapshot slot,
 // plus the read cache's reserved combiner slot. Backend preconditions
@@ -206,7 +224,8 @@ func (s Spec) totalProcs() int {
 func (s Spec) sameObject(t Spec) bool {
 	return s.kind == t.kind && s.procs == t.procs && s.acc == t.acc &&
 		s.shards == t.shards && s.batch == t.batch && s.bound == t.bound &&
-		s.readStale == t.readStale
+		s.readStale == t.readStale &&
+		s.windowDur == t.windowDur && s.windowEpochs == t.windowEpochs
 }
 
 // String renders the spec compactly, e.g.
@@ -223,6 +242,9 @@ func (s Spec) String() string {
 	}
 	if s.readStale > 0 {
 		out += fmt.Sprintf(", cache: %s", s.readStale)
+	}
+	if s.windowEpochs > 0 {
+		out += fmt.Sprintf(", window: %s/%d", s.windowDur, s.windowEpochs)
 	}
 	return out + "}"
 }
@@ -315,6 +337,40 @@ func WithReadCache(maxStale time.Duration) Option {
 	}
 }
 
+// WithWindow makes the object windowed (default cumulative): it is
+// backed by a ring of n epoch instances — each a full plane with the
+// spec's shards, batching, and optional read cache — rotated every d/n,
+// and every read answers over the live ring instead of
+// since-creation. Writes stamp into the current epoch through the
+// ordinary handle plumbing (handles re-home lazily after a rotation);
+// reads combine the live epochs with the kind's combine policy, so
+// NewHistogram(WithWindow(time.Minute, 6)) serves p99-over-the-last-
+// minute with the same deterministic per-window envelope. The per-kind
+// window reading (what "the last d" means under each combine) is the
+// WindowTerm column of Kinds.
+//
+// The envelope gains the time-domain Window term d/n: the combined
+// value covers at least the last d - d/n and at most the last d of
+// mutations, and a read racing a rotation may miss the epoch being
+// evicted — at most one epoch of truncation skew at either window
+// edge, alongside the existing Stale term. For sum-combined kinds
+// (counters) the per-epoch additive slack also sums over the ring (Add
+// x n); all other envelope terms are unchanged.
+//
+// Windowed objects additionally support Reset (replace the whole
+// window with fresh epochs) and make Snapshot(reset) the go-metrics
+// read idiom; Close freezes the window (rotation stops, reads keep
+// serving the frozen ring). n must be >= 2 — the previous epoch must
+// stay live so writes racing a rotation are never lost from the
+// window.
+func WithWindow(d time.Duration, n int) Option {
+	return func(s *Spec) {
+		s.windowDur = d
+		s.windowEpochs = n
+		s.windowSet = true
+	}
+}
+
 // withSnapshotSlot reserves the internal registry snapshot slot.
 func withSnapshotSlot() Option { return func(s *Spec) { s.snapshotSlot = true } }
 
@@ -356,6 +412,14 @@ func (s Spec) validate() error {
 	}
 	if s.readCacheSet && s.readStale <= 0 {
 		return fmt.Errorf("approxobj: read-cache staleness must be > 0, got %v (omit WithReadCache to disable caching)", s.readStale)
+	}
+	if s.windowSet {
+		if s.windowDur <= 0 {
+			return fmt.Errorf("approxobj: window duration must be > 0, got %v (omit WithWindow for a cumulative object)", s.windowDur)
+		}
+		if s.windowEpochs < 2 {
+			return fmt.Errorf("approxobj: window needs at least 2 epochs (1 would truncate the whole window on every rotation), got %d", s.windowEpochs)
+		}
 	}
 	check, supported := d.accuracies[s.acc.mode]
 	if !supported {

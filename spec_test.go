@@ -3,6 +3,7 @@ package approxobj
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestSpecValidation exercises the single validation point: every option
@@ -105,6 +106,26 @@ func TestSpecValidation(t *testing.T) {
 			[]Option{WithAccuracy(Multiplicative(2)), WithShards(0)}, "shard count"},
 		{"histogram zero batch", KindHistogram,
 			[]Option{WithAccuracy(Multiplicative(2)), WithBatch(0)}, "batch size"},
+		// Windowed objects (WithWindow) validate through the same single
+		// point: d must be positive and the ring needs >= 2 epochs.
+		{"counter windowed", KindCounter,
+			[]Option{WithProcs(4), WithWindow(time.Minute, 6)}, ""},
+		{"counter windowed sharded batched cached", KindCounter,
+			[]Option{WithProcs(4), WithShards(2), WithBatch(8), WithReadCache(time.Millisecond), WithWindow(time.Minute, 6)}, ""},
+		{"maxreg windowed", KindMaxRegister,
+			[]Option{WithProcs(4), WithWindow(time.Second, 2)}, ""},
+		{"snapshot windowed", KindSnapshot,
+			[]Option{WithProcs(4), WithWindow(time.Hour, 12)}, ""},
+		{"histogram windowed", KindHistogram,
+			[]Option{WithProcs(4), WithAccuracy(Multiplicative(2)), WithWindow(time.Minute, 6)}, ""},
+		{"window zero duration", KindCounter,
+			[]Option{WithWindow(0, 6)}, "window duration must be > 0"},
+		{"window negative duration", KindCounter,
+			[]Option{WithWindow(-time.Second, 6)}, "window duration must be > 0"},
+		{"window one epoch", KindCounter,
+			[]Option{WithWindow(time.Minute, 1)}, "at least 2 epochs"},
+		{"window zero epochs", KindCounter,
+			[]Option{WithWindow(time.Minute, 0)}, "at least 2 epochs"},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			var err error
@@ -225,6 +246,25 @@ func TestSpecAccessors(t *testing.T) {
 	}
 	if got := hg.Spec().String(); got != "histogram{procs: 4, multiplicative(2), shards: 2, batch: 8, bound: 65536}" {
 		t.Errorf("String() = %q", got)
+	}
+
+	wc, err := NewCounter(WithProcs(4), WithWindow(time.Minute, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wc.Close()
+	ws := wc.Spec()
+	if !ws.Windowed() {
+		t.Error("Windowed() = false for a WithWindow spec")
+	}
+	if d, n := ws.Window(); d != time.Minute || n != 6 {
+		t.Errorf("Window() = (%v, %d), want (1m0s, 6)", d, n)
+	}
+	if got := ws.String(); got != "counter{procs: 4, exact, shards: 1, batch: 1, window: 1m0s/6}" {
+		t.Errorf("String() = %q", got)
+	}
+	if cs := (Spec{}); cs.Windowed() {
+		t.Error("zero spec reports Windowed()")
 	}
 }
 
