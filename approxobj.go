@@ -41,11 +41,11 @@
 //		approxobj.WithBatch(64),
 //	)
 //
-// Accuracy (Exact, Additive(k), Multiplicative(k)), process count, shard
-// count, batching, and value bounds compose freely; the constructor
-// validates the combination in one place (e.g. k >= sqrt(n) for
-// multiplicative counters, bounds only on max registers) and returns a
-// descriptive error otherwise. A k-multiplicative-accurate object allows
+// Accuracy (Exact, Additive(k), Multiplicative(k), Randomized(k, delta)),
+// process count, shard count, batching, and value bounds compose freely;
+// the constructor validates the combination in one place (e.g. k >=
+// sqrt(n) for multiplicative counters, bounds only on max registers) and
+// returns a descriptive error otherwise. A k-multiplicative-accurate object allows
 // reads to err by a multiplicative factor k — a counter read may return
 // any x with v/k <= x <= v*k for the true count v — which buys steep
 // complexity improvements: O(1) amortized counter steps for k >= sqrt(n)
@@ -94,6 +94,7 @@ package approxobj
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"approxobj/internal/satmath"
 	"approxobj/internal/shard"
@@ -162,8 +163,14 @@ var counterDescriptor = &kindDescriptor{
 		accExact:          nil,
 		accAdditive:       nil,
 		accMultiplicative: checkMultCounter,
+		// Randomized has no per-kind precondition beyond the accuracy
+		// table's k >= 2 and 0 < delta < 1: Morris shards carry no
+		// k >= sqrt(n) constraint — probability, not awareness
+		// propagation, is doing the work.
+		accRandomized: nil,
 	},
-	build: func(s Spec) (instance, error) { return newCounter(s) },
+	frontierScenario: "E19",
+	build:            func(s Spec) (instance, error) { return newCounter(s) },
 }
 
 // checkMultCounter mirrors core.NewMultCounter's precondition (defense in
@@ -190,9 +197,21 @@ func checkMultCounter(s Spec) error {
 	return nil
 }
 
+// randomizedSeed spaces the base seeds of successive randomized
+// counters: each object's backend derives per-shard (and, under a
+// window, per-epoch) seeds by counting up from its base, so bases are
+// spaced far apart. Construction order alone determines the seeds — no
+// wall clock — keeping fixed-workload runs reproducible.
+var randomizedSeed atomic.Int64
+
 // counterShardOptions translates a counter spec into the sharded
 // runtime's configuration: the accuracy selects the per-shard backend,
-// shards and batch pass through.
+// shards and batch pass through. For Randomized the user's delta is a
+// whole-object budget, split evenly over the S shards and (for windowed
+// counters) the epoch ring: the plane recomposes per-shard deltas by
+// union bound (x S) and the window by epoch count (x epochs), so the
+// Bounds an object reports carries the delta the user asked for, not a
+// multiple of it.
 func counterShardOptions(s Spec) (k uint64, opts []shard.Option) {
 	var be shard.Backend
 	switch s.acc.mode {
@@ -200,6 +219,9 @@ func counterShardOptions(s Spec) (k uint64, opts []shard.Option) {
 		be, k = shard.AdditiveBackend(), s.acc.k
 	case accMultiplicative:
 		be, k = shard.MultBackend(), s.acc.k
+	case accRandomized:
+		per := s.acc.delta / float64(s.shards*max(1, s.windowEpochs))
+		be, k = shard.RandomizedBackend(per, randomizedSeed.Add(1)*(1<<32)), s.acc.k
 	default:
 		be, k = shard.AACHBackend(), 1
 	}
@@ -308,12 +330,27 @@ func (c *Counter) Batch() uint64 { return uint64(c.spec.batch) }
 // the regularity window opened Stale before the read began. With
 // WithWindow(d, n) the true count is the count of the live window and
 // the Window term carries the one-epoch truncation skew d/n; the
-// additive slack sums over the ring (Add x n).
+// additive slack sums over the ring (Add x n). Randomized counters
+// additionally carry the Delta term: the whole envelope holds only with
+// probability >= 1-Delta per read, with Delta the delta passed to
+// Randomized (budget-split over shards and epochs, then recomposed).
 func (c *Counter) Bounds() Bounds {
 	if c.wc != nil {
 		return scaledBounds(c.wc.Bounds(), c.spec)
 	}
 	return scaledBounds(c.c.Bounds(), c.spec)
+}
+
+// BaseObjects returns the number of base objects (registers, TAS
+// instances) the counter has allocated across its shards — and, for
+// windowed counters, its live epoch ring. It is the counter's space
+// cost in the paper's model; the frontier bench (E19) reports it to
+// compare deterministic and randomized state at equal target error.
+func (c *Counter) BaseObjects() uint64 {
+	if c.wc != nil {
+		return c.wc.BaseObjects()
+	}
+	return c.c.BaseObjects()
 }
 
 // Close stops the counter's background goroutines — the read cache's

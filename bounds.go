@@ -22,7 +22,21 @@ import "approxobj/internal/object"
 // opened Stale before the read began. It is a time-domain term — it
 // widens the window checkers evaluate ContainsRange over, not the
 // arithmetic of the envelope itself; see the read-plane table in Kinds
-// for the per-kind reading.
+// for the per-kind reading. Window is the analogous epoch-truncation
+// skew of WithWindow objects: reads cover at least the last d - Window
+// and at most the last d of mutations.
+//
+// Delta is the envelope's failure probability, 0 for every
+// deterministic accuracy (Exact, Additive, Multiplicative) and the
+// configured delta for Randomized(k, delta) objects: each read of a
+// randomized object satisfies the numeric envelope only with
+// probability >= 1-Delta, taken over the object's internal coin flips.
+// This is the determinism contrast the paper builds on (§I-A): its
+// k-multiplicative objects are in range on every read of every
+// schedule, where Morris-style randomized counters buy smaller state by
+// letting a delta fraction of reads miss. Holds() returns 1-Delta, and
+// IsExact reports false whenever Delta is nonzero — a randomized read
+// is never exact, whatever its numeric terms.
 //
 // Contains and ContainsRange evaluate membership; the latter checks a
 // response against the regularity window of a concurrent read (see

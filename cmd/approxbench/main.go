@@ -226,8 +226,9 @@ func main() {
 // declared bench scenarios and returns every gap it finds (never
 // stopping at the first): each kind needs an emitted BenchScenario,
 // each kind documenting a staleness term needs an emitted
-// ReadBenchScenario, and each kind documenting a window term needs an
-// emitted WindowBenchScenario.
+// ReadBenchScenario, each kind documenting a window term needs an
+// emitted WindowBenchScenario, and each kind supporting the randomized
+// accuracy needs an emitted FrontierBenchScenario.
 func kindCoverageProblems(kinds []approxobj.KindPolicy, declared map[string]bool) []string {
 	var problems []string
 	add := func(format string, args ...any) {
@@ -257,6 +258,20 @@ func kindCoverageProblems(kinds []approxobj.KindPolicy, declared map[string]bool
 				add("object kind %q documents a window term but declares no windowed bench scenario", kp.Kind)
 			} else if !declared[kp.WindowBenchScenario] {
 				add("object kind %q declares window bench scenario %q, which no experiment in bench.All emits", kp.Kind, kp.WindowBenchScenario)
+			}
+		}
+		// And for the accuracy plane: a kind whose row set includes the
+		// randomized accuracy must name an emitted frontier scenario, so
+		// the deterministic-vs-randomized cost comparison (the paper's
+		// central contrast) is measured whenever the choice exists.
+		for _, acc := range kp.Accuracies {
+			if acc != "randomized" {
+				continue
+			}
+			if kp.FrontierBenchScenario == "" {
+				add("object kind %q supports the randomized accuracy but declares no deterministic-vs-randomized frontier bench scenario", kp.Kind)
+			} else if !declared[kp.FrontierBenchScenario] {
+				add("object kind %q declares frontier bench scenario %q, which no experiment in bench.All emits", kp.Kind, kp.FrontierBenchScenario)
 			}
 		}
 	}
@@ -335,6 +350,14 @@ func compareRecords(baseline, current []bench.Record, tol float64, inScope func(
 						"%s: envelope %s widened %d -> %d (accuracy regression)",
 						recordKey(o), term.name, term.old, term.new))
 				}
+			}
+			// Delta is the envelope's failure probability — float-valued,
+			// but just as contractual: a larger Delta means the same reads
+			// hold with lower confidence, so it never widens either.
+			if n.Envelope.Delta > o.Envelope.Delta {
+				problems = append(problems, fmt.Sprintf(
+					"%s: envelope Delta widened %g -> %g (accuracy regression)",
+					recordKey(o), o.Envelope.Delta, n.Envelope.Delta))
 			}
 		}
 		if o.StepsPerOp > 0 && n.StepsPerOp > 0 && regressed(o.StepsPerOp, n.StepsPerOp) {

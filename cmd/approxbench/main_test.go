@@ -14,15 +14,17 @@ import (
 // fix-run cycle names all the missing scenarios.
 func TestKindCoverageAccumulatesAllProblems(t *testing.T) {
 	kinds := []approxobj.KindPolicy{
-		{Kind: approxobj.KindCounter},                                                                      // no scenario at all
-		{Kind: approxobj.KindMaxRegister, BenchScenario: "E-nowhere"},                                      // declared but unemitted
-		{Kind: approxobj.KindSnapshot, BenchScenario: "E-ok", StaleTerm: "trails"},                         // missing read scenario
-		{Kind: approxobj.KindHistogram, BenchScenario: "E-ok", WindowTerm: "folds the last d"},             // missing window scenario
-		{Kind: approxobj.KindCounter, BenchScenario: "E-ok", WindowTerm: "x", WindowBenchScenario: "E-no"}, // window scenario unemitted
+		{Kind: approxobj.KindCounter},                                                                                           // no scenario at all
+		{Kind: approxobj.KindMaxRegister, BenchScenario: "E-nowhere"},                                                           // declared but unemitted
+		{Kind: approxobj.KindSnapshot, BenchScenario: "E-ok", StaleTerm: "trails"},                                              // missing read scenario
+		{Kind: approxobj.KindHistogram, BenchScenario: "E-ok", WindowTerm: "folds the last d"},                                  // missing window scenario
+		{Kind: approxobj.KindCounter, BenchScenario: "E-ok", WindowTerm: "x", WindowBenchScenario: "E-no"},                      // window scenario unemitted
+		{Kind: approxobj.KindCounter, BenchScenario: "E-ok", Accuracies: []string{"exact", "randomized"}},                       // missing frontier scenario
+		{Kind: approxobj.KindCounter, BenchScenario: "E-ok", Accuracies: []string{"randomized"}, FrontierBenchScenario: "E-no"}, // frontier scenario unemitted
 	}
 	problems := kindCoverageProblems(kinds, map[string]bool{"E-ok": true})
-	if len(problems) != 5 {
-		t.Fatalf("want all 5 problems reported, got %d:\n%s", len(problems), strings.Join(problems, "\n"))
+	if len(problems) != 7 {
+		t.Fatalf("want all 7 problems reported, got %d:\n%s", len(problems), strings.Join(problems, "\n"))
 	}
 	for i, want := range []string{
 		"declares no bench scenario",
@@ -30,6 +32,8 @@ func TestKindCoverageAccumulatesAllProblems(t *testing.T) {
 		"declares no read-dominated bench scenario",
 		"declares no windowed bench scenario",
 		`window bench scenario "E-no", which no experiment`,
+		"declares no deterministic-vs-randomized frontier bench scenario",
+		`frontier bench scenario "E-no", which no experiment`,
 	} {
 		if !strings.Contains(problems[i], want) {
 			t.Errorf("problem %d = %q, want it to mention %q", i, problems[i], want)
@@ -53,28 +57,29 @@ func TestKindCoverageCleanTable(t *testing.T) {
 }
 
 // TestCompareRecordsAccumulatesAllProblems checks that -compare reports
-// every regression in one pass: a missing scenario, two widened
-// envelope terms (including the new Window term), and a steps/op
-// regression must all appear.
+// every regression in one pass: a missing scenario, three widened
+// envelope terms (including the float-valued Delta term), and a
+// steps/op regression must all appear.
 func TestCompareRecordsAccumulatesAllProblems(t *testing.T) {
 	baseline := []bench.Record{
 		{Scenario: "GONE", Params: map[string]string{"k": "1"}},
-		{Scenario: "A", Params: map[string]string{"k": "1"}, Envelope: &bench.RecordEnvelope{Mult: 2, Window: 1000}},
+		{Scenario: "A", Params: map[string]string{"k": "1"}, Envelope: &bench.RecordEnvelope{Mult: 2, Window: 1000, Delta: 0.01}},
 		{Scenario: "B", Params: map[string]string{"k": "1"}, StepsPerOp: 10},
 	}
 	current := []bench.Record{
-		{Scenario: "A", Params: map[string]string{"k": "1"}, Envelope: &bench.RecordEnvelope{Mult: 4, Window: 2000}},
+		{Scenario: "A", Params: map[string]string{"k": "1"}, Envelope: &bench.RecordEnvelope{Mult: 4, Window: 2000, Delta: 0.05}},
 		{Scenario: "B", Params: map[string]string{"k": "1"}, StepsPerOp: 100},
 	}
 	problems := compareRecords(baseline, current, 50, func(string) bool { return true })
-	if len(problems) != 4 {
-		t.Fatalf("want 4 problems (missing scenario, Mult, Window, steps), got %d:\n%s",
+	if len(problems) != 5 {
+		t.Fatalf("want 5 problems (missing scenario, Mult, Window, Delta, steps), got %d:\n%s",
 			len(problems), strings.Join(problems, "\n"))
 	}
 	for _, want := range []string{
 		`baseline scenario "GONE" is missing`,
 		"Mult widened 2 -> 4",
 		"Window widened 1000 -> 2000",
+		"Delta widened 0.01 -> 0.05",
 		"steps/op regressed",
 	} {
 		found := false

@@ -33,15 +33,18 @@
 // nonzero envelope terms are therefore exported as a companion gauge
 // family
 //
-//	<name>_bound{term="mult"|"add"|"buffer"|"stale_seconds"|"window_seconds"}
+//	<name>_bound{term="mult"|"add"|"buffer"|"stale_seconds"|"window_seconds"|"delta"}
 //
 // where <name> is the sanitized name without kind suffixes: mult is the
 // multiplicative factor (emitted when > 1), add and buffer the
-// additive and buffered-mutation slacks in the value/rank domain, and
+// additive and buffered-mutation slacks in the value/rank domain,
 // stale_seconds / window_seconds the read-staleness and epoch-skew
-// windows in seconds. The envelope is also summarized in the metric's
-// HELP line, so a human reading the endpoint sees the contract next to
-// the value.
+// windows in seconds, and delta the envelope's failure probability —
+// nonzero only for randomized-accuracy objects, whose values sit in the
+// envelope with probability >= 1-delta rather than on every schedule
+// (such objects are never rendered as exact). The envelope is also
+// summarized in the metric's HELP line, so a human reading the endpoint
+// sees the contract next to the value.
 package expose
 
 import (
@@ -178,6 +181,9 @@ func writeBounds(w io.Writer, base string, b approxobj.Bounds) error {
 	if b.Window > 0 {
 		terms = append(terms, term{"window_seconds", formatSeconds(b.Window.Seconds())})
 	}
+	if b.Delta > 0 {
+		terms = append(terms, term{"delta", formatFloat(b.Delta)})
+	}
 	if len(terms) == 0 {
 		return nil
 	}
@@ -216,6 +222,9 @@ func envelopeNote(b approxobj.Bounds) string {
 	if b.Window > 0 {
 		parts = append(parts, "window="+b.Window.String())
 	}
+	if b.Delta > 0 {
+		parts = append(parts, "delta="+formatFloat(b.Delta))
+	}
 	return " (approximate: " + strings.Join(parts, " ") + ")"
 }
 
@@ -251,6 +260,10 @@ func SanitizeName(name string) string {
 func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
 
 func formatSeconds(s float64) string { return strconv.FormatFloat(s, 'g', -1, 64) }
+
+// formatFloat renders a probability term (the envelope's Delta) with the
+// shortest exact representation, matching the seconds terms' style.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
 func escapeHelp(s string) string {
 	s = strings.ReplaceAll(s, `\`, `\\`)

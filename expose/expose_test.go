@@ -219,6 +219,40 @@ func TestEmptyWindowedHistogram(t *testing.T) {
 	}
 }
 
+// TestRandomizedCounterDeltaBound checks the accuracy plane's new axis
+// on the wire: a Randomized(k, delta) counter must export its failure
+// probability as a _bound{term="delta"} gauge, summarize it in the HELP
+// line, and never render as "(exact)" — the whole point of Delta is
+// that a scrape can tell a probabilistic envelope from a deterministic
+// one.
+func TestRandomizedCounterDeltaBound(t *testing.T) {
+	reg := approxobj.NewRegistry()
+	c, err := reg.Counter("flips", approxobj.WithProcs(2),
+		approxobj.WithAccuracy(approxobj.Randomized(2, 0.25)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Do(func(h approxobj.CounterHandle) { h.Inc() })
+	var b strings.Builder
+	if err := WriteRegistry(&b, reg); err != nil {
+		t.Fatal(err)
+	}
+	body := b.String()
+	validateText(t, body)
+	for _, want := range []string{
+		"# TYPE flips_total counter",
+		`flips_bound{term="delta"} 0.25`,
+		"delta=0.25)", // the HELP envelope note carries the term too
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("output missing %q:\n%s", want, body)
+		}
+	}
+	if strings.Contains(body, "(exact)") {
+		t.Errorf("randomized counter rendered as exact:\n%s", body)
+	}
+}
+
 // TestScrapeAfterClose renders the registry after Close: windowed
 // objects freeze and the scrape still serves the last values.
 func TestScrapeAfterClose(t *testing.T) {

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+
+	"approxobj"
+)
+
+// E19Frontier measures the deterministic-vs-randomized frontier at equal
+// target error: a Multiplicative(k) counter and a Randomized(k, delta)
+// counter — the same k-multiplicative envelope, one guaranteed on every
+// schedule, the other with probability >= 1-delta — across the shards x
+// batch grid, reporting shared-memory steps/op and base-object space
+// (the paper's two cost measures). This is the research-output
+// experiment the ROADMAP names: the deterministic lower bounds in
+// PAPERS.md say exact-ish deterministic counters must pay in state,
+// while a Morris shard is one exponent register; E19 records what the
+// determinism guarantee costs, and -compare tracks the frontier across
+// PRs like any other contractual scenario.
+//
+// The workload is a fixed sequential schedule (round-robin over the
+// process slots, one read every readEvery ops), so steps/op is
+// machine-independent: the deterministic rows are exactly reproducible,
+// and the randomized rows are reproducible for a fixed seed because
+// every RNG in the stack is seeded by construction order.
+func E19Frontier(cfg Config) ([]*Table, error) {
+	const n = 4
+	const k = 2 // = sqrt(n): both sides at the same target error
+	const delta = 0.01
+	const readEvery = 20
+	opsPer := 20_000
+	if cfg.Quick {
+		opsPer = 4_000
+	}
+	shardCounts := []int{1, 4}
+	batches := []int{1, 64}
+
+	t := &Table{
+		ID:    "E19",
+		Title: fmt.Sprintf("deterministic vs randomized frontier at equal target error (k=%d, delta=%g)", k, delta),
+		Note: `Both sides promise the same [v/k, k*v] read envelope; the
+deterministic counter keeps it on every schedule, the randomized one
+with probability >= 1-delta per read. Space is 8 bytes per resident
+base object, measured after the workload (lazily allocated switch
+levels count once materialized). State is where the randomized counter
+wins — one Morris exponent register per shard versus the deterministic
+plane's per-process registers and switch levels — while steps/op at
+equal target error it loses: Algorithm 1 is O(1) amortized (k >=
+sqrt(n)), but every Morris Inc pays a read plus a delta-dependent CAS
+probability, and a batched flush replays its flips one at a time, so
+batching cannot close the gap.`,
+		Header: []string{"accuracy", "shards", "batch", "steps/op", "bytes", "delta"},
+	}
+
+	run := func(acc approxobj.Accuracy, shards, batch int) (stepsPerOp float64, bytes uint64, env *RecordEnvelope, err error) {
+		c, err := approxobj.NewCounter(
+			approxobj.WithProcs(n),
+			approxobj.WithAccuracy(acc),
+			approxobj.WithShards(shards),
+			approxobj.WithBatch(batch),
+		)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		handles := make([]approxobj.CounterHandle, n)
+		for i := range handles {
+			handles[i] = c.Handle(i)
+		}
+		ops := 0
+		for j := 0; j < opsPer; j++ {
+			h := handles[j%n]
+			if j%readEvery == readEvery-1 {
+				h.Read()
+			} else {
+				h.Inc()
+			}
+			ops++
+		}
+		var steps uint64
+		for _, h := range handles {
+			h.(approxobj.BatchedCounterHandle).Flush()
+			steps += h.Steps()
+		}
+		return float64(steps) / float64(ops), 8 * c.BaseObjects(), EnvelopeOf(c.Bounds()), nil
+	}
+
+	for _, row := range []struct {
+		name string
+		acc  approxobj.Accuracy
+	}{
+		{"multiplicative", approxobj.Multiplicative(k)},
+		{"randomized", approxobj.Randomized(k, delta)},
+	} {
+		for _, s := range shardCounts {
+			for _, b := range batches {
+				stepsPerOp, bytes, env, err := run(row.acc, s, b)
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow(row.acc.String(), s, b, stepsPerOp, bytes, row.acc.Delta())
+				t.AddRecord(Record{
+					Params: map[string]string{
+						"accuracy": row.name,
+						"shards":   strconv.Itoa(s),
+						"batch":    strconv.Itoa(b),
+						"k":        strconv.FormatUint(k, 10),
+					},
+					StepsPerOp: stepsPerOp,
+					Bytes:      bytes,
+					Envelope:   env,
+				})
+			}
+		}
+	}
+	return []*Table{t}, nil
+}

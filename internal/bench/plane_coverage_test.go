@@ -54,5 +54,19 @@ func TestEveryKindHasBenchScenario(t *testing.T) {
 				t.Errorf("kind %q declares window bench scenario %q, which no experiment in bench.All emits", kp.Kind, kp.WindowBenchScenario)
 			}
 		}
+		// A kind whose accuracy row set includes the randomized accuracy
+		// must declare an emitted deterministic-vs-randomized frontier
+		// scenario, so the cost of the determinism guarantee is measured
+		// wherever the choice between the two exists.
+		for _, acc := range kp.Accuracies {
+			if acc != "randomized" {
+				continue
+			}
+			if kp.FrontierBenchScenario == "" {
+				t.Errorf("kind %q supports the randomized accuracy but declares no frontier bench scenario", kp.Kind)
+			} else if !declared[kp.FrontierBenchScenario] {
+				t.Errorf("kind %q declares frontier bench scenario %q, which no experiment in bench.All emits", kp.Kind, kp.FrontierBenchScenario)
+			}
+		}
 	}
 }

@@ -27,7 +27,12 @@ type Record struct {
 	Params     map[string]string `json:"params,omitempty"`
 	NsPerOp    float64           `json:"ns_per_op,omitempty"`
 	StepsPerOp float64           `json:"steps_per_op,omitempty"`
-	Envelope   *RecordEnvelope   `json:"envelope,omitempty"`
+	// Bytes is the cell's base-object space (8 bytes per allocated base
+	// object, the paper's space measure) — machine-independent, like the
+	// envelope; the frontier experiment (E19) reports it so the
+	// deterministic-vs-randomized space gap is tracked across PRs.
+	Bytes    uint64          `json:"bytes,omitempty"`
+	Envelope *RecordEnvelope `json:"envelope,omitempty"`
 }
 
 // RecordEnvelope is the machine-readable form of a cell's accuracy
@@ -45,11 +50,18 @@ type RecordEnvelope struct {
 	// nanoseconds — d/n for WithWindow(d, n), 0 for cumulative cells.
 	// Configured like Stale, so -compare flags widening exactly.
 	Window uint64 `json:"window_ns,omitempty"`
+	// Delta is the envelope's failure probability (0 for deterministic
+	// cells; the Randomized accuracy's delta otherwise): the numeric
+	// envelope holds per read only with probability >= 1-Delta.
+	// Configured, not measured, so -compare treats any widening as a
+	// regression — a cell silently trading determinism away fails the
+	// gate.
+	Delta float64 `json:"delta,omitempty"`
 }
 
 // EnvelopeOf converts an object's Bounds into record form.
 func EnvelopeOf(b approxobj.Bounds) *RecordEnvelope {
-	return &RecordEnvelope{Mult: b.Mult, Add: b.Add, Buffer: b.Buffer, Stale: uint64(b.Stale), Window: uint64(b.Window)}
+	return &RecordEnvelope{Mult: b.Mult, Add: b.Add, Buffer: b.Buffer, Stale: uint64(b.Stale), Window: uint64(b.Window), Delta: b.Delta}
 }
 
 // Table is a rendered experiment result.
@@ -178,7 +190,7 @@ func All() []Experiment {
 		{ID: "e8", Desc: "unbounded max-register step growth", Run: E8UnboundedMaxReg},
 		{ID: "e9", Desc: "Claim III.6 boundary gap: verbatim vs repaired thresholds", Run: E9Boundary},
 		{ID: "e10", Desc: "additive-accuracy counter costs", Run: E10Additive},
-		{ID: "e11", Desc: "randomized baseline comparison (Morris counter)", Run: E11Randomized},
+		{ID: "e11", Desc: "randomized baseline comparison (Morris counter) via the spec API", Run: E11Randomized},
 		{ID: "e12", Desc: "sharded counter scaling: shards x batch sweep via the spec API", Scenarios: []string{"E12"}, Run: E12Sharded},
 		{ID: "e13", Desc: "registry + pooled handles under mixed traffic with concurrent snapshots", Scenarios: []string{"E13"}, Run: E13Registry},
 		{ID: "e14", Desc: "sharded max-register scaling: shards x elision-window sweep via the spec API", Scenarios: []string{"E14"}, Run: E14ShardedMaxReg},
@@ -186,6 +198,7 @@ func All() []Experiment {
 		{ID: "e16", Desc: "sharded histogram scaling: shards x batch sweep with quantile queries via the spec API", Scenarios: []string{"E16"}, Run: E16ShardedHistogram},
 		{ID: "e17", Desc: "read plane: cached vs uncached read cost across shard counts, plus a reader:writer ratio sweep", Scenarios: []string{"E17", "E17b"}, Run: E17ReadPlane},
 		{ID: "e18", Desc: "windowed objects: per-kind reads under concurrent observation, plus a full-registry scrape", Scenarios: []string{"E18"}, Run: E18Windowed},
+		{ID: "e19", Desc: "deterministic-vs-randomized frontier: steps/op and space at equal target error, shards x batch", Scenarios: []string{"E19"}, Run: E19Frontier},
 		{ID: "f1", Desc: "Figure 1 read-case trace reproduction", Run: F1ReadCases},
 	}
 }

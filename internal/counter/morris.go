@@ -3,8 +3,6 @@ package counter
 import (
 	"fmt"
 	"math"
-	"math/rand"
-	"sync"
 
 	"approxobj/internal/object"
 	"approxobj/internal/prim"
@@ -13,28 +11,37 @@ import (
 // Morris is a concurrent Morris counter — the classic randomized
 // approximate counter of the paper's related work (§I-A cites Morris [12],
 // Flajolet's analysis [13], and the randomized concurrent counter of
-// Aspnes and Censor [14]). It exists as a *contrast* baseline for
-// experiment E11: randomized counters are only accurate with high
-// probability, while the paper's point is that its k-multiplicative
-// objects are deterministic — every read is in range, on every execution,
-// under any schedule.
+// Aspnes and Censor [14]). It exists as the *contrast* side of the
+// deterministic-vs-randomized frontier: randomized counters are only
+// accurate with high probability, while the paper's point is that its
+// k-multiplicative objects are deterministic — every read is in range, on
+// every execution, under any schedule. Since PR 8 it doubles as the
+// per-shard backend of the public Randomized(k, delta) accuracy
+// (internal/shard.RandomizedBackend); E11/E19 measure it against the
+// deterministic counters.
 //
 // The counter stores an exponent X in a CAS register and increments it
-// with probability a/(a+value-ish) so that (1+1/a)^X - 1 estimates the
-// count; larger a trades update cost for lower variance. Increment applies
-// at most one CAS per call (retry-free: a lost race is itself a fair
-// sample, so the increment simply abstains, slightly biasing low under
-// contention — acceptable for a baseline whose errors are the point).
-// Reads read X and return the estimator.
+// with probability (1+1/a)^-X so that a*((1+1/a)^X - 1) estimates the
+// count; larger a trades update cost (and state: X grows to roughly
+// log(v/a)) for lower variance. Increment applies at most one CAS per call
+// (retry-free: a lost race is itself a fair sample, so the increment
+// simply abstains, slightly biasing low under contention — acceptable for
+// an object whose envelope is probabilistic to begin with). Reads read X
+// and return the estimator.
+//
+// Randomness is per handle: each MorrisHandle carries its own splitmix64
+// state, seeded deterministically from the counter seed and the handle's
+// process ID, so increments never contend on a shared RNG (the seed
+// repository's version serialized every Inc behind one mutex-guarded
+// *rand.Rand — the lock, not the algorithm, dominated its cost) and a
+// fixed seed still reproduces runs exactly.
 //
 // It is NOT linearizable and NOT deterministic; it must not be used where
 // the paper's objects are called for.
 type Morris struct {
-	a   float64
-	reg *prim.CASReg
-
-	mu  sync.Mutex
-	rng *rand.Rand
+	a    float64
+	seed int64
+	reg  *prim.CASReg
 }
 
 var _ object.Counter = (*Morris)(nil)
@@ -49,7 +56,21 @@ func NewMorris(f *prim.Factory, a float64, seed int64) (*Morris, error) {
 	if a < 1 {
 		return nil, fmt.Errorf("counter: morris parameter a must be >= 1, got %v", a)
 	}
-	return &Morris{a: a, reg: f.CASReg(), rng: rand.New(rand.NewSource(seed))}, nil
+	return &Morris{a: a, seed: seed, reg: f.CASReg()}, nil
+}
+
+// MorrisParam returns the accuracy parameter a making a Morris read land
+// in the k-multiplicative envelope [v/k, k*v] with probability >= 1-delta.
+// The estimator is unbiased with Var <= v^2/(2a) (Flajolet), so by
+// Chebyshev P(|est - v| > eps*v) <= 1/(2*a*eps^2); a read escapes
+// [v/k, k*v] only if it misses by more than eps*v with eps = 1 - 1/k (the
+// nearer envelope edge), so a = ceil(1/(2*delta*eps^2)) suffices.
+// Chebyshev is loose here — empirical miss rates run far below delta —
+// which is the right side to err on for an envelope contract. Requires
+// k >= 2 and 0 < delta < 1.
+func MorrisParam(k uint64, delta float64) float64 {
+	eps := 1 - 1/float64(k)
+	return math.Ceil(1 / (2 * delta * eps * eps))
 }
 
 // estimate maps exponent x to the count estimate a*((1+1/a)^x - 1).
@@ -66,24 +87,21 @@ func (c *Morris) growProb(x uint64) float64 {
 	return math.Pow(1+1/c.a, -float64(x))
 }
 
-func (c *Morris) flip(p float64) bool {
-	c.mu.Lock()
-	ok := c.rng.Float64() < p
-	c.mu.Unlock()
-	return ok
-}
-
-// MorrisHandle is a process's view of the counter.
+// MorrisHandle is a process's view of the counter, carrying the process's
+// private RNG state.
 type MorrisHandle struct {
-	c *Morris
-	p *prim.Proc
+	c   *Morris
+	p   *prim.Proc
+	rng uint64
 }
 
 var _ object.CounterHandle = (*MorrisHandle)(nil)
 
-// Handle binds process p to the counter.
+// Handle binds process p to the counter. The handle's RNG is seeded from
+// (counter seed, process ID), so handle creation order does not affect
+// reproducibility.
 func (c *Morris) Handle(p *prim.Proc) *MorrisHandle {
-	return &MorrisHandle{c: c, p: p}
+	return &MorrisHandle{c: c, p: p, rng: mix64(uint64(c.seed) ^ (uint64(p.ID())+1)*0x9e3779b97f4a7c15)}
 }
 
 // CounterHandle implements object.Counter.
@@ -91,11 +109,27 @@ func (c *Morris) CounterHandle(p *prim.Proc) object.CounterHandle {
 	return c.Handle(p)
 }
 
+// mix64 is the avalanche finalizer of Vigna's SplitMix64. The generator
+// is counter-based: state advances by the golden-ratio increment and each
+// output is the finalized counter, giving full period 2^64 per handle.
+func mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// flip draws from the handle-local generator: no sharing, no locking.
+func (h *MorrisHandle) flip(p float64) bool {
+	h.rng += 0x9e3779b97f4a7c15
+	// 53-bit mantissa draw in [0, 1), the same construction math/rand uses.
+	return float64(mix64(h.rng)>>11)/(1<<53) < p
+}
+
 // Inc bumps the exponent with the Morris probability: one read step plus
 // at most one CAS step.
 func (h *MorrisHandle) Inc() {
 	x := h.c.reg.Read(h.p)
-	if !h.c.flip(h.c.growProb(x)) {
+	if !h.flip(h.c.growProb(x)) {
 		return
 	}
 	h.c.reg.CompareAndSwap(h.p, x, x+1)

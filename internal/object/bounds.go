@@ -41,12 +41,25 @@ import (
 // it bounds WHICH mutations the window covers, not the arithmetic of
 // the envelope, so Contains/ContainsRange ignore it and checkers pick
 // their true-value window accordingly.
+//
+// Delta is the envelope's failure probability (0 for deterministic
+// objects): reads of a randomized object satisfy the numeric envelope
+// above only with probability >= 1-Delta, per read, over the object's
+// internal coin flips — never over the schedule. Deterministic objects
+// (the paper's point, §I-A) report Delta 0: their reads are in range on
+// EVERY execution under ANY adversary, which is exactly what the Morris
+// line of counters gives up in exchange for exponentially smaller
+// state. Delta is a probability qualifier, not an arithmetic term:
+// Contains/ContainsRange evaluate the numeric envelope as usual and
+// statistical checkers assert that the empirical rate of out-of-range
+// reads stays at or below Delta.
 type Bounds struct {
 	Mult   uint64
 	Add    uint64
 	Buffer uint64
 	Stale  time.Duration
 	Window time.Duration
+	Delta  float64
 }
 
 // ExactBounds is the zero envelope of precise objects: reads return the
@@ -56,15 +69,31 @@ func ExactBounds() Bounds { return Bounds{Mult: 1} }
 // IsExact reports whether the envelope pins reads to the true value. A
 // nonzero Stale or Window term disqualifies: a cached read can be exact
 // only against a past value, and a windowed read only against a
-// truncated one.
+// truncated one. A nonzero Delta disqualifies too: a randomized object
+// pins nothing — even a zero-width numeric envelope holds only with
+// probability 1-Delta.
 func (b Bounds) IsExact() bool {
-	return b.Mult <= 1 && b.Add == 0 && b.Buffer == 0 && b.Stale == 0 && b.Window == 0
+	return b.Mult <= 1 && b.Add == 0 && b.Buffer == 0 && b.Stale == 0 && b.Window == 0 && b.Delta == 0
+}
+
+// Holds returns the probability with which the numeric envelope holds
+// per read: 1 for deterministic objects, 1-Delta for randomized ones
+// (clamped at 0 for the degenerate Delta >= 1).
+func (b Bounds) Holds() float64 {
+	if b.Delta >= 1 {
+		return 0
+	}
+	return 1 - b.Delta
 }
 
 // Contains reports whether response x is inside the envelope for true
 // count v. Bounds are evaluated multiplied-out ((x+Add)*Mult >= v-Buffer
 // rather than x >= (v-Buffer)/Mult - Add) so integer division cannot skew
-// them; overflowing products saturate and count as +infinity.
+// them; overflowing products saturate and count as +infinity. When Delta
+// is nonzero the envelope is probabilistic: each read lands inside it
+// with probability >= 1-Delta, so a false result from Contains is an
+// expected (Delta-rare) event rather than a correctness violation, and
+// checkers assert on the rate of false results instead of on each one.
 func (b Bounds) Contains(v, x uint64) bool { return b.ContainsRange(v, v, x) }
 
 // ContainsRange reports whether x is a valid response for some true count

@@ -186,9 +186,16 @@ func (t *TAS) ID() ObjID { return t.id }
 // is atomic, so production-mode races are safe, and simulated executions
 // stay deterministic because the machine is lock-step.
 type Factory struct {
-	next  atomic.Uint64
-	gate  Gate
-	procs []*Proc
+	next atomic.Uint64
+	// resident counts base objects with materialized storage: every
+	// eagerly allocated object (Reg, TAS, CASReg, ...) at creation, plus
+	// lazily allocated cells (TASSeq levels) as they materialize. Unlike
+	// next it excludes reserved-but-untouched ID blocks, so it is the
+	// space measure of the paper's model: how many base objects the
+	// execution actually holds.
+	resident atomic.Uint64
+	gate     Gate
+	procs    []*Proc
 }
 
 // NewFactory returns a production-mode factory for an n-process system.
@@ -224,10 +231,13 @@ func (f *Factory) Procs() []*Proc {
 }
 
 func (f *Factory) allocID() ObjID {
+	f.resident.Add(1)
 	return ObjID(f.next.Add(1) - 1)
 }
 
 // allocBlock reserves a contiguous block of size IDs, returning its base.
+// Reservation is ID-space bookkeeping only; the block's cells count as
+// resident when (and if) their storage materializes.
 func (f *Factory) allocBlock(size uint64) ObjID {
 	return ObjID(f.next.Add(size) - size)
 }
@@ -235,6 +245,12 @@ func (f *Factory) allocBlock(size uint64) ObjID {
 // Objects returns the number of base-object IDs allocated so far (including
 // reserved blocks).
 func (f *Factory) Objects() uint64 { return f.next.Load() }
+
+// Resident returns the number of base objects with materialized storage —
+// the execution's space cost in the paper's model. It grows as lazily
+// allocated structures (TASSeq levels) materialize, so unbounded
+// constructions report what they hold, not what they reserve.
+func (f *Factory) Resident() uint64 { return f.resident.Load() }
 
 // Reg creates a fresh read/write register initialized to zero.
 func (f *Factory) Reg() *Reg { return &Reg{id: f.allocID()} }

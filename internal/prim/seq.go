@@ -23,14 +23,16 @@ const tasSeqLevels = 64
 type TASSeq struct {
 	base   ObjID
 	gate   Gate
+	res    *atomic.Uint64 // the factory's resident-object counter
 	levels [tasSeqLevels]atomic.Pointer[[]atomic.Uint32]
 }
 
 // TASSeq creates a fresh unbounded switch sequence. It reserves a contiguous
 // block of 2^32 object IDs so every switch has a stable identifier across
-// replays.
+// replays; the switches count as resident (Factory.Resident) level by
+// level as their storage materializes.
 func (f *Factory) TASSeq() *TASSeq {
-	return &TASSeq{base: f.allocBlock(1 << 32), gate: f.gate}
+	return &TASSeq{base: f.allocBlock(1 << 32), gate: f.gate, res: &f.resident}
 }
 
 // level returns the level index and offset within it for bit index i.
@@ -51,6 +53,7 @@ func (s *TASSeq) slot(i uint64) *atomic.Uint32 {
 		fresh := make([]atomic.Uint32, uint64(1)<<uint(level))
 		if s.levels[level].CompareAndSwap(nil, &fresh) {
 			lp = &fresh
+			s.res.Add(uint64(1) << uint(level))
 		} else {
 			lp = s.levels[level].Load()
 		}

@@ -207,14 +207,18 @@ func (b *buffer) Pending() uint64 {
 }
 
 // meta is the envelope declaration every backend carries: its name (for
-// tables and errors), its value bound (0 = unbounded), and its per-shard
-// multiplicative/additive accuracy as functions of the parameter k. A
-// nil mult means exact (1); a nil add means no additive slack (0).
+// tables and errors), its value bound (0 = unbounded), its per-shard
+// multiplicative/additive accuracy as functions of the parameter k, and
+// its per-shard envelope failure probability delta (0 for deterministic
+// backends; the probability a single shard's read escapes its numeric
+// envelope for randomized ones). A nil mult means exact (1); a nil add
+// means no additive slack (0).
 type meta struct {
 	name  string
 	bound uint64
 	mult  func(k uint64) uint64
 	add   func(k uint64) uint64
+	delta float64
 }
 
 // Name returns the backend's name (for tables and error messages).
@@ -408,7 +412,10 @@ func (p *plane[O, H, V]) Batch() uint64 { return p.batch }
 // number of mutating slots iff every handle's buffer can be stale at
 // once (the reserved combiner slot never mutates, so it is excluded).
 // With the read-combiner tier on, Stale carries the staleness window as
-// a further, time-domain widening of the regularity window.
+// a further, time-domain widening of the regularity window. For a
+// randomized backend the per-shard failure probabilities compose by
+// union bound: a combined read is in range whenever every one of the S
+// shard reads is, so Delta = min(1, S * delta_shard).
 func (p *plane[O, H, V]) Bounds() Bounds {
 	b := Bounds{Mult: p.be.multOf(p.k), Add: p.be.addOf(p.k)}
 	if p.pol.addScalesWithShards {
@@ -422,7 +429,26 @@ func (p *plane[O, H, V]) Bounds() Bounds {
 	if p.cache != nil {
 		b.Stale = p.cache.maxStale
 	}
+	if p.be.delta > 0 {
+		b.Delta = min(1, float64(len(p.rt.shards))*p.be.delta)
+	}
 	return b
+}
+
+// BaseObjects returns the number of resident base objects (registers,
+// TAS cells) across all shards — the plane's space cost in the paper's
+// model, where space is counted in base objects. Lazily allocated
+// structures (the unbounded switch sequences of Algorithm 1) count what
+// has materialized, not what they reserve, so the number grows with the
+// execution. Windowed objects sum it over their epoch ring; the frontier
+// bench (E19) uses it to compare deterministic and randomized state at
+// equal target error.
+func (p *plane[O, H, V]) BaseObjects() uint64 {
+	var total uint64
+	for _, f := range p.rt.facts {
+		total += f.Resident()
+	}
+	return total
 }
 
 // writers is the number of slots that can hold buffered mutations: all

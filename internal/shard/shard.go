@@ -18,6 +18,12 @@
 //	snapshot      per-component   component elision  no widening, Buffer = B-1
 //	histogram     per-bucket sum  bucket batching    no widening, Buffer = (B-1)*n
 //
+// Backends may additionally be randomized (RandomizedBackend, a Morris
+// counter per shard): their per-shard envelope holds only with
+// probability >= 1-delta per read, and the plane composes the failure
+// probabilities by union bound — Delta -> min(1, S*delta) — alongside
+// the numeric terms above.
+//
 // The combine policy folds the S per-shard reads into the object's
 // value; the buffer policy decides which mutations stay handle-local.
 // Everything else — construction, handle wiring, flushes, envelope
@@ -60,6 +66,15 @@
 //   - Additive counters: if each shard read errs by at most ±a, the sum
 //     errs by at most ±S*a. Sharding an additive-accurate backend widens
 //     the envelope by the shard count.
+//   - Randomized (Morris) counters: each shard's estimate is inside the
+//     k-multiplicative envelope with probability >= 1-delta,
+//     independently. When every shard read is in range the linearity
+//     argument above puts the sum in range too, so the combined read
+//     fails only if some shard read fails: by union bound the combined
+//     envelope holds with probability >= 1 - S*delta. Unlike every other
+//     row this is a statement about the coin flips, not the schedule —
+//     the whole point of the deterministic objects is that they need no
+//     such qualifier.
 //   - Max registers: the max over shards IS the global max, so per-shard
 //     envelopes carry over with no widening at all — even better than
 //     counting. If the true global max v lives in shard s, that shard's
@@ -119,6 +134,8 @@
 package shard
 
 import (
+	"fmt"
+	"sync/atomic"
 	"time"
 
 	"approxobj/internal/core"
@@ -167,6 +184,35 @@ func AdditiveBackend() Backend {
 		meta: meta{name: "additive", add: kIdentity},
 		make: func(f *prim.Factory, k uint64) (object.Counter, error) {
 			return counter.NewAdditive(f, k)
+		},
+	}
+}
+
+// RandomizedBackend shards the Morris counter: each shard is a single
+// exponent register whose estimate lands in the k-multiplicative
+// envelope with probability >= 1-delta per read (counter.MorrisParam
+// picks the Morris accuracy parameter from k and delta via Chebyshev),
+// so the summed read is in range with probability >= 1 - S*delta — the
+// Delta term of Bounds. Requires k >= 2 (the envelope must have an
+// inside to land in) and 0 < delta < 1.
+//
+// Each call to the returned backend's make — one per shard, and one per
+// shard per epoch under a window's rotation — derives a fresh seed from
+// the base seed and an internal counter, so no two shards share a
+// random stream while a fixed base seed still reproduces the whole
+// object deterministically.
+func RandomizedBackend(delta float64, seed int64) Backend {
+	var nth atomic.Int64
+	return Backend{
+		meta: meta{name: "morris", mult: kIdentity, delta: delta},
+		make: func(f *prim.Factory, k uint64) (object.Counter, error) {
+			if k < 2 {
+				return nil, fmt.Errorf("shard: randomized backend needs k >= 2, got %d", k)
+			}
+			if delta <= 0 || delta >= 1 {
+				return nil, fmt.Errorf("shard: randomized backend needs 0 < delta < 1, got %v", delta)
+			}
+			return counter.NewMorris(f, counter.MorrisParam(k, delta), seed+nth.Add(1)-1)
 		},
 	}
 }
@@ -273,6 +319,10 @@ func (c *Counter) Close() { c.p.Close() }
 // Bounds returns the combined read envelope for this configuration (see
 // the package comment for the composition argument).
 func (c *Counter) Bounds() Bounds { return c.p.Bounds() }
+
+// BaseObjects returns the number of base objects allocated across all
+// shards — the counter's space cost in the paper's model.
+func (c *Counter) BaseObjects() uint64 { return c.p.BaseObjects() }
 
 // Handle binds process slot i (0 <= i < n) to the counter. The handle
 // increments shard i mod S and reads all shards through slot i of each

@@ -243,12 +243,18 @@ func (w *window[T, H, V]) Epochs() int { return w.epochs }
 // sum), Buffer is unchanged (a handle holds buffered mutations in at
 // most one epoch at a time — see the handle comment), Stale is
 // unchanged (each epoch's cache is its own), and Window carries the
-// one-epoch truncation skew d/epochs.
+// one-epoch truncation skew d/epochs. Delta widens by the epoch count
+// regardless of the combine (union bound: the windowed read is in range
+// when every one of the `epochs` per-epoch combined reads is, whatever
+// the fold), clamped at 1.
 func (w *window[T, H, V]) Bounds() Bounds {
 	e := w.ring[w.seq.Load()%uint64(w.epochs)].Load()
 	b := w.boundsOf(e.obj)
 	if w.sumCombine {
 		b.Add = satmath.Mul(b.Add, uint64(w.epochs))
+	}
+	if b.Delta > 0 {
+		b.Delta = min(1, b.Delta*float64(w.epochs))
 	}
 	b.Window = w.dur / time.Duration(w.epochs)
 	return b
@@ -384,6 +390,17 @@ func (c *WindowedCounter) Handle(i int) *WCounterHandle {
 
 // Bounds returns the windowed read envelope (see window.Bounds).
 func (c *WindowedCounter) Bounds() Bounds { return c.w.Bounds() }
+
+// BaseObjects sums the base objects of every live epoch — the windowed
+// counter's space cost in the paper's model at this instant (rotation
+// replaces epochs, so the total is steady-state, not cumulative).
+func (c *WindowedCounter) BaseObjects() uint64 {
+	var total uint64
+	for j := range c.w.ring {
+		total += c.w.ring[j].Load().obj.BaseObjects()
+	}
+	return total
+}
 
 // Close freezes the window (see window.Close).
 func (c *WindowedCounter) Close() { c.w.Close() }

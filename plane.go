@@ -86,10 +86,17 @@ type kindDescriptor struct {
 	// readScenario.
 	windowScenario string
 
-	// accuracies maps each supported accuracy mode to an extra
-	// precondition check (nil = none beyond the generic ones). A mode
-	// absent from the map is rejected by validation.
+	// accuracies is the kind's row set in the accuracy plane: each
+	// supported accuracy mode maps to an extra precondition check (nil =
+	// none beyond the accuracy table's own parameter checks). A mode
+	// absent from the map is rejected by validation, so accuracy support
+	// is declared here — per kind, per row — not switched on anywhere.
 	accuracies map[accMode]func(s Spec) error
+	// frontierScenario names the deterministic-vs-randomized frontier
+	// bench scenario for kinds that register a randomized accuracy row
+	// (CI-checked like scenario: a randomized-capable kind without one
+	// fails the startup gate).
+	frontierScenario string
 	// allowBound reports whether WithBound applies to this kind.
 	allowBound bool
 	// boundLimitsBatch reports whether the kind's batch parameter is a
@@ -166,6 +173,16 @@ type KindPolicy struct {
 	// scenario covering this kind (CI-checked like BenchScenario: a kind
 	// declaring window support without one fails the startup gate).
 	WindowBenchScenario string
+	// Accuracies lists the accuracy classes the kind's backends
+	// implement, in accuracy-table order (e.g. "exact", "additive",
+	// "multiplicative", "randomized") — the exported view of the kind's
+	// accuracy row set.
+	Accuracies []string
+	// FrontierBenchScenario names the deterministic-vs-randomized
+	// frontier bench scenario for kinds with a "randomized" accuracy row
+	// (CI-checked like BenchScenario: a randomized-capable kind without
+	// one fails the startup gate); empty for deterministic-only kinds.
+	FrontierBenchScenario string
 }
 
 // Kinds returns the policy table of every registered object kind, in
@@ -173,16 +190,24 @@ type KindPolicy struct {
 func Kinds() []KindPolicy {
 	out := make([]KindPolicy, 0, len(kindTable))
 	for _, d := range kindTable {
+		accs := make([]string, 0, len(d.accuracies))
+		for _, r := range accuracyTable {
+			if _, ok := d.accuracies[r.mode]; ok {
+				accs = append(accs, r.name)
+			}
+		}
 		out = append(out, KindPolicy{
-			Kind:                d.kind,
-			Combine:             d.policy.Combine,
-			Buffer:              d.policy.Buffer,
-			Envelope:            d.envelope,
-			BenchScenario:       d.scenario,
-			StaleTerm:           d.staleTerm,
-			ReadBenchScenario:   d.readScenario,
-			WindowTerm:          d.windowTerm,
-			WindowBenchScenario: d.windowScenario,
+			Kind:                  d.kind,
+			Combine:               d.policy.Combine,
+			Buffer:                d.policy.Buffer,
+			Envelope:              d.envelope,
+			BenchScenario:         d.scenario,
+			StaleTerm:             d.staleTerm,
+			ReadBenchScenario:     d.readScenario,
+			WindowTerm:            d.windowTerm,
+			WindowBenchScenario:   d.windowScenario,
+			Accuracies:            accs,
+			FrontierBenchScenario: d.frontierScenario,
 		})
 	}
 	return out

@@ -66,27 +66,89 @@ const (
 	accExact accMode = iota
 	accAdditive
 	accMultiplicative
+	accRandomized
 )
 
-// String names the mode alone ("exact", "additive", "multiplicative"),
-// without the parameter; Accuracy.String renders the full selection.
-func (m accMode) String() string {
-	switch m {
-	case accAdditive:
-		return "additive"
-	case accMultiplicative:
-		return "multiplicative"
-	default:
-		return "exact"
+// accuracyRow is one row of the accuracy table: the mode's name, how a
+// full selection renders, and the mode's own parameter preconditions
+// (kind-independent; a kind's extra preconditions live in its
+// descriptor's accuracies map). Adding an accuracy class is a row
+// registration here plus per-kind rows in the descriptors that support
+// it — validation, String rendering, and the Kinds export all derive
+// from the tables, with no per-mode switches left to grow.
+type accuracyRow struct {
+	mode   accMode
+	name   string
+	render func(a Accuracy) string
+	check  func(a Accuracy) error
+}
+
+// accuracyTable registers every accuracy class, in presentation order.
+var accuracyTable = []accuracyRow{
+	{
+		mode:   accExact,
+		name:   "exact",
+		render: func(Accuracy) string { return "exact" },
+	},
+	{
+		mode:   accAdditive,
+		name:   "additive",
+		render: func(a Accuracy) string { return fmt.Sprintf("additive(%d)", a.k) },
+	},
+	{
+		mode:   accMultiplicative,
+		name:   "multiplicative",
+		render: func(a Accuracy) string { return fmt.Sprintf("multiplicative(%d)", a.k) },
+		check: func(a Accuracy) error {
+			if a.k < 2 {
+				return fmt.Errorf("approxobj: multiplicative accuracy needs k >= 2, got %d", a.k)
+			}
+			return nil
+		},
+	},
+	{
+		mode:   accRandomized,
+		name:   "randomized",
+		render: func(a Accuracy) string { return fmt.Sprintf("randomized(%d, %g)", a.k, a.delta) },
+		check: func(a Accuracy) error {
+			if a.k < 2 {
+				return fmt.Errorf("approxobj: randomized accuracy needs k >= 2, got %d", a.k)
+			}
+			if a.delta <= 0 || a.delta >= 1 {
+				return fmt.Errorf("approxobj: randomized accuracy needs 0 < delta < 1, got %v", a.delta)
+			}
+			return nil
+		},
+	},
+}
+
+// accuracyRowOf resolves a mode against the accuracy table.
+func accuracyRowOf(m accMode) *accuracyRow {
+	for i := range accuracyTable {
+		if accuracyTable[i].mode == m {
+			return &accuracyTable[i]
+		}
 	}
+	return nil
+}
+
+// String names the mode alone ("exact", "additive", "multiplicative",
+// "randomized"), without the parameters; Accuracy.String renders the
+// full selection.
+func (m accMode) String() string {
+	if r := accuracyRowOf(m); r != nil {
+		return r.name
+	}
+	return "invalid"
 }
 
 // Accuracy selects a point on the paper's accuracy/steps trade-off. Use
-// Exact, Additive, or Multiplicative to build one and WithAccuracy to
-// apply it to a spec. The zero value is Exact().
+// Exact, Additive, Multiplicative, or Randomized to build one and
+// WithAccuracy to apply it to a spec. The zero value is Exact().
 type Accuracy struct {
-	mode accMode
-	k    uint64
+	mode  accMode
+	k     uint64
+	delta float64
 }
 
 // Exact requests precise reads: the object's envelope is zero and every
@@ -104,11 +166,26 @@ func Additive(k uint64) Accuracy { return Accuracy{mode: accAdditive, k: k} }
 // Algorithm 2 for max registers (O(min(log2 log_k m, n)) worst case).
 func Multiplicative(k uint64) Accuracy { return Accuracy{mode: accMultiplicative, k: k} }
 
+// Randomized requests k-multiplicative accuracy that holds only with
+// probability >= 1-delta per read: a Morris counter per shard (exponent
+// register + per-handle RNG state), with the Morris accuracy parameter
+// chosen so a read escapes [v/k, k*v] with probability at most delta
+// (reported as the Delta term of Bounds, composed across shards and
+// window epochs by union bound). This is the contrast class of the
+// paper's related work (§I-A): exponentially smaller state than any
+// deterministic counter — O(log log v) bits of exponent versus the
+// deterministic lower bounds in PAPERS.md — in exchange for giving up
+// the on-every-schedule guarantee. Requires k >= 2 and 0 < delta < 1.
+// Implemented for counters.
+func Randomized(k uint64, delta float64) Accuracy {
+	return Accuracy{mode: accRandomized, k: k, delta: delta}
+}
+
 // IsExact reports whether the accuracy pins reads to the true value.
 func (a Accuracy) IsExact() bool { return a.mode == accExact }
 
 // K returns the accuracy parameter: 1 for exact, the additive slack for
-// Additive, the multiplicative factor for Multiplicative.
+// Additive, the multiplicative factor for Multiplicative and Randomized.
 func (a Accuracy) K() uint64 {
 	if a.mode == accExact {
 		return 1
@@ -116,16 +193,16 @@ func (a Accuracy) K() uint64 {
 	return a.k
 }
 
+// Delta returns the per-read envelope failure probability: 0 for the
+// deterministic accuracies, the configured delta for Randomized.
+func (a Accuracy) Delta() float64 { return a.delta }
+
 // String renders the accuracy for error messages and tables.
 func (a Accuracy) String() string {
-	switch a.mode {
-	case accAdditive:
-		return fmt.Sprintf("additive(%d)", a.k)
-	case accMultiplicative:
-		return fmt.Sprintf("multiplicative(%d)", a.k)
-	default:
-		return "exact"
+	if r := accuracyRowOf(a.mode); r != nil {
+		return r.render(a)
 	}
+	return "invalid"
 }
 
 // Spec is the validated description of an object: which family member to
@@ -262,9 +339,9 @@ type Option func(*Spec)
 func WithProcs(n int) Option { return func(s *Spec) { s.procs = n } }
 
 // WithAccuracy selects the object's accuracy (default Exact()): see
-// Exact, Additive, and Multiplicative. Each kind's backend table lists
-// the modes it implements; unsupported combinations are rejected by the
-// constructor.
+// Exact, Additive, Multiplicative, and Randomized. Each kind's backend
+// table lists the modes it implements (the Accuracies column of Kinds);
+// unsupported combinations are rejected by the constructor.
 func WithAccuracy(a Accuracy) Option { return func(s *Spec) { s.acc = a } }
 
 // WithShards sets the shard count S (default 1): S independently accurate
@@ -421,13 +498,19 @@ func (s Spec) validate() error {
 			return fmt.Errorf("approxobj: window needs at least 2 epochs (1 would truncate the whole window on every rotation), got %d", s.windowEpochs)
 		}
 	}
+	row := accuracyRowOf(s.acc.mode)
+	if row == nil {
+		return fmt.Errorf("approxobj: invalid accuracy mode %d", s.acc.mode)
+	}
 	check, supported := d.accuracies[s.acc.mode]
 	if !supported {
 		return fmt.Errorf("approxobj: %s accuracy is not implemented for %s (use %s)",
-			s.acc.mode, d.plural, supportedAccuracies(d))
+			row.name, d.plural, supportedAccuracies(d))
 	}
-	if s.acc.mode == accMultiplicative && s.acc.k < 2 {
-		return fmt.Errorf("approxobj: multiplicative accuracy needs k >= 2, got %d", s.acc.k)
+	if row.check != nil {
+		if err := row.check(s.acc); err != nil {
+			return err
+		}
 	}
 	if s.boundSet && !d.allowBound {
 		return fmt.Errorf("approxobj: WithBound applies only to max registers and histograms, not %s", d.plural)
@@ -455,12 +538,12 @@ func (s Spec) validate() error {
 }
 
 // supportedAccuracies renders a kind's accuracy modes for error messages
-// ("Exact or Multiplicative"), in mode order.
+// ("exact or multiplicative"), in accuracy-table order.
 func supportedAccuracies(d *kindDescriptor) string {
 	names := []string{}
-	for _, m := range []accMode{accExact, accAdditive, accMultiplicative} {
-		if _, ok := d.accuracies[m]; ok {
-			names = append(names, m.String())
+	for _, r := range accuracyTable {
+		if _, ok := d.accuracies[r.mode]; ok {
+			names = append(names, r.name)
 		}
 	}
 	switch len(names) {

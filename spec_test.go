@@ -32,6 +32,28 @@ func TestSpecValidation(t *testing.T) {
 			[]Option{WithProcs(100), WithAccuracy(Multiplicative(2))}, "sqrt"},
 		{"counter mult k < 2", KindCounter,
 			[]Option{WithAccuracy(Multiplicative(1))}, "k >= 2"},
+		// The randomized accuracy row: counters only, k and delta both
+		// validated in the accuracy table (no per-kind switch).
+		{"counter randomized", KindCounter,
+			[]Option{WithProcs(4), WithAccuracy(Randomized(2, 0.01))}, ""},
+		{"counter randomized sharded batched", KindCounter,
+			[]Option{WithProcs(8), WithAccuracy(Randomized(4, 0.1)), WithShards(4), WithBatch(16)}, ""},
+		{"counter randomized windowed", KindCounter,
+			[]Option{WithProcs(4), WithAccuracy(Randomized(2, 0.05)), WithWindow(time.Minute, 6)}, ""},
+		{"counter randomized k < 2", KindCounter,
+			[]Option{WithAccuracy(Randomized(1, 0.01))}, "k >= 2"},
+		{"counter randomized delta zero", KindCounter,
+			[]Option{WithAccuracy(Randomized(2, 0))}, "0 < delta < 1"},
+		{"counter randomized delta one", KindCounter,
+			[]Option{WithAccuracy(Randomized(2, 1))}, "0 < delta < 1"},
+		{"counter randomized delta negative", KindCounter,
+			[]Option{WithAccuracy(Randomized(2, -0.5))}, "0 < delta < 1"},
+		{"maxreg randomized", KindMaxRegister,
+			[]Option{WithAccuracy(Randomized(2, 0.01))}, "not implemented for max registers"},
+		{"snapshot randomized", KindSnapshot,
+			[]Option{WithAccuracy(Randomized(2, 0.01))}, "not implemented for snapshots"},
+		{"histogram randomized", KindHistogram,
+			[]Option{WithAccuracy(Randomized(2, 0.01)), WithBound(1024)}, "not implemented for histograms"},
 		{"counter zero shards", KindCounter,
 			[]Option{WithShards(0)}, "shard count"},
 		{"counter zero batch", KindCounter,
@@ -348,6 +370,16 @@ func TestAccuracyK(t *testing.T) {
 	}
 	if Multiplicative(4).K() != 4 || Multiplicative(4).IsExact() {
 		t.Error("Multiplicative(4) must report K=4")
+	}
+	r := Randomized(4, 0.01)
+	if r.K() != 4 || r.Delta() != 0.01 || r.IsExact() {
+		t.Error("Randomized(4, 0.01) must report K=4, Delta=0.01, not exact")
+	}
+	if Multiplicative(4).Delta() != 0 {
+		t.Error("deterministic accuracies must report Delta=0")
+	}
+	if got := r.String(); got != "randomized(4, 0.01)" {
+		t.Errorf("Randomized String() = %q", got)
 	}
 	var zero Accuracy
 	if !zero.IsExact() || zero.K() != 1 {
