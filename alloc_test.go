@@ -1,0 +1,138 @@
+package approxobj_test
+
+import (
+	"testing"
+	"time"
+
+	"approxobj"
+)
+
+// The zero-allocation read path is a designed property of the plane
+// (PR 9), not an accident of the current compiler: cached scalar reads
+// are one atomic load, uncached scalar reads fold the shards in
+// registers, and the vector kinds reuse handle-local scratch. These
+// tests gate it exactly with testing.AllocsPerRun, machine-
+// independently — the E20r bench records the same numbers into the
+// -json trajectory, but a unit test fails faster and under -race too.
+//
+// The cached cells use an hour of staleness so the combiner goroutine
+// never refreshes mid-measurement (the warm-up read pays the one
+// inline refresh); allocations by OTHER goroutines would otherwise
+// land in the per-run count.
+
+// requireZeroAllocs runs f through testing.AllocsPerRun and fails if
+// any run allocated.
+func requireZeroAllocs(t *testing.T, name string, f func()) {
+	t.Helper()
+	if avg := testing.AllocsPerRun(100, f); avg != 0 {
+		t.Errorf("%s: %.2f allocs per read, want 0", name, avg)
+	}
+}
+
+func TestReadPathAllocationFree(t *testing.T) {
+	const shards = 4
+	for _, cached := range []bool{false, true} {
+		label := "uncached"
+		opts := []approxobj.Option{approxobj.WithProcs(2), approxobj.WithShards(shards)}
+		if cached {
+			label = "cached"
+			opts = append(opts, approxobj.WithReadCache(time.Hour))
+		}
+
+		t.Run("counter/"+label, func(t *testing.T) {
+			c, err := approxobj.NewCounter(append(opts, approxobj.WithAccuracy(approxobj.Multiplicative(2)))...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			w, r := c.Handle(0), c.Handle(1)
+			for i := 0; i < 1000; i++ {
+				w.Inc()
+			}
+			var sink uint64
+			sink += r.Read() // warm-up: cached cells refresh inline once
+			requireZeroAllocs(t, "counter Read", func() { sink += r.Read() })
+			if sink == ^uint64(0) {
+				t.Fatal("impossible sink")
+			}
+		})
+
+		t.Run("max-register/"+label, func(t *testing.T) {
+			m, err := approxobj.NewMaxRegister(append(opts, approxobj.WithBound(1<<20))...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer m.Close()
+			w, r := m.Handle(0), m.Handle(1)
+			for i := 0; i < 1000; i++ {
+				w.Write(uint64(i))
+			}
+			var sink uint64
+			sink += r.Read()
+			requireZeroAllocs(t, "max-register Read", func() { sink += r.Read() })
+			if sink == ^uint64(0) {
+				t.Fatal("impossible sink")
+			}
+		})
+
+		t.Run("snapshot/"+label, func(t *testing.T) {
+			sn, err := approxobj.NewSnapshot(opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sn.Close()
+			w, r := sn.Handle(0), sn.Handle(1)
+			for i := 1; i <= 1000; i++ {
+				w.Update(uint64(i))
+			}
+			var buf []uint64
+			buf = r.ScanInto(buf) // warm-up grows the scratch once
+			requireZeroAllocs(t, "snapshot ScanInto", func() { buf = r.ScanInto(buf) })
+			if buf[0] != 1000 {
+				t.Fatalf("component 0 = %d, want 1000", buf[0])
+			}
+		})
+
+		t.Run("histogram/"+label, func(t *testing.T) {
+			hg, err := approxobj.NewHistogram(append(opts,
+				approxobj.WithAccuracy(approxobj.Multiplicative(2)),
+				approxobj.WithBound(1<<16))...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer hg.Close()
+			w, r := hg.Handle(0), hg.Handle(1)
+			for i := 0; i < 1000; i++ {
+				w.Observe(uint64(i))
+			}
+			var sink uint64
+			sink += r.Quantile(0.99)
+			requireZeroAllocs(t, "histogram Quantile", func() { sink += r.Quantile(0.99) })
+			requireZeroAllocs(t, "histogram Count", func() { sink += r.Count() })
+			if sink == ^uint64(0) {
+				t.Fatal("impossible sink")
+			}
+		})
+	}
+}
+
+// TestPooledAcquireAllocations pins the acquisition hot path's
+// allocation budget: after the first lease builds the slot's handle,
+// each acquire/release cycle allocates only the release closure (the
+// idempotence guard rides the slot's generation counter, not a fresh
+// escaping atomic).
+func TestPooledAcquireAllocations(t *testing.T) {
+	c, err := approxobj.NewCounter(approxobj.WithProcs(2), approxobj.WithAccuracy(approxobj.Multiplicative(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Do(func(h approxobj.CounterHandle) { h.Inc() }) // warm the slot's cached handle
+	if avg := testing.AllocsPerRun(100, func() {
+		h, release := c.Acquire()
+		h.Inc()
+		release()
+	}); avg > 1 {
+		t.Errorf("acquire/release cycle: %.2f allocs, want <= 1 (the release closure)", avg)
+	}
+}

@@ -6,6 +6,7 @@
 //
 //	approxbench [-quick] [-seed 42] [-exp e1,e3,f1] [-json out.json]
 //	approxbench [-compare old.json] [-compare-tol 50]
+//	approxbench [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	approxbench -list
 //
 // Without -exp it runs everything; unknown experiment ids are an error
@@ -31,7 +32,7 @@
 //
 // -compare diffs this run's records against a committed record file and
 // exits 1 on regressions, which makes BENCH_*.json files checkable
-// instead of write-only. Three checks run, all on machine-independent
+// instead of write-only. Four checks run, all on machine-independent
 // data: (1) every scenario present in the baseline must be emitted by
 // this run — a superset is fine (new scenarios accrue), a missing one is
 // a lost trajectory (on an -exp subset, only scenarios the selected
@@ -41,10 +42,19 @@
 // configuration got less accurate and no tolerance applies; (3) for
 // matched records carrying steps/op, the step count must not regress by
 // more than -compare-tol percent (steps count shared-memory primitives,
-// not wall-clock, but scheduling still jitters them slightly).
-// Records whose (scenario, params) only exist on one side — e.g. sweep
-// cells sized by GOMAXPROCS on a different machine — are skipped; ns/op
-// is never compared (timing is machine noise).
+// not wall-clock, but scheduling still jitters them slightly); (4) for
+// matched records, allocations per read (E20r) must not increase at all
+// — the zero-allocation read path is a designed property like the
+// envelope, so a read that starts allocating is a regression with no
+// tolerance, not timing noise. Records whose (scenario, params) only
+// exist on one side — e.g. sweep cells sized by GOMAXPROCS on a
+// different machine — are skipped; ns/op is never compared (timing is
+// machine noise).
+//
+// -cpuprofile and -memprofile write pprof profiles of the selected
+// experiments (the heap profile is taken at exit, after every
+// experiment has run), for digging into regressions the record
+// trajectory flags: `go tool pprof cpu.pprof`.
 package main
 
 import (
@@ -52,6 +62,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -79,7 +91,40 @@ func main() {
 	jsonOut := flag.String("json", "", "write machine-readable records to this file")
 	compare := flag.String("compare", "", "diff this run's records against this baseline record file; exit 1 on missing scenarios or regressions")
 	compareTol := flag.Float64("compare-tol", 50, "max percent regression -compare tolerates on steps/op (envelope widening is never tolerated)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "approxbench: creating %s: %v\n", *cpuProfile, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "approxbench: starting CPU profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "approxbench: creating %s: %v\n", *memProfile, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "approxbench: writing heap profile: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	all := bench.All()
 	if *list {
@@ -364,6 +409,16 @@ func compareRecords(baseline, current []bench.Record, tol float64, inScope func(
 			problems = append(problems, fmt.Sprintf(
 				"%s: steps/op regressed %.4f -> %.4f (more than %.0f%%)",
 				recordKey(o), o.StepsPerOp, n.StepsPerOp, tol))
+		}
+		// Allocations per read are designed, not timed — the read paths
+		// reuse handle scratch, so the counts are machine-independent
+		// (E20r rounds away stray process-global noise). Any increase is
+		// a regression with no tolerance, exactly like envelope widening;
+		// in particular a baseline of 0 must stay 0.
+		if n.AllocsPerRead > o.AllocsPerRead {
+			problems = append(problems, fmt.Sprintf(
+				"%s: allocs/read regressed %.2f -> %.2f (read-path allocation regression)",
+				recordKey(o), o.AllocsPerRead, n.AllocsPerRead))
 		}
 	}
 	return problems

@@ -31,6 +31,7 @@ type retirable interface {
 type slotPool[H retirable] struct {
 	free    *pool.Pool
 	handles []H              // lazily built, one per pool slot
+	gens    []atomic.Uint64  // per-slot lease generation (see lease)
 	mk      func(slot int) H // builds a slot's handle on first lease
 	retired atomic.Uint64    // steps credited by released pooled handles
 }
@@ -41,6 +42,7 @@ type slotPool[H retirable] struct {
 func (p *slotPool[H]) init(slots int, mk func(slot int) H) {
 	p.free = pool.New(slots)
 	p.handles = make([]H, slots)
+	p.gens = make([]atomic.Uint64, slots)
 	p.mk = mk
 }
 
@@ -64,18 +66,26 @@ func (p *slotPool[H]) tryAcquire() (h H, release func(), ok bool) {
 // without a lock — the pool hands each slot to one goroutine at a
 // time, and releases happen-before the next acquire), and returns it
 // with an idempotent release that retires the handle (flushing and
-// step-crediting) and frees the slot. The idempotence guard is atomic,
-// so a cleanup path racing the owner's deferred release cannot retire
-// the handle twice or duplicate the slot in the free list.
+// step-crediting) and frees the slot.
+//
+// The idempotence guard is the slot's monotonic generation counter:
+// each lease bumps it to g and release succeeds only by advancing g to
+// g+1, so a cleanup path racing the owner's deferred release cannot
+// retire the handle twice or duplicate the slot in the free list — and
+// a stale closure surviving past a re-lease can never succeed either
+// (the generation has moved past g for good). Sharing the guard with
+// the slot keeps the acquisition hot path to one allocation (the
+// release closure itself) instead of two.
 func (p *slotPool[H]) lease(slot int) (H, func()) {
 	h := p.handles[slot]
 	if isNil(h) {
 		h = p.mk(slot)
 		p.handles[slot] = h
 	}
-	var released atomic.Bool
+	gen := &p.gens[slot]
+	g := gen.Add(1)
 	return h, func() {
-		if !released.CompareAndSwap(false, true) {
+		if !gen.CompareAndSwap(g, g+1) {
 			return
 		}
 		h.retire(&p.retired)
@@ -260,9 +270,12 @@ type pooledSnapshotHandle struct {
 
 func (h *pooledSnapshotHandle) Update(v uint64) { h.h.Update(v) }
 func (h *pooledSnapshotHandle) Scan() []uint64  { return h.h.Scan()[:h.n] }
-func (h *pooledSnapshotHandle) Component() int  { return h.h.Component() }
-func (h *pooledSnapshotHandle) Steps() uint64   { return h.h.Steps() }
-func (h *pooledSnapshotHandle) Flush()          { h.h.Flush() }
+func (h *pooledSnapshotHandle) ScanInto(dst []uint64) []uint64 {
+	return h.h.ScanInto(dst)[:h.n]
+}
+func (h *pooledSnapshotHandle) Component() int { return h.h.Component() }
+func (h *pooledSnapshotHandle) Steps() uint64  { return h.h.Steps() }
+func (h *pooledSnapshotHandle) Flush()         { h.h.Flush() }
 
 func (h *pooledSnapshotHandle) retire(credit *atomic.Uint64) {
 	h.h.Flush()

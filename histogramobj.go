@@ -134,7 +134,8 @@ type Histogram struct {
 
 	slots slotPool[*pooledHistogramHandle]
 
-	snap histRT // registry snapshot handle (slot procs), else nil
+	snap    histRT   // registry snapshot handle (slot procs), else nil
+	snapBuf []uint64 // snap's reused bucket read (serialized by the registry's per-entry snapMu)
 }
 
 // histRT is the runtime surface shared by the cumulative and windowed
@@ -143,6 +144,7 @@ type Histogram struct {
 type histRT interface {
 	AddN(bucket int, d uint64)
 	Buckets() []uint64
+	BucketsInto(dst []uint64) []uint64
 	Steps() uint64
 	Flush()
 }
@@ -330,43 +332,57 @@ func (h *Histogram) Handle(i int) HistogramHandle {
 	if i < 0 || i >= h.spec.procs {
 		panic("approxobj: histogram handle slot out of range")
 	}
-	return histSlotHandle{h: h.runtimeHandle(i), bk: h.bk}
+	return &histSlotHandle{h: h.runtimeHandle(i), bk: h.bk}
 }
 
 // histSlotHandle adapts a runtime histogram handle to the public query
 // interface: observations round through the bucket layout on the way
 // in, and every query folds one merged bucket read through
-// internal/histogram's query engine.
+// internal/histogram's query engine. The read lands in the handle's
+// reused counts buffer (handles are single-goroutine by contract), so
+// steady-state queries allocate nothing.
 type histSlotHandle struct {
-	h  histRT
-	bk histogram.Buckets
+	h      histRT
+	bk     histogram.Buckets
+	counts []uint64 // query scratch: one merged bucket read per query
 }
 
-var _ BatchedHistogramHandle = histSlotHandle{}
+var _ BatchedHistogramHandle = (*histSlotHandle)(nil)
 
-func (h histSlotHandle) Observe(v uint64) { h.ObserveN(v, 1) }
+// read folds one merged bucket read into the handle's scratch buffer.
+// Each query reads once, so its answer is consistent within itself;
+// the buffer is overwritten by the next query.
+func (h *histSlotHandle) read() []uint64 {
+	h.counts = h.h.BucketsInto(h.counts)
+	return h.counts
+}
 
-func (h histSlotHandle) ObserveN(v uint64, d uint64) {
+func (h *histSlotHandle) Observe(v uint64) { h.ObserveN(v, 1) }
+
+func (h *histSlotHandle) ObserveN(v uint64, d uint64) {
 	if !h.bk.Contains(v) {
 		panic(fmt.Sprintf("approxobj: observation %d out of range of %d-bounded histogram", v, h.bk.Bound()))
 	}
 	h.h.AddN(h.bk.Index(v), d)
 }
 
-func (h histSlotHandle) Count() uint64        { return histogram.Count(h.h.Buckets()) }
-func (h histSlotHandle) Sum() uint64          { return histogram.Sum(h.bk, h.h.Buckets()) }
-func (h histSlotHandle) Rank(v uint64) uint64 { return histogram.Rank(h.bk, h.h.Buckets(), v) }
-func (h histSlotHandle) Quantile(q float64) uint64 {
-	return histogram.Quantile(h.bk, h.h.Buckets(), q)
+func (h *histSlotHandle) Count() uint64        { return histogram.Count(h.read()) }
+func (h *histSlotHandle) Sum() uint64          { return histogram.Sum(h.bk, h.read()) }
+func (h *histSlotHandle) Rank(v uint64) uint64 { return histogram.Rank(h.bk, h.read(), v) }
+func (h *histSlotHandle) Quantile(q float64) uint64 {
+	return histogram.Quantile(h.bk, h.read(), q)
 }
-func (h histSlotHandle) CDF(v uint64) float64 { return histogram.CDF(h.bk, h.h.Buckets(), v) }
-func (h histSlotHandle) Steps() uint64        { return h.h.Steps() }
-func (h histSlotHandle) Flush()               { h.h.Flush() }
+func (h *histSlotHandle) CDF(v uint64) float64 { return histogram.CDF(h.bk, h.read(), v) }
+func (h *histSlotHandle) Steps() uint64        { return h.h.Steps() }
+func (h *histSlotHandle) Flush()               { h.h.Flush() }
 
 // snapshotValue reports the observation count — the scalar the registry
 // exports for this kind; pair it with Quantile queries through a
 // HistogramObject handle for the distribution itself.
-func (h *Histogram) snapshotValue() uint64 { return histogram.Count(h.snap.Buckets()) }
+func (h *Histogram) snapshotValue() uint64 {
+	h.snapBuf = h.snap.BucketsInto(h.snapBuf)
+	return histogram.Count(h.snapBuf)
+}
 
 // snapshotBounds narrows the envelope to the one that bounds the
 // exported Value: the observation count lives purely in the rank
@@ -388,7 +404,8 @@ func (h *Histogram) snapshotSteps() uint64 { return h.snap.Steps() }
 // package expose). Only occupied buckets are emitted, which keeps the
 // detail compact even for exact layouts with one bucket per value.
 func (h *Histogram) snapshotDetail() *HistogramDetail {
-	counts := h.snap.Buckets()
+	h.snapBuf = h.snap.BucketsInto(h.snapBuf)
+	counts := h.snapBuf
 	d := &HistogramDetail{
 		Count: histogram.Count(counts),
 		Sum:   histogram.Sum(h.bk, counts),

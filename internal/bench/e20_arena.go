@@ -1,0 +1,281 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"approxobj"
+)
+
+// E20Arena measures the arena-backed plane (PR 9): base objects of one
+// shard live in a single cache-line-padded arena, and every read path
+// reuses handle-local scratch instead of allocating. Two sweeps:
+//
+//   - E20: writer throughput for a Multiplicative(4) counter across
+//     goroutines g in {1, 2, 4} x shards S in {1, 4}, unbuffered
+//     (batch 1), so every Inc hits the arena. The ns/op trajectory
+//     tracks the arena's false-sharing behaviour across PRs; shard
+//     scaling itself is machine-dependent (meaningless on one core), so
+//     only the per-cell timings are recorded, not a scaling claim.
+//   - E20r: heap allocations per read for every kind, cached and
+//     uncached, measured as a Mallocs delta over a read loop. Unlike
+//     the timings this is machine-independent and gated exactly by
+//     cmd/approxbench's -compare: cached scalar reads must report 0
+//     (one atomic load, no scratch at all), and no cell may allocate
+//     more per read than the previous trajectory file records.
+func E20Arena(cfg Config) ([]*Table, error) {
+	t, err := e20WriterSweep(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t2, err := e20AllocsPerRead(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{t, t2}, nil
+}
+
+// e20WriterSweep is the E20 table: concurrent unbuffered increments
+// against the arena across goroutine and shard counts.
+func e20WriterSweep(cfg Config) (*Table, error) {
+	goroutines := []int{1, 2, 4}
+	shardCounts := []int{1, 4}
+	opsPer := 200_000
+	if cfg.Quick {
+		opsPer = 20_000
+	}
+
+	t := &Table{
+		ID:    "E20",
+		Title: "arena plane: writer throughput, goroutines x shards, unbuffered Multiplicative(4) counter",
+		Note: `Each row drives g goroutines of back-to-back Incs (batch 1, so every
+increment reaches the shared arena) against a Multiplicative(4) counter
+on S shards. Shard i mod S receives handle i's traffic; with the
+128-byte arena stride no two slots share a cache line, so contention is
+limited to the counter's own synchronization. The ns/op cells are
+machine-dependent (shard scaling needs real cores); the recorded
+trajectory tracks them for drift, not as a scaling proof.`,
+		Header: []string{"goroutines", "shards", "Mops/s", "ns/op"},
+	}
+
+	for _, g := range goroutines {
+		for _, s := range shardCounts {
+			c, err := approxobj.NewCounter(
+				approxobj.WithProcs(g),
+				approxobj.WithAccuracy(approxobj.Multiplicative(4)),
+				approxobj.WithShards(s),
+			)
+			if err != nil {
+				return nil, err
+			}
+			var wg sync.WaitGroup
+			startLine := make(chan struct{})
+			wg.Add(g)
+			for i := 0; i < g; i++ {
+				h := c.Handle(i)
+				go func() {
+					defer wg.Done()
+					<-startLine
+					for j := 0; j < opsPer; j++ {
+						h.Inc()
+					}
+				}()
+			}
+			start := time.Now()
+			close(startLine)
+			wg.Wait()
+			elapsed := time.Since(start)
+			c.Close()
+
+			totalOps := float64(g * opsPer)
+			nsPerOp := float64(elapsed.Nanoseconds()) / totalOps
+			t.AddRow(g, s, totalOps/elapsed.Seconds()/1e6, fmt.Sprintf("%.1f", nsPerOp))
+			t.AddRecord(Record{
+				Params: map[string]string{
+					"goroutines": strconv.Itoa(g),
+					"shards":     strconv.Itoa(s),
+				},
+				NsPerOp:  nsPerOp,
+				Envelope: EnvelopeOf(c.Bounds()),
+			})
+		}
+	}
+	return t, nil
+}
+
+// e20AllocsPerRead is the E20r table: heap allocations per read for
+// every kind, cached and uncached. The cached cells use an effectively
+// infinite staleness window so the measurement loop sees only the
+// steady-state fast path (no combiner refresh lands mid-loop); the
+// uncached cells fold the shards into handle scratch on every read.
+func e20AllocsPerRead(cfg Config) (*Table, error) {
+	const shards = 4
+	reads := 50_000
+	writes := 10_000
+	if cfg.Quick {
+		reads = 5_000
+		writes = 2_000
+	}
+
+	t := &Table{
+		ID:    "E20r",
+		Title: fmt.Sprintf("arena plane: heap allocations per read, every kind, cached vs uncached, S=%d", shards),
+		Note: `Each row populates one object through handle 0, warms handle 1's read
+scratch, then measures runtime.MemStats.Mallocs across a read loop.
+The zero-allocation read path is a correctness property of this
+repository, not a timing: cached scalar reads are one atomic load (0
+allocs), uncached scalar reads fold the shards in registers (0
+allocs), and vector kinds reuse handle-local buffers (0 steady-state
+allocs; the histogram's Quantile answers from the same reused read).
+-compare fails a run whose allocs_per_read exceeds the trajectory
+file's, like an envelope widening.`,
+		Header: []string{"kind", "cached", "allocs/read"},
+	}
+
+	type kindCase struct {
+		kind  string
+		build func(cached bool) (populate func(), read func() uint64, bounds approxobj.Bounds, closeFn func(), err error)
+	}
+
+	// An hour of staleness: the cell never expires mid-measurement, so
+	// the loop stays on the cached fast path (one refresh at warm-up).
+	cachedOpt := func(cached bool) []approxobj.Option {
+		if cached {
+			return []approxobj.Option{approxobj.WithReadCache(time.Hour)}
+		}
+		return nil
+	}
+
+	kinds := []kindCase{
+		{kind: "counter", build: func(cached bool) (func(), func() uint64, approxobj.Bounds, func(), error) {
+			opts := append([]approxobj.Option{
+				approxobj.WithProcs(2),
+				approxobj.WithAccuracy(approxobj.Multiplicative(2)),
+				approxobj.WithShards(shards),
+			}, cachedOpt(cached)...)
+			c, err := approxobj.NewCounter(opts...)
+			if err != nil {
+				return nil, nil, approxobj.Bounds{}, nil, err
+			}
+			w, r := c.Handle(0), c.Handle(1)
+			populate := func() {
+				for i := 0; i < writes; i++ {
+					w.Inc()
+				}
+			}
+			return populate, r.Read, c.Bounds(), c.Close, nil
+		}},
+		{kind: "max-register", build: func(cached bool) (func(), func() uint64, approxobj.Bounds, func(), error) {
+			opts := append([]approxobj.Option{
+				approxobj.WithProcs(2),
+				approxobj.WithBound(1 << 30),
+				approxobj.WithShards(shards),
+			}, cachedOpt(cached)...)
+			m, err := approxobj.NewMaxRegister(opts...)
+			if err != nil {
+				return nil, nil, approxobj.Bounds{}, nil, err
+			}
+			w, r := m.Handle(0), m.Handle(1)
+			populate := func() {
+				for i := 0; i < writes; i++ {
+					w.Write(uint64(i))
+				}
+			}
+			return populate, r.Read, m.Bounds(), m.Close, nil
+		}},
+		{kind: "snapshot", build: func(cached bool) (func(), func() uint64, approxobj.Bounds, func(), error) {
+			opts := append([]approxobj.Option{
+				approxobj.WithProcs(2),
+				approxobj.WithShards(shards),
+			}, cachedOpt(cached)...)
+			sn, err := approxobj.NewSnapshot(opts...)
+			if err != nil {
+				return nil, nil, approxobj.Bounds{}, nil, err
+			}
+			w, r := sn.Handle(0), sn.Handle(1)
+			populate := func() {
+				for i := 1; i <= writes; i++ {
+					w.Update(uint64(i))
+				}
+			}
+			var buf []uint64
+			read := func() uint64 {
+				buf = r.ScanInto(buf)
+				return buf[0]
+			}
+			return populate, read, sn.Bounds(), sn.Close, nil
+		}},
+		{kind: "histogram", build: func(cached bool) (func(), func() uint64, approxobj.Bounds, func(), error) {
+			const bound = uint64(1) << 16
+			opts := append([]approxobj.Option{
+				approxobj.WithProcs(2),
+				approxobj.WithAccuracy(approxobj.Multiplicative(2)),
+				approxobj.WithBound(bound),
+				approxobj.WithShards(shards),
+			}, cachedOpt(cached)...)
+			hg, err := approxobj.NewHistogram(opts...)
+			if err != nil {
+				return nil, nil, approxobj.Bounds{}, nil, err
+			}
+			w, r := hg.Handle(0), hg.Handle(1)
+			populate := func() {
+				for i := 0; i < writes; i++ {
+					w.Observe(uint64(i) % bound)
+				}
+			}
+			read := func() uint64 { return r.Quantile(0.99) }
+			return populate, read, hg.Bounds(), hg.Close, nil
+		}},
+	}
+
+	var sink uint64
+	for _, kc := range kinds {
+		for _, cached := range []bool{false, true} {
+			populate, read, bounds, closeFn, err := kc.build(cached)
+			if err != nil {
+				return nil, err
+			}
+			populate()
+			// Warm-up: the first reads allocate the handle's scratch
+			// buffers and (when cached) the combined cell; steady state
+			// starts after.
+			for i := 0; i < 16; i++ {
+				sink += read()
+			}
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			for i := 0; i < reads; i++ {
+				sink += read()
+			}
+			runtime.ReadMemStats(&m1)
+			closeFn()
+
+			allocs := float64(m1.Mallocs-m0.Mallocs) / float64(reads)
+			// Round to hundredths: Mallocs is process-global, so an
+			// unrelated stray allocation (a GC assist, a background
+			// tick) must not wobble the machine-independent gate.
+			allocs = float64(int64(allocs*100+0.5)) / 100
+
+			label := "off"
+			if cached {
+				label = "on"
+			}
+			t.AddRow(kc.kind, label, fmt.Sprintf("%.2f", allocs))
+			t.AddRecord(Record{
+				Params: map[string]string{
+					"kind":   kc.kind,
+					"cached": label,
+				},
+				AllocsPerRead: allocs,
+				Envelope:      EnvelopeOf(bounds),
+			})
+		}
+	}
+	if sink == ^uint64(0) {
+		return nil, fmt.Errorf("bench: impossible sink value")
+	}
+	return t, nil
+}

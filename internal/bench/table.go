@@ -31,8 +31,13 @@ type Record struct {
 	// object, the paper's space measure) — machine-independent, like the
 	// envelope; the frontier experiment (E19) reports it so the
 	// deterministic-vs-randomized space gap is tracked across PRs.
-	Bytes    uint64          `json:"bytes,omitempty"`
-	Envelope *RecordEnvelope `json:"envelope,omitempty"`
+	Bytes uint64 `json:"bytes,omitempty"`
+	// AllocsPerRead is the heap allocations per read operation (E20r) —
+	// machine-independent, like the envelope, because the read paths are
+	// designed to reuse handle-local scratch: cached scalar reads must
+	// report 0, and -compare treats any increase as a regression.
+	AllocsPerRead float64         `json:"allocs_per_read,omitempty"`
+	Envelope      *RecordEnvelope `json:"envelope,omitempty"`
 }
 
 // RecordEnvelope is the machine-readable form of a cell's accuracy
@@ -199,6 +204,7 @@ func All() []Experiment {
 		{ID: "e17", Desc: "read plane: cached vs uncached read cost across shard counts, plus a reader:writer ratio sweep", Scenarios: []string{"E17", "E17b"}, Run: E17ReadPlane},
 		{ID: "e18", Desc: "windowed objects: per-kind reads under concurrent observation, plus a full-registry scrape", Scenarios: []string{"E18"}, Run: E18Windowed},
 		{ID: "e19", Desc: "deterministic-vs-randomized frontier: steps/op and space at equal target error, shards x batch", Scenarios: []string{"E19"}, Run: E19Frontier},
+		{ID: "e20", Desc: "arena plane: writer throughput across goroutines x shards, plus allocations per read for every kind", Scenarios: []string{"E20", "E20r"}, Run: E20Arena},
 		{ID: "f1", Desc: "Figure 1 read-case trace reproduction", Run: F1ReadCases},
 	}
 }

@@ -108,7 +108,7 @@ func NewMultCounter(f *prim.Factory, k uint64, opts ...Option) (*MultCounter, er
 		k:        k,
 		t1:       t1,
 		switches: f.TASSeq(),
-		h:        f.PairRegs(n),
+		h:        f.PairRegRow(n),
 	}, nil
 }
 

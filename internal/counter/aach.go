@@ -50,7 +50,7 @@ func NewAACH(f *prim.Factory) (*AACH, error) {
 	}
 	c := &AACH{
 		n:      n,
-		leaves: f.Regs(n),
+		leaves: f.RegRow(n),
 		paths:  make([][]*aachNode, n),
 	}
 	if n == 1 {

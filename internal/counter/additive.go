@@ -46,7 +46,7 @@ func NewAdditive(f *prim.Factory, k uint64) (*Additive, error) {
 	if batch < 1 {
 		batch = 1
 	}
-	return &Additive{n: n, k: k, batch: batch, regs: f.Regs(n)}, nil
+	return &Additive{n: n, k: k, batch: batch, regs: f.RegRow(n)}, nil
 }
 
 // K returns the additive accuracy parameter.

@@ -28,7 +28,7 @@ func NewCASCounter(f *prim.Factory) (*CASCounter, error) {
 	if f.N() < 1 {
 		return nil, fmt.Errorf("counter: need at least one process, got %d", f.N())
 	}
-	return &CASCounter{reg: f.CASReg()}, nil
+	return &CASCounter{reg: f.PaddedCASReg()}, nil
 }
 
 // CASHandle is a process's view of the counter.

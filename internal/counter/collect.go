@@ -44,7 +44,7 @@ func NewCollect(f *prim.Factory) (*Collect, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("counter: need at least one process, got %d", n)
 	}
-	return &Collect{n: n, regs: f.Regs(n)}, nil
+	return &Collect{n: n, regs: f.RegRow(n)}, nil
 }
 
 // CollectHandle is a process's view of a Collect counter; it caches the

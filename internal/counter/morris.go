@@ -56,7 +56,7 @@ func NewMorris(f *prim.Factory, a float64, seed int64) (*Morris, error) {
 	if a < 1 {
 		return nil, fmt.Errorf("counter: morris parameter a must be >= 1, got %v", a)
 	}
-	return &Morris{a: a, seed: seed, reg: f.CASReg()}, nil
+	return &Morris{a: a, seed: seed, reg: f.PaddedCASReg()}, nil
 }
 
 // MorrisParam returns the accuracy parameter a making a Morris read land

@@ -30,7 +30,7 @@ func NewVector(f *prim.Factory, buckets int) (*Vector, error) {
 	}
 	v := &Vector{buckets: buckets, rows: make([][]*prim.Reg, f.N())}
 	for p := range v.rows {
-		v.rows[p] = f.Regs(buckets)
+		v.rows[p] = f.RegRowDense(buckets)
 	}
 	return v, nil
 }
@@ -79,13 +79,31 @@ func (h *VectorHandle) AddN(b int, d uint64) {
 }
 
 // Read returns the per-bucket totals, summing each column over all
-// process rows (saturating).
-func (h *VectorHandle) Read() []uint64 {
-	out := make([]uint64, h.v.buckets)
+// process rows (saturating). The slice is fresh (owned by the caller).
+func (h *VectorHandle) Read() []uint64 { return h.ReadInto(nil) }
+
+// ReadInto is Read into a reused buffer: dst is grown (or allocated, if
+// nil) to the bucket count, zeroed, and filled with the totals. The
+// step count is identical to Read's.
+func (h *VectorHandle) ReadInto(dst []uint64) []uint64 {
+	dst = zeroed(dst, h.v.buckets)
 	for _, row := range h.v.rows {
 		for b, r := range row {
-			out[b] = satmath.Add(out[b], r.Read(h.p))
+			dst[b] = satmath.Add(dst[b], r.Read(h.p))
 		}
 	}
-	return out
+	return dst
+}
+
+// zeroed returns dst resized to n and zero-filled, reusing its backing
+// array when it is large enough.
+func zeroed(dst []uint64, n int) []uint64 {
+	if cap(dst) < n {
+		return make([]uint64, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = 0
+	}
+	return dst
 }

@@ -75,6 +75,11 @@ type HistHandle interface {
 	// Read returns the per-bucket observation totals. The returned slice
 	// is fresh (owned by the caller).
 	Read() []uint64
+	// ReadInto is Read with the totals written into dst (grown as
+	// needed), so steady-state readers reuse one buffer instead of
+	// allocating per read. It returns the filled slice; a nil dst
+	// behaves like Read.
+	ReadInto(dst []uint64) []uint64
 }
 
 // Snapshot is a shared single-writer atomic snapshot object supporting
@@ -93,6 +98,11 @@ type SnapshotHandle interface {
 	// Scan returns a view of all components. The returned slice is fresh
 	// (owned by the caller).
 	Scan() []uint64
+	// ScanInto is Scan with the view written into dst (grown as needed),
+	// so steady-state scanners reuse one buffer instead of allocating
+	// per scan. It returns the filled slice; a nil dst behaves like
+	// Scan.
+	ScanInto(dst []uint64) []uint64
 }
 
 // ComponentReader is implemented by snapshot handles that can read one

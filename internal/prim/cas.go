@@ -48,26 +48,58 @@ func (f *Factory) CASRegs(m int) []*CASReg {
 	return rs
 }
 
-// Read applies a read primitive.
+// Read applies a read primitive. The production path (nil gate) is
+// inlinable, like Reg.Read's.
 func (r *CASReg) Read(p *Proc) uint64 {
-	p.enter()
+	if p.gate == nil {
+		p.steps++
+		return r.v.Load()
+	}
+	return r.readGated(p)
+}
+
+func (r *CASReg) readGated(p *Proc) uint64 {
+	p.gate.Enter(p)
 	v := r.v.Load()
-	p.exit(OpRead, r.id, v)
+	p.steps++
+	p.exitGated(OpRead, r.id, v)
 	return v
 }
 
-// Write applies a write primitive.
+// Write applies a write primitive. The production path (nil gate) is
+// inlinable, like Reg.Write's.
 func (r *CASReg) Write(p *Proc, v uint64) {
-	p.enter()
+	if p.gate == nil {
+		p.steps++
+		r.v.Store(v)
+		return
+	}
+	r.writeGated(p, v)
+}
+
+func (r *CASReg) writeGated(p *Proc, v uint64) {
+	p.gate.Enter(p)
 	r.v.Store(v)
-	p.exit(OpWrite, r.id, v)
+	p.steps++
+	p.exitGated(OpWrite, r.id, v)
 }
 
 // CompareAndSwap applies a CAS primitive: if the register holds old, set it
 // to new and report success. The register's value is the event's observed
 // value either way (a failed CAS returns the value it saw, like test&set).
 func (r *CASReg) CompareAndSwap(p *Proc, old, new uint64) (observed uint64, swapped bool) {
-	p.enter()
+	if p.gate == nil {
+		p.steps++
+		if r.v.CompareAndSwap(old, new) {
+			return old, true
+		}
+		return r.v.Load(), false
+	}
+	return r.casGated(p, old, new)
+}
+
+func (r *CASReg) casGated(p *Proc, old, new uint64) (observed uint64, swapped bool) {
+	p.gate.Enter(p)
 	swapped = r.v.CompareAndSwap(old, new)
 	if swapped {
 		observed = old
@@ -78,7 +110,8 @@ func (r *CASReg) CompareAndSwap(p *Proc, old, new uint64) (observed uint64, swap
 	if swapped {
 		val |= casSuccess
 	}
-	p.exit(OpCAS, r.id, val)
+	p.steps++
+	p.exitGated(OpCAS, r.id, val)
 	return observed, swapped
 }
 

@@ -110,8 +110,19 @@ func (p *Proc) enter() {
 func (p *Proc) exit(op Op, obj ObjID, val uint64) {
 	p.steps++
 	if p.gate != nil {
-		p.gate.Exit(p, []Event{{Proc: p.id, Op: op, Obj: obj, Val: val}})
+		p.exitGated(op, obj, val)
 	}
+}
+
+// exitGated is the simulation-mode tail of exit, kept out of line so the
+// production path (nil gate: one increment, one predictable-not-taken
+// branch) stays within the inlining budget of every primitive — the
+// event-batch literal here would otherwise price exit, and with it
+// Reg.Read/Write and TAS.TestAndSet, out of inlining at every call site.
+// Step counts are identical on both paths: exit increments before
+// branching.
+func (p *Proc) exitGated(op Op, obj ObjID, val uint64) {
+	p.gate.Exit(p, []Event{{Proc: p.id, Op: op, Obj: obj, Val: val}})
 }
 
 // Reg is a base object supporting atomic read and write of a uint64.
@@ -120,19 +131,41 @@ type Reg struct {
 	v  atomic.Uint64
 }
 
-// Read applies a read primitive and returns the register's value.
+// Read applies a read primitive and returns the register's value. The
+// production path (nil gate) is inlinable: one branch, one atomic load,
+// one step-count increment.
 func (r *Reg) Read(p *Proc) uint64 {
-	p.enter()
+	if p.gate == nil {
+		p.steps++
+		return r.v.Load()
+	}
+	return r.readGated(p)
+}
+
+func (r *Reg) readGated(p *Proc) uint64 {
+	p.gate.Enter(p)
 	v := r.v.Load()
-	p.exit(OpRead, r.id, v)
+	p.steps++
+	p.exitGated(OpRead, r.id, v)
 	return v
 }
 
-// Write applies a write primitive, storing v.
+// Write applies a write primitive, storing v. The production path (nil
+// gate) is inlinable, like Read's.
 func (r *Reg) Write(p *Proc, v uint64) {
-	p.enter()
+	if p.gate == nil {
+		p.steps++
+		r.v.Store(v)
+		return
+	}
+	r.writeGated(p, v)
+}
+
+func (r *Reg) writeGated(p *Proc, v uint64) {
+	p.gate.Enter(p)
 	r.v.Store(v)
-	p.exit(OpWrite, r.id, v)
+	p.steps++
+	p.exitGated(OpWrite, r.id, v)
 }
 
 // Peek returns the register's value without taking a model step. It is a
@@ -153,19 +186,37 @@ type TAS struct {
 
 // TestAndSet sets the bit to 1 and reports whether this call changed it
 // (i.e. returns true iff the previous value was 0, meaning the caller "won"
-// the bit).
+// the bit). The production path (nil gate) is inlinable, like Reg.Read's.
 func (t *TAS) TestAndSet(p *Proc) bool {
-	p.enter()
+	if p.gate == nil {
+		p.steps++
+		return t.v.Swap(1) == 0
+	}
+	return t.tasGated(p)
+}
+
+func (t *TAS) tasGated(p *Proc) bool {
+	p.gate.Enter(p)
 	old := t.v.Swap(1)
-	p.exit(OpTAS, t.id, uint64(old))
+	p.steps++
+	p.exitGated(OpTAS, t.id, uint64(old))
 	return old == 0
 }
 
 // Read applies a read primitive and returns the bit.
 func (t *TAS) Read(p *Proc) uint64 {
-	p.enter()
+	if p.gate == nil {
+		p.steps++
+		return uint64(t.v.Load())
+	}
+	return t.readGated(p)
+}
+
+func (t *TAS) readGated(p *Proc) uint64 {
+	p.gate.Enter(p)
 	v := uint64(t.v.Load())
-	p.exit(OpRead, t.id, v)
+	p.steps++
+	p.exitGated(OpRead, t.id, v)
 	return v
 }
 

@@ -32,22 +32,44 @@ func (f *Factory) RefRegs(m int) []*RefReg {
 type refBox struct{ val any }
 
 // Read applies a read primitive and returns the stored value (nil if never
-// written).
+// written). The production path (nil gate) is inlinable, like Reg.Read's.
 func (r *RefReg) Read(p *Proc) any {
-	p.enter()
+	if p.gate == nil {
+		p.steps++
+		if b, ok := r.v.Load().(refBox); ok {
+			return b.val
+		}
+		return nil
+	}
+	return r.readGated(p)
+}
+
+func (r *RefReg) readGated(p *Proc) any {
+	p.gate.Enter(p)
 	var v any
 	if b, ok := r.v.Load().(refBox); ok {
 		v = b.val
 	}
-	p.exit(OpRead, r.id, 0)
+	p.steps++
+	p.exitGated(OpRead, r.id, 0)
 	return v
 }
 
 // Write applies a write primitive storing v.
 func (r *RefReg) Write(p *Proc, v any) {
-	p.enter()
+	if p.gate == nil {
+		p.steps++
+		r.v.Store(refBox{val: v})
+		return
+	}
+	r.writeGated(p, v)
+}
+
+func (r *RefReg) writeGated(p *Proc, v any) {
+	p.gate.Enter(p)
 	r.v.Store(refBox{val: v})
-	p.exit(OpWrite, r.id, 0)
+	p.steps++
+	p.exitGated(OpWrite, r.id, 0)
 }
 
 // ID returns the base-object identifier.

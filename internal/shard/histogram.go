@@ -101,6 +101,10 @@ func sumBuckets(acc, next []uint64) []uint64 {
 type Histogram struct {
 	p       *plane[object.Hist, object.HistHandle, []uint64]
 	buckets int
+	// bufs pools each slot's bucketBatching buffer (see bucketBuf):
+	// re-created handles for a slot inherit its pending counts instead
+	// of stranding them, and acquire stops allocating the vector.
+	bufs []*bucketBuf
 }
 
 // NewHistogram creates a sharded histogram over `buckets` buckets for n
@@ -115,12 +119,12 @@ func NewHistogram(n int, k uint64, buckets int, opts ...HistOption) (*Histogram,
 	}
 	p, err := newPlane(n, k, cfg.shards, cfg.batch, cfg.readStale, cfg.backend(buckets), histogramPolicy,
 		func(o object.Hist, pr *prim.Proc) object.HistHandle { return o.HistHandle(pr) },
-		sumBuckets, cloneU64s,
+		sumBuckets, object.HistHandle.ReadInto, newVecReadCache,
 	)
 	if err != nil {
 		return nil, err
 	}
-	return &Histogram{p: p, buckets: buckets}, nil
+	return &Histogram{p: p, buckets: buckets, bufs: make([]*bucketBuf, n)}, nil
 }
 
 // N returns the number of process slots.
@@ -164,7 +168,13 @@ func (hg *Histogram) Bounds() Bounds { return hg.p.Bounds() }
 // by a single goroutine.
 func (hg *Histogram) Handle(i int) *HistHandle {
 	h := &HistHandle{handleCore: hg.p.newCore(i)}
-	h.buf.vec = make([]uint64, hg.buckets)
+	if hg.bufs[i] == nil {
+		hg.bufs[i] = &bucketBuf{
+			vec:     make([]uint64, hg.buckets),
+			touched: make([]int, 0, hg.buckets),
+		}
+	}
+	h.buf.bb = hg.bufs[i]
 	h.buf.flushBucket = h.home.AddN
 	return h
 }
@@ -191,3 +201,9 @@ func (h *HistHandle) AddN(b int, d uint64) { h.buf.addBucket(b, d) }
 // window of the package comment. The slice is fresh (owned by the
 // caller).
 func (h *HistHandle) Buckets() []uint64 { return h.Read() }
+
+// BucketsInto is Buckets into a reused buffer: dst is grown (or
+// allocated, if nil) as needed and filled with the merged counts.
+// Per-shard reads land in the handle's scratch buffers, so steady-state
+// reads through one handle allocate nothing.
+func (h *HistHandle) BucketsInto(dst []uint64) []uint64 { return h.ReadInto(dst) }

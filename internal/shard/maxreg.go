@@ -141,7 +141,7 @@ func NewMaxReg(n int, k uint64, opts ...MaxRegOption) (*MaxReg, error) {
 	}
 	p, err := newPlane(n, k, cfg.shards, cfg.batch, cfg.readStale, cfg.backend, maxRegPolicy,
 		func(o object.MaxReg, pr *prim.Proc) object.MaxRegHandle { return o.MaxRegHandle(pr) },
-		maxOf, nil,
+		maxOf, nil, newScalarReadCache,
 	)
 	if err != nil {
 		return nil, err

@@ -30,7 +30,8 @@ type Reader[V any] interface{ Read() V }
 
 // Combine folds the next shard's read into the accumulator. It may
 // mutate and return acc (the per-component merge does); acc is always a
-// value the caller owns — the first shard's freshly produced read.
+// value the caller owns — the first shard's read into the caller's
+// destination buffer.
 type Combine[V any] func(acc, next V) V
 
 // bufferPolicy enumerates the handle-local buffering disciplines of the
@@ -68,6 +69,21 @@ const (
 	bucketBatching
 )
 
+// bucketBuf is the bucketBatching state: per-bucket pending counts
+// (pending holds their total) and the indices with a nonzero pending
+// count, so a flush visits only touched buckets — an unbuffered B = 1
+// handle flushes in O(1), not O(buckets). It is pooled per process slot
+// by the owning Histogram (see Histogram.Handle): a re-created handle
+// for a slot inherits the slot's pending counts instead of stranding
+// them — counts stuck in an abandoned handle's buffer would violate the
+// (B-1)-per-handle staleness the Buffer term of Bounds promises — and
+// the acquire path stops allocating the vector.
+type bucketBuf struct {
+	pending uint64
+	vec     []uint64
+	touched []int
+}
+
 // buffer is the handle-local mutation buffer between a handle and its
 // home shard. flush applies a value to shared memory: a pending
 // increment count under countBatching, the pending value under the
@@ -81,12 +97,9 @@ type buffer struct {
 	flushed uint64 // last value written through (elision policies only)
 	dirty   bool   // pending holds an unflushed elided value
 
-	// bucketBatching state: per-bucket pending counts (pending holds
-	// their total), the indices with a nonzero pending count (so a flush
-	// visits only touched buckets — an unbuffered B = 1 handle flushes in
-	// O(1), not O(buckets)), and the per-bucket flush to the home shard.
-	vec         []uint64
-	touched     []int
+	// bucketBatching state (nil under the scalar policies) and the
+	// per-bucket flush to the home shard.
+	bb          *bucketBuf
 	flushBucket func(b int, d uint64)
 }
 
@@ -142,12 +155,13 @@ func (b *buffer) addBucket(i int, d uint64) {
 	if d == 0 {
 		return
 	}
-	if b.vec[i] == 0 {
-		b.touched = append(b.touched, i)
+	bb := b.bb
+	if bb.vec[i] == 0 {
+		bb.touched = append(bb.touched, i)
 	}
-	b.vec[i] = satmath.Add(b.vec[i], d)
-	b.pending = satmath.Add(b.pending, d)
-	if b.pending >= b.batch {
+	bb.vec[i] = satmath.Add(bb.vec[i], d)
+	bb.pending = satmath.Add(bb.pending, d)
+	if bb.pending >= b.batch {
 		b.flushBuckets()
 	}
 }
@@ -156,17 +170,18 @@ func (b *buffer) addBucket(i int, d uint64) {
 // visiting only the touched buckets, so the cost is proportional to how
 // many distinct buckets are pending, not to the bucket count.
 func (b *buffer) flushBuckets() {
-	if b.pending == 0 {
+	bb := b.bb
+	if bb.pending == 0 {
 		return
 	}
-	b.pending = 0
-	for _, i := range b.touched {
-		if d := b.vec[i]; d != 0 {
-			b.vec[i] = 0
+	bb.pending = 0
+	for _, i := range bb.touched {
+		if d := bb.vec[i]; d != 0 {
+			bb.vec[i] = 0
 			b.flushBucket(i, d)
 		}
 	}
-	b.touched = b.touched[:0]
+	bb.touched = bb.touched[:0]
 }
 
 // Flush publishes the buffered state to the home shard; it is a no-op
@@ -196,8 +211,10 @@ func (b *buffer) Flush() {
 // elision policies.
 func (b *buffer) Pending() uint64 {
 	switch b.policy {
-	case countBatching, bucketBatching:
+	case countBatching:
 		return b.pending
+	case bucketBatching:
+		return b.bb.pending
 	default:
 		if !b.dirty {
 			return 0
@@ -313,6 +330,19 @@ type policy struct {
 	bufferScalesWithProcs bool
 }
 
+// slotBinding is one process slot's cached binding to every shard: the
+// per-shard procs and the per-shard read handles, built once and reused
+// by every handle (re)creation for the slot. Reuse is safe — per-shard
+// handles carry persistent per-process local state (sequence numbers,
+// cached own-row values) that a slot's successive handles are meant to
+// continue from, and slot handles are single-goroutine by contract — and
+// it makes re-creating a handle (pooled churn, windowed epoch rebinds)
+// allocation-free below the handle struct itself.
+type slotBinding[H any] struct {
+	readers []H
+	procs   []*prim.Proc
+}
+
 // plane is the generic sharded object: S shards of O combined on read by
 // the kind's Combine, with handle-local buffering per the kind's policy.
 // Kind-specific object types wrap it and add nothing but their mutation
@@ -325,21 +355,31 @@ type plane[O any, H Reader[V], V any] struct {
 	pol      policy
 	handleOf func(o O, p *prim.Proc) H
 	combine  Combine[V]
+	// readInto is the per-shard read into a reused buffer, nil for
+	// scalar-valued kinds (whose reads allocate nothing anyway). When
+	// set, combined reads fold through two per-handle scratch buffers
+	// instead of allocating per shard read.
+	readInto func(h H, dst V) V
+	// slots caches each process slot's shard binding (see slotBinding).
+	slots []slotBinding[H]
 	// cache is the read-combiner tier (see readcache.go), nil when the
 	// plane serves every read as a full combine. When non-nil, the last
 	// process slot is reserved for the background combiner goroutine.
-	cache *readCache[V]
+	cache readCache[V]
 }
 
 // newPlane validates the shared configuration (batch range, batch vs.
 // backend bound, read-cache slot reservation) and builds S shards of n
 // slots each. readStale > 0 enables the read-combiner tier with that
-// staleness window and clone as the cell copy (nil for scalar kinds);
-// the LAST of the n slots is then reserved for the background combiner
-// goroutine and must not be handed out.
+// staleness window, built by mkCache (the kind's value-shape cache:
+// newScalarReadCache or newVecReadCache); the LAST of the n slots is
+// then reserved for the background combiner goroutine and must not be
+// handed out. readInto is the per-shard read into a reused buffer, nil
+// for scalar kinds.
 func newPlane[O any, H Reader[V], V any](
 	n int, k uint64, shards, batch int, readStale time.Duration, be backend[O], pol policy,
-	handleOf func(o O, p *prim.Proc) H, combine Combine[V], clone func(V) V,
+	handleOf func(o O, p *prim.Proc) H, combine Combine[V],
+	readInto func(h H, dst V) V, mkCache func(d time.Duration) readCache[V],
 ) (*plane[O, H, V], error) {
 	if batch < 1 {
 		return nil, errBatch(batch)
@@ -363,15 +403,16 @@ func newPlane[O any, H Reader[V], V any](
 	}
 	p := &plane[O, H, V]{
 		rt: rt, k: k, batch: uint64(batch), be: be, pol: pol,
-		handleOf: handleOf, combine: combine,
+		handleOf: handleOf, combine: combine, readInto: readInto,
+		slots: make([]slotBinding[H], n),
 	}
 	if readStale > 0 {
-		p.cache = newReadCache(readStale, clone)
+		p.cache = mkCache(readStale)
 		// The combiner owns the reserved last slot outright: handles for
-		// it are refused (newCore), so its per-shard readers race with
-		// nothing.
+		// it are refused (newCore), so its per-shard readers and its
+		// core's scratch buffers race with nothing.
 		core := p.coreAt(n - 1)
-		go p.cache.run(core.combined)
+		go p.cache.run(core.combinedInto)
 	}
 	return p, nil
 }
@@ -382,7 +423,7 @@ func (p *plane[O, H, V]) ReadCache() time.Duration {
 	if p.cache == nil {
 		return 0
 	}
-	return p.cache.maxStale
+	return p.cache.staleness()
 }
 
 // Close stops the plane's background combiner goroutine, if any, and
@@ -427,7 +468,7 @@ func (p *plane[O, H, V]) Bounds() Bounds {
 	}
 	b.Buffer = head
 	if p.cache != nil {
-		b.Stale = p.cache.maxStale
+		b.Stale = p.cache.staleness()
 	}
 	if p.be.delta > 0 {
 		b.Delta = min(1, float64(len(p.rt.shards))*p.be.delta)
@@ -475,19 +516,28 @@ func (p *plane[O, H, V]) newCore(i int) handleCore[H, V] {
 // handle core: per-shard readers, the home shard's handle, the combine
 // loop, the policy's buffer (whose flush function the kind-specific
 // handle wires to its home-shard mutation), and the plane's read cache.
+// The slot's shard binding is built on first use and cached (see
+// slotBinding), so re-creating a slot's handle allocates no slices.
+// Distinct slots may bind concurrently (they touch distinct entries);
+// binding the SAME slot concurrently is excluded by the single-goroutine
+// handle contract, exactly as using it would be.
 func (p *plane[O, H, V]) coreAt(i int) handleCore[H, V] {
-	procs := p.rt.slotProcs(i)
-	readers := make([]H, len(p.rt.shards))
-	for s := range p.rt.shards {
-		readers[s] = p.handleOf(p.rt.shards[s], procs[s])
+	sb := &p.slots[i]
+	if sb.readers == nil {
+		sb.procs = p.rt.slotProcs(i)
+		sb.readers = make([]H, len(p.rt.shards))
+		for s := range p.rt.shards {
+			sb.readers[s] = p.handleOf(p.rt.shards[s], sb.procs[s])
+		}
 	}
 	return handleCore[H, V]{
-		readers: readers,
-		home:    readers[p.rt.home(i)],
-		procs:   procs,
-		combine: p.combine,
-		buf:     buffer{policy: p.pol.buffer, batch: p.batch},
-		cache:   p.cache,
+		readers:  sb.readers,
+		home:     sb.readers[p.rt.home(i)],
+		procs:    sb.procs,
+		combine:  p.combine,
+		readInto: p.readInto,
+		buf:      buffer{policy: p.pol.buffer, batch: p.batch},
+		cache:    p.cache,
 	}
 }
 
@@ -497,12 +547,15 @@ func (p *plane[O, H, V]) coreAt(i int) handleCore[H, V] {
 // kind-specific handle adds only its mutation method (Inc, Write,
 // Update) over buf.add.
 type handleCore[H Reader[V], V any] struct {
-	readers []H
-	home    H
-	procs   []*prim.Proc
-	combine Combine[V]
-	buf     buffer
-	cache   *readCache[V] // the plane's read-combiner tier, nil when off
+	readers  []H
+	home     H
+	procs    []*prim.Proc
+	combine  Combine[V]
+	readInto func(h H, dst V) V // per-shard read into a reused buffer; nil for scalar kinds
+	scratch  V                  // fold buffer for the non-first shards' reads (vector kinds)
+	refresh  func(V) V          // combinedInto, bound once on first cached read (method values allocate)
+	buf      buffer
+	cache    readCache[V] // the plane's read-combiner tier, nil when off
 }
 
 // Read returns the object's combined value. Without the read cache it
@@ -512,22 +565,47 @@ type handleCore[H Reader[V], V any] struct {
 // read cache it serves the plane's pre-combined cell in O(1) when fresh
 // (falling back to an inline re-combine through this handle's own
 // readers when not); the same envelope then holds against the
-// regularity window widened backward by the Stale term of Bounds.
+// regularity window widened backward by the Stale term of Bounds. For
+// vector-valued kinds the slice is fresh (owned by the caller); reuse a
+// buffer across reads with ReadInto instead.
 func (c *handleCore[H, V]) Read() V {
-	if c.cache == nil {
-		return c.combined()
-	}
-	return c.cache.read(c.combined)
+	var zero V
+	return c.ReadInto(zero)
 }
 
-// combined is the raw combine loop: one read of every shard, folded by
-// the kind's Combine.
-func (c *handleCore[H, V]) combined() V {
-	acc := c.readers[0].Read()
-	for _, r := range c.readers[1:] {
-		acc = c.combine(acc, r.Read())
+// ReadInto is Read with the result written into dst (grown as needed;
+// scalar kinds ignore it). Steady-state cached reads and uncached
+// combines through one handle allocate nothing: per-shard reads land in
+// the handle's scratch buffers and the result in dst.
+func (c *handleCore[H, V]) ReadInto(dst V) V {
+	if c.cache == nil {
+		return c.combinedInto(dst)
 	}
-	return acc
+	if c.refresh == nil {
+		c.refresh = c.combinedInto
+	}
+	return c.cache.readInto(dst, c.refresh)
+}
+
+// combinedInto is the raw combine loop: one read of every shard, folded
+// by the kind's Combine into dst. Scalar kinds fold plain values and
+// ignore dst; vector kinds read the first shard into dst and every
+// later shard into the handle's scratch buffer, so a steady-state
+// combine allocates nothing.
+func (c *handleCore[H, V]) combinedInto(dst V) V {
+	if c.readInto == nil {
+		acc := c.readers[0].Read()
+		for _, r := range c.readers[1:] {
+			acc = c.combine(acc, r.Read())
+		}
+		return acc
+	}
+	dst = c.readInto(c.readers[0], dst)
+	for _, r := range c.readers[1:] {
+		c.scratch = c.readInto(r, c.scratch)
+		dst = c.combine(dst, c.scratch)
+	}
+	return dst
 }
 
 // Flush publishes any handle-locally buffered mutations to the home

@@ -286,7 +286,7 @@ func New(n int, k uint64, opts ...Option) (*Counter, error) {
 	}
 	p, err := newPlane(n, k, cfg.shards, cfg.batch, cfg.readStale, cfg.backend, counterPolicy,
 		func(o object.Counter, pr *prim.Proc) object.CounterHandle { return o.CounterHandle(pr) },
-		satmath.Add, nil,
+		satmath.Add, nil, newScalarReadCache,
 	)
 	if err != nil {
 		return nil, err

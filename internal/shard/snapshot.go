@@ -78,10 +78,13 @@ var snapshotPolicy = policy{
 }
 
 // snapHandle adapts the object-layer snapshot handle (Update/Scan) to
-// the plane's Reader: a Read is a Scan.
+// the plane's Reader: a Read is a Scan, a readInto a ScanInto.
 type snapHandle struct{ object.SnapshotHandle }
 
 func (h snapHandle) Read() []uint64 { return h.Scan() }
+
+// scanInto is the plane's per-shard readInto for snapshots.
+func scanInto(h snapHandle, dst []uint64) []uint64 { return h.ScanInto(dst) }
 
 // mergeComponents merges two per-shard scans element-wise. Handle
 // affinity means component i is only ever written in shard i mod S; in
@@ -115,7 +118,7 @@ func NewSnapshot(n int, k uint64, opts ...SnapshotOption) (*Snapshot, error) {
 	}
 	p, err := newPlane(n, k, cfg.shards, cfg.batch, cfg.readStale, cfg.backend, snapshotPolicy,
 		func(o object.Snapshot, pr *prim.Proc) snapHandle { return snapHandle{o.SnapshotHandle(pr)} },
-		mergeComponents, cloneU64s,
+		mergeComponents, scanInto, newVecReadCache,
 	)
 	if err != nil {
 		return nil, err
@@ -202,3 +205,9 @@ func (h *SnapshotHandle) Update(v uint64) { h.buf.add(v) }
 // own true value, relative to the regularity window of the package
 // comment. The slice is fresh (owned by the caller).
 func (h *SnapshotHandle) Scan() []uint64 { return h.Read() }
+
+// ScanInto is Scan into a reused buffer: dst is grown (or allocated, if
+// nil) as needed and filled with the merged view. Per-shard scans land
+// in the handle's scratch buffers, so steady-state scans through one
+// handle allocate nothing.
+func (h *SnapshotHandle) ScanInto(dst []uint64) []uint64 { return h.ReadInto(dst) }

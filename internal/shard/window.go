@@ -78,14 +78,18 @@ type window[T any, H any, V any] struct {
 	dur    time.Duration
 	epochs int
 
-	mk       func() (T, error) // builds one fresh epoch instance
-	bind     func(T, int) H    // binds a process slot to an epoch
-	readOf   func(H) V         // the epoch's combined read
-	flushOf  func(H)
-	stepsOf  func(H) uint64
-	closeOf  func(T)
-	boundsOf func(T) Bounds
-	combine  Combine[V]
+	mk     func() (T, error) // builds one fresh epoch instance
+	bind   func(T, int) H    // binds a process slot to an epoch
+	readOf func(H) V         // the epoch's combined read
+	// readIntoOf is the epoch's combined read into a reused buffer, nil
+	// for scalar kinds: windowed vector reads fold the ring through the
+	// handle's scratch buffer instead of allocating per epoch.
+	readIntoOf func(H, V) V
+	flushOf    func(H)
+	stepsOf    func(H) uint64
+	closeOf    func(T)
+	boundsOf   func(T) Bounds
+	combine    Combine[V]
 	// sumCombine: the kind's Combine sums values, so per-epoch additive
 	// slack accumulates over the live ring (counters; false for max,
 	// per-component, and per-bucket folds, which partition instead).
@@ -283,6 +287,9 @@ type windowHandle[T any, H any, V any] struct {
 	// retired accumulates the steps of rebound (dropped) cores, keeping
 	// Steps monotone across epochs.
 	retired uint64
+	// scratch is the fold buffer for the non-first epochs' reads (vector
+	// kinds; see readWindowInto).
+	scratch V
 }
 
 func newWindowHandle[T any, H any, V any](w *window[T, H, V], slot int) windowHandle[T, H, V] {
@@ -322,8 +329,14 @@ func (h *windowHandle[T, H, V]) cur() H {
 // readWindow folds one combined read of every ring slot with the
 // kind's Combine. The accumulator is the first epoch's fresh read
 // (handles return freshly owned values), so vector combines may mutate
-// it, exactly as in the shard fold.
+// it, exactly as in the shard fold. For vector kinds the result is a
+// fresh slice (owned by the caller); reuse a buffer with
+// readWindowInto.
 func (h *windowHandle[T, H, V]) readWindow() V {
+	if h.w.readIntoOf != nil {
+		var zero V
+		return h.readWindowInto(zero)
+	}
 	e := h.w.ring[0].Load()
 	acc := h.w.readOf(h.core(0, e))
 	for j := 1; j < h.w.epochs; j++ {
@@ -331,6 +344,21 @@ func (h *windowHandle[T, H, V]) readWindow() V {
 		acc = h.w.combine(acc, h.w.readOf(h.core(j, e)))
 	}
 	return acc
+}
+
+// readWindowInto is readWindow into a reused buffer (vector kinds): the
+// first epoch reads into dst, every later epoch into the handle's
+// scratch buffer, so a steady-state windowed read through one handle
+// allocates nothing.
+func (h *windowHandle[T, H, V]) readWindowInto(dst V) V {
+	e := h.w.ring[0].Load()
+	dst = h.w.readIntoOf(h.core(0, e), dst)
+	for j := 1; j < h.w.epochs; j++ {
+		e := h.w.ring[j].Load()
+		h.scratch = h.w.readIntoOf(h.core(j, e), h.scratch)
+		dst = h.w.combine(dst, h.scratch)
+	}
+	return dst
 }
 
 // flushAll publishes every cached handle's buffered mutations.
@@ -513,14 +541,15 @@ type WindowedSnapshot struct {
 // instances of NewSnapshot(n, k, opts...) rotated every d/epochs.
 func NewWindowedSnapshot(n int, k uint64, d time.Duration, epochs int, opts ...SnapshotOption) (*WindowedSnapshot, error) {
 	w := &window[*Snapshot, *SnapshotHandle, []uint64]{
-		mk:       func() (*Snapshot, error) { return NewSnapshot(n, k, opts...) },
-		bind:     func(s *Snapshot, i int) *SnapshotHandle { return s.Handle(i) },
-		readOf:   func(h *SnapshotHandle) []uint64 { return h.Scan() },
-		flushOf:  func(h *SnapshotHandle) { h.Flush() },
-		stepsOf:  func(h *SnapshotHandle) uint64 { return h.Steps() },
-		closeOf:  func(s *Snapshot) { s.Close() },
-		boundsOf: func(s *Snapshot) Bounds { return s.Bounds() },
-		combine:  mergeComponents,
+		mk:         func() (*Snapshot, error) { return NewSnapshot(n, k, opts...) },
+		bind:       func(s *Snapshot, i int) *SnapshotHandle { return s.Handle(i) },
+		readOf:     func(h *SnapshotHandle) []uint64 { return h.Scan() },
+		readIntoOf: func(h *SnapshotHandle, dst []uint64) []uint64 { return h.ScanInto(dst) },
+		flushOf:    func(h *SnapshotHandle) { h.Flush() },
+		stepsOf:    func(h *SnapshotHandle) uint64 { return h.Steps() },
+		closeOf:    func(s *Snapshot) { s.Close() },
+		boundsOf:   func(s *Snapshot) Bounds { return s.Bounds() },
+		combine:    mergeComponents,
 	}
 	if _, err := newWindow(d, epochs, w); err != nil {
 		return nil, err
@@ -566,6 +595,10 @@ func (h *WSnapshotHandle) Update(v uint64) { h.h.cur().Update(v) }
 // fresh (owned by the caller).
 func (h *WSnapshotHandle) Scan() []uint64 { return h.h.readWindow() }
 
+// ScanInto is Scan into a reused buffer (grown as needed; a nil dst
+// behaves like Scan).
+func (h *WSnapshotHandle) ScanInto(dst []uint64) []uint64 { return h.h.readWindowInto(dst) }
+
 // Component returns the index of the component this handle writes.
 func (h *WSnapshotHandle) Component() int { return h.slot }
 
@@ -590,14 +623,15 @@ type WindowedHistogram struct {
 // d/epochs.
 func NewWindowedHistogram(n int, k uint64, buckets int, d time.Duration, epochs int, opts ...HistOption) (*WindowedHistogram, error) {
 	w := &window[*Histogram, *HistHandle, []uint64]{
-		mk:       func() (*Histogram, error) { return NewHistogram(n, k, buckets, opts...) },
-		bind:     func(hg *Histogram, i int) *HistHandle { return hg.Handle(i) },
-		readOf:   func(h *HistHandle) []uint64 { return h.Buckets() },
-		flushOf:  func(h *HistHandle) { h.Flush() },
-		stepsOf:  func(h *HistHandle) uint64 { return h.Steps() },
-		closeOf:  func(hg *Histogram) { hg.Close() },
-		boundsOf: func(hg *Histogram) Bounds { return hg.Bounds() },
-		combine:  sumBuckets,
+		mk:         func() (*Histogram, error) { return NewHistogram(n, k, buckets, opts...) },
+		bind:       func(hg *Histogram, i int) *HistHandle { return hg.Handle(i) },
+		readOf:     func(h *HistHandle) []uint64 { return h.Buckets() },
+		readIntoOf: func(h *HistHandle, dst []uint64) []uint64 { return h.BucketsInto(dst) },
+		flushOf:    func(h *HistHandle) { h.Flush() },
+		stepsOf:    func(h *HistHandle) uint64 { return h.Steps() },
+		closeOf:    func(hg *Histogram) { hg.Close() },
+		boundsOf:   func(hg *Histogram) Bounds { return hg.Bounds() },
+		combine:    sumBuckets,
 	}
 	if _, err := newWindow(d, epochs, w); err != nil {
 		return nil, err
@@ -645,6 +679,10 @@ func (h *WHistHandle) AddN(b int, d uint64) { h.h.cur().AddN(b, d) }
 // Buckets returns the per-bucket counts summed over the live ring. The
 // slice is fresh (owned by the caller).
 func (h *WHistHandle) Buckets() []uint64 { return h.h.readWindow() }
+
+// BucketsInto is Buckets into a reused buffer (grown as needed; a nil
+// dst behaves like Buckets).
+func (h *WHistHandle) BucketsInto(dst []uint64) []uint64 { return h.h.readWindowInto(dst) }
 
 // Flush publishes buffered observations in every cached epoch handle.
 func (h *WHistHandle) Flush() { h.h.flushAll() }

@@ -36,7 +36,7 @@ func New(f *prim.Factory) (*Snapshot, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("snapshot: need at least one process, got %d", n)
 	}
-	return &Snapshot{n: n, regs: f.RefRegs(n)}, nil
+	return &Snapshot{n: n, regs: f.RefRegRow(n)}, nil
 }
 
 // N returns the number of components.
@@ -44,11 +44,18 @@ func (s *Snapshot) N() int { return s.n }
 
 // Handle binds process p to the snapshot. The handle caches the process's
 // own sequence number (single-writer state, kept locally so Update needs no
-// extra read step).
+// extra read step) and the collect scratch of ScanInto, so steady-state
+// scans through one handle allocate nothing.
 type Handle struct {
 	s   *Snapshot
 	p   *prim.Proc
 	seq uint64
+
+	// ScanInto scratch: two collect buffers (the classic "two identical
+	// successive collects" pair) and the per-component movement counters,
+	// reused across scans.
+	ca, cb []*cell
+	moved  []int
 }
 
 // Handle returns process p's view of the snapshot.
@@ -65,13 +72,19 @@ func (s *Snapshot) SnapshotHandle(p *prim.Proc) object.SnapshotHandle {
 
 var _ object.ComponentReader = (*Handle)(nil)
 
-// collect reads every component once, returning the observed cells (nil
-// entries mean "never written", i.e. value 0, sequence 0).
-func (h *Handle) collect() []*cell {
-	out := make([]*cell, h.s.n)
+// collectInto reads every component once into out (grown as needed),
+// returning the observed cells (nil entries mean "never written", i.e.
+// value 0, sequence 0).
+func (h *Handle) collectInto(out []*cell) []*cell {
+	if cap(out) < h.s.n {
+		out = make([]*cell, h.s.n)
+	}
+	out = out[:h.s.n]
 	for i, r := range h.s.regs {
 		if c, ok := r.Read(h.p).(*cell); ok {
 			out[i] = c
+		} else {
+			out[i] = nil
 		}
 	}
 	return out
@@ -107,34 +120,53 @@ func (h *Handle) ReadComponent(i int) uint64 {
 // Scan returns an atomic view of all n components: either a "direct" view
 // from two identical successive collects, or the embedded view of a process
 // observed to move twice (whose embedded scan then ran entirely within this
-// Scan's interval).
-func (h *Handle) Scan() []uint64 {
-	moved := make([]int, h.s.n)
-	prev := h.collect()
+// Scan's interval). The slice is fresh (owned by the caller).
+func (h *Handle) Scan() []uint64 { return h.ScanInto(nil) }
+
+// ScanInto is Scan into a reused buffer: dst is grown (or allocated, if
+// nil) to n and filled with the view. Collect buffers and movement
+// counters live in the handle, so steady-state scans through one handle
+// allocate nothing. The step count is identical to Scan's.
+func (h *Handle) ScanInto(dst []uint64) []uint64 {
+	n := h.s.n
+	if cap(h.moved) < n {
+		h.moved = make([]int, n)
+	} else {
+		h.moved = h.moved[:n]
+		for i := range h.moved {
+			h.moved[i] = 0
+		}
+	}
+	prev := h.collectInto(h.ca)
+	cur := h.cb
 	for {
-		cur := h.collect()
+		cur = h.collectInto(cur)
 		same := true
 		for i := range cur {
 			if seqOf(cur[i]) != seqOf(prev[i]) {
 				same = false
-				moved[i]++
-				if moved[i] >= 2 {
+				h.moved[i]++
+				if h.moved[i] >= 2 {
 					// cur[i].view was embedded by an Update that began
 					// after our first collect: it is a valid view here.
-					view := make([]uint64, h.s.n)
-					copy(view, cur[i].view)
-					return view
+					dst = append(dst[:0], cur[i].view...)
+					h.ca, h.cb = prev, cur
+					return dst
 				}
 			}
 		}
 		if same {
-			out := make([]uint64, h.s.n)
-			for i, c := range cur {
-				out[i] = valOf(c)
+			if cap(dst) < n {
+				dst = make([]uint64, n)
 			}
-			return out
+			dst = dst[:n]
+			for i, c := range cur {
+				dst[i] = valOf(c)
+			}
+			h.ca, h.cb = prev, cur
+			return dst
 		}
-		prev = cur
+		prev, cur = cur, prev
 	}
 }
 

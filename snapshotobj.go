@@ -24,6 +24,11 @@ type SnapshotHandle interface {
 	// allocated. Each component obeys the object's Bounds against its
 	// own true value.
 	Scan() []uint64
+	// ScanInto is Scan into a reused buffer: dst is grown (or allocated,
+	// if nil) as needed and filled with the view, so steady-state
+	// scanners reuse one buffer instead of allocating per scan. A nil
+	// dst behaves like Scan.
+	ScanInto(dst []uint64) []uint64
 	// Component returns the index of the component this handle writes —
 	// with pooled handles the slot is chosen by the pool, so writers
 	// discover their component here.
@@ -97,7 +102,8 @@ type Snapshot struct {
 
 	slots slotPool[*pooledSnapshotHandle]
 
-	snap snapshotRT // registry snapshot handle (slot procs), else nil
+	snap    snapshotRT // registry snapshot handle (slot procs), else nil
+	snapBuf []uint64   // snap's reused scan buffer (serialized by the registry's per-entry snapMu)
 }
 
 // snapshotRT is the runtime surface shared by the cumulative and
@@ -106,6 +112,7 @@ type Snapshot struct {
 type snapshotRT interface {
 	Update(v uint64)
 	Scan() []uint64
+	ScanInto(dst []uint64) []uint64
 	Component() int
 	Steps() uint64
 	Flush()
@@ -263,11 +270,19 @@ func (h snapshotSlotHandle) Component() int  { return h.h.Component() }
 func (h snapshotSlotHandle) Steps() uint64   { return h.h.Steps() }
 func (h snapshotSlotHandle) Flush()          { h.h.Flush() }
 
+func (h snapshotSlotHandle) ScanInto(dst []uint64) []uint64 {
+	// The runtime scans all slots (including a registry-reserved one);
+	// the caller sees the first n. dst grows to the runtime width once
+	// and is reused from then on.
+	return h.h.ScanInto(dst)[:h.n]
+}
+
 // snapshotValue sums the caller-visible components (saturating), the
 // scalar the registry exports for this kind; see Registry.Snapshot.
 func (s *Snapshot) snapshotValue() uint64 {
+	s.snapBuf = s.snap.ScanInto(s.snapBuf)
 	var sum uint64
-	for _, v := range s.snap.Scan()[:s.spec.procs] {
+	for _, v := range s.snapBuf[:s.spec.procs] {
 		sum = satmath.Add(sum, v)
 	}
 	return sum
