@@ -116,6 +116,92 @@ func TestReadPathAllocationFree(t *testing.T) {
 	}
 }
 
+// TestTelemetryDisabledZeroCost pins the self-instrumentation
+// contract (PR 10) exactly: an object built WITHOUT WithTelemetry pays
+// nothing for the instrumentation points threaded through its runtime
+// — zero allocations per write and per read, and step counts identical
+// to an instrumented twin driven through the same operation sequence
+// (telemetry counts events in its own striped atomics, never through
+// the objects' base-object primitives). The instrumented twin's hot
+// paths must stay allocation-free too: striped counter bumps and
+// handle-local accumulators are arithmetic, not allocation.
+func TestTelemetryDisabledZeroCost(t *testing.T) {
+	const ops = 2000
+	tel := approxobj.NewTelemetry()
+	build := func(dom *approxobj.Telemetry) (*approxobj.Counter, *approxobj.Histogram) {
+		opts := []approxobj.Option{
+			approxobj.WithProcs(2),
+			approxobj.WithAccuracy(approxobj.Multiplicative(2)),
+			approxobj.WithShards(2),
+			approxobj.WithBatch(4),
+		}
+		if dom != nil {
+			opts = append(opts, approxobj.WithTelemetry(dom))
+		}
+		c, err := approxobj.NewCounter(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hg, err := approxobj.NewHistogram(append(opts, approxobj.WithBound(1<<12))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, hg
+	}
+	plainC, plainH := build(nil)
+	defer plainC.Close()
+	defer plainH.Close()
+	instrC, instrH := build(tel)
+	defer instrC.Close()
+	defer instrH.Close()
+
+	// Identical sequences through slot 0 of each twin; reads through
+	// slot 1.
+	drive := func(c *approxobj.Counter, hg *approxobj.Histogram) (cw, cr approxobj.CounterHandle, hw, hr approxobj.HistogramHandle) {
+		cw, cr = c.Handle(0), c.Handle(1)
+		hw, hr = hg.Handle(0), hg.Handle(1)
+		var sink uint64
+		for i := 0; i < ops; i++ {
+			cw.Inc()
+			hw.Observe(uint64(i) % (1 << 12))
+			if i%64 == 0 {
+				sink += cr.Read()
+				sink += hr.Quantile(0.5)
+			}
+		}
+		if sink == ^uint64(0) {
+			t.Fatal("impossible sink")
+		}
+		return cw, cr, hw, hr
+	}
+	pcw, pcr, phw, phr := drive(plainC, plainH)
+	icw, icr, ihw, ihr := drive(instrC, instrH)
+
+	// The step counts must be IDENTICAL, not merely close: telemetry is
+	// invisible to the step-counting primitive layer.
+	if pcw.Steps() != icw.Steps() || pcr.Steps() != icr.Steps() {
+		t.Errorf("counter steps diverge with telemetry: writer %d vs %d, reader %d vs %d",
+			pcw.Steps(), icw.Steps(), pcr.Steps(), icr.Steps())
+	}
+	if phw.Steps() != ihw.Steps() || phr.Steps() != ihr.Steps() {
+		t.Errorf("histogram steps diverge with telemetry: writer %d vs %d, reader %d vs %d",
+			phw.Steps(), ihw.Steps(), phr.Steps(), ihr.Steps())
+	}
+
+	var sink uint64
+	requireZeroAllocs(t, "disabled counter Inc", func() { pcw.Inc() })
+	requireZeroAllocs(t, "disabled counter Read", func() { sink += pcr.Read() })
+	requireZeroAllocs(t, "disabled histogram Observe", func() { phw.Observe(7) })
+	requireZeroAllocs(t, "disabled histogram Quantile", func() { sink += phr.Quantile(0.99) })
+	requireZeroAllocs(t, "enabled counter Inc", func() { icw.Inc() })
+	requireZeroAllocs(t, "enabled counter Read", func() { sink += icr.Read() })
+	requireZeroAllocs(t, "enabled histogram Observe", func() { ihw.Observe(7) })
+	requireZeroAllocs(t, "enabled histogram Quantile", func() { sink += ihr.Quantile(0.99) })
+	if sink == ^uint64(0) {
+		t.Fatal("impossible sink")
+	}
+}
+
 // TestPooledAcquireAllocations pins the acquisition hot path's
 // allocation budget: after the first lease builds the slot's handle,
 // each acquire/release cycle allocates only the release closure (the

@@ -229,6 +229,9 @@ func counterShardOptions(s Spec) (k uint64, opts []shard.Option) {
 	if s.readStale > 0 {
 		opts = append(opts, shard.ReadCache(s.readStale))
 	}
+	if s.tel != nil {
+		opts = append(opts, shard.Telemetry(s.tel.sink))
+	}
 	return k, opts
 }
 
@@ -290,6 +293,7 @@ func newCounter(spec Spec) (*Counter, error) {
 		c.c = sc
 	}
 	c.slots.init(spec.procs, c.newPooledHandle)
+	instrumentObject(spec, c.slots.free, c.BaseObjects)
 	if spec.snapshotSlot {
 		c.snap = c.runtimeHandle(spec.procs)
 	}
@@ -479,6 +483,9 @@ func maxRegShardOptions(s Spec) (k uint64, opts []shard.MaxRegOption) {
 	if s.readStale > 0 {
 		opts = append(opts, shard.MaxRegReadCache(s.readStale))
 	}
+	if s.tel != nil {
+		opts = append(opts, shard.MaxRegTelemetry(s.tel.sink))
+	}
 	return k, opts
 }
 
@@ -543,6 +550,7 @@ func newMaxRegister(spec Spec) (*MaxRegister, error) {
 		r.m = sm
 	}
 	r.slots.init(spec.procs, r.newPooledHandle)
+	instrumentObject(spec, r.slots.free, r.BaseObjects)
 	if spec.snapshotSlot {
 		r.snap = r.runtimeHandle(spec.procs)
 	}
@@ -594,6 +602,17 @@ func (r *MaxRegister) Bounds() Bounds {
 		return scaledBounds(r.wm.Bounds(), r.spec)
 	}
 	return scaledBounds(r.m.Bounds(), r.spec)
+}
+
+// BaseObjects returns the number of base objects (registers, TAS
+// instances) the register has allocated across its shards — and, for
+// windowed registers, its live epoch ring: the register's space cost
+// in the paper's model.
+func (r *MaxRegister) BaseObjects() uint64 {
+	if r.wm != nil {
+		return r.wm.BaseObjects()
+	}
+	return r.m.BaseObjects()
 }
 
 // Close stops the register's background goroutines — the read cache's

@@ -6,7 +6,7 @@
 //
 //	approxbench [-quick] [-seed 42] [-exp e1,e3,f1] [-json out.json]
 //	approxbench [-compare old.json] [-compare-tol 50]
-//	approxbench [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	approxbench [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace trace.out]
 //	approxbench -list
 //
 // Without -exp it runs everything; unknown experiment ids are an error
@@ -54,7 +54,13 @@
 // -cpuprofile and -memprofile write pprof profiles of the selected
 // experiments (the heap profile is taken at exit, after every
 // experiment has run), for digging into regressions the record
-// trajectory flags: `go tool pprof cpu.pprof`.
+// trajectory flags: `go tool pprof cpu.pprof`. -trace writes a
+// runtime/trace execution trace of the same span, for scheduler-level
+// questions the sampling profiler cannot answer (combiner goroutine
+// wakeups, epoch-rotation timing, handle-pool contention): `go tool
+// trace trace.out`. CPU profiling and execution tracing can run
+// together; keep traced runs short (-quick, a narrow -exp) — traces
+// record every event, so files grow with runtime.
 package main
 
 import (
@@ -64,6 +70,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"runtime/trace"
 	"sort"
 	"strings"
 	"time"
@@ -93,6 +100,7 @@ func main() {
 	compareTol := flag.Float64("compare-tol", 50, "max percent regression -compare tolerates on steps/op (envelope widening is never tolerated)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
+	traceOut := flag.String("trace", "", "write a runtime/trace execution trace of the selected experiments to this file")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -107,6 +115,21 @@ func main() {
 		}
 		defer func() {
 			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "approxbench: creating %s: %v\n", *traceOut, err)
+			os.Exit(1)
+		}
+		if err := trace.Start(f); err != nil {
+			fmt.Fprintf(os.Stderr, "approxbench: starting execution trace: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			trace.Stop()
 			f.Close()
 		}()
 	}

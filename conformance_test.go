@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"approxobj/internal/histogram"
 	"approxobj/internal/planetest"
@@ -621,4 +622,168 @@ func TestSnapshotConformance(t *testing.T) {
 			})
 		}
 	}
+}
+
+// TestSelfMetricsConformance is the round-trip contract of the
+// self-instrumentation meters (PR 10): SelfMetrics registers them as
+// ordinary registry objects, so they must behave like one everywhere —
+// appear in Snapshot with self-consistent (Value, Bounds) pairs while
+// instrumented objects churn concurrently, refuse the typed getters
+// (a meter is not a user counter), survive Close without deadlock, and
+// keep the registration idempotent per domain and conflicting across
+// domains.
+func TestSelfMetricsConformance(t *testing.T) {
+	const procs = 4
+	reg := NewRegistry()
+	tel := NewTelemetry()
+	c, err := reg.Counter("work.done",
+		WithProcs(procs), WithAccuracy(Multiplicative(3)),
+		WithShards(2), WithBatch(8), WithTelemetry(tel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hg, err := reg.HistogramObject("work.latency",
+		WithProcs(procs), WithAccuracy(Multiplicative(2)), WithBound(1<<12),
+		WithShards(2), WithBatch(8), WithTelemetry(tel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.SelfMetrics(tel); err != nil {
+		t.Fatal(err)
+	}
+
+	// A meter name is not a user object: every typed getter must refuse
+	// it (the meter spec's zero procs is unreachable from user options),
+	// and re-registration must not have disturbed the roster.
+	if _, err := reg.Counter("approx_runtime_flushes", WithProcs(1), WithAccuracy(Exact())); err == nil {
+		t.Error("Counter(approx_runtime_flushes) succeeded, want spec-conflict error")
+	}
+	if _, err := reg.MaxRegister("approx_runtime_refresh_ns_peak", WithProcs(1), WithBound(1<<10)); err == nil {
+		t.Error("MaxRegister(approx_runtime_refresh_ns_peak) succeeded, want spec-conflict error")
+	}
+
+	// Churn while snapshotting: pooled leases (pool-acquire events) and
+	// batched increments (flush events) from several goroutines, with
+	// concurrent full-registry snapshots reading the meters mid-flight.
+	var wg sync.WaitGroup
+	var done atomic.Bool
+	for g := 0; g < procs-1; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h, release := c.Acquire()
+				for j := 0; j < 20; j++ {
+					h.Inc()
+				}
+				release()
+				hh, hrelease := hg.Acquire()
+				hh.Observe(uint64(i) % (1 << 12))
+				hrelease()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !done.Load() {
+			for _, s := range reg.Snapshot() {
+				if s.Bounds.Mult == 0 {
+					t.Errorf("snapshot %q has zero Mult mid-churn", s.Name)
+					return
+				}
+			}
+		}
+	}()
+
+	// One guaranteed mid-churn snapshot from this goroutine too, then
+	// stop the snapshotter and wait everything out.
+	if len(reg.Snapshot()) == 0 {
+		t.Fatal("mid-churn Snapshot returned no entries")
+	}
+	done.Store(true)
+	wg.Wait()
+
+	// Quiescent round-trip: every meter appears exactly once, with the
+	// advertised envelope shape and sane values.
+	snaps := map[string]ObjectSnapshot{}
+	for _, s := range reg.Snapshot() {
+		if _, dup := snaps[s.Name]; dup {
+			t.Fatalf("duplicate snapshot entry %q", s.Name)
+		}
+		snaps[s.Name] = s
+	}
+	for _, name := range selfMetricNames {
+		s, ok := snaps[name]
+		if !ok {
+			t.Errorf("meter %q missing from Snapshot", name)
+			continue
+		}
+		if s.Bounds.Mult != 1 {
+			t.Errorf("meter %q: Mult = %d, want 1 (meters are exact or buffer-lagged, never multiplicative)", name, s.Bounds.Mult)
+		}
+		if s.Histogram != nil {
+			t.Errorf("meter %q exports histogram detail, want nil", name)
+		}
+		batched := name == "approx_runtime_buffer_hits" || name == "approx_runtime_elided_writes"
+		if batched && s.Bounds.Buffer == 0 {
+			t.Errorf("meter %q: Buffer = 0, want the lag bound of the batched accumulators", name)
+		}
+		if !batched && s.Bounds.Buffer != 0 {
+			t.Errorf("meter %q: Buffer = %d, want 0 (exact meter)", name, s.Bounds.Buffer)
+		}
+	}
+	// The churn above must have registered: pooled leases and buffer
+	// flushes both ran in the thousands.
+	if v := snaps["approx_runtime_pool_acquires"].Value; v == 0 {
+		t.Error("approx_runtime_pool_acquires = 0 after pooled churn")
+	}
+	if v := snaps["approx_runtime_flushes"].Value; v == 0 {
+		t.Error("approx_runtime_flushes = 0 after batched churn")
+	}
+	if v := snaps["approx_runtime_resident_bytes"].Value; v == 0 {
+		t.Error("approx_runtime_resident_bytes = 0 with two live instrumented objects")
+	}
+
+	// Idempotence and conflicts: same domain is a no-op, a different
+	// domain is an error, and a meter name squatted by a user object
+	// fails the whole batch atomically.
+	if err := reg.SelfMetrics(tel); err != nil {
+		t.Errorf("second SelfMetrics(same domain): %v, want nil", err)
+	}
+	if err := reg.SelfMetrics(NewTelemetry()); err == nil {
+		t.Error("SelfMetrics(different domain) succeeded, want conflict error")
+	}
+	if err := reg.SelfMetrics(nil); err == nil {
+		t.Error("SelfMetrics(nil) succeeded, want error")
+	}
+	squatted := NewRegistry()
+	if _, err := squatted.Counter("approx_runtime_flushes", WithProcs(1), WithAccuracy(Exact())); err != nil {
+		t.Fatal(err)
+	}
+	if err := squatted.SelfMetrics(tel); err == nil {
+		t.Error("SelfMetrics over a squatted meter name succeeded, want error")
+	}
+	if got := len(squatted.Names()); got != 1 {
+		t.Errorf("failed SelfMetrics left %d entries behind, want 1 (atomic batch)", got)
+	}
+
+	// Close must terminate without deadlock (meters are no-op closers;
+	// the instrumented objects stop their background resources), and the
+	// registry keeps answering with the frozen state.
+	regClosed := make(chan struct{})
+	go func() {
+		reg.Close()
+		close(regClosed)
+	}()
+	select {
+	case <-regClosed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Registry.Close deadlocked with self-metrics registered")
+	}
+	after := reg.Snapshot()
+	if len(after) != len(snaps) {
+		t.Errorf("post-Close Snapshot has %d entries, want %d", len(after), len(snaps))
+	}
+	reg.Close() // idempotent
 }

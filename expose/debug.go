@@ -1,0 +1,82 @@
+package expose
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime/trace"
+	"sync"
+
+	"approxobj"
+)
+
+// DebugHandler returns the library's debug endpoint: one handler
+// serving the self-metrics scrape, the standard pprof profiles, and an
+// on-demand runtime execution trace, intended to be mounted on an
+// operator-only listener (it exposes profiling data; do not serve it
+// publicly). Routes:
+//
+//	/debug/metrics      the registry scrape (same body as Handler) —
+//	                    point it at a registry with SelfMetrics
+//	                    registered and the approx_runtime_* series
+//	                    appear next to the user objects
+//	/debug/pprof/...    net/http/pprof's index and profiles
+//	/debug/trace/start  start a runtime/trace capture (409 if running)
+//	/debug/trace/stop   stop it and download the trace (409 if not)
+//
+// The trace capture buffers in memory until stopped, so keep captures
+// short; runtime/trace allows only one active trace per process, and
+// the handler serializes start/stop accordingly.
+func DebugHandler(reg *approxobj.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/metrics", Handler(reg))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	tc := &traceCapture{}
+	mux.HandleFunc("/debug/trace/start", tc.start)
+	mux.HandleFunc("/debug/trace/stop", tc.stop)
+	return mux
+}
+
+// traceCapture owns at most one in-flight runtime/trace capture; buf is
+// non-nil exactly while tracing.
+type traceCapture struct {
+	mu  sync.Mutex
+	buf *bytes.Buffer
+}
+
+func (tc *traceCapture) start(w http.ResponseWriter, _ *http.Request) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if tc.buf != nil {
+		http.Error(w, "trace already running; stop it at /debug/trace/stop", http.StatusConflict)
+		return
+	}
+	buf := &bytes.Buffer{}
+	if err := trace.Start(buf); err != nil {
+		// Someone else (a pprof.Trace request, the -trace flag) holds the
+		// process's single trace.
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	tc.buf = buf
+	fmt.Fprintln(w, "tracing started; fetch /debug/trace/stop to stop and download")
+}
+
+func (tc *traceCapture) stop(w http.ResponseWriter, _ *http.Request) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if tc.buf == nil {
+		http.Error(w, "no trace running; start one at /debug/trace/start", http.StatusConflict)
+		return
+	}
+	trace.Stop()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="trace.out"`)
+	w.Write(tc.buf.Bytes())
+	tc.buf = nil
+}

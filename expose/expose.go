@@ -22,8 +22,10 @@
 // equal to the observation count (an unbounded layout's saturated last
 // bucket renders as +Inf directly), so an empty windowed histogram
 // still exposes a valid series: one le="+Inf" bucket at 0. Registered
-// names that collide after sanitization are all emitted; keep names
-// distinct under the mapping.
+// names that collide after sanitization (e.g. "a.b" and "a_b") are
+// disambiguated in registration order: the first keeps the sanitized
+// name, later ones render with a _2, _3, ... suffix, so one scrape
+// never emits two families under the same metric name.
 //
 // # Accuracy annotations
 //
@@ -76,27 +78,53 @@ func Handler(reg *approxobj.Registry) http.Handler {
 }
 
 // WriteRegistry renders one Registry.Snapshot of reg into w in the
-// Prometheus text exposition format, in registration order. It returns
-// the first write error.
+// Prometheus text exposition format, in registration order. Names that
+// collide after sanitization are disambiguated with _2, _3, ...
+// suffixes (see the package comment). It returns the first write
+// error.
 func WriteRegistry(w io.Writer, reg *approxobj.Registry) error {
+	used := map[string]bool{}
 	for _, s := range reg.Snapshot() {
-		if err := writeObject(w, s); err != nil {
+		if err := writeObject(w, disambiguate(SanitizeName(s.Name), s.Kind, used), s); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func writeObject(w io.Writer, s approxobj.ObjectSnapshot) error {
-	base := SanitizeName(s.Name)
+// disambiguate claims a unique base name for one object in this scrape:
+// base itself when free, else the first free base_2, base_3, ...
+// Uniqueness is checked on the base AND the kind-suffixed family name —
+// a counter "x" occupies both x (its _bound family) and x_total, so
+// neither a later gauge "x" nor a later counter "x_total" can land on
+// an already-emitted series.
+func disambiguate(base string, kind approxobj.Kind, used map[string]bool) string {
+	name := base
+	for i := 2; used[name] || used[familyName(name, kind)]; i++ {
+		name = base + "_" + strconv.Itoa(i)
+	}
+	used[name] = true
+	used[familyName(name, kind)] = true
+	return name
+}
+
+// familyName returns the metric family a base renders as: counters
+// append _total (unless already suffixed), every other kind emits the
+// base itself.
+func familyName(base string, kind approxobj.Kind) string {
+	if kind == approxobj.KindCounter && !strings.HasSuffix(base, "_total") {
+		return base + "_total"
+	}
+	return base
+}
+
+// writeObject renders one snapshot under the (already disambiguated)
+// base name.
+func writeObject(w io.Writer, base string, s approxobj.ObjectSnapshot) error {
 	var err error
 	switch s.Kind {
 	case approxobj.KindCounter:
-		name := base
-		if !strings.HasSuffix(name, "_total") {
-			name += "_total"
-		}
-		err = writeScalar(w, name, "counter", s, "incremented count")
+		err = writeScalar(w, familyName(base, s.Kind), "counter", s, "incremented count")
 	case approxobj.KindMaxRegister:
 		err = writeScalar(w, base, "gauge", s, "high-water mark")
 	case approxobj.KindSnapshot:

@@ -3,8 +3,6 @@ package expose
 import (
 	"io"
 	"net/http/httptest"
-	"regexp"
-	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -13,72 +11,12 @@ import (
 	"approxobj"
 )
 
-// sampleRe matches one sample line of the text format: a metric name,
-// an optional label set, and a decimal value.
-var sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? ([0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?)$`)
-
-// validateText checks that body is well-formed Prometheus text format:
-// every line is a HELP/TYPE comment or a sample, every sample's family
-// was TYPEd first, and every histogram family has nondecreasing
-// cumulative buckets ending in le="+Inf" equal to its _count.
+// validateText checks that body is well-formed Prometheus text format
+// via the exported Lint (the CI scrape smoke uses the same checker).
 func validateText(t *testing.T, body string) {
 	t.Helper()
-	typed := map[string]string{} // family -> type
-	buckets := map[string][]uint64{}
-	lastLE := map[string]string{}
-	counts := map[string]uint64{}
-	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
-		if strings.HasPrefix(line, "# HELP ") {
-			continue
-		}
-		if strings.HasPrefix(line, "# TYPE ") {
-			f := strings.Fields(line)
-			if len(f) != 4 {
-				t.Fatalf("malformed TYPE line %q", line)
-			}
-			typed[f[2]] = f[3]
-			continue
-		}
-		m := sampleRe.FindStringSubmatch(line)
-		if m == nil {
-			t.Fatalf("malformed sample line %q", line)
-		}
-		name, labels, val := m[1], m[2], m[3]
-		family := name
-		for _, suf := range []string{"_bucket", "_sum", "_count"} {
-			if base, ok := strings.CutSuffix(name, suf); ok && typed[base] == "histogram" {
-				family = base
-			}
-		}
-		if typed[family] == "" {
-			t.Fatalf("sample %q has no preceding TYPE", line)
-		}
-		if strings.HasSuffix(name, "_bucket") && typed[family] == "histogram" {
-			v, err := strconv.ParseUint(val, 10, 64)
-			if err != nil {
-				t.Fatalf("non-integer bucket value in %q: %v", line, err)
-			}
-			bs := buckets[family]
-			if len(bs) > 0 && v < bs[len(bs)-1] {
-				t.Fatalf("histogram %s buckets not cumulative: %v then %d", family, bs, v)
-			}
-			buckets[family] = append(bs, v)
-			if le := regexp.MustCompile(`le="([^"]*)"`).FindStringSubmatch(labels); le != nil {
-				lastLE[family] = le[1]
-			}
-		}
-		if strings.HasSuffix(name, "_count") && typed[family] == "histogram" {
-			v, _ := strconv.ParseUint(val, 10, 64)
-			counts[family] = v
-		}
-	}
-	for fam, bs := range buckets {
-		if lastLE[fam] != "+Inf" {
-			t.Errorf("histogram %s does not end in le=%q bucket (got %q)", fam, "+Inf", lastLE[fam])
-		}
-		if bs[len(bs)-1] != counts[fam] {
-			t.Errorf("histogram %s +Inf bucket %d != _count %d", fam, bs[len(bs)-1], counts[fam])
-		}
+	if err := Lint(body); err != nil {
+		t.Fatalf("%v\nin body:\n%s", err, body)
 	}
 }
 
@@ -271,6 +209,180 @@ func TestScrapeAfterClose(t *testing.T) {
 		t.Errorf("post-Close scrape lost the value:\n%s", b.String())
 	}
 	validateText(t, b.String())
+}
+
+// TestSanitizedNameCollision registers names that collide after
+// sanitization; the scrape must disambiguate them (first keeps the
+// name, later ones get _2, _3...) instead of emitting two families
+// under one metric name — which Lint now rejects as a double TYPE.
+func TestSanitizedNameCollision(t *testing.T) {
+	reg := approxobj.NewRegistry()
+	a, err := reg.Counter("api.requests", approxobj.WithProcs(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := reg.Counter("api_requests", approxobj.WithProcs(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := reg.Counter("api-requests", approxobj.WithProcs(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Do(func(h approxobj.CounterHandle) { h.Inc() })
+	b.Do(func(h approxobj.CounterHandle) { h.Inc(); h.Inc() })
+	c.Do(func(h approxobj.CounterHandle) { h.Inc(); h.Inc(); h.Inc() })
+
+	var sb strings.Builder
+	if err := WriteRegistry(&sb, reg); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	validateText(t, body)
+	for _, want := range []string{
+		"api_requests_total 1",
+		"api_requests_2_total 2",
+		"api_requests_3_total 3",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("output missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestCollisionAcrossKindSuffix pins the suffix-aware case: a gauge
+// named "x" and a counter named "x" would share the x_bound family and,
+// reversed, a counter "x" and an explicit "x_total" would share
+// x_total. Disambiguation must see through the kind suffix.
+func TestCollisionAcrossKindSuffix(t *testing.T) {
+	reg := approxobj.NewRegistry()
+	if _, err := reg.Counter("jobs", approxobj.WithProcs(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Explicitly-suffixed counter landing on the first counter's family.
+	if _, err := reg.Counter("jobs_total", approxobj.WithProcs(1)); err != nil {
+		t.Fatal(err)
+	}
+	// A different kind on the first counter's base name.
+	if _, err := reg.MaxRegister("jobs", approxobj.WithProcs(1), approxobj.WithBatch(4)); err == nil {
+		// Same registry name is rejected at registration (kind mismatch);
+		// use a name that only collides after sanitization.
+		t.Fatal("expected kind-mismatch error for duplicate registry name")
+	}
+	if _, err := reg.MaxRegister("jobs.", approxobj.WithProcs(1), approxobj.WithBatch(4)); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := WriteRegistry(&sb, reg); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	validateText(t, body)
+	// "jobs" emits jobs_total; "jobs_total" must move off that family;
+	// "jobs." sanitizes to jobs_ (no collision — underscore is kept).
+	if !strings.Contains(body, "# TYPE jobs_total counter") {
+		t.Errorf("first counter lost its family:\n%s", body)
+	}
+	if !strings.Contains(body, "# TYPE jobs_total_2_total counter") {
+		t.Errorf("suffixed counter not disambiguated:\n%s", body)
+	}
+}
+
+// TestSelfMetricsRender registers a telemetry domain's meters and
+// checks the scrape: approx_runtime_* series appear, the batched
+// meters carry a _bound{term="buffer"} companion, and the whole body
+// lints.
+func TestSelfMetricsRender(t *testing.T) {
+	reg := approxobj.NewRegistry()
+	tel := approxobj.NewTelemetry()
+	c, err := reg.Counter("work", approxobj.WithProcs(2), approxobj.WithBatch(8),
+		approxobj.WithTelemetry(tel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.SelfMetrics(tel); err != nil {
+		t.Fatal(err)
+	}
+	c.Do(func(h approxobj.CounterHandle) {
+		for i := 0; i < 100; i++ {
+			h.Inc()
+		}
+	})
+
+	var sb strings.Builder
+	if err := WriteRegistry(&sb, reg); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	validateText(t, body)
+	for _, want := range []string{
+		"# TYPE approx_runtime_flushes_total counter",
+		"# TYPE approx_runtime_buffer_hits_total counter",
+		`approx_runtime_buffer_hits_bound{term="buffer"}`,
+		"# TYPE approx_runtime_refresh_ns_peak gauge",
+		"# TYPE approx_runtime_resident_bytes gauge",
+		"approx_runtime_arena_rows_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("output missing %q:\n%s", want, body)
+		}
+	}
+	if !strings.Contains(body, "approx_runtime_pool_acquires_total 1") {
+		t.Errorf("pool acquire not counted:\n%s", body)
+	}
+}
+
+// TestDebugHandler exercises the debug endpoint: the metrics route
+// serves a lintable scrape, pprof answers, and the trace start/stop
+// pair enforces its one-capture state machine with 409s.
+func TestDebugHandler(t *testing.T) {
+	reg := buildRegistry(t)
+	srv := httptest.NewServer(DebugHandler(reg))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/debug/metrics"); code != 200 {
+		t.Fatalf("/debug/metrics: %d", code)
+	} else {
+		validateText(t, body)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != 200 {
+		t.Errorf("/debug/pprof/cmdline: %d", code)
+	}
+	if code, _ := get("/debug/trace/stop"); code != 409 {
+		t.Errorf("stop without start: got %d, want 409", code)
+	}
+	if code, _ := get("/debug/trace/start"); code != 200 {
+		t.Fatalf("trace start: %d", code)
+	}
+	if code, _ := get("/debug/trace/start"); code != 409 {
+		t.Errorf("double start: got %d, want 409", code)
+	}
+	if code, body := get("/debug/trace/stop"); code != 200 {
+		t.Errorf("trace stop: %d", code)
+	} else if len(body) == 0 {
+		t.Error("trace stop returned an empty capture")
+	}
+	if code, _ := get("/debug/trace/start"); code != 200 {
+		t.Errorf("restart after stop: %d", code)
+	}
+	if code, _ := get("/debug/trace/stop"); code != 200 {
+		t.Errorf("second stop: %d", code)
+	}
 }
 
 func TestSanitizeName(t *testing.T) {

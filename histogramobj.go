@@ -175,6 +175,9 @@ func newHistogram(spec Spec) (*Histogram, error) {
 	if spec.readStale > 0 {
 		hopts = append(hopts, shard.HistReadCache(spec.readStale))
 	}
+	if spec.tel != nil {
+		hopts = append(hopts, shard.HistTelemetry(spec.tel.sink))
+	}
 	h := &Histogram{spec: spec, bk: bk}
 	if spec.Windowed() {
 		wh, err := shard.NewWindowedHistogram(spec.totalProcs(), spec.acc.K(), bk.N(), spec.windowDur, spec.windowEpochs, hopts...)
@@ -190,6 +193,7 @@ func newHistogram(spec Spec) (*Histogram, error) {
 		h.h = sh
 	}
 	h.slots.init(spec.procs, h.newPooledHandle)
+	instrumentObject(spec, h.slots.free, h.BaseObjects)
 	if spec.snapshotSlot {
 		h.snap = h.runtimeHandle(spec.procs)
 	}
@@ -252,6 +256,17 @@ func (h *Histogram) Bounds() Bounds {
 		return scaledBounds(h.wh.Bounds(), h.spec)
 	}
 	return scaledBounds(h.h.Bounds(), h.spec)
+}
+
+// BaseObjects returns the number of base objects (registers, TAS
+// instances) the histogram has allocated across its shards — and, for
+// windowed histograms, its live epoch ring: the histogram's space cost
+// in the paper's model.
+func (h *Histogram) BaseObjects() uint64 {
+	if h.wh != nil {
+		return h.wh.BaseObjects()
+	}
+	return h.h.BaseObjects()
 }
 
 // Close stops the histogram's background goroutines — the read cache's

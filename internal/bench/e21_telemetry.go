@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"time"
+
+	"approxobj"
+)
+
+// E21Telemetry measures the self-instrumentation plane (PR 10): the
+// cost of running an object with a telemetry domain attached
+// (WithTelemetry) versus completely uninstrumented, for the two
+// write-heaviest kinds (counter and histogram) across shards x batch.
+// Three metrics per cell:
+//
+//   - ns/op for the write path (Inc / Observe), machine-dependent: the
+//     instrumented column tracks the striped-atomic overhead across
+//     PRs, the uninstrumented one pins the nil fast path's cost at
+//     "one never-taken branch".
+//   - steps/op, machine-independent: telemetry counts events in its
+//     own striped cells, never through the objects' base-object
+//     primitives, so the step count must be IDENTICAL with telemetry
+//     on and off — any drift is a bug, gated by -compare's steps
+//     tolerance and pinned exactly by TestTelemetryDisabledZeroCost.
+//   - allocs/read, machine-independent: the read path must stay
+//     allocation-free in both columns (telemetry's read-side events
+//     are striped counter bumps, not allocations).
+func E21Telemetry(cfg Config) ([]*Table, error) {
+	shardCounts := []int{1, 4}
+	batches := []int{1, 8}
+	writes := 200_000
+	reads := 20_000
+	if cfg.Quick {
+		writes = 20_000
+		reads = 2_000
+	}
+
+	t := &Table{
+		ID:    "E21",
+		Title: "self-instrumentation: telemetry on vs off, counter + histogram write/read paths, shards x batch",
+		Note: `Each row drives one writer handle and one reader handle of a
+Multiplicative(2) object, with and without a telemetry domain attached
+(WithTelemetry). Telemetry counts runtime events (flushes, buffer
+hits, cache traffic) in its own cache-line-striped atomics and batched
+handle-local accumulators; it never touches the objects' base-object
+primitives, so steps/op must be identical across the telemetry column
+— that invariant is the machine-independent claim of this table, along
+with allocs/read staying 0.00 in both columns. ns/op is
+machine-dependent and tracked for drift only.`,
+		Header: []string{"kind", "shards", "batch", "telemetry", "ns/op", "steps/op", "allocs/read"},
+	}
+
+	type cell struct {
+		build func(shards, batch int, tel *approxobj.Telemetry) (w interface {
+			Steps() uint64
+		}, write func(), read func() uint64, closeFn func(), err error)
+		kind string
+	}
+
+	telOpt := func(tel *approxobj.Telemetry) []approxobj.Option {
+		if tel != nil {
+			return []approxobj.Option{approxobj.WithTelemetry(tel)}
+		}
+		return nil
+	}
+
+	kinds := []cell{
+		{kind: "counter", build: func(shards, batch int, tel *approxobj.Telemetry) (interface{ Steps() uint64 }, func(), func() uint64, func(), error) {
+			opts := append([]approxobj.Option{
+				approxobj.WithProcs(2),
+				approxobj.WithAccuracy(approxobj.Multiplicative(2)),
+				approxobj.WithShards(shards),
+				approxobj.WithBatch(batch),
+			}, telOpt(tel)...)
+			c, err := approxobj.NewCounter(opts...)
+			if err != nil {
+				return nil, nil, nil, nil, err
+			}
+			w, r := c.Handle(0), c.Handle(1)
+			return w, w.Inc, r.Read, c.Close, nil
+		}},
+		{kind: "histogram", build: func(shards, batch int, tel *approxobj.Telemetry) (interface{ Steps() uint64 }, func(), func() uint64, func(), error) {
+			const bound = uint64(1) << 16
+			opts := append([]approxobj.Option{
+				approxobj.WithProcs(2),
+				approxobj.WithAccuracy(approxobj.Multiplicative(2)),
+				approxobj.WithBound(bound),
+				approxobj.WithShards(shards),
+				approxobj.WithBatch(batch),
+			}, telOpt(tel)...)
+			hg, err := approxobj.NewHistogram(opts...)
+			if err != nil {
+				return nil, nil, nil, nil, err
+			}
+			w, r := hg.Handle(0), hg.Handle(1)
+			var v uint64
+			write := func() {
+				v = (v + 7919) % bound // fixed stride over the domain, no RNG in the hot loop
+				w.Observe(v)
+			}
+			read := func() uint64 { return r.Quantile(0.99) }
+			return w, write, read, hg.Close, nil
+		}},
+	}
+
+	var sink uint64
+	for _, kc := range kinds {
+		for _, shards := range shardCounts {
+			for _, batch := range batches {
+				for _, instrumented := range []bool{false, true} {
+					var tel *approxobj.Telemetry
+					if instrumented {
+						tel = approxobj.NewTelemetry()
+					}
+					w, write, read, closeFn, err := kc.build(shards, batch, tel)
+					if err != nil {
+						return nil, err
+					}
+					// Warm-up: scratch buffers, first flush.
+					for i := 0; i < 64; i++ {
+						write()
+					}
+					sink += read()
+
+					steps0 := w.Steps()
+					start := time.Now()
+					for i := 0; i < writes; i++ {
+						write()
+					}
+					elapsed := time.Since(start)
+					stepsPerOp := float64(w.Steps()-steps0) / float64(writes)
+					nsPerOp := float64(elapsed.Nanoseconds()) / float64(writes)
+
+					var m0, m1 runtime.MemStats
+					runtime.ReadMemStats(&m0)
+					for i := 0; i < reads; i++ {
+						sink += read()
+					}
+					runtime.ReadMemStats(&m1)
+					closeFn()
+					allocs := float64(m1.Mallocs-m0.Mallocs) / float64(reads)
+					// Round to hundredths, like E20r: Mallocs is
+					// process-global and must not wobble the gate.
+					allocs = float64(int64(allocs*100+0.5)) / 100
+
+					label := "off"
+					if instrumented {
+						label = "on"
+					}
+					t.AddRow(kc.kind, shards, batch, label,
+						fmt.Sprintf("%.1f", nsPerOp), fmt.Sprintf("%.3f", stepsPerOp), fmt.Sprintf("%.2f", allocs))
+					t.AddRecord(Record{
+						Params: map[string]string{
+							"kind":      kc.kind,
+							"shards":    strconv.Itoa(shards),
+							"batch":     strconv.Itoa(batch),
+							"telemetry": label,
+						},
+						NsPerOp:       nsPerOp,
+						StepsPerOp:    stepsPerOp,
+						AllocsPerRead: allocs,
+					})
+				}
+			}
+		}
+	}
+	if sink == ^uint64(0) {
+		return nil, fmt.Errorf("bench: impossible sink value")
+	}
+	return []*Table{t}, nil
+}

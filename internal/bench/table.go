@@ -205,6 +205,7 @@ func All() []Experiment {
 		{ID: "e18", Desc: "windowed objects: per-kind reads under concurrent observation, plus a full-registry scrape", Scenarios: []string{"E18"}, Run: E18Windowed},
 		{ID: "e19", Desc: "deterministic-vs-randomized frontier: steps/op and space at equal target error, shards x batch", Scenarios: []string{"E19"}, Run: E19Frontier},
 		{ID: "e20", Desc: "arena plane: writer throughput across goroutines x shards, plus allocations per read for every kind", Scenarios: []string{"E20", "E20r"}, Run: E20Arena},
+		{ID: "e21", Desc: "self-instrumentation: telemetry on vs off for counter + histogram write/read paths, shards x batch", Scenarios: []string{"E21"}, Run: E21Telemetry},
 		{ID: "f1", Desc: "Figure 1 read-case trace reproduction", Run: F1ReadCases},
 	}
 }

@@ -25,6 +25,8 @@ package pool
 import (
 	"fmt"
 	"sync/atomic"
+
+	"approxobj/internal/telemetry"
 )
 
 // Pool is a fixed-capacity free list of slots 0..n-1. The zero value is
@@ -37,6 +39,12 @@ type Pool struct {
 	// Release's exclusivity check; the channel remains the source of the
 	// happens-before edge between successive owners.
 	held []atomic.Uint64
+
+	// tel receives acquisition events when the owning object is
+	// instrumented (nil otherwise; the sink's methods are
+	// nil-receiver-safe, so the acquisition paths report
+	// unconditionally).
+	tel *telemetry.Sink
 }
 
 // New creates a pool over slots 0..n-1, all initially free. n must be at
@@ -54,6 +62,12 @@ func New(n int) *Pool {
 	}
 	return p
 }
+
+// Instrument attaches a telemetry sink to the pool's acquisition paths
+// (telemetry.EvPoolAcquire per lease, telemetry.EvPoolTryFail per
+// failed TryAcquire, and the sampled TraceAcquire hook). A nil sink
+// disables instrumentation.
+func (p *Pool) Instrument(s *telemetry.Sink) { p.tel = s }
 
 // Cap returns the number of slots the pool manages.
 func (p *Pool) Cap() int { return cap(p.free) }
@@ -86,6 +100,10 @@ func (p *Pool) mark(slot int) {
 func (p *Pool) Acquire() int {
 	s := <-p.free
 	p.mark(s)
+	if p.tel != nil {
+		p.tel.Inc(telemetry.EvPoolAcquire, s)
+		p.tel.Trace(telemetry.TraceAcquire, s, 0)
+	}
 	return s
 }
 
@@ -95,8 +113,13 @@ func (p *Pool) TryAcquire() (slot int, ok bool) {
 	select {
 	case s := <-p.free:
 		p.mark(s)
+		if p.tel != nil {
+			p.tel.Inc(telemetry.EvPoolAcquire, s)
+			p.tel.Trace(telemetry.TraceAcquire, s, 0)
+		}
 		return s, true
 	default:
+		p.tel.Inc(telemetry.EvPoolTryFail, 0)
 		return 0, false
 	}
 }

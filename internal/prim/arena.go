@@ -1,6 +1,10 @@
 package prim
 
-import "unsafe"
+import (
+	"unsafe"
+
+	"approxobj/internal/telemetry"
+)
 
 // This file is the arena layer of the factory: row constructors that
 // carve a known-shape row of base objects out of ONE backing allocation
@@ -70,6 +74,7 @@ type paddedPairReg struct {
 // false-share. Drop-in for Regs(m) where the row shape is known up
 // front; IDs and Resident() accounting are identical.
 func (f *Factory) RegRow(m int) []*Reg {
+	f.tel.Inc(telemetry.EvArenaRow, 0)
 	cells := make([]paddedReg, m)
 	rs := make([]*Reg, m)
 	for i := range cells {
@@ -81,6 +86,7 @@ func (f *Factory) RegRow(m int) []*Reg {
 
 // TASRow creates m fresh test&set bits in one padded arena (see RegRow).
 func (f *Factory) TASRow(m int) []*TAS {
+	f.tel.Inc(telemetry.EvArenaRow, 0)
 	cells := make([]paddedTAS, m)
 	ts := make([]*TAS, m)
 	for i := range cells {
@@ -93,6 +99,7 @@ func (f *Factory) TASRow(m int) []*TAS {
 // CASRegRow creates m fresh CAS registers in one padded arena (see
 // RegRow).
 func (f *Factory) CASRegRow(m int) []*CASReg {
+	f.tel.Inc(telemetry.EvArenaRow, 0)
 	cells := make([]paddedCASReg, m)
 	rs := make([]*CASReg, m)
 	for i := range cells {
@@ -116,6 +123,7 @@ func (f *Factory) PaddedCASReg() *CASReg {
 // array — the collector sees the stored pointers exactly as with
 // individual allocations.
 func (f *Factory) RefRegRow(m int) []*RefReg {
+	f.tel.Inc(telemetry.EvArenaRow, 0)
 	cells := make([]paddedRefReg, m)
 	rs := make([]*RefReg, m)
 	for i := range cells {
@@ -128,6 +136,7 @@ func (f *Factory) RefRegRow(m int) []*RefReg {
 // PairRegRow creates m fresh pair registers in one padded arena (see
 // RegRow).
 func (f *Factory) PairRegRow(m int) []*PairReg {
+	f.tel.Inc(telemetry.EvArenaRow, 0)
 	cells := make([]paddedPairReg, m)
 	ps := make([]*PairReg, m)
 	for i := range cells {
@@ -150,6 +159,7 @@ const regGuard = (falseSharingStride + int(unsafe.Sizeof(Reg{})) - 1) / int(unsa
 // memory. Guard cells hold no IDs and are not resident — accounting
 // covers exactly the m returned registers.
 func (f *Factory) RegRowDense(m int) []*Reg {
+	f.tel.Inc(telemetry.EvArenaRow, 0)
 	cells := make([]Reg, m+2*regGuard)
 	rs := make([]*Reg, m)
 	for i := range rs {

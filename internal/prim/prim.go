@@ -11,7 +11,11 @@
 // both as production concurrent objects and as model-faithful simulations.
 package prim
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"approxobj/internal/telemetry"
+)
 
 // Op identifies the primitive applied by a step. Ops start at 1 so the zero
 // value is invalid.
@@ -247,6 +251,13 @@ type Factory struct {
 	resident atomic.Uint64
 	gate     Gate
 	procs    []*Proc
+
+	// tel receives arena-allocation events when the owning plane is
+	// instrumented (nil otherwise; every telemetry.Sink method is
+	// nil-receiver-safe, so allocation paths report unconditionally —
+	// allocation is never a hot path, unlike the step primitives above,
+	// which stay untouched).
+	tel *telemetry.Sink
 }
 
 // NewFactory returns a production-mode factory for an n-process system.
@@ -262,6 +273,12 @@ func newFactory(n int, gate Gate) *Factory {
 	}
 	return f
 }
+
+// Instrument attaches a telemetry sink to the factory's allocation
+// paths (arena row constructors report telemetry.EvArenaRow). A nil
+// sink disables instrumentation; attach before objects are built so
+// construction-time rows are counted.
+func (f *Factory) Instrument(s *telemetry.Sink) { f.tel = s }
 
 // N returns the number of processes the system was declared with.
 func (f *Factory) N() int { return len(f.procs) }

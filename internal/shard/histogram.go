@@ -7,6 +7,7 @@ import (
 	"approxobj/internal/object"
 	"approxobj/internal/prim"
 	"approxobj/internal/satmath"
+	"approxobj/internal/telemetry"
 )
 
 // HistBackend constructs one shard's underlying bucket-count vector and
@@ -39,6 +40,7 @@ type histConfig struct {
 	batch     int
 	backend   func(buckets int) HistBackend
 	readStale time.Duration
+	tel       *telemetry.Sink
 }
 
 // HistShards sets the shard count S (default 1). Observations spread
@@ -70,6 +72,11 @@ func WithHistBackend(mk func(buckets int) HistBackend) HistOption {
 // with Close.
 func HistReadCache(d time.Duration) HistOption {
 	return func(c *histConfig) { c.readStale = d }
+}
+
+// HistTelemetry attaches an internal telemetry sink (see Telemetry).
+func HistTelemetry(s *telemetry.Sink) HistOption {
+	return func(c *histConfig) { c.tel = s }
 }
 
 // histogramPolicy is the histogram's row of the plane: reads sum the
@@ -117,7 +124,7 @@ func NewHistogram(n int, k uint64, buckets int, opts ...HistOption) (*Histogram,
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	p, err := newPlane(n, k, cfg.shards, cfg.batch, cfg.readStale, cfg.backend(buckets), histogramPolicy,
+	p, err := newPlane(n, k, cfg.shards, cfg.batch, cfg.readStale, cfg.tel, cfg.backend(buckets), histogramPolicy,
 		func(o object.Hist, pr *prim.Proc) object.HistHandle { return o.HistHandle(pr) },
 		sumBuckets, object.HistHandle.ReadInto, newVecReadCache,
 	)
@@ -161,6 +168,10 @@ func (hg *Histogram) Close() { hg.p.Close() }
 // live in different domains: Mult bounds how far a query's answer value
 // may round, Buffer bounds how many observations a query may miss.
 func (hg *Histogram) Bounds() Bounds { return hg.p.Bounds() }
+
+// BaseObjects returns the number of base objects allocated across all
+// shards — the histogram's space cost in the paper's model.
+func (hg *Histogram) BaseObjects() uint64 { return hg.p.BaseObjects() }
 
 // Handle binds process slot i (0 <= i < n) to the histogram. The handle
 // adds to shard i mod S and reads all shards through slot i of each

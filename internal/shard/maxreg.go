@@ -8,6 +8,7 @@ import (
 	"approxobj/internal/maxreg"
 	"approxobj/internal/object"
 	"approxobj/internal/prim"
+	"approxobj/internal/telemetry"
 )
 
 // MaxRegBackend constructs one shard's underlying max register and
@@ -73,6 +74,7 @@ type maxRegConfig struct {
 	batch     int
 	backend   MaxRegBackend
 	readStale time.Duration
+	tel       *telemetry.Sink
 }
 
 // MaxRegShards sets the shard count S (default 1). Writes spread across
@@ -104,6 +106,11 @@ func WithMaxRegBackend(b MaxRegBackend) MaxRegOption {
 // goroutine (so n must be >= 2); stop it with Close.
 func MaxRegReadCache(d time.Duration) MaxRegOption {
 	return func(c *maxRegConfig) { c.readStale = d }
+}
+
+// MaxRegTelemetry attaches an internal telemetry sink (see Telemetry).
+func MaxRegTelemetry(s *telemetry.Sink) MaxRegOption {
+	return func(c *maxRegConfig) { c.tel = s }
 }
 
 // maxRegPolicy is the max register's row of the plane: reads take the
@@ -139,7 +146,7 @@ func NewMaxReg(n int, k uint64, opts ...MaxRegOption) (*MaxReg, error) {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	p, err := newPlane(n, k, cfg.shards, cfg.batch, cfg.readStale, cfg.backend, maxRegPolicy,
+	p, err := newPlane(n, k, cfg.shards, cfg.batch, cfg.readStale, cfg.tel, cfg.backend, maxRegPolicy,
 		func(o object.MaxReg, pr *prim.Proc) object.MaxRegHandle { return o.MaxRegHandle(pr) },
 		maxOf, nil, newScalarReadCache,
 	)
@@ -179,6 +186,10 @@ func (m *MaxReg) Close() { m.p.Close() }
 // multiplied by n: the true maximum is held by one handle, whose flushed
 // value trails it by at most B-1.
 func (m *MaxReg) Bounds() Bounds { return m.p.Bounds() }
+
+// BaseObjects returns the number of base objects allocated across all
+// shards — the register's space cost in the paper's model.
+func (m *MaxReg) BaseObjects() uint64 { return m.p.BaseObjects() }
 
 // Handle binds process slot i (0 <= i < n) to the register. The handle
 // writes to shard i mod S and reads all shards through slot i of each

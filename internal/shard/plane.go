@@ -6,6 +6,7 @@ import (
 
 	"approxobj/internal/prim"
 	"approxobj/internal/satmath"
+	"approxobj/internal/telemetry"
 )
 
 // This file is the policy-driven core of the backend plane: one generic
@@ -101,6 +102,31 @@ type buffer struct {
 	// per-bucket flush to the home shard.
 	bb          *bucketBuf
 	flushBucket func(b int, d uint64)
+
+	// Telemetry (nil when uninstrumented — the only cost then is the
+	// `tel != nil` branch on each path, mirroring the prim nil-gate).
+	// The hot per-mutation events (a buffered hit, an elided write) are
+	// batched in the plain locals below and published every
+	// telemetry.CounterBatch events; every flush path drains them, so
+	// the meters' lag tracks the buffer's own lag and LagBound stays an
+	// honest envelope.
+	tel         *telemetry.Sink
+	slot        int
+	localHits   uint64
+	localElided uint64
+}
+
+// noteFlush reports one buffer flush of amount v to the sink: the flush
+// event itself, the residues of the batched locals, and the sampled
+// trace hook. Called on every path that publishes buffered state.
+func (b *buffer) noteFlush(v uint64) {
+	if b.tel == nil {
+		return
+	}
+	b.tel.Inc(telemetry.EvFlush, b.slot)
+	b.tel.FlushLocal(telemetry.EvBufferHit, b.slot, &b.localHits)
+	b.tel.FlushLocal(telemetry.EvElidedWrite, b.slot, &b.localElided)
+	b.tel.Trace(telemetry.TraceFlush, b.slot, v)
 }
 
 // add routes one mutation (an increment count or a value) through the
@@ -113,16 +139,28 @@ func (b *buffer) add(v uint64) {
 			d := b.pending
 			b.pending = 0
 			b.flush(d)
+			b.noteFlush(d)
+			return
+		}
+		if b.tel != nil {
+			b.tel.BumpLocal(telemetry.EvBufferHit, b.slot, &b.localHits)
 		}
 	case writeElision:
 		if v <= b.flushed {
-			return // subsumed: the home shard already holds >= v
+			// Subsumed: the home shard already holds >= v.
+			if b.tel != nil {
+				b.tel.BumpLocal(telemetry.EvElidedWrite, b.slot, &b.localElided)
+			}
+			return
 		}
 		if v-b.flushed < b.batch {
 			// Elide: v trails a future flush by at most B-1, the
 			// staleness the Buffer term of Bounds promises.
 			if v > b.pending {
 				b.pending, b.dirty = v, true
+			}
+			if b.tel != nil {
+				b.tel.BumpLocal(telemetry.EvElidedWrite, b.slot, &b.localElided)
 			}
 			return
 		}
@@ -132,10 +170,16 @@ func (b *buffer) add(v uint64) {
 			// The component is back at its flushed value: anything
 			// elided in between is superseded.
 			b.pending, b.dirty = 0, false
+			if b.tel != nil {
+				b.tel.BumpLocal(telemetry.EvElidedWrite, b.slot, &b.localElided)
+			}
 			return
 		}
 		if v > b.flushed && v-b.flushed < b.batch {
 			b.pending, b.dirty = v, true // latest value wins, not highest
+			if b.tel != nil {
+				b.tel.BumpLocal(telemetry.EvElidedWrite, b.slot, &b.localElided)
+			}
 			return
 		}
 		b.writeThrough(v)
@@ -146,6 +190,7 @@ func (b *buffer) writeThrough(v uint64) {
 	b.flush(v)
 	b.flushed = v
 	b.pending, b.dirty = 0, false
+	b.noteFlush(v)
 }
 
 // addBucket routes d observations of bucket i through the bucketBatching
@@ -163,6 +208,10 @@ func (b *buffer) addBucket(i int, d uint64) {
 	bb.pending = satmath.Add(bb.pending, d)
 	if bb.pending >= b.batch {
 		b.flushBuckets()
+		return
+	}
+	if b.tel != nil {
+		b.tel.BumpLocal(telemetry.EvBufferHit, b.slot, &b.localHits)
 	}
 }
 
@@ -174,6 +223,7 @@ func (b *buffer) flushBuckets() {
 	if bb.pending == 0 {
 		return
 	}
+	d := bb.pending
 	bb.pending = 0
 	for _, i := range bb.touched {
 		if d := bb.vec[i]; d != 0 {
@@ -182,6 +232,7 @@ func (b *buffer) flushBuckets() {
 		}
 	}
 	bb.touched = bb.touched[:0]
+	b.noteFlush(d)
 }
 
 // Flush publishes the buffered state to the home shard; it is a no-op
@@ -195,6 +246,7 @@ func (b *buffer) Flush() {
 		d := b.pending
 		b.pending = 0
 		b.flush(d)
+		b.noteFlush(d)
 	case bucketBatching:
 		b.flushBuckets()
 	default:
@@ -366,6 +418,9 @@ type plane[O any, H Reader[V], V any] struct {
 	// plane serves every read as a full combine. When non-nil, the last
 	// process slot is reserved for the background combiner goroutine.
 	cache readCache[V]
+	// tel is the telemetry sink the plane's moving parts report into
+	// (nil when uninstrumented).
+	tel *telemetry.Sink
 }
 
 // newPlane validates the shared configuration (batch range, batch vs.
@@ -377,7 +432,8 @@ type plane[O any, H Reader[V], V any] struct {
 // handed out. readInto is the per-shard read into a reused buffer, nil
 // for scalar kinds.
 func newPlane[O any, H Reader[V], V any](
-	n int, k uint64, shards, batch int, readStale time.Duration, be backend[O], pol policy,
+	n int, k uint64, shards, batch int, readStale time.Duration, tel *telemetry.Sink,
+	be backend[O], pol policy,
 	handleOf func(o O, p *prim.Proc) H, combine Combine[V],
 	readInto func(h H, dst V) V, mkCache func(d time.Duration) readCache[V],
 ) (*plane[O, H, V], error) {
@@ -395,7 +451,7 @@ func newPlane[O any, H Reader[V], V any](
 	if readStale > 0 && n < 2 {
 		return nil, fmt.Errorf("shard: read cache needs a dedicated combiner slot (n >= 2), got n = %d", n)
 	}
-	rt, err := newRuntime(be.name, n, shards, func(f *prim.Factory) (O, error) {
+	rt, err := newRuntime(be.name, n, shards, tel, func(f *prim.Factory) (O, error) {
 		return be.make(f, k)
 	})
 	if err != nil {
@@ -405,9 +461,11 @@ func newPlane[O any, H Reader[V], V any](
 		rt: rt, k: k, batch: uint64(batch), be: be, pol: pol,
 		handleOf: handleOf, combine: combine, readInto: readInto,
 		slots: make([]slotBinding[H], n),
+		tel:   tel,
 	}
 	if readStale > 0 {
 		p.cache = mkCache(readStale)
+		p.cache.instrument(tel)
 		// The combiner owns the reserved last slot outright: handles for
 		// it are refused (newCore), so its per-shard readers and its
 		// core's scratch buffers race with nothing.
@@ -536,8 +594,10 @@ func (p *plane[O, H, V]) coreAt(i int) handleCore[H, V] {
 		procs:    sb.procs,
 		combine:  p.combine,
 		readInto: p.readInto,
-		buf:      buffer{policy: p.pol.buffer, batch: p.batch},
+		buf:      buffer{policy: p.pol.buffer, batch: p.batch, tel: p.tel, slot: i},
 		cache:    p.cache,
+		tel:      p.tel,
+		slot:     i,
 	}
 }
 
@@ -556,6 +616,8 @@ type handleCore[H Reader[V], V any] struct {
 	refresh  func(V) V          // combinedInto, bound once on first cached read (method values allocate)
 	buf      buffer
 	cache    readCache[V] // the plane's read-combiner tier, nil when off
+	tel      *telemetry.Sink
+	slot     int
 }
 
 // Read returns the object's combined value. Without the read cache it
@@ -583,6 +645,13 @@ func (c *handleCore[H, V]) ReadInto(dst V) V {
 	}
 	if c.refresh == nil {
 		c.refresh = c.combinedInto
+	}
+	if c.tel != nil {
+		// Every cached-path read counts here (hits are derived as reads
+		// minus the misses the cache itself reports): one striped atomic
+		// add when instrumented, one predicted branch when not — the
+		// read path takes no prim steps and allocates nothing either way.
+		c.tel.Inc(telemetry.EvCacheRead, c.slot)
 	}
 	return c.cache.readInto(dst, c.refresh)
 }

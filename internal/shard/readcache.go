@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"approxobj/internal/telemetry"
 )
 
 // This file is the read-combiner tier of the backend plane: one
@@ -63,6 +65,9 @@ type readCache[V any] interface {
 	close()
 	// staleness returns the maxStale window.
 	staleness() time.Duration
+	// instrument attaches a telemetry sink (nil disables); called once
+	// at plane construction, before the cache is shared.
+	instrument(tel *telemetry.Sink)
 }
 
 // cacheLifecycle is the background-combiner lifecycle shared by both
@@ -120,6 +125,8 @@ type scalarReadCache struct {
 
 	mu sync.Mutex // serializes refreshes
 	lc cacheLifecycle
+
+	tel *telemetry.Sink // nil when uninstrumented
 }
 
 func newScalarReadCache(maxStale time.Duration) readCache[uint64] {
@@ -138,11 +145,13 @@ func (rc *scalarReadCache) read(refresh func(uint64) uint64) uint64 {
 	if v, ok := rc.fresh(); ok {
 		return v
 	}
+	rc.tel.Inc(telemetry.EvCacheMiss, 0)
 	rc.mu.Lock()
 	// Another reader (or the combiner) may have refreshed while we
 	// waited for the lock.
 	v, ok := rc.fresh()
 	if !ok {
+		rc.tel.Inc(telemetry.EvInlineRefresh, 0)
 		v = rc.refreshLocked(refresh)
 	}
 	rc.mu.Unlock()
@@ -165,11 +174,16 @@ func (rc *scalarReadCache) refreshLocked(refresh func(uint64) uint64) uint64 {
 	v := refresh(0)
 	rc.val.Store(v)
 	rc.stamp.Store(int64(at))
+	if rc.tel != nil {
+		rc.tel.ObserveRefresh(time.Since(rc.base) - at)
+		rc.tel.Trace(telemetry.TraceRefresh, -1, v)
+	}
 	return v
 }
 
 func (rc *scalarReadCache) run(refresh func(uint64) uint64) {
 	rc.lc.runTicks(rc.maxStale, func() {
+		rc.tel.Inc(telemetry.EvCombinerTick, 0)
 		rc.mu.Lock()
 		rc.refreshLocked(refresh)
 		rc.mu.Unlock()
@@ -179,6 +193,8 @@ func (rc *scalarReadCache) run(refresh func(uint64) uint64) {
 func (rc *scalarReadCache) close() { rc.lc.close() }
 
 func (rc *scalarReadCache) staleness() time.Duration { return rc.maxStale }
+
+func (rc *scalarReadCache) instrument(tel *telemetry.Sink) { rc.tel = tel }
 
 // vecCell is one published pre-combined vector: the folded combined
 // read, the time that read started, and the refcount of readers
@@ -215,6 +231,8 @@ type vecReadCache struct {
 	spare *vecCell
 
 	lc cacheLifecycle
+
+	tel *telemetry.Sink // nil when uninstrumented
 }
 
 func newVecReadCache(maxStale time.Duration) readCache[[]uint64] {
@@ -246,6 +264,7 @@ func (rc *vecReadCache) readInto(dst []uint64, refresh func([]uint64) []uint64) 
 		// by now. Release and retry (the new current cell is fresh).
 		c.readers.Add(-1)
 	}
+	rc.tel.Inc(telemetry.EvCacheMiss, 0)
 	rc.mu.Lock()
 	// Another reader (or the combiner) may have refreshed while we
 	// waited for the lock. Copying under mu is safe against reuse:
@@ -255,6 +274,7 @@ func (rc *vecReadCache) readInto(dst []uint64, refresh func([]uint64) []uint64) 
 		rc.mu.Unlock()
 		return dst
 	}
+	rc.tel.Inc(telemetry.EvInlineRefresh, 0)
 	c := rc.refreshLocked(refresh)
 	dst = append(dst[:0], c.vals...)
 	rc.mu.Unlock()
@@ -277,11 +297,16 @@ func (rc *vecReadCache) refreshLocked(refresh func([]uint64) []uint64) *vecCell 
 	cell.vals = refresh(cell.vals)
 	cell.at = at
 	rc.spare = rc.cur.Swap(cell)
+	if rc.tel != nil {
+		rc.tel.ObserveRefresh(time.Since(at))
+		rc.tel.Trace(telemetry.TraceRefresh, -1, uint64(len(cell.vals)))
+	}
 	return cell
 }
 
 func (rc *vecReadCache) run(refresh func([]uint64) []uint64) {
 	rc.lc.runTicks(rc.maxStale, func() {
+		rc.tel.Inc(telemetry.EvCombinerTick, 0)
 		rc.mu.Lock()
 		rc.refreshLocked(refresh)
 		rc.mu.Unlock()
@@ -291,3 +316,5 @@ func (rc *vecReadCache) run(refresh func([]uint64) []uint64) {
 func (rc *vecReadCache) close() { rc.lc.close() }
 
 func (rc *vecReadCache) staleness() time.Duration { return rc.maxStale }
+
+func (rc *vecReadCache) instrument(tel *telemetry.Sink) { rc.tel = tel }

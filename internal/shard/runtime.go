@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"approxobj/internal/prim"
+	"approxobj/internal/telemetry"
 )
 
 // runtime is the shard-allocation core of the backend plane: S
@@ -22,8 +23,10 @@ type runtime[O any] struct {
 }
 
 // newRuntime builds S shards of n slots each via mk. kind names the
-// backend in construction errors.
-func newRuntime[O any](kind string, n, shards int, mk func(f *prim.Factory) (O, error)) (*runtime[O], error) {
+// backend in construction errors. tel (nil when uninstrumented) is
+// attached to each shard's factory before the shard is built, so
+// construction-time arena rows are counted.
+func newRuntime[O any](kind string, n, shards int, tel *telemetry.Sink, mk func(f *prim.Factory) (O, error)) (*runtime[O], error) {
 	if n < 1 {
 		return nil, fmt.Errorf("shard: need at least one process slot, got %d", n)
 	}
@@ -37,6 +40,7 @@ func newRuntime[O any](kind string, n, shards int, mk func(f *prim.Factory) (O, 
 	}
 	for s := range rt.shards {
 		f := prim.NewFactory(n)
+		f.Instrument(tel)
 		o, err := mk(f)
 		if err != nil {
 			return nil, fmt.Errorf("shard: building shard %d/%d (%s): %w", s, shards, kind, err)

@@ -143,6 +143,7 @@ import (
 	"approxobj/internal/object"
 	"approxobj/internal/prim"
 	"approxobj/internal/satmath"
+	"approxobj/internal/telemetry"
 )
 
 // Backend constructs one shard's underlying counter and declares its
@@ -225,6 +226,7 @@ type config struct {
 	batch     int
 	backend   Backend
 	readStale time.Duration
+	tel       *telemetry.Sink
 }
 
 // Shards sets the shard count S (default 1). Increments spread across
@@ -247,6 +249,12 @@ func WithBackend(b Backend) Option { return func(c *config) { c.backend = b } }
 // slot is reserved for the background combiner goroutine (so n must be
 // >= 2); stop it with Close.
 func ReadCache(d time.Duration) Option { return func(c *config) { c.readStale = d } }
+
+// Telemetry attaches an internal telemetry sink to the counter's runtime
+// paths (flushes, buffer hits, read-cache traffic, combiner ticks, arena
+// rows). The default, nil, disables instrumentation entirely: the hot
+// paths see a single never-taken branch.
+func Telemetry(s *telemetry.Sink) Option { return func(c *config) { c.tel = s } }
 
 // Bounds is the documented read envelope of a sharded object: against a
 // true value v, a Read may return any x with
@@ -284,7 +292,7 @@ func New(n int, k uint64, opts ...Option) (*Counter, error) {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	p, err := newPlane(n, k, cfg.shards, cfg.batch, cfg.readStale, cfg.backend, counterPolicy,
+	p, err := newPlane(n, k, cfg.shards, cfg.batch, cfg.readStale, cfg.tel, cfg.backend, counterPolicy,
 		func(o object.Counter, pr *prim.Proc) object.CounterHandle { return o.CounterHandle(pr) },
 		satmath.Add, nil, newScalarReadCache,
 	)

@@ -6,6 +6,7 @@ import (
 	"approxobj/internal/object"
 	"approxobj/internal/prim"
 	"approxobj/internal/snapshot"
+	"approxobj/internal/telemetry"
 )
 
 // SnapshotBackend constructs one shard's underlying single-writer atomic
@@ -35,6 +36,7 @@ type snapshotConfig struct {
 	batch     int
 	backend   SnapshotBackend
 	readStale time.Duration
+	tel       *telemetry.Sink
 }
 
 // SnapshotShards sets the shard count S (default 1). Component updates
@@ -66,6 +68,11 @@ func WithSnapshotBackend(b SnapshotBackend) SnapshotOption {
 // component stays zero); stop it with Close.
 func SnapshotReadCache(d time.Duration) SnapshotOption {
 	return func(c *snapshotConfig) { c.readStale = d }
+}
+
+// SnapshotTelemetry attaches an internal telemetry sink (see Telemetry).
+func SnapshotTelemetry(s *telemetry.Sink) SnapshotOption {
+	return func(c *snapshotConfig) { c.tel = s }
 }
 
 // snapshotPolicy is the snapshot's row of the plane: reads merge the
@@ -116,7 +123,7 @@ func NewSnapshot(n int, k uint64, opts ...SnapshotOption) (*Snapshot, error) {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	p, err := newPlane(n, k, cfg.shards, cfg.batch, cfg.readStale, cfg.backend, snapshotPolicy,
+	p, err := newPlane(n, k, cfg.shards, cfg.batch, cfg.readStale, cfg.tel, cfg.backend, snapshotPolicy,
 		func(o object.Snapshot, pr *prim.Proc) snapHandle { return snapHandle{o.SnapshotHandle(pr)} },
 		mergeComponents, scanInto, newVecReadCache,
 	)
@@ -156,6 +163,10 @@ func (s *Snapshot) Close() { s.p.Close() }
 // across handles, so it does not scale with n or S). Each scanned
 // component obeys the envelope against its own true value.
 func (s *Snapshot) Bounds() Bounds { return s.p.Bounds() }
+
+// BaseObjects returns the number of base objects allocated across all
+// shards — the snapshot's space cost in the paper's model.
+func (s *Snapshot) BaseObjects() uint64 { return s.p.BaseObjects() }
 
 // Handle binds process slot i (0 <= i < n) to the snapshot. The handle
 // owns component i: its updates land in shard i mod S, and its scans

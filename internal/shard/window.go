@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"approxobj/internal/satmath"
+	"approxobj/internal/telemetry"
 )
 
 // This file is the windowed tier of the backend plane: an object becomes
@@ -95,6 +96,11 @@ type window[T any, H any, V any] struct {
 	// per-component, and per-bucket folds, which partition instead).
 	sumCombine bool
 
+	// tel is the telemetry sink extracted from the kind options (nil when
+	// uninstrumented): rotations and handle re-homes are window-tier
+	// events the per-epoch planes cannot see.
+	tel *telemetry.Sink
+
 	// seq is published AFTER the epoch for it is installed in the ring,
 	// so ring[seq%epochs] always holds an instance at least as new as
 	// seq.
@@ -174,6 +180,8 @@ func (w *window[T, H, V]) rotate() {
 	old := w.ring[s%uint64(w.epochs)].Swap(&wepoch[T]{seq: s, obj: fresh})
 	w.seq.Store(s)
 	w.closeOf(old.obj)
+	w.tel.Inc(telemetry.EvRotation, 0)
+	w.tel.Trace(telemetry.TraceRotation, -1, s)
 }
 
 // Rotate forces one rotation, for deterministic tests and manual epoch
@@ -305,6 +313,7 @@ func (h *windowHandle[T, H, V]) core(j int, e *wepoch[T]) H {
 		if c.ok {
 			h.w.flushOf(c.h)
 			h.retired += h.w.stepsOf(c.h)
+			h.w.tel.Inc(telemetry.EvRehome, h.slot)
 		}
 		c.h = h.w.bind(e.obj, h.slot)
 		c.seq = e.seq
@@ -405,6 +414,13 @@ func NewWindowedCounter(n int, k uint64, d time.Duration, epochs int, opts ...Op
 		combine:    satmath.Add,
 		sumCombine: true,
 	}
+	// Rotation and re-home events belong to the window tier; recover the
+	// sink the kind options carry so the ring can report them itself.
+	cfg := config{shards: 1, batch: 1, backend: MultBackend()}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	w.tel = cfg.tel
 	if _, err := newWindow(d, epochs, w); err != nil {
 		return nil, err
 	}
@@ -482,6 +498,11 @@ func NewWindowedMaxReg(n int, k uint64, d time.Duration, epochs int, opts ...Max
 		boundsOf: func(m *MaxReg) Bounds { return m.Bounds() },
 		combine:  maxOf,
 	}
+	cfg := maxRegConfig{shards: 1, batch: 1, backend: ExactMaxBackend()}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	w.tel = cfg.tel
 	if _, err := newWindow(d, epochs, w); err != nil {
 		return nil, err
 	}
@@ -495,6 +516,16 @@ func (m *WindowedMaxReg) Handle(i int) *WMaxRegHandle {
 
 // Bounds returns the windowed read envelope (see window.Bounds).
 func (m *WindowedMaxReg) Bounds() Bounds { return m.w.Bounds() }
+
+// BaseObjects sums the base objects of every live epoch (see
+// WindowedCounter.BaseObjects).
+func (m *WindowedMaxReg) BaseObjects() uint64 {
+	var total uint64
+	for j := range m.w.ring {
+		total += m.w.ring[j].Load().obj.BaseObjects()
+	}
+	return total
+}
 
 // Close freezes the window (see window.Close).
 func (m *WindowedMaxReg) Close() { m.w.Close() }
@@ -551,6 +582,11 @@ func NewWindowedSnapshot(n int, k uint64, d time.Duration, epochs int, opts ...S
 		boundsOf:   func(s *Snapshot) Bounds { return s.Bounds() },
 		combine:    mergeComponents,
 	}
+	cfg := snapshotConfig{shards: 1, batch: 1, backend: ExactSnapshotBackend()}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	w.tel = cfg.tel
 	if _, err := newWindow(d, epochs, w); err != nil {
 		return nil, err
 	}
@@ -565,6 +601,16 @@ func (s *WindowedSnapshot) Handle(i int) *WSnapshotHandle {
 
 // Bounds returns the windowed read envelope (see window.Bounds).
 func (s *WindowedSnapshot) Bounds() Bounds { return s.w.Bounds() }
+
+// BaseObjects sums the base objects of every live epoch (see
+// WindowedCounter.BaseObjects).
+func (s *WindowedSnapshot) BaseObjects() uint64 {
+	var total uint64
+	for j := range s.w.ring {
+		total += s.w.ring[j].Load().obj.BaseObjects()
+	}
+	return total
+}
 
 // Close freezes the window (see window.Close).
 func (s *WindowedSnapshot) Close() { s.w.Close() }
@@ -633,6 +679,11 @@ func NewWindowedHistogram(n int, k uint64, buckets int, d time.Duration, epochs 
 		boundsOf:   func(hg *Histogram) Bounds { return hg.Bounds() },
 		combine:    sumBuckets,
 	}
+	cfg := histConfig{shards: 1, batch: 1, backend: BucketHistBackend}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	w.tel = cfg.tel
 	if _, err := newWindow(d, epochs, w); err != nil {
 		return nil, err
 	}
@@ -649,6 +700,16 @@ func (hg *WindowedHistogram) Bounds() Bounds { return hg.w.Bounds() }
 
 // Buckets returns the number of buckets.
 func (hg *WindowedHistogram) Buckets() int { return hg.buckets }
+
+// BaseObjects sums the base objects of every live epoch (see
+// WindowedCounter.BaseObjects).
+func (hg *WindowedHistogram) BaseObjects() uint64 {
+	var total uint64
+	for j := range hg.w.ring {
+		total += hg.w.ring[j].Load().obj.BaseObjects()
+	}
+	return total
+}
 
 // Close freezes the window (see window.Close).
 func (hg *WindowedHistogram) Close() { hg.w.Close() }

@@ -85,6 +85,9 @@ func snapshotShardOptions(s Spec) (k uint64, opts []shard.SnapshotOption) {
 	if s.readStale > 0 {
 		opts = append(opts, shard.SnapshotReadCache(s.readStale))
 	}
+	if s.tel != nil {
+		opts = append(opts, shard.SnapshotTelemetry(s.tel.sink))
+	}
 	return 1, opts
 }
 
@@ -152,6 +155,7 @@ func newSnapshot(spec Spec) (*Snapshot, error) {
 		s.s = ss
 	}
 	s.slots.init(spec.procs, s.newPooledHandle)
+	instrumentObject(spec, s.slots.free, s.BaseObjects)
 	if spec.snapshotSlot {
 		s.snap = s.runtimeHandle(spec.procs)
 	}
@@ -204,6 +208,17 @@ func (s *Snapshot) Bounds() Bounds {
 		return scaledBounds(s.ws.Bounds(), s.spec)
 	}
 	return scaledBounds(s.s.Bounds(), s.spec)
+}
+
+// BaseObjects returns the number of base objects (registers, TAS
+// instances) the snapshot has allocated across its shards — and, for
+// windowed snapshots, its live epoch ring: the snapshot's space cost
+// in the paper's model.
+func (s *Snapshot) BaseObjects() uint64 {
+	if s.ws != nil {
+		return s.ws.BaseObjects()
+	}
+	return s.s.BaseObjects()
 }
 
 // Close stops the snapshot's background goroutines — the read cache's

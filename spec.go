@@ -242,6 +242,10 @@ type Spec struct {
 	// snapshotSlot reserves one extra process slot (index procs) for the
 	// registry's Snapshot reads; see Registry.
 	snapshotSlot bool
+
+	// tel is the telemetry domain the object reports into (WithTelemetry);
+	// nil disables instrumentation entirely.
+	tel *Telemetry
 }
 
 // Kind returns the object family the spec describes.
@@ -302,7 +306,8 @@ func (s Spec) sameObject(t Spec) bool {
 	return s.kind == t.kind && s.procs == t.procs && s.acc == t.acc &&
 		s.shards == t.shards && s.batch == t.batch && s.bound == t.bound &&
 		s.readStale == t.readStale &&
-		s.windowDur == t.windowDur && s.windowEpochs == t.windowEpochs
+		s.windowDur == t.windowDur && s.windowEpochs == t.windowEpochs &&
+		s.tel == t.tel
 }
 
 // String renders the spec compactly, e.g.
@@ -322,6 +327,9 @@ func (s Spec) String() string {
 	}
 	if s.windowEpochs > 0 {
 		out += fmt.Sprintf(", window: %s/%d", s.windowDur, s.windowEpochs)
+	}
+	if s.tel != nil {
+		out += ", telemetry"
 	}
 	return out + "}"
 }

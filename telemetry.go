@@ -1,0 +1,300 @@
+package approxobj
+
+import (
+	"fmt"
+
+	"approxobj/internal/telemetry"
+)
+
+// This file is the public face of the self-instrumentation plane: a
+// Telemetry domain objects opt into with WithTelemetry, a sampled trace
+// hook, and Registry.SelfMetrics, which surfaces the runtime's internal
+// event counts as ordinary registry objects — counted, enveloped, and
+// exported exactly like user objects (the library instrumented by its
+// own approximate objects).
+//
+// The accounting applies the repository's thesis to itself: the hottest
+// per-operation events (buffer hits, elided writes) are batched in
+// handle-local accumulators and published every telemetry.CounterBatch
+// events, and that lag is not hidden — it is the Buffer term of those
+// meters' own Bounds, rendered as _bound companion series by package
+// expose like any user object's envelope. Everything else is counted
+// exactly (striped atomic adds). Disabled instrumentation — no
+// WithTelemetry — costs one predicted-not-taken branch on the hot
+// paths and zero allocations (see TestTelemetryDisabledZeroCost).
+
+// TraceEvent enumerates the sampled trace hook's event kinds: the
+// coarse structural events of the runtime worth a callback, not the
+// per-operation counts (those are meters; see Registry.SelfMetrics).
+type TraceEvent int
+
+const (
+	// TraceFlush: a handle buffer published its pending state to the
+	// shards; value is the flushed amount.
+	TraceFlush TraceEvent = iota
+	// TraceRefresh: a read-cache cell was re-combined; slot is -1 (the
+	// cache is per plane, not per slot), value is the combined scalar
+	// (or the vector length, for vector kinds).
+	TraceRefresh
+	// TraceRotation: a windowed object rotated an epoch out of its
+	// ring; value is the new epoch sequence number.
+	TraceRotation
+	// TraceAcquire: a pool slot was leased; slot is the leased slot.
+	TraceAcquire
+)
+
+// String names the trace event kind.
+func (ev TraceEvent) String() string {
+	switch ev {
+	case TraceFlush:
+		return "flush"
+	case TraceRefresh:
+		return "refresh"
+	case TraceRotation:
+		return "rotation"
+	case TraceAcquire:
+		return "acquire"
+	}
+	return "invalid"
+}
+
+// TraceFunc receives sampled trace events. It is called synchronously
+// on the traced operation's goroutine, so implementations should be
+// cheap and must not call back into the object being traced.
+type TraceFunc func(ev TraceEvent, slot int, value uint64)
+
+// Telemetry is one self-instrumentation domain: a shared event sink
+// that every object built with WithTelemetry(t) reports into, read back
+// out by Registry.SelfMetrics. Create one with NewTelemetry and share
+// it across the objects whose runtime activity should aggregate into
+// one set of approx_runtime_* meters (typically one per process, like a
+// metrics registry). A Telemetry is safe for concurrent use once
+// configured; the zero value is not usable.
+type Telemetry struct {
+	sink *telemetry.Sink
+}
+
+// TelemetryOption configures a Telemetry domain at construction.
+type TelemetryOption func(*Telemetry)
+
+// NewTelemetry creates an enabled, empty telemetry domain.
+func NewTelemetry(opts ...TelemetryOption) *Telemetry {
+	t := &Telemetry{sink: telemetry.New()}
+	for _, opt := range opts {
+		opt(t)
+	}
+	return t
+}
+
+// WithTraceHook installs a sampled trace hook on the domain: fn fires
+// for roughly 1 in 2^sampleShift trace events (sampleShift 0 fires on
+// every event), selected by an unbiased shared SplitMix64 draw, so the
+// hook's cost on the hot paths is one atomic add per offered event
+// regardless of the sample rate. Configuration only — the hook cannot
+// be changed once objects are built on the domain.
+func WithTraceHook(fn TraceFunc, sampleShift uint) TelemetryOption {
+	return func(t *Telemetry) {
+		if fn == nil {
+			return
+		}
+		t.sink.SetTrace(func(ev telemetry.TraceEvent, slot int, value uint64) {
+			fn(publicTraceEvent(ev), slot, value)
+		}, sampleShift)
+	}
+}
+
+// publicTraceEvent maps the internal trace enum to the public mirror.
+func publicTraceEvent(ev telemetry.TraceEvent) TraceEvent {
+	switch ev {
+	case telemetry.TraceFlush:
+		return TraceFlush
+	case telemetry.TraceRefresh:
+		return TraceRefresh
+	case telemetry.TraceRotation:
+		return TraceRotation
+	default:
+		return TraceAcquire
+	}
+}
+
+// WithTelemetry attaches the object to telemetry domain t: its runtime
+// layers (handle buffers, read cache, pool, window ring, base-object
+// arenas) report events into t's sink, surfaced by
+// Registry.SelfMetrics. Objects built without it are completely
+// uninstrumented — the runtime's telemetry pointer stays nil and the
+// hot paths pay a single never-taken branch.
+func WithTelemetry(t *Telemetry) Option { return func(s *Spec) { s.tel = t } }
+
+// instrumentObject wires the construction-time telemetry of one built
+// object: its pool's acquisition events, its contribution to the
+// resident-bytes gauge, and its slots' share of the lag accounting
+// behind the batched meters' Buffer envelope. baseObjects is the
+// object's BaseObjects method (called per scrape — resident bytes is a
+// pull gauge, so windowed objects report their live ring, not a stale
+// construction-time figure).
+func instrumentObject(spec Spec, free interface {
+	Instrument(*telemetry.Sink)
+}, baseObjects func() uint64) {
+	if spec.tel == nil {
+		return
+	}
+	sink := spec.tel.sink
+	free.Instrument(sink)
+	// One lag unit per allocated slot: each slot's handle buffer owns at
+	// most one unpublished BumpLocal accumulator per batched meter.
+	sink.AddLagUnits(spec.totalProcs())
+	// The paper's space measure is base objects; a register is an ID
+	// word plus a value word, so 16 bytes each is the documented
+	// estimate (padding and arena guards are deliberately excluded —
+	// the meter tracks model cost, not allocator overhead).
+	sink.RegisterResident(func() uint64 { return 16 * baseObjects() })
+}
+
+// selfMeter is one approx_runtime_* meter: a read-only registry
+// instance whose value is a closure over the telemetry sink. Its spec
+// has zero procs, which no user spec can have, so the registry's typed
+// getters reject the name instead of handing out a meter as a user
+// object.
+type selfMeter struct {
+	spec   Spec
+	sink   *telemetry.Sink
+	read   func() uint64
+	bounds func() Bounds
+}
+
+var _ instance = (*selfMeter)(nil)
+
+func (m *selfMeter) Spec() Spec                       { return m.spec }
+func (m *selfMeter) Bounds() Bounds                   { return m.bounds() }
+func (m *selfMeter) StepsRetired() uint64             { return 0 }
+func (m *selfMeter) Close()                           {}
+func (m *selfMeter) snapshotValue() uint64            { return m.read() }
+func (m *selfMeter) snapshotBounds() Bounds           { return m.bounds() }
+func (m *selfMeter) snapshotSteps() uint64            { return 0 }
+func (m *selfMeter) snapshotDetail() *HistogramDetail { return nil }
+
+// exactMeterBounds is the envelope of the exactly-counted meters.
+func exactMeterBounds() Bounds { return Bounds{Mult: 1} }
+
+// selfMetricNames lists the meter names SelfMetrics registers, in
+// registration order (exported indirectly through Registry.Names).
+var selfMetricNames = []string{
+	"approx_runtime_flushes",
+	"approx_runtime_buffer_hits",
+	"approx_runtime_elided_writes",
+	"approx_runtime_readcache_hits",
+	"approx_runtime_readcache_misses",
+	"approx_runtime_readcache_inline_refreshes",
+	"approx_runtime_combiner_ticks",
+	"approx_runtime_refresh_ns_peak",
+	"approx_runtime_pool_acquires",
+	"approx_runtime_pool_tryacquire_failures",
+	"approx_runtime_window_rotations",
+	"approx_runtime_rehomed_handles",
+	"approx_runtime_arena_rows",
+	"approx_runtime_resident_bytes",
+}
+
+// SelfMetrics registers the telemetry domain's runtime meters in the
+// registry as ordinary objects, so Snapshot reads them and package
+// expose renders them as approx_runtime_* series next to the user
+// objects they describe. The meters are:
+//
+//	approx_runtime_flushes_total            handle buffers published to the shards
+//	approx_runtime_buffer_hits_total        writes absorbed by handle-local buffers¹
+//	approx_runtime_elided_writes_total      writes elided entirely by an elision policy¹
+//	approx_runtime_readcache_hits_total     cached reads served from a fresh cell
+//	approx_runtime_readcache_misses_total   cached reads that fell through to the refresh lock
+//	approx_runtime_readcache_inline_refreshes_total  reads that re-combined the cell themselves
+//	approx_runtime_combiner_ticks_total     background combiner refresh ticks
+//	approx_runtime_refresh_ns_peak          read-cache refresh latency high-water mark (gauge, ns)
+//	approx_runtime_pool_acquires_total      pool slots leased
+//	approx_runtime_pool_tryacquire_failures_total  TryAcquire calls that found no free slot
+//	approx_runtime_window_rotations_total   epochs rotated out of window rings
+//	approx_runtime_rehomed_handles_total    windowed handles re-bound to a fresh epoch
+//	approx_runtime_arena_rows_total         base-object arena rows allocated
+//	approx_runtime_resident_bytes           base-object bytes of the live instrumented objects (gauge)
+//
+// ¹ Counted through batched handle-local accumulators (the same MVY
+// trade the objects themselves make), so these two meters carry a
+// nonzero Buffer envelope — at most telemetry.CounterBatch-1
+// unpublished events per slot of each instrumented object — which
+// expose renders as their _bound companion series. Every other meter
+// is exact. Hits are derived (cached reads minus misses, saturating).
+//
+// SelfMetrics is idempotent for the same domain and an error when a
+// meter name is already registered to anything else. The returned
+// meters round-trip through Registry.Snapshot and Close like any
+// object (Close is a no-op for them — the sink has no background
+// resources).
+func (r *Registry) SelfMetrics(t *Telemetry) error {
+	if t == nil || t.sink == nil {
+		return fmt.Errorf("approxobj: SelfMetrics needs a telemetry domain built by NewTelemetry")
+	}
+	sink := t.sink
+	exact := func(read func() uint64) *selfMeter {
+		return &selfMeter{spec: Spec{kind: KindCounter}, sink: sink, read: read, bounds: exactMeterBounds}
+	}
+	counted := func(ev telemetry.Event) *selfMeter {
+		return exact(func() uint64 { return sink.Total(ev) })
+	}
+	lagged := func(ev telemetry.Event) *selfMeter {
+		return &selfMeter{
+			spec: Spec{kind: KindCounter},
+			sink: sink,
+			read: func() uint64 { return sink.Total(ev) },
+			bounds: func() Bounds {
+				return Bounds{Mult: 1, Buffer: sink.LagBound()}
+			},
+		}
+	}
+	gauge := func(kind Kind, read func() uint64) *selfMeter {
+		return &selfMeter{spec: Spec{kind: kind}, sink: sink, read: read, bounds: exactMeterBounds}
+	}
+	meters := map[string]*selfMeter{
+		"approx_runtime_flushes":       counted(telemetry.EvFlush),
+		"approx_runtime_buffer_hits":   lagged(telemetry.EvBufferHit),
+		"approx_runtime_elided_writes": lagged(telemetry.EvElidedWrite),
+		"approx_runtime_readcache_hits": exact(func() uint64 {
+			reads, misses := sink.Total(telemetry.EvCacheRead), sink.Total(telemetry.EvCacheMiss)
+			if misses > reads {
+				return 0
+			}
+			return reads - misses
+		}),
+		"approx_runtime_readcache_misses":           counted(telemetry.EvCacheMiss),
+		"approx_runtime_readcache_inline_refreshes": counted(telemetry.EvInlineRefresh),
+		"approx_runtime_combiner_ticks":             counted(telemetry.EvCombinerTick),
+		"approx_runtime_refresh_ns_peak":            gauge(KindMaxRegister, sink.RefreshHighWaterNs),
+		"approx_runtime_pool_acquires":              counted(telemetry.EvPoolAcquire),
+		"approx_runtime_pool_tryacquire_failures":   counted(telemetry.EvPoolTryFail),
+		"approx_runtime_window_rotations":           counted(telemetry.EvRotation),
+		"approx_runtime_rehomed_handles":            counted(telemetry.EvRehome),
+		"approx_runtime_arena_rows":                 counted(telemetry.EvArenaRow),
+		"approx_runtime_resident_bytes":             gauge(KindSnapshot, sink.ResidentBytes),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Validate the whole batch before registering any of it, so a
+	// partial failure does not leave half the meters behind.
+	for _, name := range selfMetricNames {
+		if e, ok := r.entries[name]; ok {
+			m, isMeter := e.obj.(*selfMeter)
+			if !isMeter {
+				return fmt.Errorf("approxobj: SelfMetrics name %q already registered as %s", name, e.spec)
+			}
+			if m.sink != sink {
+				return fmt.Errorf("approxobj: SelfMetrics name %q already bound to a different telemetry domain", name)
+			}
+		}
+	}
+	for _, name := range selfMetricNames {
+		if _, ok := r.entries[name]; ok {
+			continue
+		}
+		m := meters[name]
+		r.entries[name] = &regEntry{name: name, spec: m.spec, obj: m}
+		r.order = append(r.order, name)
+	}
+	return nil
+}
